@@ -1,0 +1,127 @@
+//! Exact brute-force k-NN index: the recall=1.0 baseline the HNSW index is
+//! benchmarked against (experiment E3).
+
+use crate::vector::Metric;
+use serde::{Deserialize, Serialize};
+
+/// A scored search hit. `id` is caller-assigned (typically an entity id).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Identifier.
+    pub id: u64,
+    /// Score; higher is better.
+    pub score: f32,
+}
+
+/// Exact k-NN over a contiguous vector slab.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlatIndex {
+    dim: usize,
+    metric: Metric,
+    ids: Vec<u64>,
+    data: Vec<f32>,
+}
+
+impl FlatIndex {
+    /// Creates an empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self { dim, metric, ids: Vec::new(), data: Vec::new() }
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Adds a vector under `id`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim`.
+    pub fn add(&mut self, id: u64, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        self.ids.push(id);
+        self.data.extend_from_slice(v);
+    }
+
+    /// Returns the stored vector for position `i`.
+    fn vec_at(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Exact top-`k` most similar vectors to `query`.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut hits: Vec<Hit> = (0..self.len())
+            .map(|i| Hit { id: self.ids[i], score: self.metric.score(query, self.vec_at(i)) })
+            .collect();
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.id.cmp(&b.id)));
+        hits.truncate(k);
+        hits
+    }
+
+    /// Looks up a vector by id (linear scan; the KV cache is the hot path).
+    pub fn get(&self, id: u64) -> Option<&[f32]> {
+        self.ids.iter().position(|&x| x == id).map(|i| self.vec_at(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_search_finds_nearest() {
+        let mut idx = FlatIndex::new(2, Metric::Euclidean);
+        idx.add(1, &[0.0, 0.0]);
+        idx.add(2, &[1.0, 0.0]);
+        idx.add(3, &[5.0, 5.0]);
+        let hits = idx.search(&[0.9, 0.1], 2);
+        assert_eq!(hits[0].id, 2);
+        assert_eq!(hits[1].id, 1);
+    }
+
+    #[test]
+    fn k_larger_than_index_returns_all() {
+        let mut idx = FlatIndex::new(1, Metric::Dot);
+        idx.add(10, &[1.0]);
+        let hits = idx.search(&[2.0], 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].score, 2.0);
+    }
+
+    #[test]
+    fn get_retrieves_by_id() {
+        let mut idx = FlatIndex::new(3, Metric::Cosine);
+        idx.add(42, &[1.0, 2.0, 3.0]);
+        assert_eq!(idx.get(42), Some(&[1.0, 2.0, 3.0][..]));
+        assert_eq!(idx.get(99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut idx = FlatIndex::new(2, Metric::Cosine);
+        idx.add(1, &[1.0]);
+    }
+
+    #[test]
+    fn ties_break_by_id_for_determinism() {
+        let mut idx = FlatIndex::new(1, Metric::Dot);
+        idx.add(5, &[1.0]);
+        idx.add(3, &[1.0]);
+        let hits = idx.search(&[1.0], 2);
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(hits[1].id, 5);
+    }
+}

@@ -1,0 +1,348 @@
+//! Hierarchical Navigable Small World (HNSW) approximate k-NN index,
+//! implemented from scratch.
+//!
+//! This powers the paper's embedding service ("efficient
+//! k-nearest-neighbour retrieval", Sec. 1/Fig. 1). Experiment E3 sweeps its
+//! latency/recall trade-off against [`crate::flat::FlatIndex`].
+
+use crate::flat::Hit;
+use crate::vector::Metric;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Build/search parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HnswParams {
+    /// Max connections per node per layer (M). Layer 0 allows `2 * m`.
+    pub m: usize,
+    /// Candidate-list width during construction.
+    pub ef_construction: usize,
+    /// Default candidate-list width during search (overridable per query).
+    pub ef_search: usize,
+    /// RNG seed for level assignment (full determinism).
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        Self { m: 16, ef_construction: 100, ef_search: 48, seed: 0x5a6a }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    id: u64,
+    level: usize,
+    /// Neighbour lists per layer, `neighbors[l]` valid for `l <= level`.
+    neighbors: Vec<Vec<u32>>,
+}
+
+/// Candidate ordered by score descending (max-heap on score).
+#[derive(PartialEq)]
+struct Cand {
+    score: f32,
+    idx: u32,
+}
+impl Eq for Cand {}
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score.partial_cmp(&other.score).unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap entry (worst of the result set on top) via reversed ordering.
+struct RevCand(Cand);
+impl PartialEq for RevCand {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for RevCand {}
+impl Ord for RevCand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.cmp(&self.0)
+    }
+}
+impl PartialOrd for RevCand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The HNSW index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HnswIndex {
+    dim: usize,
+    metric: Metric,
+    params: HnswParams,
+    nodes: Vec<Node>,
+    data: Vec<f32>,
+    entry: Option<u32>,
+    max_level: usize,
+    #[serde(skip, default = "default_rng")]
+    rng: ChaCha8Rng,
+}
+
+fn default_rng() -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x5a6a)
+}
+
+impl HnswIndex {
+    /// Creates an empty index.
+    pub fn new(dim: usize, metric: Metric, params: HnswParams) -> Self {
+        assert!(dim > 0 && params.m >= 2, "invalid HNSW parameters");
+        let rng = ChaCha8Rng::seed_from_u64(params.seed);
+        Self { dim, metric, params, nodes: Vec::new(), data: Vec::new(), entry: None, max_level: 0, rng }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn vec_at(&self, i: u32) -> &[f32] {
+        let i = i as usize;
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    #[inline]
+    fn score_to(&self, q: &[f32], i: u32) -> f32 {
+        self.metric.score(q, self.vec_at(i))
+    }
+
+    fn random_level(&mut self) -> usize {
+        let ml = 1.0 / (self.params.m as f64).ln();
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        (-(u.ln()) * ml).floor() as usize
+    }
+
+    /// Greedy descent at one layer: move to the best neighbour until no
+    /// improvement.
+    fn greedy_at_layer(&self, q: &[f32], mut cur: u32, layer: usize) -> u32 {
+        let mut cur_score = self.score_to(q, cur);
+        loop {
+            let mut improved = false;
+            for &nb in &self.nodes[cur as usize].neighbors[layer] {
+                let s = self.score_to(q, nb);
+                if s > cur_score {
+                    cur = nb;
+                    cur_score = s;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Beam search at one layer returning up to `ef` best candidates.
+    fn search_layer(&self, q: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<Cand> {
+        let mut visited = vec![false; self.nodes.len()];
+        visited[entry as usize] = true;
+        let e = Cand { score: self.score_to(q, entry), idx: entry };
+        let mut results: BinaryHeap<RevCand> = BinaryHeap::new(); // min-heap
+        let mut candidates: BinaryHeap<Cand> = BinaryHeap::new(); // max-heap
+        results.push(RevCand(Cand { score: e.score, idx: e.idx }));
+        candidates.push(e);
+
+        while let Some(c) = candidates.pop() {
+            let worst = results.peek().map(|r| r.0.score).unwrap_or(f32::NEG_INFINITY);
+            if c.score < worst && results.len() >= ef {
+                break;
+            }
+            for &nb in &self.nodes[c.idx as usize].neighbors[layer] {
+                if visited[nb as usize] {
+                    continue;
+                }
+                visited[nb as usize] = true;
+                let s = self.score_to(q, nb);
+                let worst = results.peek().map(|r| r.0.score).unwrap_or(f32::NEG_INFINITY);
+                if results.len() < ef || s > worst {
+                    candidates.push(Cand { score: s, idx: nb });
+                    results.push(RevCand(Cand { score: s, idx: nb }));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Cand> = results.into_iter().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+        out
+    }
+
+    /// Inserts a vector under `id`.
+    pub fn add(&mut self, id: u64, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let idx = self.nodes.len() as u32;
+        let level = self.random_level();
+        self.data.extend_from_slice(v);
+        self.nodes.push(Node { id, level, neighbors: vec![Vec::new(); level + 1] });
+
+        let Some(mut cur) = self.entry else {
+            self.entry = Some(idx);
+            self.max_level = level;
+            return;
+        };
+
+        // Descend through layers above the node's level.
+        for l in (level + 1..=self.max_level).rev() {
+            cur = self.greedy_at_layer(v, cur, l);
+        }
+
+        // Connect at each layer from min(level, max_level) down to 0.
+        for l in (0..=level.min(self.max_level)).rev() {
+            let cands = self.search_layer(v, cur, self.params.ef_construction, l);
+            cur = cands.first().map(|c| c.idx).unwrap_or(cur);
+            let m_max = if l == 0 { self.params.m * 2 } else { self.params.m };
+            let selected: Vec<u32> =
+                cands.iter().take(self.params.m).map(|c| c.idx).collect();
+            self.nodes[idx as usize].neighbors[l] = selected.clone();
+            for nb in selected {
+                let list = &mut self.nodes[nb as usize].neighbors[l];
+                list.push(idx);
+                if list.len() > m_max {
+                    // Prune: keep the m_max closest to nb.
+                    let nb_vec: Vec<f32> = self.vec_at(nb).to_vec();
+                    let mut scored: Vec<(f32, u32)> = self.nodes[nb as usize].neighbors[l]
+                        .iter()
+                        .map(|&x| (self.metric.score(&nb_vec, self.vec_at(x)), x))
+                        .collect();
+                    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+                    scored.truncate(m_max);
+                    self.nodes[nb as usize].neighbors[l] = scored.into_iter().map(|(_, x)| x).collect();
+                }
+            }
+        }
+
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(idx);
+        }
+    }
+
+    /// Approximate top-`k` search with the default `ef_search`.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        self.search_ef(query, k, self.params.ef_search.max(k))
+    }
+
+    /// Approximate top-`k` search with an explicit beam width.
+    pub fn search_ef(&self, query: &[f32], k: usize, ef: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let Some(mut cur) = self.entry else { return Vec::new() };
+        for l in (1..=self.max_level).rev() {
+            cur = self.greedy_at_layer(query, cur, l);
+        }
+        let cands = self.search_layer(query, cur, ef.max(k), 0);
+        cands
+            .into_iter()
+            .take(k)
+            .map(|c| Hit { id: self.nodes[c.idx as usize].id, score: c.score })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = HnswIndex::new(4, Metric::Cosine, HnswParams::default());
+        assert!(idx.search(&[1.0, 0.0, 0.0, 0.0], 5).is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let mut idx = HnswIndex::new(2, Metric::Euclidean, HnswParams::default());
+        idx.add(7, &[1.0, 2.0]);
+        let hits = idx.search(&[1.0, 2.0], 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 7);
+    }
+
+    #[test]
+    fn recall_against_flat_baseline() {
+        let dim = 16;
+        let n = 800;
+        let vecs = random_vectors(n, dim, 42);
+        let mut flat = FlatIndex::new(dim, Metric::Euclidean);
+        let mut hnsw = HnswIndex::new(dim, Metric::Euclidean, HnswParams::default());
+        for (i, v) in vecs.iter().enumerate() {
+            flat.add(i as u64, v);
+            hnsw.add(i as u64, v);
+        }
+        let queries = random_vectors(30, dim, 99);
+        let mut recall_sum = 0.0;
+        for q in &queries {
+            let truth: std::collections::HashSet<u64> =
+                flat.search(q, 10).into_iter().map(|h| h.id).collect();
+            let approx = hnsw.search_ef(q, 10, 80);
+            let got = approx.iter().filter(|h| truth.contains(&h.id)).count();
+            recall_sum += got as f64 / 10.0;
+        }
+        let recall = recall_sum / queries.len() as f64;
+        assert!(recall > 0.85, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_results() {
+        let vecs = random_vectors(200, 8, 1);
+        let build = || {
+            let mut idx = HnswIndex::new(8, Metric::Cosine, HnswParams::default());
+            for (i, v) in vecs.iter().enumerate() {
+                idx.add(i as u64, v);
+            }
+            idx
+        };
+        let a = build();
+        let b = build();
+        let q = &vecs[3];
+        let ha: Vec<u64> = a.search(q, 5).into_iter().map(|h| h.id).collect();
+        let hb: Vec<u64> = b.search(q, 5).into_iter().map(|h| h.id).collect();
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn nearest_self_is_found() {
+        let vecs = random_vectors(300, 8, 5);
+        let mut idx = HnswIndex::new(8, Metric::Euclidean, HnswParams::default());
+        for (i, v) in vecs.iter().enumerate() {
+            idx.add(i as u64, v);
+        }
+        let mut found = 0;
+        for (i, v) in vecs.iter().enumerate().take(50) {
+            let hits = idx.search(v, 1);
+            if hits[0].id == i as u64 {
+                found += 1;
+            }
+        }
+        assert!(found >= 48, "self-recall {found}/50");
+    }
+}

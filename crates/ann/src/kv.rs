@@ -1,0 +1,174 @@
+//! A low-latency, versioned embedding key-value cache.
+//!
+//! The paper (Sec. 3.2) precomputes entity embeddings "and cache\[s\] the
+//! results in a low-latency key-value store"; at query time only the query
+//! embedding is computed. This is that store: sharded maps behind
+//! `parking_lot::RwLock`, with hit/miss statistics used by experiment E4's
+//! price/performance rows.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SHARDS: usize = 16;
+
+/// Statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cache hits observed.
+    pub hits: u64,
+    /// Cache misses observed.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0,1]`; 0 when never queried.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sharded embedding cache keyed by `u64` (entity id).
+pub struct EmbeddingCache {
+    shards: Vec<RwLock<std::collections::HashMap<u64, (u64, Vec<f32>)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Monotonic version stamp for refreshes.
+    version: AtomicU64,
+}
+
+impl Default for EmbeddingCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EmbeddingCache {
+    /// Creates a new instance.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(Default::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &RwLock<std::collections::HashMap<u64, (u64, Vec<f32>)>> {
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    /// Stores `v` under `key`, stamping the current version.
+    pub fn put(&self, key: u64, v: Vec<f32>) {
+        let ver = self.version.load(Ordering::Relaxed);
+        self.shard(key).write().insert(key, (ver, v));
+    }
+
+    /// Fetches the embedding for `key`, recording hit/miss.
+    pub fn get(&self, key: u64) -> Option<Vec<f32>> {
+        let out = self.shard(key).read().get(&key).map(|(_, v)| v.clone());
+        if out.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Fetches with the stored version stamp (for freshness checks).
+    pub fn get_versioned(&self, key: u64) -> Option<(u64, Vec<f32>)> {
+        self.shard(key).read().get(&key).cloned()
+    }
+
+    /// Bumps the global version; newly-put entries carry the new stamp.
+    pub fn bump_version(&self) -> u64 {
+        self.version.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current version stamp.
+    pub fn current_version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// Removes entries older than `min_version`, returning how many were
+    /// evicted. Used when embeddings are retrained.
+    pub fn evict_older_than(&self, min_version: u64) -> usize {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard.write();
+            let before = map.len();
+            map.retain(|_, (ver, _)| *ver >= min_version);
+            evicted += before - map.len();
+        }
+        evicted
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.read().len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_and_stats() {
+        let c = EmbeddingCache::new();
+        c.put(1, vec![1.0, 2.0]);
+        assert_eq!(c.get(1), Some(vec![1.0, 2.0]));
+        assert_eq!(c.get(2), None);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.entries, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn versioned_eviction() {
+        let c = EmbeddingCache::new();
+        c.put(1, vec![0.1]);
+        c.put(2, vec![0.2]);
+        let v1 = c.bump_version();
+        c.put(3, vec![0.3]);
+        let evicted = c.evict_older_than(v1);
+        assert_eq!(evicted, 2);
+        assert_eq!(c.get(1), None);
+        assert_eq!(c.get(3), Some(vec![0.3]));
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let c = Arc::new(EmbeddingCache::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        c.put(t * 1000 + i, vec![i as f32]);
+                        c.get(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.stats().entries, 2000);
+        assert_eq!(c.stats().hits, 2000);
+    }
+}

@@ -1,0 +1,23 @@
+//! # saga-ann
+//!
+//! The vector substrate behind the platform's embedding service (paper
+//! Fig. 1): exact and approximate k-nearest-neighbour retrieval, scalar
+//! quantization for on-device deployment, and the low-latency embedding
+//! key-value cache used by the semantic annotation service.
+
+#![warn(missing_docs)]
+#![allow(clippy::len_without_is_empty)]
+
+pub mod flat;
+pub mod hnsw;
+pub mod kv;
+pub mod pq;
+pub mod quant;
+pub mod vector;
+
+pub use flat::{FlatIndex, Hit};
+pub use hnsw::{HnswIndex, HnswParams};
+pub use kv::{CacheStats, EmbeddingCache};
+pub use pq::{PqCodebook, PqConfig, PqIndex};
+pub use quant::{QuantizedTable, QuantizedVector};
+pub use vector::{l2_norm, normalize, Metric};

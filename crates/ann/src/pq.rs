@@ -1,0 +1,306 @@
+//! Product quantization (PQ): aggressive embedding compression for
+//! on-device deployment, complementing the scalar quantizer.
+//!
+//! Vectors are split into `M` subspaces; each subspace is clustered with
+//! k-means and vectors are stored as one centroid code per subspace
+//! (`M` bytes per vector). Search uses asymmetric distance computation:
+//! per-query lookup tables of query-to-centroid distances, summed per code.
+
+use crate::flat::Hit;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// PQ training parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PqConfig {
+    /// Number of subspaces (must divide the dimension).
+    pub subspaces: usize,
+    /// Centroids per subspace (≤ 256 so codes fit a byte).
+    pub centroids: usize,
+    /// k-means iterations.
+    pub iterations: usize,
+    /// RNG seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for PqConfig {
+    fn default() -> Self {
+        Self { subspaces: 8, centroids: 64, iterations: 10, seed: 0x9a }
+    }
+}
+
+/// Trained per-subspace centroids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PqCodebook {
+    dim: usize,
+    subspaces: usize,
+    sub_dim: usize,
+    centroids: usize,
+    /// `[subspace][centroid][sub_dim]`, flattened.
+    table: Vec<f32>,
+}
+
+impl PqCodebook {
+    /// Trains the codebook with k-means on `vectors`.
+    ///
+    /// # Panics
+    /// Panics if `cfg.subspaces` does not divide the dimension, if
+    /// `cfg.centroids > 256`, or if `vectors` is empty.
+    pub fn train(vectors: &[Vec<f32>], cfg: &PqConfig) -> Self {
+        assert!(!vectors.is_empty(), "cannot train on an empty set");
+        let dim = vectors[0].len();
+        assert_eq!(dim % cfg.subspaces, 0, "subspaces must divide dim");
+        assert!(cfg.centroids <= 256, "codes must fit one byte");
+        let sub_dim = dim / cfg.subspaces;
+        let k = cfg.centroids.min(vectors.len());
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut table = vec![0.0f32; cfg.subspaces * k * sub_dim];
+
+        for s in 0..cfg.subspaces {
+            let lo = s * sub_dim;
+            // Initialize centroids from random distinct vectors.
+            let mut order: Vec<usize> = (0..vectors.len()).collect();
+            order.shuffle(&mut rng);
+            for (c, &vi) in order.iter().take(k).enumerate() {
+                let dst = (s * k + c) * sub_dim;
+                table[dst..dst + sub_dim].copy_from_slice(&vectors[vi][lo..lo + sub_dim]);
+            }
+            // Lloyd iterations.
+            let mut assign = vec![0usize; vectors.len()];
+            for _ in 0..cfg.iterations {
+                // Assign.
+                for (vi, v) in vectors.iter().enumerate() {
+                    let sub = &v[lo..lo + sub_dim];
+                    let mut best = 0usize;
+                    let mut best_d = f32::INFINITY;
+                    for c in 0..k {
+                        let cent = &table[(s * k + c) * sub_dim..(s * k + c + 1) * sub_dim];
+                        let d: f32 = sub.iter().zip(cent).map(|(a, b)| (a - b) * (a - b)).sum();
+                        if d < best_d {
+                            best_d = d;
+                            best = c;
+                        }
+                    }
+                    assign[vi] = best;
+                }
+                // Update.
+                let mut sums = vec![0.0f32; k * sub_dim];
+                let mut counts = vec![0usize; k];
+                for (vi, v) in vectors.iter().enumerate() {
+                    let c = assign[vi];
+                    counts[c] += 1;
+                    for (j, x) in v[lo..lo + sub_dim].iter().enumerate() {
+                        sums[c * sub_dim + j] += x;
+                    }
+                }
+                for c in 0..k {
+                    if counts[c] > 0 {
+                        let dst = (s * k + c) * sub_dim;
+                        for j in 0..sub_dim {
+                            table[dst + j] = sums[c * sub_dim + j] / counts[c] as f32;
+                        }
+                    }
+                }
+            }
+        }
+        Self { dim, subspaces: cfg.subspaces, sub_dim, centroids: k, table }
+    }
+
+    /// Encodes a vector as one code per subspace.
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        assert_eq!(v.len(), self.dim);
+        let mut codes = Vec::with_capacity(self.subspaces);
+        for s in 0..self.subspaces {
+            let lo = s * self.sub_dim;
+            let sub = &v[lo..lo + self.sub_dim];
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..self.centroids {
+                let cent = self.centroid(s, c);
+                let d: f32 = sub.iter().zip(cent).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            codes.push(best as u8);
+        }
+        codes
+    }
+
+    /// Reconstructs the approximate vector from codes.
+    pub fn decode(&self, codes: &[u8]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dim);
+        for (s, &c) in codes.iter().enumerate() {
+            out.extend_from_slice(self.centroid(s, c as usize));
+        }
+        out
+    }
+
+    fn centroid(&self, s: usize, c: usize) -> &[f32] {
+        let start = (s * self.centroids + c) * self.sub_dim;
+        &self.table[start..start + self.sub_dim]
+    }
+
+    /// Per-query distance lookup table: `[subspace][centroid]` squared
+    /// distances from the query's subvector to each centroid.
+    fn distance_table(&self, query: &[f32]) -> Vec<f32> {
+        let mut lut = vec![0.0f32; self.subspaces * self.centroids];
+        for s in 0..self.subspaces {
+            let lo = s * self.sub_dim;
+            let sub = &query[lo..lo + self.sub_dim];
+            for c in 0..self.centroids {
+                let cent = self.centroid(s, c);
+                lut[s * self.centroids + c] =
+                    sub.iter().zip(cent).map(|(a, b)| (a - b) * (a - b)).sum();
+            }
+        }
+        lut
+    }
+}
+
+/// A PQ-compressed index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PqIndex {
+    codebook: PqCodebook,
+    ids: Vec<u64>,
+    /// `subspaces` bytes per vector, concatenated.
+    codes: Vec<u8>,
+}
+
+impl PqIndex {
+    /// Trains a codebook on the data and encodes every vector.
+    pub fn build(items: &[(u64, Vec<f32>)], cfg: &PqConfig) -> Self {
+        let vectors: Vec<Vec<f32>> = items.iter().map(|(_, v)| v.clone()).collect();
+        let codebook = PqCodebook::train(&vectors, cfg);
+        let mut ids = Vec::with_capacity(items.len());
+        let mut codes = Vec::with_capacity(items.len() * codebook.subspaces);
+        for (id, v) in items {
+            ids.push(*id);
+            codes.extend(codebook.encode(v));
+        }
+        Self { codebook, ids, codes }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Code bytes + id bytes + codebook bytes.
+    pub fn bytes(&self) -> usize {
+        self.codes.len() + self.ids.len() * 8 + self.codebook.table.len() * 4
+    }
+
+    /// Approximate top-`k` nearest (squared-Euclidean) via asymmetric
+    /// distance computation. Scores are negative distances (larger=closer).
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        let m = self.codebook.subspaces;
+        let kc = self.codebook.centroids;
+        let lut = self.codebook.distance_table(query);
+        let mut hits: Vec<Hit> = (0..self.len())
+            .map(|i| {
+                let codes = &self.codes[i * m..(i + 1) * m];
+                let d: f32 = codes
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &c)| lut[s * kc + c as usize])
+                    .sum();
+                Hit { id: self.ids[i], score: -d }
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.id.cmp(&b.id)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use crate::vector::Metric;
+
+    fn clustered_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        // Clustered data (PQ shines on structured embeddings).
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> =
+            (0..8).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+        (0..n)
+            .map(|i| {
+                let c = &centers[i % centers.len()];
+                c.iter().map(|x| x + rng.gen_range(-0.15f32..0.15)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_reduces_error_vs_random_codes() {
+        let vecs = clustered_vectors(300, 16, 3);
+        let cb = PqCodebook::train(&vecs, &PqConfig { subspaces: 4, centroids: 16, ..Default::default() });
+        let mut err = 0.0f32;
+        for v in &vecs {
+            let back = cb.decode(&cb.encode(v));
+            err += v.iter().zip(&back).map(|(a, b)| (a - b) * (a - b)).sum::<f32>();
+        }
+        err /= vecs.len() as f32;
+        assert!(err < 0.5, "mean reconstruction error {err}");
+    }
+
+    #[test]
+    fn pq_search_recall_on_clustered_data() {
+        let dim = 16;
+        let vecs = clustered_vectors(500, dim, 7);
+        let items: Vec<(u64, Vec<f32>)> =
+            vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())).collect();
+        let pq = PqIndex::build(&items, &PqConfig { subspaces: 4, centroids: 32, ..Default::default() });
+        let mut flat = FlatIndex::new(dim, Metric::Euclidean);
+        for (id, v) in &items {
+            flat.add(*id, v);
+        }
+        let mut recall = 0.0;
+        for q in vecs.iter().step_by(50) {
+            let truth: std::collections::HashSet<u64> =
+                flat.search(q, 10).into_iter().map(|h| h.id).collect();
+            let got = pq.search(q, 10);
+            recall += got.iter().filter(|h| truth.contains(&h.id)).count() as f64 / 10.0;
+        }
+        recall /= 10.0;
+        assert!(recall > 0.5, "PQ recall {recall}");
+    }
+
+    #[test]
+    fn pq_is_much_smaller_than_f32() {
+        let vecs = clustered_vectors(1000, 32, 9);
+        let items: Vec<(u64, Vec<f32>)> =
+            vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())).collect();
+        let pq = PqIndex::build(&items, &PqConfig::default());
+        let f32_bytes = 1000 * 32 * 4;
+        assert!(
+            pq.bytes() * 3 < f32_bytes,
+            "PQ {} vs f32 {f32_bytes}",
+            pq.bytes()
+        );
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let vecs = clustered_vectors(200, 8, 5);
+        let a = PqCodebook::train(&vecs, &PqConfig { subspaces: 2, centroids: 8, ..Default::default() });
+        let b = PqCodebook::train(&vecs, &PqConfig { subspaces: 2, centroids: 8, ..Default::default() });
+        assert_eq!(a.encode(&vecs[0]), b.encode(&vecs[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "subspaces must divide dim")]
+    fn bad_subspace_count_panics() {
+        let vecs = clustered_vectors(50, 10, 1);
+        PqCodebook::train(&vecs, &PqConfig { subspaces: 3, ..Default::default() });
+    }
+}

@@ -1,0 +1,173 @@
+//! Scalar quantization (f32 → i8), the paper's on-device model-compression
+//! lever ("compressing learned models (e.g., by floating point precision
+//! reduction)", Sec. 5 Resource Constraints).
+
+use crate::vector::Metric;
+use serde::{Deserialize, Serialize};
+
+/// A symmetrically-quantized vector: `value ≈ q * scale`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedVector {
+    /// Per-vector dequantization scale.
+    pub scale: f32,
+    /// Quantized payload.
+    pub data: Vec<i8>,
+}
+
+impl QuantizedVector {
+    /// Quantizes `v` with a per-vector scale (max-abs symmetric).
+    pub fn quantize(v: &[f32]) -> Self {
+        let max_abs = v.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let data = v.iter().map(|x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
+        Self { scale, data }
+    }
+
+    /// Reconstructs the approximate f32 vector.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.data.iter().map(|&q| q as f32 * self.scale).collect()
+    }
+
+    /// Memory footprint in bytes (data + scale).
+    pub fn bytes(&self) -> usize {
+        self.data.len() + std::mem::size_of::<f32>()
+    }
+
+    /// Similarity against an f32 query without materializing the
+    /// dequantized vector.
+    pub fn score(&self, metric: Metric, query: &[f32]) -> f32 {
+        debug_assert_eq!(query.len(), self.data.len());
+        match metric {
+            Metric::Dot => {
+                let mut dot = 0.0f32;
+                for (&q, &x) in self.data.iter().zip(query) {
+                    dot += q as f32 * x;
+                }
+                dot * self.scale
+            }
+            Metric::Cosine | Metric::Euclidean => {
+                let deq = self.dequantize();
+                metric.score(query, &deq)
+            }
+        }
+    }
+}
+
+/// A table of quantized vectors with shared dimension — the compressed
+/// on-device embedding asset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedTable {
+    dim: usize,
+    ids: Vec<u64>,
+    scales: Vec<f32>,
+    data: Vec<i8>,
+}
+
+impl QuantizedTable {
+    /// Quantizes a set of `(id, vector)` pairs.
+    pub fn build(dim: usize, items: impl IntoIterator<Item = (u64, Vec<f32>)>) -> Self {
+        let mut t = Self { dim, ids: Vec::new(), scales: Vec::new(), data: Vec::new() };
+        for (id, v) in items {
+            assert_eq!(v.len(), dim, "vector dimension mismatch");
+            let q = QuantizedVector::quantize(&v);
+            t.ids.push(id);
+            t.scales.push(q.scale);
+            t.data.extend_from_slice(&q.data);
+        }
+        t
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Total payload bytes (i8 data + scales + ids).
+    pub fn bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4 + self.ids.len() * 8
+    }
+
+    /// Dequantized vector for row `i`.
+    pub fn dequantize_row(&self, i: usize) -> Vec<f32> {
+        let s = self.scales[i];
+        self.data[i * self.dim..(i + 1) * self.dim].iter().map(|&q| q as f32 * s).collect()
+    }
+
+    /// Exact top-`k` search over the quantized table.
+    pub fn search(&self, metric: Metric, query: &[f32], k: usize) -> Vec<crate::flat::Hit> {
+        let mut hits: Vec<crate::flat::Hit> = (0..self.len())
+            .map(|i| {
+                let v = self.dequantize_row(i);
+                crate::flat::Hit { id: self.ids[i], score: metric.score(query, &v) }
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.id.cmp(&b.id)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_round_trip_error_is_small() {
+        let v: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let q = QuantizedVector::quantize(&v);
+        let back = q.dequantize();
+        for (a, b) in v.iter().zip(&back) {
+            assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_vector_is_stable() {
+        let q = QuantizedVector::quantize(&[0.0; 8]);
+        assert_eq!(q.dequantize(), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn quantized_is_4x_smaller() {
+        let v = vec![0.5f32; 128];
+        let q = QuantizedVector::quantize(&v);
+        assert!(q.bytes() * 3 < v.len() * 4, "{} vs {}", q.bytes(), v.len() * 4);
+    }
+
+    #[test]
+    fn quantized_search_approximates_exact() {
+        use crate::flat::FlatIndex;
+        use rand::prelude::*;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let dim = 32;
+        let vecs: Vec<Vec<f32>> =
+            (0..200).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+        let mut flat = FlatIndex::new(dim, Metric::Cosine);
+        for (i, v) in vecs.iter().enumerate() {
+            flat.add(i as u64, v);
+        }
+        let table =
+            QuantizedTable::build(dim, vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())));
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let exact: std::collections::HashSet<u64> =
+            flat.search(&q, 10).into_iter().map(|h| h.id).collect();
+        let approx = table.search(Metric::Cosine, &q, 10);
+        let overlap = approx.iter().filter(|h| exact.contains(&h.id)).count();
+        assert!(overlap >= 8, "quantized recall {overlap}/10");
+    }
+
+    #[test]
+    fn dot_score_matches_dequantized_dot() {
+        let v = vec![0.25f32, -0.5, 0.75, 1.0];
+        let q = QuantizedVector::quantize(&v);
+        let query = vec![1.0f32, 2.0, -1.0, 0.5];
+        let fast = q.score(Metric::Dot, &query);
+        let slow = Metric::Dot.score(&q.dequantize(), &query);
+        assert!((fast - slow).abs() < 1e-4);
+    }
+}

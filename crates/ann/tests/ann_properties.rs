@@ -1,0 +1,76 @@
+//! Property tests for the vector substrate.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use saga_ann::{FlatIndex, HnswIndex, HnswParams, Metric, QuantizedVector};
+
+fn vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// HNSW recall@10 vs exact search stays above a floor for arbitrary
+    /// random datasets.
+    #[test]
+    fn hnsw_recall_floor(seed in 0u64..10_000, n in 200usize..900) {
+        let dim = 12;
+        let vecs = vectors(n, dim, seed);
+        let mut flat = FlatIndex::new(dim, Metric::Euclidean);
+        let mut hnsw = HnswIndex::new(dim, Metric::Euclidean, HnswParams::default());
+        for (i, v) in vecs.iter().enumerate() {
+            flat.add(i as u64, v);
+            hnsw.add(i as u64, v);
+        }
+        let queries = vectors(10, dim, seed ^ 0xabc);
+        let mut recall = 0.0;
+        for q in &queries {
+            let truth: std::collections::HashSet<u64> =
+                flat.search(q, 10).into_iter().map(|h| h.id).collect();
+            let got = hnsw.search_ef(q, 10, 96);
+            recall += got.iter().filter(|h| truth.contains(&h.id)).count() as f64 / 10.0;
+        }
+        recall /= queries.len() as f64;
+        prop_assert!(recall > 0.7, "recall {recall} at n={n} seed={seed}");
+    }
+
+    /// Scalar quantization reconstruction error is bounded by scale/2 per
+    /// element, for any input vector.
+    #[test]
+    fn quantization_error_bound(v in proptest::collection::vec(-100.0f32..100.0, 1..256)) {
+        let q = QuantizedVector::quantize(&v);
+        let back = q.dequantize();
+        for (orig, rec) in v.iter().zip(&back) {
+            prop_assert!(
+                (orig - rec).abs() <= q.scale / 2.0 + 1e-6,
+                "error {} exceeds half-scale {}",
+                (orig - rec).abs(),
+                q.scale / 2.0
+            );
+        }
+    }
+
+    /// Exact search returns results in non-increasing score order with the
+    /// requested cardinality, for every metric.
+    #[test]
+    fn flat_search_contract(seed in 0u64..10_000, k in 1usize..20) {
+        let dim = 8;
+        let vecs = vectors(100, dim, seed);
+        for metric in [Metric::Cosine, Metric::Euclidean, Metric::Dot] {
+            let mut idx = FlatIndex::new(dim, metric);
+            for (i, v) in vecs.iter().enumerate() {
+                idx.add(i as u64, v);
+            }
+            let hits = idx.search(&vecs[0], k);
+            prop_assert_eq!(hits.len(), k.min(100));
+            prop_assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+            // Self should be the best hit for cosine/euclidean.
+            if metric != Metric::Dot {
+                prop_assert_eq!(hits[0].id, 0);
+            }
+        }
+    }
+}

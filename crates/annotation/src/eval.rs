@@ -1,0 +1,113 @@
+//! Annotation quality evaluation against corpus ground truth — the numbers
+//! behind experiment E4's price/performance curve.
+
+use crate::pipeline::AnnotatedCorpus;
+use saga_core::{DocId, EntityId};
+use saga_webcorpus::CorpusTruth;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Precision/recall/F1 of entity linking at the document level.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LinkingQuality {
+    /// Precision in `[0,1]`.
+    pub precision: f64,
+    /// Recall in `[0,1]`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Fraction of profile pages whose title mention resolved to the page's
+    /// true topic entity (the homonym-disambiguation metric).
+    pub topic_accuracy: f64,
+    /// Documents with ground truth that were scored.
+    pub docs_evaluated: usize,
+}
+
+/// Scores document-level linked-entity sets against the ground truth: a
+/// predicted entity is correct if it is genuinely mentioned on the page.
+pub fn evaluate_linking(annotated: &AnnotatedCorpus, truth: &CorpusTruth) -> LinkingQuality {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    let mut topic_hits = 0usize;
+    let mut topic_total = 0usize;
+    let mut docs = 0usize;
+
+    for (doc, gold) in &truth.mentions {
+        let Some(ad) = annotated.docs.get(doc) else { continue };
+        docs += 1;
+        let predicted: HashSet<EntityId> = ad.mentions.iter().map(|m| m.entity).collect();
+        let gold_set: HashSet<EntityId> = gold.iter().copied().collect();
+        tp += predicted.intersection(&gold_set).count();
+        fp += predicted.difference(&gold_set).count();
+        fn_ += gold_set.difference(&predicted).count();
+
+        if let Some(topic) = truth.page_topics.get(doc) {
+            topic_total += 1;
+            if topic_mention_resolved(ad, *doc, *topic) {
+                topic_hits += 1;
+            }
+        }
+    }
+
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    let topic_accuracy = if topic_total == 0 { 0.0 } else { topic_hits as f64 / topic_total as f64 };
+    LinkingQuality { precision, recall, f1, topic_accuracy, docs_evaluated: docs }
+}
+
+/// True if any mention at the very start of the document (the title) links
+/// to the topic entity.
+fn topic_mention_resolved(
+    ad: &crate::pipeline::AnnotatedDoc,
+    _doc: DocId,
+    topic: EntityId,
+) -> bool {
+    // The title is rendered first, so the earliest mention covers it.
+    ad.mentions.iter().take(2).any(|m| m.entity == topic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linker::{LinkerConfig, Tier};
+    use crate::pipeline::annotate_corpus;
+    use crate::service::AnnotationService;
+    use saga_core::synth::{generate, SynthConfig};
+    use saga_webcorpus::{generate_corpus, CorpusConfig};
+
+    fn quality_at(tier: Tier) -> LinkingQuality {
+        let s = generate(&SynthConfig::tiny(181));
+        let (c, t) = generate_corpus(&s, &[], &CorpusConfig::tiny(13));
+        let svc = AnnotationService::build(&s.kg, LinkerConfig::tier(tier));
+        let (annotated, _) = annotate_corpus(&svc, &c, 2);
+        evaluate_linking(&annotated, &t)
+    }
+
+    #[test]
+    fn contextual_tier_beats_lexical_on_topic_accuracy() {
+        let t0 = quality_at(Tier::T0Lexical);
+        let t2 = quality_at(Tier::T2Contextual);
+        assert!(
+            t2.topic_accuracy >= t0.topic_accuracy,
+            "T2 {} vs T0 {}",
+            t2.topic_accuracy,
+            t0.topic_accuracy
+        );
+        assert!(t2.topic_accuracy > 0.8, "T2 topic accuracy {}", t2.topic_accuracy);
+    }
+
+    #[test]
+    fn linking_quality_is_reasonable() {
+        let q = quality_at(Tier::T2Contextual);
+        assert!(q.docs_evaluated > 100);
+        assert!(q.precision > 0.6, "precision {}", q.precision);
+        assert!(q.recall > 0.5, "recall {}", q.recall);
+        assert!(q.f1 > 0.55, "f1 {}", q.f1);
+    }
+}

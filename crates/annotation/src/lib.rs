@@ -1,0 +1,29 @@
+//! # saga-annotation
+//!
+//! The semantic annotation service of paper Sec. 3: mention detection via a
+//! from-scratch token-level Aho-Corasick automaton, candidate generation
+//! from the KG alias table, entity linking with tiered scoring (lexical →
+//! popularity → contextual reranking against precomputed entity
+//! embeddings), the web-scale incremental annotation pipeline of Fig. 4,
+//! and quality evaluation against corpus ground truth.
+
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod automaton;
+pub mod eval;
+pub mod linker;
+pub mod mention;
+pub mod pipeline;
+pub mod service;
+
+pub use alias::{AliasTable, Candidate};
+pub use automaton::{leftmost_longest, PhraseAutomaton, PhraseMatch};
+pub use eval::{evaluate_linking, LinkingQuality};
+pub use linker::{link_mentions, LinkedMention, LinkerConfig, Tier};
+pub use mention::{detect_mentions, Mention};
+pub use pipeline::{
+    annotate_corpus, annotate_incremental, extend_kg_with_links, AnnotatedCorpus, AnnotatedDoc,
+    PipelineStats,
+};
+pub use service::{entity_feature_embedding, AnnotationService, TypedMention};

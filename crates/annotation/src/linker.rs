@@ -1,0 +1,282 @@
+//! Entity linking: scoring mention candidates with lexical, popularity and
+//! contextual signals.
+//!
+//! The tiers implement the paper's price/performance knob (Sec. 3.2): T0 is
+//! the cheapest lexical-only deployment, T1 adds the popularity prior, T2
+//! adds contextual reranking against precomputed entity embeddings (the
+//! "Michael Jordan stats" vs "Michael Jordan students" disambiguation of
+//! Fig. 2), and graph-embedding coherence with co-mentioned entities.
+
+use crate::mention::Mention;
+use saga_ann::EmbeddingCache;
+use saga_core::text::{cosine, hash_embed, Token};
+use saga_core::EntityId;
+use saga_embeddings::TrainedModel;
+use serde::{Deserialize, Serialize};
+
+/// Deployment tier of the linker (cheap → expensive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Tier {
+    /// Lexical match only.
+    T0Lexical,
+    /// + popularity prior.
+    T1Popularity,
+    /// + contextual reranking (cached text-feature embeddings) and optional
+    /// graph-embedding coherence.
+    T2Contextual,
+}
+
+/// Linker configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkerConfig {
+    /// Deployment tier.
+    pub tier: Tier,
+    /// Tokens of context on each side of a mention.
+    pub context_window: usize,
+    /// Feature-embedding dimension (must match the cache contents).
+    pub feature_dim: usize,
+    /// Minimum score for a link to be emitted.
+    pub min_score: f32,
+    /// Weight of the lexical name-match feature.
+    pub w_name: f32,
+    /// Weight of the popularity prior.
+    pub w_popularity: f32,
+    /// Weight of the context-embedding similarity.
+    pub w_context: f32,
+    /// Weight of the graph-coherence feature.
+    pub w_coherence: f32,
+}
+
+impl Default for LinkerConfig {
+    fn default() -> Self {
+        Self {
+            tier: Tier::T2Contextual,
+            context_window: 12,
+            feature_dim: 96,
+            min_score: 0.2,
+            w_name: 1.0,
+            w_popularity: 0.4,
+            w_context: 1.2,
+            w_coherence: 0.6,
+        }
+    }
+}
+
+impl LinkerConfig {
+    /// Config for a given tier with default weights.
+    pub fn tier(tier: Tier) -> Self {
+        Self { tier, ..Self::default() }
+    }
+
+    /// A distilled T2 deployment: contextual reranking with a compressed
+    /// feature space (paper Sec. 3.2: "model distillation and compression
+    /// techniques that can target different hardware ... to meet different
+    /// price/performance SLAs"). Smaller cache, cheaper query embedding,
+    /// slightly lower quality.
+    pub fn distilled() -> Self {
+        Self { tier: Tier::T2Contextual, feature_dim: 32, ..Self::default() }
+    }
+}
+
+/// A resolved mention.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkedMention {
+    /// Byte offset of the span start.
+    pub start: usize,
+    /// Byte offset one past the span end.
+    pub end: usize,
+    /// Normalized surface form.
+    pub form: String,
+    /// The entity concerned.
+    pub entity: EntityId,
+    /// Score; higher is better.
+    pub score: f32,
+    /// Runner-up candidates `(entity, score)`, best first.
+    pub alternatives: Vec<(EntityId, f32)>,
+}
+
+/// Builds the context embedding for a mention: the hashed bag of window
+/// tokens around (but not inside) the mention span.
+pub fn context_embedding(
+    tokens: &[Token],
+    mention: &Mention,
+    window: usize,
+    dim: usize,
+) -> Vec<f32> {
+    let lo = mention.start_tok.saturating_sub(window);
+    let hi = (mention.end_tok + window).min(tokens.len());
+    let ctx: Vec<&str> = tokens[lo..mention.start_tok]
+        .iter()
+        .chain(&tokens[mention.end_tok..hi])
+        .map(|t| t.text.as_str())
+        .collect();
+    hash_embed(&ctx, dim)
+}
+
+/// Links the mentions of one document.
+///
+/// `features` must hold each candidate entity's precomputed text-feature
+/// embedding (see [`crate::service::AnnotationService::build`]). `kge` adds
+/// graph-coherence scoring at T2 when provided.
+pub fn link_mentions(
+    mentions: &[Mention],
+    tokens: &[Token],
+    cfg: &LinkerConfig,
+    features: &EmbeddingCache,
+    kge: Option<&TrainedModel>,
+) -> Vec<LinkedMention> {
+    // First pass: anchor entities = top-popularity candidate of every
+    // unambiguous mention (used for coherence scoring).
+    let anchors: Vec<EntityId> = mentions
+        .iter()
+        .filter(|m| m.candidates.len() == 1)
+        .map(|m| m.candidates[0].entity)
+        .collect();
+
+    let mut out = Vec::new();
+    for m in mentions {
+        if m.candidates.is_empty() {
+            continue;
+        }
+        let ctx = if cfg.tier >= Tier::T2Contextual {
+            Some(context_embedding(tokens, m, cfg.context_window, cfg.feature_dim))
+        } else {
+            None
+        };
+        let mut scored: Vec<(EntityId, f32)> = m
+            .candidates
+            .iter()
+            .map(|c| {
+                let mut score = cfg.w_name * c.name_prior;
+                if cfg.tier >= Tier::T1Popularity {
+                    score += cfg.w_popularity * c.popularity;
+                }
+                if let Some(ctx) = &ctx {
+                    if let Some(feat) = features.get(c.entity.raw()) {
+                        score += cfg.w_context * cosine(ctx, &feat).max(0.0);
+                    }
+                    if let Some(model) = kge {
+                        score += cfg.w_coherence * coherence(model, c.entity, &anchors);
+                    }
+                }
+                (c.entity, score)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let (entity, score) = scored[0];
+        if score < cfg.min_score {
+            continue;
+        }
+        out.push(LinkedMention {
+            start: m.start,
+            end: m.end,
+            form: m.form.clone(),
+            entity,
+            score,
+            alternatives: scored[1..].to_vec(),
+        });
+    }
+    out
+}
+
+/// Mean cosine similarity between `entity`'s graph embedding and the
+/// anchors' embeddings (0 when unavailable).
+fn coherence(model: &TrainedModel, entity: EntityId, anchors: &[EntityId]) -> f32 {
+    let Some(e) = model.entity_embedding(entity) else { return 0.0 };
+    let mut sum = 0.0f32;
+    let mut n = 0usize;
+    for &a in anchors {
+        if a == entity {
+            continue;
+        }
+        if let Some(av) = model.entity_embedding(a) {
+            sum += cosine(e, av).max(0.0);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alias::AliasTable;
+    use crate::mention::detect_mentions;
+    use crate::service::entity_feature_embedding;
+    use saga_core::synth::{generate, SynthConfig};
+
+    fn features_for(kg: &saga_core::KnowledgeGraph, dim: usize) -> EmbeddingCache {
+        let cache = EmbeddingCache::new();
+        for e in kg.entities() {
+            cache.put(e.id.raw(), entity_feature_embedding(kg, e.id, dim));
+        }
+        cache
+    }
+
+    #[test]
+    fn t2_contextual_disambiguates_michael_jordan() {
+        let s = generate(&SynthConfig::tiny(151));
+        let table = AliasTable::build(&s.kg);
+        let (a, forms) = table.compile();
+        let cfg = LinkerConfig::tier(Tier::T2Contextual);
+        let features = features_for(&s.kg, cfg.feature_dim);
+
+        let basketball = "Michael Jordan the basketball player won another championship ring.";
+        let (m1, t1) = detect_mentions(basketball, &a, &forms, &table);
+        let l1 = link_mentions(&m1, &t1, &cfg, &features, None);
+        let link1 = l1.iter().find(|l| l.form == "michael jordan").unwrap();
+        assert_eq!(link1.entity, s.scenario.mj_player, "basketball context → player");
+
+        let academia = "Michael Jordan published new machine learning and statistics research with his professor colleagues.";
+        let (m2, t2) = detect_mentions(academia, &a, &forms, &table);
+        let l2 = link_mentions(&m2, &t2, &cfg, &features, None);
+        let link2 = l2.iter().find(|l| l.form == "michael jordan").unwrap();
+        assert_eq!(link2.entity, s.scenario.mj_professor, "academic context → professor");
+    }
+
+    #[test]
+    fn t1_always_picks_popularity() {
+        let s = generate(&SynthConfig::tiny(151));
+        let table = AliasTable::build(&s.kg);
+        let (a, forms) = table.compile();
+        let cfg = LinkerConfig::tier(Tier::T1Popularity);
+        let features = EmbeddingCache::new();
+        // Even in academic context, T1 picks the (more popular) player.
+        let academia = "Michael Jordan published machine learning research.";
+        let (m, t) = detect_mentions(academia, &a, &forms, &table);
+        let l = link_mentions(&m, &t, &cfg, &features, None);
+        let link = l.iter().find(|l| l.form == "michael jordan").unwrap();
+        assert_eq!(link.entity, s.scenario.mj_player);
+        assert!(!link.alternatives.is_empty());
+    }
+
+    #[test]
+    fn min_score_suppresses_weak_links() {
+        let s = generate(&SynthConfig::tiny(151));
+        let table = AliasTable::build(&s.kg);
+        let (a, forms) = table.compile();
+        let mut cfg = LinkerConfig::tier(Tier::T0Lexical);
+        cfg.min_score = 100.0;
+        let features = EmbeddingCache::new();
+        let (m, t) = detect_mentions("Michael Jordan plays.", &a, &forms, &table);
+        assert!(link_mentions(&m, &t, &cfg, &features, None).is_empty());
+    }
+
+    #[test]
+    fn context_embedding_excludes_mention_tokens() {
+        let s = generate(&SynthConfig::tiny(151));
+        let table = AliasTable::build(&s.kg);
+        let (a, forms) = table.compile();
+        let (m, toks) = detect_mentions("alpha beta Michael Jordan gamma delta", &a, &forms, &table);
+        let mention = m.iter().find(|x| x.form == "michael jordan").unwrap();
+        let ctx = context_embedding(&toks, mention, 10, 64);
+        let expected = saga_core::text::hash_embed(&["alpha", "beta", "gamma", "delta"], 64);
+        for (x, y) in ctx.iter().zip(&expected) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Mention detection: tokenizing text and locating alias-table phrases.
+
+use crate::alias::{AliasTable, Candidate};
+use crate::automaton::{leftmost_longest, PhraseAutomaton};
+use saga_core::text::{tokenize, Token};
+use serde::{Deserialize, Serialize};
+
+/// A detected mention with its candidate entities (unresolved).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mention {
+    /// Byte offset of the mention start in the source text.
+    pub start: usize,
+    /// Byte offset one past the end.
+    pub end: usize,
+    /// Token index range (for context windows).
+    pub start_tok: usize,
+    /// Exclusive end token index.
+    pub end_tok: usize,
+    /// Normalized surface form.
+    pub form: String,
+    /// Candidate entities from the alias table.
+    pub candidates: Vec<Candidate>,
+}
+
+/// Detects mentions in `text` using a compiled automaton; returns the
+/// leftmost-longest non-overlapping mentions plus the token stream (for
+/// downstream context features).
+pub fn detect_mentions(
+    text: &str,
+    automaton: &PhraseAutomaton,
+    pattern_forms: &[String],
+    aliases: &AliasTable,
+) -> (Vec<Mention>, Vec<Token>) {
+    let tokens = tokenize(text);
+    let token_strs: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+    let matches = leftmost_longest(automaton.scan(&token_strs));
+    let mentions = matches
+        .into_iter()
+        .map(|m| {
+            let form = &pattern_forms[m.pattern as usize];
+            Mention {
+                start: tokens[m.start_tok].start,
+                end: tokens[m.end_tok - 1].end,
+                start_tok: m.start_tok,
+                end_tok: m.end_tok,
+                form: form.clone(),
+                candidates: aliases.candidates(form).to_vec(),
+            }
+        })
+        .collect();
+    (mentions, tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::synth::{generate, SynthConfig};
+
+    #[test]
+    fn detects_names_with_byte_spans() {
+        let s = generate(&SynthConfig::tiny(141));
+        let table = AliasTable::build(&s.kg);
+        let (a, forms) = table.compile();
+        let text = "Fans say Michael Jordan dominates; see MJ highlights.";
+        let (mentions, _) = detect_mentions(text, &a, &forms, &table);
+        assert!(mentions.len() >= 2);
+        let mj = &mentions[0];
+        assert_eq!(&text[mj.start..mj.end], "Michael Jordan");
+        assert_eq!(mj.form, "michael jordan");
+        assert_eq!(mj.candidates.len(), 2);
+        let alias = mentions.iter().find(|m| m.form == "mj").expect("alias detected");
+        assert_eq!(&text[alias.start..alias.end], "MJ");
+    }
+
+    #[test]
+    fn no_candidates_for_plain_text() {
+        let s = generate(&SynthConfig::tiny(141));
+        let table = AliasTable::build(&s.kg);
+        let (a, forms) = table.compile();
+        let (mentions, toks) =
+            detect_mentions("nothing relevant here whatsoever", &a, &forms, &table);
+        assert!(mentions.is_empty());
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn diacritics_fold_into_matches() {
+        let s = generate(&SynthConfig::tiny(141));
+        let table = AliasTable::build(&s.kg);
+        let (a, forms) = table.compile();
+        // "Benicio del Toro" with stylized accents still matches.
+        let text = "Benício del Toro stars tonight";
+        let (mentions, _) = detect_mentions(text, &a, &forms, &table);
+        assert!(mentions.iter().any(|m| m.form == "benicio del toro"));
+    }
+}

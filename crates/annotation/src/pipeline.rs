@@ -1,0 +1,241 @@
+//! The web-scale annotation pipeline (paper Fig. 4): sharded parallel
+//! annotation of a corpus, incremental re-annotation of only the changed
+//! pages, and materialization of entity→document link edges into the KG.
+
+use crate::linker::LinkedMention;
+use crate::service::AnnotationService;
+use saga_core::{DocId, EntityId, KnowledgeGraph, Triple, Value};
+use saga_webcorpus::Corpus;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Annotations of one document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnnotatedDoc {
+    /// Document id.
+    pub doc: DocId,
+    /// Corpus version the annotation reflects.
+    pub version: u64,
+    /// Linked mentions of the document.
+    pub mentions: Vec<LinkedMention>,
+}
+
+/// The annotated corpus: per-document annotations plus the entity→documents
+/// inverted map ("linking the Web" — the KG's new edges to documents).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AnnotatedCorpus {
+    /// Per-document annotations.
+    pub docs: HashMap<DocId, AnnotatedDoc>,
+}
+
+impl AnnotatedCorpus {
+    /// Inverted map: entity → documents that mention it (sorted).
+    pub fn entity_docs(&self) -> HashMap<EntityId, Vec<DocId>> {
+        let mut out: HashMap<EntityId, Vec<DocId>> = HashMap::new();
+        for ad in self.docs.values() {
+            let mut seen = std::collections::HashSet::new();
+            for m in &ad.mentions {
+                if seen.insert(m.entity) {
+                    out.entry(m.entity).or_default().push(ad.doc);
+                }
+            }
+        }
+        for v in out.values_mut() {
+            v.sort_unstable();
+        }
+        out
+    }
+
+    /// Documents mentioning `entity`.
+    pub fn docs_mentioning(&self, entity: EntityId) -> Vec<DocId> {
+        self.entity_docs().remove(&entity).unwrap_or_default()
+    }
+
+    /// Total linked mentions.
+    pub fn total_mentions(&self) -> usize {
+        self.docs.values().map(|d| d.mentions.len()).sum()
+    }
+}
+
+/// Pipeline statistics for one run (full or incremental).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Documents processed in this pass.
+    pub docs_processed: usize,
+    /// Mentions linked in this pass.
+    pub mentions_found: usize,
+    /// Wall-clock time of the pass.
+    pub elapsed: std::time::Duration,
+}
+
+/// Annotates the whole corpus with `workers` threads over document shards.
+pub fn annotate_corpus(
+    service: &AnnotationService,
+    corpus: &Corpus,
+    workers: usize,
+) -> (AnnotatedCorpus, PipelineStats) {
+    let start = std::time::Instant::now();
+    let next = AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Vec<AnnotatedDoc>>> =
+        (0..workers.max(1)).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+
+    crossbeam::thread::scope(|s| {
+        for w in 0..workers.max(1) {
+            let next = &next;
+            let results = &results;
+            s.spawn(move |_| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= corpus.pages.len() {
+                        break;
+                    }
+                    let page = &corpus.pages[i];
+                    let mentions = service.annotate(&page.full_text());
+                    local.push(AnnotatedDoc { doc: page.id, version: page.last_modified, mentions });
+                }
+                results[w].lock().extend(local);
+            });
+        }
+    })
+    .expect("annotation worker panicked");
+
+    let mut out = AnnotatedCorpus::default();
+    for shard in results {
+        for ad in shard.into_inner() {
+            out.docs.insert(ad.doc, ad);
+        }
+    }
+    let stats = PipelineStats {
+        docs_processed: corpus.pages.len(),
+        mentions_found: out.total_mentions(),
+        elapsed: start.elapsed(),
+    };
+    (out, stats)
+}
+
+/// Re-annotates only `changed` documents in place — the paper's incremental
+/// processing of "only the changed webpages at a given frequency".
+pub fn annotate_incremental(
+    service: &AnnotationService,
+    corpus: &Corpus,
+    annotated: &mut AnnotatedCorpus,
+    changed: &[DocId],
+) -> PipelineStats {
+    let start = std::time::Instant::now();
+    let mut mentions_found = 0;
+    for &doc in changed {
+        let page = corpus.page(doc);
+        let mentions = service.annotate(&page.full_text());
+        mentions_found += mentions.len();
+        annotated
+            .docs
+            .insert(doc, AnnotatedDoc { doc, version: page.last_modified, mentions });
+    }
+    PipelineStats { docs_processed: changed.len(), mentions_found, elapsed: start.elapsed() }
+}
+
+/// Materializes entity→document links into the KG as `mentioned_in` facts
+/// with the document URL as an identifier literal (paper Sec. 3.1:
+/// "extending our KG with edges linking KG entities to unstructured Web
+/// documents"). Returns the number of link facts written.
+pub fn extend_kg_with_links(
+    kg: &mut KnowledgeGraph,
+    corpus: &Corpus,
+    annotated: &AnnotatedCorpus,
+    max_docs_per_entity: usize,
+) -> usize {
+    let pred = kg.ontology_mut().add_predicate(
+        "mentioned_in",
+        "mentioned in",
+        saga_core::ValueKind::Identifier,
+        None,
+        saga_core::Cardinality::Multi,
+        saga_core::Volatility::Slow,
+        true, // bookkeeping for embeddings purposes
+    );
+    let src = kg.register_source("web-annotation");
+    let mut written = 0;
+    for (entity, docs) in annotated.entity_docs() {
+        for doc in docs.into_iter().take(max_docs_per_entity) {
+            let url = corpus.page(doc).url.clone();
+            kg.insert_with(Triple::new(entity, pred, Value::Identifier(url)), src, 1.0);
+            written += 1;
+        }
+    }
+    kg.commit();
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linker::{LinkerConfig, Tier};
+    use saga_core::synth::{generate, SynthConfig};
+    use saga_webcorpus::{apply_churn, generate_corpus, ChurnConfig, CorpusConfig};
+
+    fn setup() -> (saga_core::synth::SynthKg, Corpus, AnnotationService) {
+        let s = generate(&SynthConfig::tiny(171));
+        let (c, _) = generate_corpus(&s, &[], &CorpusConfig::tiny(11));
+        let svc = AnnotationService::build(&s.kg, LinkerConfig::tier(Tier::T2Contextual));
+        (s, c, svc)
+    }
+
+    #[test]
+    fn full_pipeline_links_profile_topics() {
+        let (s, c, svc) = setup();
+        let (annotated, stats) = annotate_corpus(&svc, &c, 4);
+        assert_eq!(stats.docs_processed, c.len());
+        assert!(stats.mentions_found > c.len() / 2, "mentions: {}", stats.mentions_found);
+        // The Benicio profile page should link Benicio.
+        let benicio_docs = annotated.docs_mentioning(s.scenario.benicio);
+        assert!(!benicio_docs.is_empty());
+        let page = c.page(benicio_docs[0]);
+        assert!(page.full_text().contains("Benicio"));
+    }
+
+    #[test]
+    fn parallel_matches_single_worker() {
+        let (_, c, svc) = setup();
+        let (a1, _) = annotate_corpus(&svc, &c, 1);
+        let (a4, _) = annotate_corpus(&svc, &c, 4);
+        assert_eq!(a1.docs.len(), a4.docs.len());
+        assert_eq!(a1.total_mentions(), a4.total_mentions());
+        for (doc, ad) in &a1.docs {
+            let bd = &a4.docs[doc];
+            assert_eq!(ad.mentions.len(), bd.mentions.len(), "doc {doc:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_processes_only_changed() {
+        let (_, mut c, svc) = setup();
+        let (mut annotated, full_stats) = annotate_corpus(&svc, &c, 2);
+        let report = apply_churn(&mut c, &ChurnConfig { edit_fraction: 0.05, new_pages: 5, seed: 3 });
+        let inc_stats = annotate_incremental(&svc, &c, &mut annotated, &report.changed);
+        assert_eq!(inc_stats.docs_processed, report.changed.len());
+        assert!(inc_stats.docs_processed < full_stats.docs_processed / 5);
+        // Changed docs now carry the new version.
+        for d in &report.changed {
+            assert_eq!(annotated.docs[d].version, report.version);
+        }
+        // All docs annotated (old + new).
+        assert_eq!(annotated.docs.len(), c.len());
+    }
+
+    #[test]
+    fn kg_extension_writes_link_facts() {
+        let (s, c, svc) = setup();
+        let mut kg = s.kg.clone();
+        let (annotated, _) = annotate_corpus(&svc, &c, 2);
+        let before = kg.num_triples();
+        let written = extend_kg_with_links(&mut kg, &c, &annotated, 3);
+        assert!(written > 0);
+        assert_eq!(kg.num_triples(), before + written);
+        let pred = kg.ontology().predicate_by_name("mentioned_in").unwrap();
+        let links = kg.objects(s.scenario.benicio, pred);
+        assert!(!links.is_empty());
+        assert!(matches!(&links[0], Value::Identifier(url) if url.starts_with("synth://")));
+    }
+}

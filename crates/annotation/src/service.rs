@@ -1,0 +1,294 @@
+//! The semantic annotation service facade (paper Sec. 3.2): modular —
+//! choose a tier per deployment; dynamic — new entities become linkable via
+//! the delta automaton without a full rebuild.
+
+use crate::alias::AliasTable;
+use crate::automaton::PhraseAutomaton;
+use crate::linker::{link_mentions, LinkedMention, LinkerConfig};
+use crate::mention::{detect_mentions, Mention};
+use saga_ann::EmbeddingCache;
+use saga_core::text::{hash_embed, tokenize};
+use saga_core::{EntityId, KnowledgeGraph, TypeId};
+use saga_embeddings::TrainedModel;
+use std::collections::HashMap;
+
+/// Computes an entity's text-feature embedding from its name, description
+/// and type name — the "textual features of the KG entities (e.g., name,
+/// description, popularity)" the paper's contextual reranker embeds.
+pub fn entity_feature_embedding(kg: &KnowledgeGraph, entity: EntityId, dim: usize) -> Vec<f32> {
+    let e = kg.entity(entity);
+    let type_name = &kg.ontology().type_info(e.entity_type).name;
+    let text = format!("{} {} {}", e.name, e.description, type_name);
+    let toks = tokenize(&text);
+    let refs: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    hash_embed(&refs, dim)
+}
+
+/// The annotation service: alias table + compiled automaton + precomputed
+/// feature cache (+ optional graph embeddings for coherence).
+pub struct AnnotationService {
+    aliases: AliasTable,
+    main: (PhraseAutomaton, Vec<String>),
+    /// Delta automaton for entities added since the last merge.
+    delta: Option<(PhraseAutomaton, Vec<String>)>,
+    delta_forms: Vec<String>,
+    features: EmbeddingCache,
+    kge: Option<TrainedModel>,
+    cfg: LinkerConfig,
+    /// Entity → (type id, type name), for typed annotation (NER output).
+    entity_types: HashMap<u64, (TypeId, String)>,
+    /// Counts of full automaton (re)builds — freshness experiment E10.
+    pub rebuilds: usize,
+}
+
+/// A linked mention with its entity's ontology type — the "named and
+/// nominal entity recognition" view of an annotation (paper Sec. 3: pages
+/// are annotated "including the corresponding entity types").
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TypedMention {
+    /// The underlying link.
+    pub mention: LinkedMention,
+    /// Ontology type of the linked entity.
+    pub entity_type: TypeId,
+    /// Type name, e.g. `"athlete"`.
+    pub type_name: String,
+}
+
+impl AnnotationService {
+    /// Builds the service from a KG: alias table, automaton, and the
+    /// precomputed per-entity feature cache (the paper's low-latency KV
+    /// store of entity embeddings).
+    pub fn build(kg: &KnowledgeGraph, cfg: LinkerConfig) -> Self {
+        let aliases = AliasTable::build(kg);
+        let main = aliases.compile();
+        let features = EmbeddingCache::new();
+        let mut entity_types = HashMap::new();
+        for e in kg.entities() {
+            features.put(e.id.raw(), entity_feature_embedding(kg, e.id, cfg.feature_dim));
+            let tname = kg.ontology().type_info(e.entity_type).name.clone();
+            entity_types.insert(e.id.raw(), (e.entity_type, tname));
+        }
+        Self {
+            aliases,
+            main,
+            delta: None,
+            delta_forms: Vec::new(),
+            features,
+            kge: None,
+            cfg,
+            entity_types,
+            rebuilds: 1,
+        }
+    }
+
+    /// Attaches a trained graph-embedding model for coherence scoring.
+    pub fn with_graph_embeddings(mut self, model: TrainedModel) -> Self {
+        self.kge = Some(model);
+        self
+    }
+
+    /// The linker configuration in effect.
+    pub fn config(&self) -> &LinkerConfig {
+        &self.cfg
+    }
+
+    /// Read access to the feature cache (for stats).
+    pub fn feature_cache(&self) -> &EmbeddingCache {
+        &self.features
+    }
+
+    /// Registers a *new* KG entity with the live service. Its surface forms
+    /// become matchable immediately through the delta automaton — no full
+    /// rebuild (paper Sec. 3.2: annotations must "surface new and updated
+    /// entities from the KG").
+    pub fn add_entity(&mut self, kg: &KnowledgeGraph, entity: EntityId) {
+        self.aliases.add_entity(kg, entity);
+        self.features.put(entity.raw(), entity_feature_embedding(kg, entity, self.cfg.feature_dim));
+        let ty = kg.entity(entity).entity_type;
+        self.entity_types
+            .insert(entity.raw(), (ty, kg.ontology().type_info(ty).name.clone()));
+        let e = kg.entity(entity);
+        for form in e.surface_forms() {
+            let norm = saga_core::text::normalize_phrase(form);
+            if !norm.is_empty() && !self.delta_forms.contains(&norm) {
+                self.delta_forms.push(norm);
+            }
+        }
+        // Rebuild only the (small) delta automaton.
+        let mut a = PhraseAutomaton::new();
+        let mut forms = Vec::with_capacity(self.delta_forms.len());
+        for f in &self.delta_forms {
+            let toks: Vec<&str> = f.split(' ').collect();
+            a.add_pattern(&toks);
+            forms.push(f.clone());
+        }
+        a.build();
+        self.delta = Some((a, forms));
+    }
+
+    /// Merges the delta into the main automaton (periodic maintenance).
+    pub fn merge_delta(&mut self) {
+        if self.delta.is_none() {
+            return;
+        }
+        self.main = self.aliases.compile();
+        self.delta = None;
+        self.delta_forms.clear();
+        self.rebuilds += 1;
+    }
+
+    /// Detects and links mentions in `text`.
+    pub fn annotate(&self, text: &str) -> Vec<LinkedMention> {
+        let (mut mentions, tokens) =
+            detect_mentions(text, &self.main.0, &self.main.1, &self.aliases);
+        if let Some((delta_a, delta_forms)) = &self.delta {
+            let (extra, _) = detect_mentions(text, delta_a, delta_forms, &self.aliases);
+            merge_mentions(&mut mentions, extra);
+        }
+        link_mentions(&mentions, &tokens, &self.cfg, &self.features, self.kge.as_ref())
+    }
+
+    /// Detects, links and *type-tags* mentions — the NER-style output.
+    pub fn annotate_typed(&self, text: &str) -> Vec<TypedMention> {
+        self.annotate(text)
+            .into_iter()
+            .filter_map(|m| {
+                let (entity_type, type_name) = self.entity_types.get(&m.entity.raw())?.clone();
+                Some(TypedMention { mention: m, entity_type, type_name })
+            })
+            .collect()
+    }
+
+    /// Approximate memory footprint of the precomputed feature cache in
+    /// bytes (the price axis of the distillation trade-off).
+    pub fn feature_cache_bytes(&self) -> usize {
+        self.features.stats().entries * (self.cfg.feature_dim * 4 + 16)
+    }
+}
+
+/// Merges delta-automaton mentions into the main list, preferring longer
+/// spans on overlap, keeping start order.
+fn merge_mentions(main: &mut Vec<Mention>, extra: Vec<Mention>) {
+    for m in extra {
+        let overlaps: Vec<usize> = main
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| m.start < x.end && x.start < m.end)
+            .map(|(i, _)| i)
+            .collect();
+        if overlaps.is_empty() {
+            main.push(m);
+        } else if overlaps
+            .iter()
+            .all(|&i| (main[i].end - main[i].start) < (m.end - m.start))
+        {
+            // The new mention is strictly longer than everything it
+            // overlaps: replace them.
+            for &i in overlaps.iter().rev() {
+                main.remove(i);
+            }
+            main.push(m);
+        }
+    }
+    main.sort_by_key(|m| m.start);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linker::Tier;
+    use saga_core::synth::{generate, SynthConfig};
+    use saga_core::EntityBuilder;
+
+    #[test]
+    fn service_annotates_queries() {
+        let s = generate(&SynthConfig::tiny(161));
+        let svc = AnnotationService::build(&s.kg, LinkerConfig::tier(Tier::T2Contextual));
+        let links = svc.annotate("Michael Jordan the legendary basketball champion highlights");
+        let mj = links.iter().find(|l| l.form == "michael jordan").unwrap();
+        assert_eq!(mj.entity, s.scenario.mj_player);
+    }
+
+    #[test]
+    fn new_entity_is_linkable_without_rebuild() {
+        let mut s = generate(&SynthConfig::tiny(161));
+        let mut svc = AnnotationService::build(&s.kg, LinkerConfig::tier(Tier::T1Popularity));
+        assert!(svc.annotate("Zorblatt Quuxington wrote a memoir").is_empty());
+
+        let id = s.kg.add_entity(
+            EntityBuilder::new("Zorblatt Quuxington", s.types.person)
+                .description("an author")
+                .popularity(0.5),
+        );
+        let rebuilds_before = svc.rebuilds;
+        svc.add_entity(&s.kg, id);
+        assert_eq!(svc.rebuilds, rebuilds_before, "no full rebuild");
+        let links = svc.annotate("Zorblatt Quuxington wrote a memoir");
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].entity, id);
+
+        // After merge, still linkable.
+        svc.merge_delta();
+        assert_eq!(svc.rebuilds, rebuilds_before + 1);
+        let links = svc.annotate("Zorblatt Quuxington wrote a memoir");
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].entity, id);
+    }
+
+    #[test]
+    fn delta_mention_overlapping_main_prefers_longer() {
+        let mut s = generate(&SynthConfig::tiny(161));
+        let mut svc = AnnotationService::build(&s.kg, LinkerConfig::tier(Tier::T1Popularity));
+        // Existing: "Michael Jordan". New longer entity: "Michael Jordan Institute".
+        let id = s.kg.add_entity(
+            EntityBuilder::new("Michael Jordan Institute", s.types.organization)
+                .description("a research institute")
+                .popularity(0.4),
+        );
+        svc.add_entity(&s.kg, id);
+        let links = svc.annotate("The Michael Jordan Institute opened today");
+        let inst = links.iter().find(|l| l.entity == id);
+        assert!(inst.is_some(), "longer delta mention wins: {links:?}");
+        assert!(
+            !links.iter().any(|l| l.form == "michael jordan"),
+            "shorter overlapped mention suppressed"
+        );
+    }
+
+    #[test]
+    fn typed_annotation_reports_ontology_types() {
+        let s = generate(&SynthConfig::tiny(161));
+        let svc = AnnotationService::build(&s.kg, LinkerConfig::tier(Tier::T2Contextual));
+        let typed = svc.annotate_typed("Michael Jordan the legendary basketball champion");
+        let mj = typed.iter().find(|t| t.mention.form == "michael jordan").unwrap();
+        assert_eq!(mj.entity_type, s.types.athlete);
+        assert_eq!(mj.type_name, "athlete");
+    }
+
+    #[test]
+    fn distilled_config_shrinks_the_cache() {
+        let s = generate(&SynthConfig::tiny(161));
+        let full = AnnotationService::build(&s.kg, LinkerConfig::tier(Tier::T2Contextual));
+        let distilled = AnnotationService::build(&s.kg, LinkerConfig::distilled());
+        assert!(distilled.feature_cache_bytes() * 2 < full.feature_cache_bytes());
+        // Distilled still disambiguates the flagship homonym.
+        let links = distilled.annotate("Michael Jordan the legendary basketball champion");
+        let mj = links.iter().find(|l| l.form == "michael jordan").unwrap();
+        assert_eq!(mj.entity, s.scenario.mj_player);
+    }
+
+    #[test]
+    fn feature_embedding_reflects_description() {
+        let s = generate(&SynthConfig::tiny(161));
+        let a = entity_feature_embedding(&s.kg, s.scenario.mj_player, 96);
+        let q = {
+            let toks = tokenize("legendary basketball champion");
+            let refs: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+            hash_embed(&refs, 96)
+        };
+        let b = entity_feature_embedding(&s.kg, s.scenario.mj_professor, 96);
+        let sim_player = saga_core::text::cosine(&q, &a);
+        let sim_prof = saga_core::text::cosine(&q, &b);
+        assert!(sim_player > sim_prof);
+    }
+}

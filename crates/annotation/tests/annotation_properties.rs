@@ -1,0 +1,80 @@
+//! Property tests for mention detection: the automaton is exactly
+//! equivalent to a naive multi-pattern scan, and leftmost-longest output is
+//! well-formed for arbitrary inputs.
+
+use proptest::prelude::*;
+use saga_annotation::{leftmost_longest, PhraseAutomaton, PhraseMatch};
+
+/// Tokens drawn from a small alphabet so overlaps are frequent.
+fn token() -> impl Strategy<Value = String> {
+    prop_oneof![Just("a"), Just("b"), Just("c"), Just("d"), Just("e")]
+        .prop_map(|s: &str| s.to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Automaton scan ≡ naive substring search for arbitrary pattern sets
+    /// and texts.
+    #[test]
+    fn automaton_equals_naive(
+        patterns in proptest::collection::vec(proptest::collection::vec(token(), 1..4), 1..8),
+        text in proptest::collection::vec(token(), 0..40),
+    ) {
+        let mut automaton = PhraseAutomaton::new();
+        for p in &patterns {
+            let refs: Vec<&str> = p.iter().map(String::as_str).collect();
+            automaton.add_pattern(&refs);
+        }
+        automaton.build();
+        let text_refs: Vec<&str> = text.iter().map(String::as_str).collect();
+        let mut got = automaton.scan(&text_refs);
+
+        let mut want = Vec::new();
+        for (pid, p) in patterns.iter().enumerate() {
+            for start in 0..text.len() {
+                if start + p.len() <= text.len()
+                    && text[start..start + p.len()].iter().eq(p.iter())
+                {
+                    want.push(PhraseMatch {
+                        pattern: pid as u32,
+                        start_tok: start,
+                        end_tok: start + p.len(),
+                    });
+                }
+            }
+        }
+        let key = |m: &PhraseMatch| (m.start_tok, m.end_tok, m.pattern);
+        got.sort_by_key(key);
+        want.sort_by_key(key);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Leftmost-longest output is sorted, non-overlapping, and every
+    /// dropped match overlaps some kept match.
+    #[test]
+    fn leftmost_longest_is_well_formed(
+        patterns in proptest::collection::vec(proptest::collection::vec(token(), 1..4), 1..8),
+        text in proptest::collection::vec(token(), 0..40),
+    ) {
+        let mut automaton = PhraseAutomaton::new();
+        for p in &patterns {
+            let refs: Vec<&str> = p.iter().map(String::as_str).collect();
+            automaton.add_pattern(&refs);
+        }
+        automaton.build();
+        let text_refs: Vec<&str> = text.iter().map(String::as_str).collect();
+        let all = automaton.scan(&text_refs);
+        let kept = leftmost_longest(all.clone());
+
+        // Sorted & non-overlapping.
+        for w in kept.windows(2) {
+            prop_assert!(w[0].end_tok <= w[1].start_tok, "overlap in {kept:?}");
+        }
+        // Every original match either is kept or overlaps a kept one.
+        for m in &all {
+            let ok = kept.iter().any(|k| m.start_tok < k.end_tok && k.start_tok < m.end_tok);
+            prop_assert!(ok, "match {m:?} neither kept nor overlapped");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! E10 bench — Sec. 3.2 freshness: incremental entity registration vs full
+//! automaton rebuild, and the cached annotation serving path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use saga_annotation::Tier;
+use saga_bench::{Scale, World};
+use saga_core::EntityBuilder;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_freshness");
+    g.sample_size(10);
+
+    g.bench_function("incremental_add_entity", |b| {
+        b.iter_batched(
+            || {
+                let mut world = World::build(Scale::Quick, 43);
+                let svc = world.annotation_service(Tier::T1Popularity);
+                let id = world.synth.kg.add_entity(
+                    EntityBuilder::new("Fresh Entity Xyzzy", world.synth.types.person)
+                        .popularity(0.4),
+                );
+                (world, svc, id)
+            },
+            |(world, mut svc, id)| {
+                svc.add_entity(&world.synth.kg, id);
+                svc.annotate("call Fresh Entity Xyzzy").len()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.bench_function("full_rebuild_merge_delta", |b| {
+        b.iter_batched(
+            || {
+                let mut world = World::build(Scale::Quick, 43);
+                let mut svc = world.annotation_service(Tier::T1Popularity);
+                let id = world.synth.kg.add_entity(
+                    EntityBuilder::new("Fresh Entity Xyzzy", world.synth.types.person)
+                        .popularity(0.4),
+                );
+                svc.add_entity(&world.synth.kg, id);
+                svc
+            },
+            |mut svc| {
+                svc.merge_delta();
+                svc.rebuilds
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    let world = World::build(Scale::Quick, 43);
+    let svc = world.annotation_service(Tier::T2Contextual);
+    let doc = world.corpus.pages[2].full_text();
+    g.bench_function("serving_annotate_cached", |b| b.iter(|| svc.annotate(&doc).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E11 bench — Sec. 4 freshness loop: fact churn application, staleness
+//! profiling, and one ODKE refresh.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use saga_annotation::Tier;
+use saga_bench::{Scale, World};
+use saga_graph::stale_facts;
+use saga_odke::{run_odke, FactTarget, OdkeConfig, TargetReason};
+use saga_webcorpus::apply_fact_churn;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_freshness_loop");
+    g.sample_size(10);
+
+    g.bench_function("apply_fact_churn_5", |b| {
+        b.iter_batched(
+            || World::build(Scale::Quick, 47),
+            |mut w| apply_fact_churn(&mut w.corpus, &w.synth, &w.truth, 5, 9).len(),
+            BatchSize::PerIteration,
+        )
+    });
+
+    let world = World::build(Scale::Quick, 47);
+    g.bench_function("stale_facts_scan", |b| {
+        b.iter(|| stale_facts(&world.synth.kg, 5, 1000).len())
+    });
+
+    let svc = world.annotation_service(Tier::T2Contextual);
+    let target = FactTarget {
+        entity: world.synth.people[3],
+        predicate: world.synth.preds.lives_in,
+        reason: TargetReason::Stale,
+        importance: 1.0,
+    };
+    g.bench_function("odke_refresh_one_target", |b| {
+        b.iter_batched(
+            || world.synth.kg.clone(),
+            |mut kg| {
+                run_odke(&mut kg, &svc, &world.search, &world.corpus, &[target], &OdkeConfig::default())
+                    .facts_written
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E12 bench — the Saga substrate: multi-feed fusion ingestion throughput
+//! and single-record resolution cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use saga_core::synth::{generate, standard_ontology, SynthConfig};
+use saga_fusion::{generate_feeds, FeedConfig, FusionConfig, FusionEngine};
+
+fn bench(c: &mut Criterion) {
+    let synth = generate(&SynthConfig::tiny(91));
+    let data = generate_feeds(&synth, &FeedConfig::default());
+
+    let mut g = c.benchmark_group("e12_fusion");
+    g.sample_size(10);
+
+    g.bench_function("ingest_all_feeds", |b| {
+        b.iter_batched(
+            || {
+                let (ontology, _, _) = standard_ontology(0);
+                FusionEngine::new(ontology, &data.trust, FusionConfig::default())
+            },
+            |mut engine| engine.ingest(&data.records).new_entities,
+            BatchSize::PerIteration,
+        )
+    });
+
+    g.bench_function("ingest_one_record_into_built_graph", |b| {
+        b.iter_batched(
+            || {
+                let (ontology, _, _) = standard_ontology(0);
+                let mut engine = FusionEngine::new(ontology, &data.trust, FusionConfig::default());
+                engine.ingest(&data.records[..data.records.len() - 1]);
+                engine
+            },
+            |mut engine| engine.ingest(&data.records[data.records.len() - 1..]).records,
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

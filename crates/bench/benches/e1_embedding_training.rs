@@ -1,0 +1,31 @@
+//! E1 bench — Fig. 3: embedding training throughput (epoch cost per model)
+//! and view materialization (the fact-filtering stage).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use saga_bench::{Scale, World};
+use saga_embeddings::{train, ModelKind, TrainConfig, TrainingSet};
+use saga_graph::{GraphView, ViewDef};
+
+fn bench(c: &mut Criterion) {
+    let world = World::build(Scale::Quick, 11);
+    let view = GraphView::materialize(&world.synth.kg, ViewDef::embedding_training(5));
+    let ds = TrainingSet::from_edges(&view.edges(), 0.05, 0.05, 23);
+
+    let mut g = c.benchmark_group("e1_training");
+    g.sample_size(10);
+
+    g.bench_function("view_materialize_filtered", |b| {
+        b.iter(|| GraphView::materialize(&world.synth.kg, ViewDef::embedding_training(5)).len())
+    });
+
+    for model in ModelKind::ALL {
+        let cfg = TrainConfig { model, dim: 16, epochs: 1, ..TrainConfig::default() };
+        g.bench_function(format!("one_epoch_{}", model.name()), |b| {
+            b.iter_batched(|| ds.clone(), |d| train(&d, &cfg), BatchSize::LargeInput)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

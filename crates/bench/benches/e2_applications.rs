@@ -1,0 +1,47 @@
+//! E2 bench — Fig. 2: per-call latency of the four embedding-powered
+//! applications (fact ranking, verification, related entities, linking).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saga_annotation::Tier;
+use saga_bench::{Scale, World};
+use saga_embeddings::{
+    batch_score, build_knn_index, rank_existing_facts, related_entities, train, FactVerifier,
+    ModelKind, TrainConfig, TrainingSet,
+};
+use saga_graph::{GraphView, ViewDef};
+
+fn bench(c: &mut Criterion) {
+    let world = World::build(Scale::Quick, 13);
+    let view = GraphView::materialize(&world.synth.kg, ViewDef::embedding_training(5));
+    let ds = TrainingSet::from_edges(&view.edges(), 0.05, 0.05, 23);
+    let model = train(&ds, &TrainConfig { model: ModelKind::TransE, dim: 16, epochs: 8, ..Default::default() });
+    let index = build_knn_index(&model, saga_ann::HnswParams::default());
+    let verifier = FactVerifier::calibrate(&model, &ds, 0.9);
+    let svc = world.annotation_service(Tier::T2Contextual);
+    let benicio = world.synth.scenario.benicio;
+    let occ = world.synth.preds.occupation;
+
+    let mut g = c.benchmark_group("e2_applications");
+    g.sample_size(30);
+
+    g.bench_function("fact_ranking", |b| {
+        b.iter(|| rank_existing_facts(&model, &world.synth.kg, benicio, occ))
+    });
+    g.bench_function("fact_verification", |b| {
+        b.iter(|| verifier.verify(&model, benicio, occ, world.synth.occupations[0]))
+    });
+    g.bench_function("related_entities_k10", |b| {
+        b.iter(|| related_entities(&model, &index, &world.synth.kg, benicio, 10, false))
+    });
+    let batch: Vec<_> = (0..64)
+        .map(|i| (world.synth.people[i], occ, world.synth.occupations[i % 15]))
+        .collect();
+    g.bench_function("batch_score_64", |b| b.iter(|| batch_score(&model, &batch)));
+    g.bench_function("entity_linking_query", |b| {
+        b.iter(|| svc.annotate("Michael Jordan the legendary basketball champion stats"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

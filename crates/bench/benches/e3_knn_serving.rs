@@ -1,0 +1,42 @@
+//! E3 bench — Fig. 1 embedding service: kNN query latency, flat vs HNSW vs
+//! quantized, across index sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use saga_ann::{FlatIndex, HnswIndex, HnswParams, Metric, QuantizedTable};
+
+fn vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let dim = 64;
+    let mut g = c.benchmark_group("e3_knn");
+    g.sample_size(30);
+    for n in [2_000usize, 10_000] {
+        let vecs = vectors(n, dim, 17);
+        let q = vectors(1, dim, 18).pop().unwrap();
+        let mut flat = FlatIndex::new(dim, Metric::Cosine);
+        let mut hnsw = HnswIndex::new(dim, Metric::Cosine, HnswParams::default());
+        for (i, v) in vecs.iter().enumerate() {
+            flat.add(i as u64, v);
+            hnsw.add(i as u64, v);
+        }
+        let quant = QuantizedTable::build(dim, vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())));
+        g.bench_with_input(BenchmarkId::new("flat_exact", n), &n, |b, _| {
+            b.iter(|| flat.search(&q, 10))
+        });
+        g.bench_with_input(BenchmarkId::new("hnsw_ef48", n), &n, |b, _| {
+            b.iter(|| hnsw.search_ef(&q, 10, 48))
+        });
+        g.bench_with_input(BenchmarkId::new("quantized_exact", n), &n, |b, _| {
+            b.iter(|| quant.search(Metric::Cosine, &q, 10))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E4 bench — Fig. 4: per-document annotation latency per tier (the
+//! price/performance curve's cost axis) and the raw automaton scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saga_annotation::{AliasTable, Tier};
+use saga_bench::{Scale, World};
+use saga_core::text::tokenize;
+
+fn bench(c: &mut Criterion) {
+    let world = World::build(Scale::Quick, 19);
+    let doc = world.corpus.pages[0].full_text();
+    let mut g = c.benchmark_group("e4_annotation");
+    g.sample_size(30);
+
+    // Raw mention detection machinery.
+    let table = AliasTable::build(&world.synth.kg);
+    let (automaton, _) = table.compile();
+    let toks = tokenize(&doc);
+    let tok_refs: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    g.bench_function("automaton_scan_one_doc", |b| b.iter(|| automaton.scan(&tok_refs)));
+    g.bench_function("alias_table_build", |b| b.iter(|| AliasTable::build(&world.synth.kg).len()));
+
+    for tier in [Tier::T0Lexical, Tier::T1Popularity, Tier::T2Contextual] {
+        let svc = world.annotation_service(tier);
+        g.bench_function(format!("annotate_doc_{tier:?}"), |b| b.iter(|| svc.annotate(&doc)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E5 bench — Figs. 5–6: per-stage ODKE latency — query synthesis, search,
+//! extraction and corroboration for one missing-fact target.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saga_annotation::Tier;
+use saga_bench::{Scale, World};
+use saga_odke::{
+    extract_from_page, find_documents, synthesize_queries, Corroborator, FactTarget, TargetReason,
+};
+
+fn bench(c: &mut Criterion) {
+    let world = World::build(Scale::Quick, 29);
+    let svc = world.annotation_service(Tier::T2Contextual);
+    let target = FactTarget {
+        entity: world.synth.scenario.mw_singer,
+        predicate: world.synth.preds.date_of_birth,
+        reason: TargetReason::CoverageGap,
+        importance: 1.0,
+    };
+    let kg = &world.synth.kg;
+    let docs = find_documents(kg, &world.search, &target, 5);
+    let page = world.corpus.page(docs[0]);
+    let candidates: Vec<_> = docs
+        .iter()
+        .flat_map(|&d| extract_from_page(kg, &svc, world.corpus.page(d), target.entity, target.predicate))
+        .collect();
+    let model = Corroborator::default();
+
+    let mut g = c.benchmark_group("e5_odke");
+    g.sample_size(30);
+    g.bench_function("query_synthesis", |b| b.iter(|| synthesize_queries(kg, &target)));
+    g.bench_function("targeted_search", |b| {
+        b.iter(|| find_documents(kg, &world.search, &target, 5))
+    });
+    g.bench_function("extract_one_page", |b| {
+        b.iter(|| extract_from_page(kg, &svc, page, target.entity, target.predicate))
+    });
+    g.bench_function("corroborate", |b| b.iter(|| model.corroborate(&candidates)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

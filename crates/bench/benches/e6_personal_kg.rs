@@ -1,0 +1,31 @@
+//! E6 bench — Fig. 7: personal KG construction throughput, pairwise match
+//! scoring, and checkpoint cost (the pause operation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saga_ondevice::{
+    generate_device_data, score_pair, ConstructionPipeline, DeviceDataConfig, PipelineConfig,
+};
+
+fn bench(c: &mut Criterion) {
+    let (obs, _) = generate_device_data(&DeviceDataConfig::tiny(61));
+    let mut g = c.benchmark_group("e6_personal_kg");
+    g.sample_size(20);
+
+    g.bench_function("full_construction_pipeline", |b| {
+        b.iter(|| {
+            let mut p = ConstructionPipeline::new(obs.clone(), PipelineConfig::default());
+            p.run_to_completion();
+            p.clusters().len()
+        })
+    });
+    g.bench_function("pairwise_match_score", |b| b.iter(|| score_pair(&obs[0], &obs[1])));
+
+    // Checkpoint cost mid-pipeline.
+    let mut p = ConstructionPipeline::new(obs.clone(), PipelineConfig::default());
+    p.step(obs.len() / 2);
+    g.bench_function("checkpoint_serialize", |b| b.iter(|| p.checkpoint().len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E7 bench — Sec. 5 resource constraints: spill-sort throughput across
+//! memory budgets and quantization cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saga_ann::QuantizedVector;
+use saga_ondevice::SpillSorter;
+
+fn bench(c: &mut Criterion) {
+    let items: Vec<(u64, String)> = (0..3000u64)
+        .map(|i| (i.wrapping_mul(0x9e3779b9) % 3000, format!("payload-{i}")))
+        .collect();
+
+    let mut g = c.benchmark_group("e7_resource");
+    g.sample_size(10);
+    for budget in [8usize << 10, 64 << 10, 1 << 20] {
+        g.bench_with_input(BenchmarkId::new("spill_sort", budget), &budget, |b, &budget| {
+            b.iter(|| {
+                let dir = std::env::temp_dir().join(format!("saga-e7b-{}", std::process::id()));
+                let mut s: SpillSorter<(u64, String)> = SpillSorter::new(&dir, budget).unwrap();
+                for it in &items {
+                    s.push(it.clone()).unwrap();
+                }
+                s.finish().unwrap().0.len()
+            })
+        });
+    }
+    let v: Vec<f32> = (0..128).map(|i| (i as f32 * 0.31).sin()).collect();
+    g.bench_function("quantize_128d", |b| b.iter(|| QuantizedVector::quantize(&v)));
+    let q = QuantizedVector::quantize(&v);
+    g.bench_function("dequantize_128d", |b| b.iter(|| q.dequantize()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E8 bench — Sec. 5: sync exchange cost, static-asset build, PIR fetch vs
+//! direct fetch (the price of privacy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saga_bench::{Scale, World};
+use saga_ondevice::{
+    generate_device_data, pir_fetch, sync_pair, Device, DeviceDataConfig, DeviceId, DeviceTier,
+    PirDatabase, SourceKind, StaticAsset, SyncPolicy,
+};
+
+fn bench(c: &mut Criterion) {
+    let (obs, _) = generate_device_data(&DeviceDataConfig::tiny(81));
+    let world = World::build(Scale::Quick, 83);
+    let asset = StaticAsset::build(&world.synth.kg, 0.5);
+    let db_a = PirDatabase::from_asset(&asset, 4096);
+    let db_b = PirDatabase::from_asset(&asset, 4096);
+
+    let mut g = c.benchmark_group("e8_sync_enrich");
+    g.sample_size(20);
+
+    g.bench_function("sync_pair_cold", |b| {
+        b.iter(|| {
+            let mut a = Device::new(DeviceId(0), DeviceTier::Laptop, SyncPolicy::all());
+            let mut d = Device::new(DeviceId(1), DeviceTier::Phone, SyncPolicy::all());
+            for o in &obs {
+                if o.source == SourceKind::Contacts {
+                    a.ingest_local(o.clone());
+                }
+            }
+            sync_pair(&mut a, &mut d).ops_a_to_b
+        })
+    });
+    g.bench_function("static_asset_build", |b| {
+        b.iter(|| StaticAsset::build(&world.synth.kg, 0.5).triples.len())
+    });
+    g.bench_function("pir_fetch_one_block", |b| b.iter(|| pir_fetch(&db_a, &db_b, 3, 55)));
+    g.bench_function("direct_block_read_baseline", |b| {
+        // The non-private equivalent: read one block.
+        b.iter(|| db_a.answer(&{
+            let mut sel = vec![false; db_a.len()];
+            sel[3] = true;
+            sel
+        }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

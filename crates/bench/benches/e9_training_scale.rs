@@ -1,0 +1,41 @@
+//! E9 bench — Sec. 2 scalability: one-epoch wall time for 1 vs 4 workers
+//! (partitioned) and for the disk-streamed trainer at two buffer sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saga_bench::{Scale, World};
+use saga_embeddings::{train_disk, train_partitioned, ModelKind, TrainConfig, TrainingSet};
+use saga_graph::{GraphView, ViewDef};
+
+fn bench(c: &mut Criterion) {
+    let world = World::build(Scale::Quick, 37);
+    let view = GraphView::materialize(&world.synth.kg, ViewDef::embedding_training(5));
+    let ds = TrainingSet::from_edges(&view.edges(), 0.02, 0.02, 41);
+    let cfg = TrainConfig { model: ModelKind::TransE, dim: 16, epochs: 1, ..Default::default() };
+
+    let mut g = c.benchmark_group("e9_training_scale");
+    g.sample_size(10);
+    for workers in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("partitioned_epoch_workers", workers),
+            &workers,
+            |b, &w| b.iter(|| train_partitioned(&ds, &cfg, 8, w).1.buckets_trained),
+        );
+    }
+    for buffer in [2usize, 8] {
+        g.bench_with_input(BenchmarkId::new("disk_epoch_buffer", buffer), &buffer, |b, &buf| {
+            b.iter(|| {
+                let dir = std::env::temp_dir().join(format!(
+                    "saga-e9b-{}-{buf}",
+                    std::process::id()
+                ));
+                let out = train_disk(&ds, &cfg, 8, buf, &dir).unwrap().1.partition_loads;
+                std::fs::remove_dir_all(&dir).ok();
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! The experiment harness CLI: regenerates every paper figure's experiment
+//! and writes `EXPERIMENTS-results.json`.
+//!
+//! ```text
+//! cargo run --release -p saga-bench --bin experiments -- all
+//! cargo run --release -p saga-bench --bin experiments -- e5 --quick
+//! ```
+
+use saga_bench::{run_experiment, Scale, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let ids: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        ids
+    };
+
+    let mut results = Vec::new();
+    for id in &ids {
+        eprintln!("running {id} ({scale:?})...");
+        let start = std::time::Instant::now();
+        match run_experiment(id, scale) {
+            Some(r) => {
+                println!("{}", r.render());
+                eprintln!("{id} finished in {:.1}s", start.elapsed().as_secs_f64());
+                results.push(r);
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                eprintln!("known: {}", EXPERIMENTS.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let out = std::path::Path::new("EXPERIMENTS-results.json");
+    match serde_json::to_vec_pretty(&results) {
+        Ok(bytes) => {
+            if std::fs::write(out, bytes).is_ok() {
+                eprintln!("wrote {}", out.display());
+            }
+        }
+        Err(e) => eprintln!("could not serialize results: {e}"),
+    }
+}

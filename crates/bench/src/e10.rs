@@ -1,0 +1,106 @@
+//! E10 — Sec. 3.2 dynamism & freshness: how quickly a brand-new KG entity
+//! becomes linkable, delta-automaton adds vs full rebuilds, and the cached
+//! serving path.
+
+use crate::report::{f3, us, ExperimentResult, Table};
+use crate::world::{Scale, World};
+use saga_annotation::Tier;
+use saga_core::EntityBuilder;
+use std::time::Instant;
+
+/// Runs E10.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new("E10", "Sec. 3.2 — annotation freshness & serving path");
+    let mut world = World::build(scale, 43);
+    let mut svc = world.annotation_service(Tier::T2Contextual);
+
+    // ---- time-to-linkable for new entities --------------------------------
+    let n_new = 20;
+    let mut add_total = std::time::Duration::ZERO;
+    let mut new_ids = Vec::new();
+    for i in 0..n_new {
+        let id = world.synth.kg.add_entity(
+            EntityBuilder::new(format!("Novel Entity {i} Quux"), world.synth.types.person)
+                .description("a freshly created entity")
+                .popularity(0.4),
+        );
+        let start = Instant::now();
+        svc.add_entity(&world.synth.kg, id);
+        add_total += start.elapsed();
+        new_ids.push(id);
+    }
+    // All immediately linkable?
+    let all_linkable = new_ids.iter().enumerate().all(|(i, id)| {
+        svc.annotate(&format!("call Novel Entity {i} Quux today"))
+            .iter()
+            .any(|l| l.entity == *id)
+    });
+    // Full rebuild cost (merge).
+    let start = Instant::now();
+    svc.merge_delta();
+    let merge_cost = start.elapsed();
+    let still_linkable = svc
+        .annotate("call Novel Entity 0 Quux today")
+        .iter()
+        .any(|l| l.entity == new_ids[0]);
+
+    let mut t = Table::new("time-to-linkable for new entities", &["operation", "value"]);
+    t.row(&["incremental add (mean per entity)".into(), us(add_total / n_new as u32)]);
+    t.row(&["full automaton rebuild (merge)".into(), us(merge_cost)]);
+    t.row(&[
+        "rebuild/add cost ratio".into(),
+        format!(
+            "{:.0}x",
+            merge_cost.as_secs_f64() / (add_total.as_secs_f64() / n_new as f64).max(1e-12)
+        ),
+    ]);
+    t.row(&["linkable immediately after add".into(), all_linkable.to_string()]);
+    t.row(&["linkable after merge".into(), still_linkable.to_string()]);
+    result.tables.push(t);
+
+    // ---- cached serving path ------------------------------------------------
+    // Paper Sec. 3.2: entity embeddings precomputed in a KV store; only the
+    // query embedding is computed at serving time.
+    let docs = match scale {
+        Scale::Quick => 200,
+        Scale::Full => 1000,
+    };
+    let start = Instant::now();
+    let mut mentions = 0usize;
+    for page in world.corpus.pages.iter().take(docs) {
+        mentions += svc.annotate(&page.full_text()).len();
+    }
+    let elapsed = start.elapsed();
+    let stats = svc.feature_cache().stats();
+    let mut s = Table::new("serving path with precomputed entity features", &["metric", "value"]);
+    s.row(&["docs annotated".into(), docs.to_string()]);
+    s.row(&["mentions linked".into(), mentions.to_string()]);
+    s.row(&["mean latency per doc".into(), us(elapsed / docs as u32)]);
+    s.row(&["feature-cache entries".into(), stats.entries.to_string()]);
+    s.row(&["feature-cache hit rate".into(), f3(stats.hit_rate())]);
+    result.tables.push(s);
+
+    result.notes.push(
+        "expected shape: incremental adds are orders of magnitude cheaper than rebuilds while \
+         keeping new entities immediately linkable; the contextual reranker runs entirely \
+         against cached embeddings (hit rate ≈ 1.0)"
+            .into(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_quick_shapes_hold() {
+        let r = run(Scale::Quick);
+        let rows = &r.tables[0].rows;
+        assert_eq!(rows[3][1], "true", "immediately linkable");
+        assert_eq!(rows[4][1], "true", "linkable after merge");
+        let serving = &r.tables[1].rows;
+        let hit_rate: f64 = serving[4][1].parse().unwrap();
+        assert!(hit_rate > 0.95, "cache hit rate {hit_rate}");
+    }
+}

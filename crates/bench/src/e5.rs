@@ -1,0 +1,287 @@
+//! E5 — Figs. 5–6: the ODKE pipeline end-to-end — held-out fact recovery,
+//! targeted-search volume reduction, corroboration accuracy, and the
+//! Michelle Williams disambiguation scenario.
+
+use crate::report::{f3, ExperimentResult, Table};
+use crate::world::{Scale, World};
+use saga_annotation::Tier;
+use saga_core::{EntityId, PredicateId, Triple};
+use saga_odke::{
+    calibrate_corroborator, run_odke, select_targets, ExtractorKind, FactTarget, OdkeConfig,
+    ProfilerConfig, TargetReason,
+};
+use std::collections::HashMap;
+
+/// Runs E5.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new("E5", "Figs. 5–6 — open-domain knowledge extraction");
+    let world = World::build(scale, 29);
+    let svc = world.annotation_service(Tier::T2Contextual);
+
+    // ---- hold out facts that the corpus renders ---------------------------
+    // (so recovery is possible in principle; the paper's ODKE likewise only
+    // recovers facts present somewhere on the Web)
+    let hold_n: usize = match scale {
+        Scale::Quick => 25,
+        Scale::Full => 120,
+    };
+    let mut held_out: std::collections::BTreeMap<(EntityId, PredicateId), String> =
+        std::collections::BTreeMap::new();
+    let mut kg = world.synth.kg.clone();
+    // Balance the hold-out across predicate kinds so every extractor class
+    // (incl. tables, which carry the release dates) gets exercised.
+    let kinds = [
+        world.synth.preds.date_of_birth,
+        world.synth.preds.born_in,
+        world.synth.preds.release_date,
+    ];
+    let per_kind = hold_n.div_ceil(kinds.len());
+    let mut taken: HashMap<PredicateId, usize> = HashMap::new();
+    for (_, e, p, v) in &world.truth.rendered_facts {
+        if held_out.len() >= hold_n {
+            break;
+        }
+        if !kinds.contains(p) || taken.get(p).copied().unwrap_or(0) >= per_kind {
+            continue;
+        }
+        let key = (*e, *p);
+        if held_out.contains_key(&key) {
+            continue;
+        }
+        // Remove from the KG (when present — the injected Fig. 6 fact is
+        // already missing).
+        let existing = kg.objects(*e, *p);
+        for obj in existing {
+            kg.remove(&Triple { subject: *e, predicate: *p, object: obj });
+        }
+        *taken.entry(*p).or_default() += 1;
+        held_out.insert(key, v.clone());
+    }
+    kg.commit();
+    // The Fig. 6 gap is always included.
+    held_out.insert(
+        (world.synth.scenario.mw_singer, world.synth.preds.date_of_birth),
+        "1979-07-23".into(),
+    );
+
+    // ---- calibration on facts still present --------------------------------
+    let mut labelled = Vec::new();
+    for (_, e, p, v) in &world.truth.rendered_facts {
+        if labelled.len() >= 30 {
+            break;
+        }
+        if held_out.contains_key(&(*e, *p)) {
+            continue;
+        }
+        if *p != world.synth.preds.date_of_birth {
+            continue;
+        }
+        labelled.push((
+            FactTarget { entity: *e, predicate: *p, reason: TargetReason::CoverageGap, importance: 1.0 },
+            v.clone(),
+        ));
+    }
+    let corroborator =
+        calibrate_corroborator(&kg, &svc, &world.search, &world.corpus, &labelled, 4);
+
+    // ---- profiler finds the gaps -------------------------------------------
+    let log = saga_odke::generate_query_log(&world.synth, 500, 31);
+    let targets_all = select_targets(&kg, &log, &ProfilerConfig::default());
+    let gap_targets: Vec<FactTarget> = targets_all
+        .iter()
+        .filter(|t| held_out.contains_key(&(t.entity, t.predicate)))
+        .copied()
+        .collect();
+    let profiler_recall = gap_targets.len() as f64 / held_out.len() as f64;
+
+    // ---- run ODKE over the held-out targets ---------------------------------
+    let cfg = OdkeConfig { corroborator, min_probability: 0.4, ..OdkeConfig::default() };
+    let targets: Vec<FactTarget> = held_out
+        .keys()
+        .map(|&(entity, predicate)| FactTarget {
+            entity,
+            predicate,
+            reason: TargetReason::CoverageGap,
+            importance: 1.0,
+        })
+        .collect();
+    let report = run_odke(&mut kg, &svc, &world.search, &world.corpus, &targets, &cfg);
+
+    let mut correct = 0usize;
+    let mut wrong = 0usize;
+    let mut abstained = 0usize;
+    let mut extractor_support: HashMap<ExtractorKind, usize> = HashMap::new();
+    for outcome in &report.outcomes {
+        let truth = &held_out[&(outcome.entity, outcome.predicate)];
+        match &outcome.winner {
+            Some(w) => {
+                if &w.value_text == truth {
+                    correct += 1;
+                } else {
+                    wrong += 1;
+                }
+                // Which extractors supported the winner? (approximate from
+                // the diversity feature and the scored list)
+                let _ = w;
+            }
+            None => abstained += 1,
+        }
+        for s in &outcome.scored {
+            let _ = s;
+        }
+    }
+    // Extractor contribution measured over raw candidates of a sample of
+    // targets (re-extract for attribution).
+    for target in targets.iter() {
+        let docs = saga_odke::find_documents(&kg, &world.search, target, cfg.docs_per_query);
+        for doc in docs {
+            for c in saga_odke::extract_from_page(
+                &kg,
+                &svc,
+                world.corpus.page(doc),
+                target.entity,
+                target.predicate,
+            ) {
+                *extractor_support.entry(c.extractor).or_default() += 1;
+            }
+        }
+    }
+
+    let attempted = correct + wrong;
+    let precision = correct as f64 / attempted.max(1) as f64;
+    let recall = correct as f64 / held_out.len() as f64;
+
+    let mut t = Table::new("held-out fact recovery", &["metric", "value"]);
+    t.row(&["held-out facts".into(), held_out.len().to_string()]);
+    t.row(&["profiler found gap".into(), f3(profiler_recall)]);
+    t.row(&["facts recovered correctly".into(), correct.to_string()]);
+    t.row(&["facts recovered wrong".into(), wrong.to_string()]);
+    t.row(&["abstained".into(), abstained.to_string()]);
+    t.row(&["precision".into(), f3(precision)]);
+    t.row(&["recall".into(), f3(recall)]);
+    result.tables.push(t);
+
+    let mut vol = Table::new("targeted search volume reduction (Sec. 4 'volume of data')", &["metric", "value"]);
+    vol.row(&["corpus pages".into(), report.corpus_size.to_string()]);
+    vol.row(&["distinct pages fetched".into(), report.distinct_docs_fetched.to_string()]);
+    vol.row(&["fraction of corpus touched".into(), f3(report.volume_fraction())]);
+    result.tables.push(vol);
+
+    let mut ext = Table::new("extractor contributions (raw candidates)", &["extractor", "candidates"]);
+    for kind in [
+        ExtractorKind::Infobox,
+        ExtractorKind::Pattern,
+        ExtractorKind::Contextual,
+        ExtractorKind::Table,
+    ] {
+        ext.row(&[format!("{kind:?}"), extractor_support.get(&kind).copied().unwrap_or(0).to_string()]);
+    }
+    result.tables.push(ext);
+
+    // ---- the Fig. 6 worked example -----------------------------------------
+    let mw = report
+        .outcomes
+        .iter()
+        .find(|o| o.entity == world.synth.scenario.mw_singer
+            && o.predicate == world.synth.preds.date_of_birth);
+    let mut fig6 = Table::new(
+        "Fig. 6 scenario — singer Michelle Williams date of birth",
+        &["candidate value", "probability", "supports", "verdict"],
+    );
+    if let Some(outcome) = mw {
+        for s in outcome.scored.iter().take(4) {
+            let verdict = if outcome.winner.as_ref().map(|w| &w.value_text) == Some(&s.value_text) {
+                if s.value_text == "1979-07-23" {
+                    "ACCEPTED (correct)"
+                } else {
+                    "ACCEPTED (wrong!)"
+                }
+            } else if s.value_text == "1980-09-09" {
+                "rejected (actress confusion)"
+            } else {
+                "rejected"
+            };
+            fig6.row(&[
+                s.value_text.clone(),
+                f3(s.probability as f64),
+                s.support_count.to_string(),
+                verdict.into(),
+            ]);
+        }
+    }
+    result.tables.push(fig6);
+
+    // ---- ablation: corroboration without the subject-identity signal -----
+    // The annotation-derived "is this page about the right homonym" feature
+    // is what breaks the tie in Fig. 6; zero its weight and re-score.
+    let mut blinded = cfg.corroborator.clone();
+    blinded.weights[4] = 0.0;
+    let mut abl = Table::new(
+        "ablation — corroborating WITHOUT the subject-identity feature",
+        &["model", "top value for singer DOB", "p(top)", "p(runner-up)", "margin"],
+    );
+    if let Some(outcome) = mw {
+        for (name, model) in [("full model", &cfg.corroborator), ("no subject-identity", &blinded)]
+        {
+            // Re-score the same candidate groups with each model.
+            let mut scored: Vec<(String, f32)> = outcome
+                .scored
+                .iter()
+                .map(|s| (s.value_text.clone(), model.predict(&s.features)))
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            if scored.len() >= 2 {
+                abl.row(&[
+                    name.into(),
+                    scored[0].0.clone(),
+                    f3(scored[0].1 as f64),
+                    f3(scored[1].1 as f64),
+                    f3((scored[0].1 - scored[1].1) as f64),
+                ]);
+            }
+        }
+    }
+    result.tables.push(abl);
+
+    result.notes.push(
+        "expected shape: high precision at moderate recall; tiny corpus fraction touched; \
+         the 1979-07-23 value wins over the actress's 1980-09-09; removing the \
+         subject-identity feature collapses (or inverts) the margin between them"
+            .into(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_quick_shapes_hold() {
+        let r = run(Scale::Quick);
+        let recovery = &r.tables[0].rows;
+        let precision: f64 = recovery[5][1].parse().unwrap();
+        let recall: f64 = recovery[6][1].parse().unwrap();
+        assert!(precision > 0.7, "precision {precision}");
+        assert!(recall > 0.4, "recall {recall}");
+        let vol: f64 = r.tables[1].rows[2][1].parse().unwrap();
+        assert!(vol < 0.8, "volume fraction {vol}");
+        // Fig. 6 table: the correct value accepted.
+        let fig6 = &r.tables[3].rows;
+        assert!(
+            fig6.iter().any(|row| row[0] == "1979-07-23" && row[3].contains("ACCEPTED (correct)")),
+            "Fig. 6 scenario rows: {fig6:?}"
+        );
+        // Ablation: the full model's margin exceeds the blinded model's.
+        let abl = &r.tables[4].rows;
+        if abl.len() == 2 {
+            let full_margin: f64 = abl[0][4].parse().unwrap();
+            let blind_margin: f64 = abl[1][4].parse().unwrap();
+            let blind_top = &abl[1][1];
+            assert!(
+                full_margin > blind_margin || blind_top != "1979-07-23",
+                "subject-identity feature must matter: full {full_margin} vs blind {blind_margin}"
+            );
+        }
+    }
+}

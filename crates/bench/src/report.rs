@@ -1,0 +1,144 @@
+//! Experiment reporting: printable tables and a JSON results artifact.
+
+use serde::{Deserialize, Serialize};
+
+/// One printable result table (≈ one figure/claim of the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Page or table title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (cells as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (must match the column count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The result of one experiment: tables plus free-form notes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. "E1".
+    pub id: String,
+    /// What paper artifact it regenerates.
+    pub paper_artifact: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Free-form observations.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result.
+    pub fn new(id: &str, paper_artifact: &str) -> Self {
+        Self {
+            id: id.into(),
+            paper_artifact: paper_artifact.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Renders everything for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = format!("\n###### {} — {} ######\n", self.id, self.paper_artifact);
+        for t in &self.tables {
+            out.push_str(&t.render());
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a duration in milliseconds.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}ms", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a duration in microseconds.
+pub fn us(d: std::time::Duration) -> String {
+    format!("{:.1}us", d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["model", "mrr"]);
+        t.row(&["TransE".into(), "0.512".into()]);
+        t.row(&["ComplEx".into(), "0.498".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("TransE"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.5), "0.500");
+        assert!(ms(std::time::Duration::from_millis(5)).starts_with("5.00"));
+    }
+}

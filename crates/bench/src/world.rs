@@ -1,0 +1,88 @@
+//! Shared experiment world: a synthetic KG, a web corpus grounded in it,
+//! the search engine and the annotation service — the full Figure-1 stack.
+
+use saga_annotation::{AnnotationService, LinkerConfig, Tier};
+use saga_core::synth::{generate, SynthConfig, SynthKg};
+use saga_core::{Date, Value};
+use saga_webcorpus::{generate_corpus, Corpus, CorpusConfig, CorpusTruth, SearchEngine};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast mode for CI / smoke runs.
+    Quick,
+    /// The scale EXPERIMENTS.md numbers are reported at.
+    Full,
+}
+
+impl Scale {
+    /// Synthetic-KG config at this scale.
+    pub fn synth_config(self, seed: u64) -> SynthConfig {
+        match self {
+            Scale::Quick => SynthConfig::tiny(seed),
+            Scale::Full => SynthConfig { seed, ..SynthConfig::default() },
+        }
+    }
+
+    /// Corpus config at this scale.
+    pub fn corpus_config(self, seed: u64) -> CorpusConfig {
+        match self {
+            Scale::Quick => CorpusConfig::tiny(seed),
+            Scale::Full => CorpusConfig { seed, ..CorpusConfig::default() },
+        }
+    }
+}
+
+/// The assembled world.
+pub struct World {
+    /// Scale this world was built at.
+    pub scale: Scale,
+    /// The synthetic KG and its ground truth.
+    pub synth: SynthKg,
+    /// The synthetic web corpus.
+    pub corpus: Corpus,
+    /// Corpus ground truth.
+    pub truth: CorpusTruth,
+    /// BM25 search engine over the corpus.
+    pub search: SearchEngine,
+}
+
+impl World {
+    /// Builds the world at a scale. The Fig. 6 missing fact (the singer's
+    /// DOB) is injected into the corpus but absent from the KG.
+    pub fn build(scale: Scale, seed: u64) -> Self {
+        let synth = generate(&scale.synth_config(seed));
+        let extra = vec![(
+            synth.scenario.mw_singer,
+            synth.preds.date_of_birth,
+            Value::Date(Date::new(1979, 7, 23).expect("valid date")),
+        )];
+        let (corpus, truth) = generate_corpus(&synth, &extra, &scale.corpus_config(seed ^ 0xc0));
+        let search = SearchEngine::build(&corpus);
+        Self { scale, synth, corpus, truth, search }
+    }
+
+    /// Builds an annotation service over the world's KG at a tier.
+    pub fn annotation_service(&self, tier: Tier) -> AnnotationService {
+        AnnotationService::build(&self.synth.kg, LinkerConfig::tier(tier))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_world_assembles() {
+        let w = World::build(Scale::Quick, 1);
+        assert!(w.synth.kg.num_triples() > 500);
+        assert!(w.corpus.len() > 100);
+        assert!(w.search.num_docs() == w.corpus.len());
+        // The Fig. 6 setup holds.
+        assert!(w
+            .synth
+            .kg
+            .object(w.synth.scenario.mw_singer, w.synth.preds.date_of_birth)
+            .is_none());
+    }
+}

@@ -1,0 +1,459 @@
+//! Command implementations and the tiny hand-rolled argument parser.
+
+use saga_annotation::{AnnotationService, LinkerConfig, Tier};
+use saga_core::persist::{load_artifact, save_artifact};
+use saga_core::synth::{generate, SynthConfig};
+use saga_core::{EntityId, KnowledgeGraph, Value};
+use saga_embeddings::{
+    build_knn_index, related_entities, train, FactVerifier, ModelKind, PathQuery, PathReasoner,
+    TrainConfig, TrainingSet, TrainedModel,
+};
+use saga_graph::{missing_facts, GraphView, ViewDef};
+use std::path::Path;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "usage:
+  saga generate --seed N [--people N] --out FILE
+  saga stats KG
+  saga entity KG --name NAME
+  saga gaps KG [--limit N]
+  saga train KG [--model transe|distmult|complex] [--dim N] [--epochs N] --out FILE
+  saga related KG MODEL --name NAME [-k N]
+  saga verify KG MODEL --subject NAME --predicate PRED --object NAME
+  saga annotate KG --text TEXT [--tier t0|t1|t2]
+  saga path KG MODEL --start NAME --via P1,P2[,..] [-k N]
+  saga odke --seed N [--targets N]";
+
+/// Simple flag parser: positional args + `--flag value` pairs (`-k` too).
+struct Args<'a> {
+    positional: Vec<&'a str>,
+    flags: std::collections::HashMap<&'a str, &'a str>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                let v = args.get(i + 1).ok_or_else(|| format!("flag {a} needs a value"))?;
+                flags.insert(name, v.as_str());
+                i += 2;
+            } else {
+                positional.push(a);
+                i += 1;
+            }
+        }
+        Ok(Self { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).copied()
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.flag(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            Some(v) => v.parse().map_err(|_| format!("--{name}: invalid number '{v}'")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn load_kg(path: &str) -> Result<KnowledgeGraph, String> {
+    let mut kg: KnowledgeGraph =
+        load_artifact(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    kg.rebuild_after_load();
+    Ok(kg)
+}
+
+fn load_model(path: &str) -> Result<TrainedModel, String> {
+    TrainedModel::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn find_entities<'k>(kg: &'k KnowledgeGraph, name: &str) -> Vec<&'k saga_core::EntityRecord> {
+    let norm = saga_core::text::normalize_phrase(name);
+    kg.entities()
+        .filter(|e| e.surface_forms().any(|f| saga_core::text::normalize_phrase(f) == norm))
+        .collect()
+}
+
+fn find_one(kg: &KnowledgeGraph, name: &str) -> Result<EntityId, String> {
+    let matches = find_entities(kg, name);
+    match matches.len() {
+        0 => Err(format!("no entity named '{name}'")),
+        _ => Ok(matches[0].id),
+    }
+}
+
+fn render_value(kg: &KnowledgeGraph, v: &Value) -> String {
+    match v {
+        Value::Entity(e) => kg.entity(*e).name.clone(),
+        other => other.canonical(),
+    }
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("no command given".into());
+    };
+    let rest = Args::parse(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&rest),
+        "stats" => cmd_stats(&rest),
+        "entity" => cmd_entity(&rest),
+        "gaps" => cmd_gaps(&rest),
+        "train" => cmd_train(&rest),
+        "related" => cmd_related(&rest),
+        "verify" => cmd_verify(&rest),
+        "annotate" => cmd_annotate(&rest),
+        "path" => cmd_path(&rest),
+        "odke" => cmd_odke(&rest),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.num("seed", 7)?;
+    let people: usize = args.num("people", 500)?;
+    let out = args.required("out")?;
+    let cfg = SynthConfig {
+        seed,
+        num_people: people,
+        num_movies: people / 3,
+        num_songs: people / 3,
+        num_orgs: people / 10,
+        num_places: (people / 12).max(20),
+        num_teams: (people / 30).max(5),
+        ..SynthConfig::default()
+    };
+    let s = generate(&cfg);
+    save_artifact(Path::new(out), &s.kg).map_err(|e| e.to_string())?;
+    println!(
+        "generated KG: {} entities, {} facts → {out}",
+        s.kg.num_entities(),
+        s.kg.num_triples()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let kg = load_kg(args.positional.first().ok_or("missing KG path")?)?;
+    println!("entities:   {}", kg.num_entities());
+    println!("facts:      {}", kg.num_triples());
+    println!("types:      {}", kg.ontology().num_types());
+    println!("predicates: {}", kg.ontology().num_predicates());
+    let profile = saga_graph::profile(&kg);
+    let mut stats: Vec<_> = profile.predicate_stats.iter().collect();
+    stats.sort_by(|a, b| b.1.frequency.cmp(&a.1.frequency));
+    println!("\ntop predicates:");
+    for (p, s) in stats.iter().take(10) {
+        println!(
+            "  {:24} {:6} facts, {:6} subjects",
+            kg.ontology().predicate(**p).name,
+            s.frequency,
+            s.distinct_subjects
+        );
+    }
+    Ok(())
+}
+
+fn cmd_entity(args: &Args) -> Result<(), String> {
+    let kg = load_kg(args.positional.first().ok_or("missing KG path")?)?;
+    let name = args.required("name")?;
+    let matches = find_entities(&kg, name);
+    if matches.is_empty() {
+        return Err(format!("no entity named '{name}'"));
+    }
+    for e in matches {
+        println!(
+            "[{}] {} ({}) pop={:.2} — {}",
+            e.id.raw(),
+            e.name,
+            kg.ontology().type_info(e.entity_type).name,
+            e.popularity,
+            e.description
+        );
+        for t in kg.triples_of(e.id) {
+            println!(
+                "    {} = {}",
+                kg.ontology().predicate(t.predicate).name,
+                render_value(&kg, &t.object)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gaps(args: &Args) -> Result<(), String> {
+    let kg = load_kg(args.positional.first().ok_or("missing KG path")?)?;
+    let limit: usize = args.num("limit", 15)?;
+    println!("most important coverage gaps (entity, missing predicate, importance):");
+    for gap in missing_facts(&kg, limit) {
+        println!(
+            "  {:30} {:20} {:.3}",
+            kg.entity(gap.entity).name,
+            kg.ontology().predicate(gap.predicate).name,
+            gap.importance
+        );
+    }
+    Ok(())
+}
+
+fn parse_model_kind(s: &str) -> Result<ModelKind, String> {
+    match s.to_lowercase().as_str() {
+        "transe" => Ok(ModelKind::TransE),
+        "distmult" => Ok(ModelKind::DistMult),
+        "complex" => Ok(ModelKind::ComplEx),
+        other => Err(format!("unknown model '{other}' (transe|distmult|complex)")),
+    }
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let kg = load_kg(args.positional.first().ok_or("missing KG path")?)?;
+    let model = parse_model_kind(args.flag("model").unwrap_or("transe"))?;
+    let dim: usize = args.num("dim", 32)?;
+    let epochs: usize = args.num("epochs", 20)?;
+    let out = args.required("out")?;
+    let view = GraphView::materialize(&kg, ViewDef::embedding_training(5));
+    let ds = TrainingSet::from_edges(&view.edges(), 0.05, 0.05, 17);
+    println!(
+        "training {} on {} edges ({} entities, {} relations)...",
+        model.name(),
+        ds.train.len(),
+        ds.num_entities(),
+        ds.num_relations()
+    );
+    let cfg = TrainConfig { model, dim, epochs, ..TrainConfig::default() };
+    let m = train(&ds, &cfg);
+    let metrics = saga_embeddings::evaluate(&m, &ds, &ds.test, 100);
+    println!(
+        "done: final loss {:.4}, test MRR {:.3}, Hits@10 {:.3}",
+        m.epoch_losses.last().unwrap_or(&0.0),
+        metrics.mrr,
+        metrics.hits_at_10
+    );
+    m.save(Path::new(out)).map_err(|e| e.to_string())?;
+    println!("model saved → {out}");
+    Ok(())
+}
+
+fn cmd_related(args: &Args) -> Result<(), String> {
+    let kg = load_kg(args.positional.first().ok_or("missing KG path")?)?;
+    let model = load_model(args.positional.get(1).ok_or("missing MODEL path")?)?;
+    let name = args.required("name")?;
+    let k: usize = args.num("k", 10)?;
+    let e = find_one(&kg, name)?;
+    let index = build_knn_index(&model, saga_ann::HnswParams::default());
+    for (other, score) in related_entities(&model, &index, &kg, e, k, false) {
+        println!("  {:.3}  {}", score, kg.entity(other).name);
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let kg = load_kg(args.positional.first().ok_or("missing KG path")?)?;
+    let model = load_model(args.positional.get(1).ok_or("missing MODEL path")?)?;
+    let subject = find_one(&kg, args.required("subject")?)?;
+    let object = find_one(&kg, args.required("object")?)?;
+    let pred_name = args.required("predicate")?;
+    let pred = kg
+        .ontology()
+        .predicate_by_name(pred_name)
+        .ok_or_else(|| format!("unknown predicate '{pred_name}'"))?;
+    // Calibrate on a fresh view split (cheap).
+    let view = GraphView::materialize(&kg, ViewDef::embedding_training(5));
+    let ds = TrainingSet::from_edges(&view.edges(), 0.05, 0.05, 17);
+    let verifier = FactVerifier::calibrate(&model, &ds, 0.9);
+    match verifier.verify(&model, subject, pred, object) {
+        Some(v) => println!(
+            "score {:.3} (threshold {:.3}) → {}",
+            v.score,
+            verifier.threshold(),
+            if v.plausible { "PLAUSIBLE" } else { "IMPLAUSIBLE" }
+        ),
+        None => println!("entity or predicate outside the trained vocabulary"),
+    }
+    Ok(())
+}
+
+fn cmd_annotate(args: &Args) -> Result<(), String> {
+    let kg = load_kg(args.positional.first().ok_or("missing KG path")?)?;
+    let text = args.required("text")?;
+    let tier = match args.flag("tier").unwrap_or("t2") {
+        "t0" => Tier::T0Lexical,
+        "t1" => Tier::T1Popularity,
+        "t2" => Tier::T2Contextual,
+        other => return Err(format!("unknown tier '{other}'")),
+    };
+    let svc = AnnotationService::build(&kg, LinkerConfig::tier(tier));
+    let typed = svc.annotate_typed(text);
+    if typed.is_empty() {
+        println!("(no entities linked)");
+    }
+    for t in typed {
+        println!(
+            "  [{}..{}] '{}' → {} ({}) score {:.3}",
+            t.mention.start,
+            t.mention.end,
+            &text[t.mention.start..t.mention.end],
+            kg.entity(t.mention.entity).name,
+            t.type_name,
+            t.mention.score
+        );
+    }
+    Ok(())
+}
+
+fn cmd_path(args: &Args) -> Result<(), String> {
+    let kg = load_kg(args.positional.first().ok_or("missing KG path")?)?;
+    let model = load_model(args.positional.get(1).ok_or("missing MODEL path")?)?;
+    let start = find_one(&kg, args.required("start")?)?;
+    let k: usize = args.num("k", 5)?;
+    let relations: Result<Vec<_>, String> = args
+        .required("via")?
+        .split(',')
+        .map(|name| {
+            kg.ontology()
+                .predicate_by_name(name.trim())
+                .ok_or_else(|| format!("unknown predicate '{name}'"))
+        })
+        .collect();
+    let q = PathQuery { start, relations: relations? };
+    let reasoner = PathReasoner::new(&model);
+    println!("embedding-space answers:");
+    for (e, score) in reasoner.answer(&q, k) {
+        println!("  {:.3}  {}", score, kg.entity(e).name);
+    }
+    let truth = saga_embeddings::traverse_answers(&kg, &q);
+    println!("graph-traversal answers ({}):", truth.len());
+    for e in truth.iter().take(k) {
+        println!("  {}", kg.entity(*e).name);
+    }
+    Ok(())
+}
+
+/// Self-contained ODKE demo: builds a deterministic world from `--seed`,
+/// profiles gaps, and runs targeted extraction, printing the outcomes.
+fn cmd_odke(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.num("seed", 7)?;
+    let n_targets: usize = args.num("targets", 10)?;
+    let synth = generate(&SynthConfig::tiny(seed));
+    let mut kg = synth.kg.clone();
+    let extra = vec![(
+        synth.scenario.mw_singer,
+        synth.preds.date_of_birth,
+        Value::Date(saga_core::Date::new(1979, 7, 23).expect("valid date")),
+    )];
+    let (corpus, _) =
+        saga_webcorpus::generate_corpus(&synth, &extra, &saga_webcorpus::CorpusConfig::tiny(seed));
+    let search = saga_webcorpus::SearchEngine::build(&corpus);
+    let svc = AnnotationService::build(&kg, LinkerConfig::tier(Tier::T2Contextual));
+
+    let log = saga_odke::generate_query_log(&synth, 300, seed);
+    let targets = saga_odke::select_targets(&kg, &log, &saga_odke::ProfilerConfig::default());
+    println!("profiler found {} gaps; extracting the top {n_targets}", targets.len());
+    let report = saga_odke::run_odke(
+        &mut kg,
+        &svc,
+        &search,
+        &corpus,
+        &targets[..targets.len().min(n_targets)],
+        &saga_odke::OdkeConfig::default(),
+    );
+    for outcome in &report.outcomes {
+        let subject = kg.entity(outcome.entity).name.clone();
+        let pred = kg.ontology().predicate(outcome.predicate).name.clone();
+        match &outcome.winner {
+            Some(w) => println!(
+                "  {subject} {pred} = {} (p={:.2}, {} supports, {} docs examined)",
+                w.value_text, w.probability, w.support_count, outcome.docs_examined
+            ),
+            None => println!("  {subject} {pred}: no value cleared the bar"),
+        }
+    }
+    println!(
+        "fetched {} of {} pages ({:.1}%), wrote {} facts",
+        report.distinct_docs_fetched,
+        report.corpus_size,
+        100.0 * report.volume_fraction(),
+        report.facts_written
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> String {
+        let dir = std::env::temp_dir().join("saga-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id())).to_string_lossy().into_owned()
+    }
+
+    fn run(line: &[&str]) -> Result<(), String> {
+        let args: Vec<String> = line.iter().map(|s| s.to_string()).collect();
+        dispatch(&args)
+    }
+
+    #[test]
+    fn generate_stats_entity_gaps_round_trip() {
+        let kg_path = tmpfile("kg.saga");
+        run(&["generate", "--seed", "3", "--people", "120", "--out", &kg_path]).unwrap();
+        run(&["stats", &kg_path]).unwrap();
+        run(&["entity", &kg_path, "--name", "Michael Jordan"]).unwrap();
+        run(&["gaps", &kg_path, "--limit", "5"]).unwrap();
+        std::fs::remove_file(&kg_path).ok();
+    }
+
+    #[test]
+    fn train_related_verify_annotate_path() {
+        let kg_path = tmpfile("kg2.saga");
+        let model_path = tmpfile("model.saga");
+        run(&["generate", "--seed", "3", "--people", "120", "--out", &kg_path]).unwrap();
+        run(&[
+            "train", &kg_path, "--model", "transe", "--dim", "16", "--epochs", "6", "--out",
+            &model_path,
+        ])
+        .unwrap();
+        run(&["related", &kg_path, &model_path, "--name", "Benicio del Toro", "-k", "5"]).unwrap();
+        run(&[
+            "verify", &kg_path, &model_path, "--subject", "Michael Jordan", "--predicate",
+            "occupation", "--object", "basketball player",
+        ])
+        .unwrap();
+        run(&["annotate", &kg_path, "--text", "Michael Jordan basketball stats", "--tier", "t2"])
+            .unwrap();
+        run(&[
+            "path", &kg_path, &model_path, "--start", "Benicio del Toro", "--via",
+            "occupation", "-k", "3",
+        ])
+        .unwrap();
+        std::fs::remove_file(&kg_path).ok();
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn odke_command_runs() {
+        run(&["odke", "--seed", "3", "--targets", "4"]).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&["nonsense"]).is_err());
+        assert!(run(&["stats", "/nonexistent/kg.saga"]).is_err());
+        assert!(run(&["generate", "--seed", "x", "--out", "/tmp/x"]).is_err());
+        let kg_path = tmpfile("kg3.saga");
+        run(&["generate", "--seed", "3", "--people", "120", "--out", &kg_path]).unwrap();
+        assert!(run(&["entity", &kg_path, "--name", "Unobtainium Person"]).is_err());
+        assert!(run(&["annotate", &kg_path, "--text", "x", "--tier", "t9"]).is_err());
+        std::fs::remove_file(&kg_path).ok();
+    }
+}

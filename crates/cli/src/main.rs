@@ -1,0 +1,30 @@
+//! `saga` — the command-line face of the platform.
+//!
+//! ```text
+//! saga generate --seed 7 --people 500 --out kg.saga
+//! saga stats kg.saga
+//! saga entity kg.saga --name "Michael Jordan"
+//! saga gaps kg.saga --limit 10
+//! saga train kg.saga --model transe --dim 32 --epochs 20 --out model.saga
+//! saga related kg.saga model.saga --name "Benicio del Toro" -k 10
+//! saga verify kg.saga model.saga --subject "Michael Jordan" --predicate occupation --object "basketball player"
+//! saga annotate kg.saga --text "Michael Jordan basketball stats" [--tier t0|t1|t2]
+//! saga path kg.saga model.saga --start "Nancy Nelson" --via spouse,born_in -k 5
+//! ```
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Entity records: the denormalized per-entity attributes (name, aliases,
+//! description, type, popularity) that the annotation and embedding layers
+//! consume as "textual features" (paper Sec. 3).
+
+use crate::ids::{EntityId, TypeId};
+use serde::{Deserialize, Serialize};
+
+/// A node of the knowledge graph with its denormalized attributes.
+///
+/// Relational facts live in the triple store; the attributes here are the
+/// ones every service needs on the hot path (entity linking candidates,
+/// embedding textual features, popularity priors).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EntityRecord {
+    /// The entity's id.
+    pub id: EntityId,
+    /// Canonical display name, e.g. `"Michael Jordan"`.
+    pub name: String,
+    /// Alternative surface forms, e.g. `["MJ", "Air Jordan"]`.
+    pub aliases: Vec<String>,
+    /// Short description used for disambiguation features.
+    pub description: String,
+    /// Most specific ontology type.
+    pub entity_type: TypeId,
+    /// Popularity prior in `[0, 1]` aggregated from source signals.
+    pub popularity: f32,
+}
+
+impl EntityRecord {
+    /// All surface forms (canonical name first, then aliases).
+    pub fn surface_forms(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.name.as_str()).chain(self.aliases.iter().map(String::as_str))
+    }
+}
+
+/// Builder for entity records, so call sites only set what they need.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // field meanings are documented on `EntityRecord`
+pub struct EntityBuilder {
+    name: String,
+    aliases: Vec<String>,
+    description: String,
+    entity_type: TypeId,
+    popularity: f32,
+}
+
+impl EntityBuilder {
+    /// Starts a builder with the two required attributes.
+    pub fn new(name: impl Into<String>, entity_type: TypeId) -> Self {
+        Self {
+            name: name.into(),
+            aliases: Vec::new(),
+            description: String::new(),
+            entity_type,
+            popularity: 0.0,
+        }
+    }
+
+    /// Adds one alias surface form.
+    pub fn alias(mut self, alias: impl Into<String>) -> Self {
+        self.aliases.push(alias.into());
+        self
+    }
+
+    /// Adds many alias surface forms.
+    pub fn aliases(mut self, aliases: impl IntoIterator<Item = String>) -> Self {
+        self.aliases.extend(aliases);
+        self
+    }
+
+    /// Sets the description used for disambiguation features.
+    pub fn description(mut self, d: impl Into<String>) -> Self {
+        self.description = d.into();
+        self
+    }
+
+    /// Sets the popularity prior (clamped to `[0, 1]`).
+    pub fn popularity(mut self, p: f32) -> Self {
+        self.popularity = p.clamp(0.0, 1.0);
+        self
+    }
+
+    pub(crate) fn build(self, id: EntityId) -> EntityRecord {
+        EntityRecord {
+            id,
+            name: self.name,
+            aliases: self.aliases,
+            description: self.description,
+            entity_type: self.entity_type,
+            popularity: self.popularity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields_and_clamps_popularity() {
+        let r = EntityBuilder::new("Michael Jordan", TypeId(1))
+            .alias("MJ")
+            .alias("Air Jordan")
+            .description("basketball player")
+            .popularity(1.5)
+            .build(EntityId(7));
+        assert_eq!(r.id, EntityId(7));
+        assert_eq!(r.name, "Michael Jordan");
+        assert_eq!(r.aliases, vec!["MJ", "Air Jordan"]);
+        assert_eq!(r.popularity, 1.0);
+        let forms: Vec<_> = r.surface_forms().collect();
+        assert_eq!(forms, vec!["Michael Jordan", "MJ", "Air Jordan"]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types shared across the platform.
+
+use std::fmt;
+
+/// Top-level error for core storage and persistence operations.
+#[derive(Debug)]
+pub enum SagaError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A persisted frame failed validation (bad magic, truncated, checksum).
+    Corrupt(String),
+    /// (De)serialization failure.
+    Serde(String),
+    /// A caller-supplied argument was invalid.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for SagaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SagaError::Io(e) => write!(f, "io error: {e}"),
+            SagaError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            SagaError::Serde(m) => write!(f, "serialization error: {m}"),
+            SagaError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SagaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SagaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SagaError {
+    fn from(e: std::io::Error) -> Self {
+        SagaError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for SagaError {
+    fn from(e: serde_json::Error) -> Self {
+        SagaError::Serde(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, SagaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SagaError::Corrupt("bad checksum".into());
+        assert_eq!(e.to_string(), "corrupt data: bad checksum");
+        let e = SagaError::InvalidArgument("dim=0".into());
+        assert!(e.to_string().contains("dim=0"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SagaError = io.into();
+        assert!(matches!(e, SagaError::Io(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

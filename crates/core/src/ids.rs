@@ -1,0 +1,191 @@
+//! Strongly-typed identifiers and string interning.
+//!
+//! Every id is a newtype over an integer so that entity ids, predicate ids,
+//! type ids and source ids can never be confused at compile time. Ids are
+//! dense (allocated sequentially), which lets downstream systems (embedding
+//! tables, adjacency structures) use them directly as array offsets.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Returns the raw integer value of this id.
+            #[inline]
+            pub fn raw(self) -> $repr {
+                self.0
+            }
+
+            /// Returns the id as a usize, suitable for indexing dense arrays.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an entity (node) in the knowledge graph.
+    EntityId,
+    u64
+);
+define_id!(
+    /// Identifier of a predicate (edge label) in the knowledge graph.
+    PredicateId,
+    u32
+);
+define_id!(
+    /// Identifier of an entity type in the ontology.
+    TypeId,
+    u32
+);
+define_id!(
+    /// Identifier of a data source (provenance).
+    SourceId,
+    u32
+);
+define_id!(
+    /// Identifier of an interned literal value.
+    LiteralId,
+    u64
+);
+define_id!(
+    /// Identifier of a web document linked to the KG.
+    DocId,
+    u64
+);
+
+/// A string interner mapping strings to dense `u32` symbols and back.
+///
+/// Invariant: `lookup(intern(s)) == s` and `intern` is injective over distinct
+/// strings. Symbols are allocated densely starting at 0.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Interner {
+    strings: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol. Re-interning returns the same symbol.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&sym) = self.index.get(s) {
+            return sym;
+        }
+        let sym = u32::try_from(self.strings.len()).expect("interner overflow");
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the symbol for `s` if it has been interned.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: u32) -> &str {
+        &self.strings[sym as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Rebuilds the reverse index after deserialization (the index is not
+    /// serialized to keep snapshots compact).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+    }
+
+    /// Iterates over `(symbol, string)` pairs in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_and_display() {
+        let e = EntityId(7);
+        assert_eq!(e.raw(), 7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(e.to_string(), "EntityId(7)");
+        let p = PredicateId(3);
+        assert_eq!(p.to_string(), "PredicateId(3)");
+    }
+
+    #[test]
+    fn interner_round_trips() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        let a2 = i.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.resolve(b), "beta");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get("alpha"), Some(a));
+        assert_eq!(i.get("gamma"), None);
+    }
+
+    #[test]
+    fn interner_rebuild_index_after_clone_without_index() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let json = serde_json::to_string(&i).unwrap();
+        let mut back: Interner = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.get("x"), i.get("x"));
+        assert_eq!(back.get("y"), i.get("y"));
+        assert_eq!(back.intern("x"), i.get("x").unwrap());
+    }
+
+    #[test]
+    fn interner_iter_in_allocation_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let pairs: Vec<_> = i.iter().map(|(s, v)| (s, v.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+}

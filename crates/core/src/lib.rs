@@ -1,0 +1,42 @@
+//! # saga-core
+//!
+//! The knowledge-graph data model and triple store underlying our
+//! reproduction of *Growing and Serving Large Open-domain Knowledge Graphs*
+//! (SIGMOD-Companion 2023).
+//!
+//! This crate provides:
+//! - strongly-typed ids and string interning ([`ids`]);
+//! - triples, typed literal values and provenance ([`triple`], [`value`],
+//!   [`literal`]);
+//! - a unified ontology with predicate metadata driving fact filtering and
+//!   coverage profiling ([`ontology`]);
+//! - a commit-based triple store with SPO/POS/OSP covering indexes and
+//!   change deltas ([`store`]);
+//! - checksummed binary persistence frames ([`persist`]);
+//! - shared text utilities — tokenizer, stable hashing, hashed feature
+//!   embeddings ([`text`]);
+//! - a deterministic synthetic open-domain KG generator standing in for the
+//!   paper's production graph ([`synth`]).
+
+#![warn(missing_docs)]
+#![allow(clippy::len_without_is_empty)]
+
+pub mod entity;
+pub mod error;
+pub mod ids;
+pub mod literal;
+pub mod ontology;
+pub mod persist;
+pub mod store;
+pub mod synth;
+pub mod text;
+pub mod triple;
+pub mod value;
+
+pub use entity::{EntityBuilder, EntityRecord};
+pub use error::{Result, SagaError};
+pub use ids::{DocId, EntityId, Interner, LiteralId, PredicateId, SourceId, TypeId};
+pub use ontology::{Cardinality, Ontology, PredicateInfo, TypeInfo, Volatility};
+pub use store::{Delta, KnowledgeGraph};
+pub use triple::{FactMeta, ObjKey, Triple, TripleKey};
+pub use value::{Date, Value, ValueKind};

@@ -1,0 +1,256 @@
+//! The unified ontology: entity types with a subtype hierarchy and predicate
+//! metadata used by views (fact filtering) and the ODKE profiler.
+
+use crate::ids::{PredicateId, TypeId};
+use crate::value::ValueKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Cardinality hint for a predicate: single-valued facts (date of birth) are
+/// treated differently from multi-valued facts (occupation) by fact ranking
+/// and corroboration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cardinality {
+    /// At most one value is expected (e.g. date of birth).
+    Single,
+    /// Multiple values are normal (e.g. occupation).
+    Multi,
+}
+
+/// Whether a fact's value is expected to drift over time. Used by the ODKE
+/// profiler to flag staleness (e.g. marital status, net worth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Volatility {
+    /// Essentially immutable once established (date of birth).
+    Stable,
+    /// Changes occasionally (occupation, team).
+    Slow,
+    /// Changes frequently (net worth, follower count).
+    Fast,
+}
+
+/// Metadata describing one predicate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredicateInfo {
+    /// The predicate's id.
+    pub id: PredicateId,
+    /// Canonical name, e.g. `"date_of_birth"`.
+    pub name: String,
+    /// Natural-language phrase used by the ODKE query synthesizer and the
+    /// synthetic page generator, e.g. `"date of birth"`.
+    pub phrase: String,
+    /// The value kind the predicate's objects take.
+    pub range: ValueKind,
+    /// Domain type the predicate usually applies to (None = any).
+    pub domain: Option<TypeId>,
+    /// Expected number of values per subject.
+    pub cardinality: Cardinality,
+    /// How often values drift over time.
+    pub volatility: Volatility,
+    /// True for bookkeeping facts (external identifiers, counters) that carry
+    /// no relational signal — the canonical candidates for view filtering
+    /// before embedding training (paper Sec. 2).
+    pub is_noise_for_embeddings: bool,
+}
+
+/// Metadata describing one entity type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TypeInfo {
+    /// The type's id.
+    pub id: TypeId,
+    /// Canonical type name, e.g. `"person"`.
+    pub name: String,
+    /// Direct supertype (single inheritance is enough for our ontology).
+    pub parent: Option<TypeId>,
+}
+
+/// The ontology registry. Types and predicates are registered once at KG
+/// construction time; ids are dense.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Ontology {
+    types: Vec<TypeInfo>,
+    predicates: Vec<PredicateInfo>,
+    #[serde(skip)]
+    type_by_name: HashMap<String, TypeId>,
+    #[serde(skip)]
+    pred_by_name: HashMap<String, PredicateId>,
+}
+
+impl Ontology {
+    /// Creates an empty ontology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a type; returns its existing id when re-registered by name.
+    pub fn add_type(&mut self, name: &str, parent: Option<TypeId>) -> TypeId {
+        if let Some(&id) = self.type_by_name.get(name) {
+            return id;
+        }
+        let id = TypeId(self.types.len() as u32);
+        self.types.push(TypeInfo { id, name: name.to_owned(), parent });
+        self.type_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Registers a predicate; returns its existing id when re-registered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_predicate(
+        &mut self,
+        name: &str,
+        phrase: &str,
+        range: ValueKind,
+        domain: Option<TypeId>,
+        cardinality: Cardinality,
+        volatility: Volatility,
+        is_noise_for_embeddings: bool,
+    ) -> PredicateId {
+        if let Some(&id) = self.pred_by_name.get(name) {
+            return id;
+        }
+        let id = PredicateId(self.predicates.len() as u32);
+        self.predicates.push(PredicateInfo {
+            id,
+            name: name.to_owned(),
+            phrase: phrase.to_owned(),
+            range,
+            domain,
+            cardinality,
+            volatility,
+            is_noise_for_embeddings,
+        });
+        self.pred_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Metadata of a type.
+    pub fn type_info(&self, id: TypeId) -> &TypeInfo {
+        &self.types[id.index()]
+    }
+
+    /// Metadata of a predicate.
+    pub fn predicate(&self, id: PredicateId) -> &PredicateInfo {
+        &self.predicates[id.index()]
+    }
+
+    /// Looks a type up by name.
+    pub fn type_by_name(&self, name: &str) -> Option<TypeId> {
+        self.type_by_name.get(name).copied()
+    }
+
+    /// Looks a predicate up by name.
+    pub fn predicate_by_name(&self, name: &str) -> Option<PredicateId> {
+        self.pred_by_name.get(name).copied()
+    }
+
+    /// Number of registered types.
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of registered predicates.
+    pub fn num_predicates(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Iterates over all types.
+    pub fn types(&self) -> impl Iterator<Item = &TypeInfo> {
+        self.types.iter()
+    }
+
+    /// Iterates over all predicates.
+    pub fn predicates(&self) -> impl Iterator<Item = &PredicateInfo> {
+        self.predicates.iter()
+    }
+
+    /// True if `sub` equals `sup` or is a (transitive) subtype of it.
+    pub fn is_subtype(&self, sub: TypeId, sup: TypeId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(t) = cur {
+            if t == sup {
+                return true;
+            }
+            cur = self.types[t.index()].parent;
+        }
+        false
+    }
+
+    /// Rebuilds name indexes after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.type_by_name = self.types.iter().map(|t| (t.name.clone(), t.id)).collect();
+        self.pred_by_name = self.predicates.iter().map(|p| (p.name.clone(), p.id)).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Ontology {
+        let mut o = Ontology::new();
+        let agent = o.add_type("agent", None);
+        let person = o.add_type("person", Some(agent));
+        o.add_type("athlete", Some(person));
+        o.add_predicate(
+            "date_of_birth",
+            "date of birth",
+            ValueKind::Date,
+            Some(person),
+            Cardinality::Single,
+            Volatility::Stable,
+            false,
+        );
+        o
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut o = tiny();
+        let n = o.num_types();
+        let p = o.add_type("person", None);
+        assert_eq!(o.num_types(), n);
+        assert_eq!(o.type_info(p).name, "person");
+        let np = o.num_predicates();
+        o.add_predicate(
+            "date_of_birth",
+            "dob",
+            ValueKind::Date,
+            None,
+            Cardinality::Single,
+            Volatility::Stable,
+            false,
+        );
+        assert_eq!(o.num_predicates(), np);
+    }
+
+    #[test]
+    fn subtype_transitivity() {
+        let o = tiny();
+        let agent = o.type_by_name("agent").unwrap();
+        let person = o.type_by_name("person").unwrap();
+        let athlete = o.type_by_name("athlete").unwrap();
+        assert!(o.is_subtype(athlete, agent));
+        assert!(o.is_subtype(athlete, person));
+        assert!(o.is_subtype(person, person));
+        assert!(!o.is_subtype(agent, athlete));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let o = tiny();
+        let dob = o.predicate_by_name("date_of_birth").unwrap();
+        assert_eq!(o.predicate(dob).phrase, "date of birth");
+        assert_eq!(o.predicate(dob).range, ValueKind::Date);
+        assert!(o.predicate_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookups() {
+        let o = tiny();
+        let json = serde_json::to_string(&o).unwrap();
+        let mut back: Ontology = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.type_by_name("athlete"), o.type_by_name("athlete"));
+        assert_eq!(back.predicate_by_name("date_of_birth"), o.predicate_by_name("date_of_birth"));
+    }
+}

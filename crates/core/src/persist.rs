@@ -1,0 +1,235 @@
+//! Checksummed binary framing for on-disk artifacts.
+//!
+//! Frame layout (little-endian):
+//! ```text
+//! [magic: 8 bytes "SAGAFRM1"] — file header, written once
+//! repeated frames:
+//!   [len: u32] [checksum: u64 = fnv1a(payload)] [payload: len bytes]
+//! ```
+//!
+//! Invariants:
+//! - a reader never returns a payload whose checksum does not match;
+//! - a truncated trailing frame (torn write) is reported as `Corrupt`, and
+//!   [`FrameReader::read_all_valid`] lets recovery paths keep every frame
+//!   before the tear (used by on-device checkpoint recovery).
+
+use crate::error::{Result, SagaError};
+use crate::text::fnv1a;
+use bytes::{Buf, BufMut, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SAGAFRM1";
+
+/// Appends checksummed frames to a file.
+pub struct FrameWriter {
+    inner: BufWriter<File>,
+}
+
+impl FrameWriter {
+    /// Creates (truncating) a new frame file with the magic header.
+    pub fn create(path: &Path) -> Result<Self> {
+        let mut inner = BufWriter::new(File::create(path)?);
+        inner.write_all(MAGIC)?;
+        Ok(Self { inner })
+    }
+
+    /// Writes one payload as a frame.
+    pub fn write(&mut self, payload: &[u8]) -> Result<()> {
+        let mut header = BytesMut::with_capacity(12);
+        header.put_u32_le(u32::try_from(payload.len()).map_err(|_| {
+            SagaError::InvalidArgument(format!("frame too large: {} bytes", payload.len()))
+        })?);
+        header.put_u64_le(fnv1a(payload));
+        self.inner.write_all(&header)?;
+        self.inner.write_all(payload)?;
+        Ok(())
+    }
+
+    /// Flushes buffered frames to the OS.
+    pub fn flush(&mut self) -> Result<()> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+/// Reads checksummed frames from a file.
+pub struct FrameReader {
+    inner: BufReader<File>,
+}
+
+impl FrameReader {
+    /// Opens a frame file, validating the magic header.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut inner = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        inner
+            .read_exact(&mut magic)
+            .map_err(|_| SagaError::Corrupt("missing file header".into()))?;
+        if &magic != MAGIC {
+            return Err(SagaError::Corrupt(format!("bad magic {magic:?}")));
+        }
+        Ok(Self { inner })
+    }
+
+    /// Reads the next frame. `Ok(None)` at clean EOF; `Err(Corrupt)` on a
+    /// torn or checksum-failing frame.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        let mut header = [0u8; 12];
+        let mut filled = 0usize;
+        while filled < header.len() {
+            let n = self.inner.read(&mut header[filled..])?;
+            if n == 0 {
+                return if filled == 0 {
+                    Ok(None) // clean EOF on a frame boundary
+                } else {
+                    Err(SagaError::Corrupt("torn frame header".into()))
+                };
+            }
+            filled += n;
+        }
+        let mut buf = &header[..];
+        let len = buf.get_u32_le() as usize;
+        let checksum = buf.get_u64_le();
+        let mut payload = vec![0u8; len];
+        self.inner
+            .read_exact(&mut payload)
+            .map_err(|_| SagaError::Corrupt("torn frame payload".into()))?;
+        if fnv1a(&payload) != checksum {
+            return Err(SagaError::Corrupt("checksum mismatch".into()));
+        }
+        Ok(Some(payload))
+    }
+
+    /// Reads all frames, stopping (without error) at the first corruption —
+    /// crash-recovery semantics for append-only logs.
+    pub fn read_all_valid(&mut self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Ok(Some(f)) = self.next_frame() {
+            out.push(f);
+        }
+        out
+    }
+
+    /// Reads all frames, propagating corruption as an error.
+    pub fn read_all(&mut self) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        while let Some(f) = self.next_frame()? {
+            out.push(f);
+        }
+        Ok(out)
+    }
+}
+
+/// Serializes `value` as JSON inside a single checksummed frame.
+pub fn save_artifact<T: Serialize>(path: &Path, value: &T) -> Result<()> {
+    let payload = serde_json::to_vec(value)?;
+    let mut w = FrameWriter::create(path)?;
+    w.write(&payload)?;
+    w.flush()
+}
+
+/// Loads a value previously written by [`save_artifact`].
+pub fn load_artifact<T: DeserializeOwned>(path: &Path) -> Result<T> {
+    let mut r = FrameReader::open(path)?;
+    let payload = r
+        .next_frame()?
+        .ok_or_else(|| SagaError::Corrupt("artifact file has no frames".into()))?;
+    Ok(serde_json::from_slice(&payload)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Seek, SeekFrom};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("saga-core-persist-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let p = tmp("roundtrip.bin");
+        let mut w = FrameWriter::create(&p).unwrap();
+        w.write(b"hello").unwrap();
+        w.write(b"").unwrap();
+        w.write(&[0u8; 1024]).unwrap();
+        w.flush().unwrap();
+        let mut r = FrameReader::open(&p).unwrap();
+        let frames = r.read_all().unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], b"hello");
+        assert!(frames[1].is_empty());
+        assert_eq!(frames[2].len(), 1024);
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected() {
+        let p = tmp("corrupt.bin");
+        let mut w = FrameWriter::create(&p).unwrap();
+        w.write(b"precious data").unwrap();
+        w.flush().unwrap();
+        drop(w);
+        // Flip a payload byte.
+        let mut f = std::fs::OpenOptions::new().write(true).open(&p).unwrap();
+        f.seek(SeekFrom::Start(8 + 12 + 2)).unwrap();
+        f.write_all(&[0xFF]).unwrap();
+        drop(f);
+        let mut r = FrameReader::open(&p).unwrap();
+        match r.next_frame() {
+            Err(SagaError::Corrupt(m)) => assert!(m.contains("checksum")),
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_tail_recovers_earlier_frames() {
+        let p = tmp("torn.bin");
+        let mut w = FrameWriter::create(&p).unwrap();
+        w.write(b"frame-one").unwrap();
+        w.write(b"frame-two-that-will-be-torn").unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let len = std::fs::metadata(&p).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&p).unwrap();
+        f.set_len(len - 5).unwrap(); // tear the last frame
+        drop(f);
+        let mut r = FrameReader::open(&p).unwrap();
+        let valid = r.read_all_valid();
+        assert_eq!(valid, vec![b"frame-one".to_vec()]);
+        // And the strict reader errors.
+        let mut r2 = FrameReader::open(&p).unwrap();
+        assert!(r2.next_frame().is_ok());
+        assert!(matches!(r2.next_frame(), Err(SagaError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let p = tmp("badmagic.bin");
+        std::fs::write(&p, b"NOTSAGA0 somepayload").unwrap();
+        assert!(matches!(FrameReader::open(&p), Err(SagaError::Corrupt(_))));
+    }
+
+    #[test]
+    fn artifact_round_trip() {
+        let p = tmp("artifact.bin");
+        let value = vec![("a".to_string(), 1u32), ("b".to_string(), 2)];
+        save_artifact(&p, &value).unwrap();
+        let back: Vec<(String, u32)> = load_artifact(&p).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn empty_file_is_clean_eof() {
+        let p = tmp("empty.bin");
+        let w = FrameWriter::create(&p).unwrap();
+        drop(w);
+        let mut r = FrameReader::open(&p).unwrap();
+        assert!(r.next_frame().unwrap().is_none());
+    }
+}

@@ -1,0 +1,225 @@
+//! Shared text utilities: tokenization, normalization, stable hashing and
+//! hashed bag-of-words feature embeddings.
+//!
+//! Lives in `saga-core` because both the web-corpus substrate and the
+//! annotation service must tokenize identically — a mismatch would silently
+//! destroy mention recall.
+
+use serde::{Deserialize, Serialize};
+
+/// A token with its byte span in the original text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Normalized (lowercased, diacritic-folded) token text.
+    pub text: String,
+    /// Byte offset of the token start in the source string.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+}
+
+/// Folds a char to its normalized form: lowercase, common Latin diacritics
+/// stripped (a cheap multilingual-friendly normalization; paper Sec. 3.1
+/// "Variety" motivates handling mixed-language text).
+fn fold_char(c: char) -> Option<char> {
+    let c = c.to_lowercase().next().unwrap_or(c);
+    let folded = match c {
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' => 'a',
+        'è' | 'é' | 'ê' | 'ë' => 'e',
+        'ì' | 'í' | 'î' | 'ï' => 'i',
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' => 'o',
+        'ù' | 'ú' | 'û' | 'ü' => 'u',
+        'ç' => 'c',
+        'ñ' => 'n',
+        other => other,
+    };
+    if folded.is_alphanumeric() {
+        Some(folded)
+    } else {
+        None
+    }
+}
+
+/// Tokenizes `text` into normalized alphanumeric tokens with byte spans.
+/// Apostrophes inside words are treated as separators (`"I've"` →
+/// `["i", "ve"]`), matching how the alias table is built.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match fold_char(c) {
+            Some(f) => {
+                if cur.is_empty() {
+                    start = i;
+                }
+                cur.push(f);
+            }
+            None => {
+                if !cur.is_empty() {
+                    tokens.push(Token { text: std::mem::take(&mut cur), start, end: i });
+                }
+            }
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(Token { text: cur, start, end: text.len() });
+    }
+    tokens
+}
+
+/// Normalizes a phrase to its token-joined form (`"Michael  JORDAN!"` →
+/// `"michael jordan"`). Used to key alias tables.
+pub fn normalize_phrase(text: &str) -> String {
+    let toks = tokenize(text);
+    let mut out = String::new();
+    for (i, t) in toks.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+/// Stable 64-bit FNV-1a hash. We need determinism across runs and platforms
+/// (the default `std` hasher is randomly seeded), both for feature hashing
+/// and for reproducible synthetic data.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash of a string with a seed, for deriving independent hash families.
+pub fn seeded_hash(s: &str, seed: u64) -> u64 {
+    fnv1a(&[&seed.to_le_bytes()[..], s.as_bytes()].concat())
+}
+
+/// Hashed bag-of-words embedding: each token hashes to a dimension and a
+/// deterministic ±1 sign; the result is L2-normalized. This is our
+/// from-scratch stand-in for a learned text encoder — it preserves the
+/// property the contextual reranker needs: similar token bags map to nearby
+/// vectors.
+pub fn hash_embed(tokens: &[&str], dim: usize) -> Vec<f32> {
+    assert!(dim > 0, "embedding dimension must be positive");
+    let mut v = vec![0.0f32; dim];
+    for t in tokens {
+        let h = seeded_hash(t, 0x5eed);
+        let idx = (h % dim as u64) as usize;
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        v[idx] += sign;
+    }
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// Cosine similarity between two equal-length vectors (0.0 for zero vectors).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Jaccard similarity of two token sets, a cheap lexical name-match feature.
+pub fn jaccard(a: &str, b: &str) -> f32 {
+    use std::collections::HashSet;
+    let sa: HashSet<String> = tokenize(a).into_iter().map(|t| t.text).collect();
+    let sb: HashSet<String> = tokenize(b).into_iter().map(|t| t.text).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f32;
+    let union = sa.union(&sb).count() as f32;
+    inter / union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_basic_spans() {
+        let toks = tokenize("Michael Jordan stats");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].text, "michael");
+        assert_eq!(&"Michael Jordan stats"[toks[1].start..toks[1].end], "Jordan");
+    }
+
+    #[test]
+    fn tokenize_folds_case_and_diacritics() {
+        let toks = tokenize("Beyoncé CAFÉ");
+        assert_eq!(toks[0].text, "beyonce");
+        assert_eq!(toks[1].text, "cafe");
+    }
+
+    #[test]
+    fn tokenize_splits_punctuation_and_apostrophes() {
+        let toks = tokenize("I've added comments — to the SIGMOD draft!");
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["i", "ve", "added", "comments", "to", "the", "sigmod", "draft"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_symbol_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn normalize_phrase_canonicalizes() {
+        assert_eq!(normalize_phrase("  Michael   JORDAN! "), "michael jordan");
+        assert_eq!(normalize_phrase("Beyoncé"), "beyonce");
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Regression pin: the value must never change across runs/builds.
+        assert_eq!(fnv1a(b"saga"), fnv1a(b"saga"));
+        assert_ne!(fnv1a(b"saga"), fnv1a(b"sage"));
+        assert_eq!(seeded_hash("x", 1) == seeded_hash("x", 2), false);
+    }
+
+    #[test]
+    fn hash_embed_is_normalized_and_similarity_behaves() {
+        let a = hash_embed(&["basketball", "player", "nba"], 64);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+        let b = hash_embed(&["basketball", "player", "chicago"], 64);
+        let c = hash_embed(&["machine", "learning", "professor"], 64);
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn cosine_handles_zero_vectors() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jaccard_name_similarity() {
+        assert!((jaccard("Michael Jordan", "michael jordan") - 1.0).abs() < 1e-6);
+        assert!(jaccard("Michael Jordan", "Michael Jeffrey Jordan") > 0.5);
+        assert_eq!(jaccard("", ""), 1.0);
+        assert_eq!(jaccard("abc", ""), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Triples, provenance metadata, and the compact encoded key form used by the
+//! store indexes.
+
+use crate::ids::{EntityId, LiteralId, PredicateId, SourceId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A knowledge-graph fact: `(subject, predicate, object)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Triple {
+    /// The subject entity.
+    pub subject: EntityId,
+    /// The edge label.
+    pub predicate: PredicateId,
+    /// The object value (entity or literal).
+    pub object: Value,
+}
+
+impl Triple {
+    /// Creates a triple, converting the object into a [`Value`].
+    pub fn new(subject: EntityId, predicate: PredicateId, object: impl Into<Value>) -> Self {
+        Self { subject, predicate, object: object.into() }
+    }
+}
+
+/// Provenance and trust metadata attached to a fact, mirroring Saga's
+/// source-aware continuous construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FactMeta {
+    /// The source this fact was ingested from.
+    pub source: SourceId,
+    /// Ingestion-time confidence in `[0, 1]`.
+    pub confidence: f32,
+    /// Logical timestamp (monotonic commit counter) of the last observation;
+    /// used for staleness analysis by the ODKE profiler.
+    pub observed_at: u64,
+}
+
+impl Default for FactMeta {
+    fn default() -> Self {
+        Self { source: SourceId(0), confidence: 1.0, observed_at: 0 }
+    }
+}
+
+/// Compact object key: entity ids and literal ids share a `u64` key space,
+/// disambiguated by the top bit.
+///
+/// Invariant: entity ids and literal ids must stay below `2^63`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjKey(pub u64);
+
+const LITERAL_TAG: u64 = 1 << 63;
+
+impl ObjKey {
+    /// Key for an entity object.
+    pub fn entity(e: EntityId) -> Self {
+        debug_assert!(e.0 & LITERAL_TAG == 0, "entity id overflows ObjKey space");
+        ObjKey(e.0)
+    }
+
+    /// Key for an interned literal object.
+    pub fn literal(l: LiteralId) -> Self {
+        debug_assert!(l.0 & LITERAL_TAG == 0, "literal id overflows ObjKey space");
+        ObjKey(l.0 | LITERAL_TAG)
+    }
+
+    /// True if this key denotes an entity.
+    pub fn is_entity(self) -> bool {
+        self.0 & LITERAL_TAG == 0
+    }
+
+    /// The entity id, if this key denotes an entity.
+    pub fn as_entity(self) -> Option<EntityId> {
+        self.is_entity().then_some(EntityId(self.0))
+    }
+
+    /// The literal id, if this key denotes a literal.
+    pub fn as_literal(self) -> Option<LiteralId> {
+        (!self.is_entity()).then_some(LiteralId(self.0 & !LITERAL_TAG))
+    }
+}
+
+/// Fully-encoded triple key used by the sorted indexes. Ordering is
+/// lexicographic over `(s, p, o)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TripleKey {
+    /// Subject.
+    pub s: EntityId,
+    /// Predicate.
+    pub p: PredicateId,
+    /// Object key.
+    pub o: ObjKey,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objkey_tags_round_trip() {
+        let e = ObjKey::entity(EntityId(42));
+        assert!(e.is_entity());
+        assert_eq!(e.as_entity(), Some(EntityId(42)));
+        assert_eq!(e.as_literal(), None);
+
+        let l = ObjKey::literal(LiteralId(42));
+        assert!(!l.is_entity());
+        assert_eq!(l.as_literal(), Some(LiteralId(42)));
+        assert_eq!(l.as_entity(), None);
+        assert_ne!(e, l);
+    }
+
+    #[test]
+    fn triple_key_orders_lexicographically() {
+        let k1 = TripleKey { s: EntityId(1), p: PredicateId(5), o: ObjKey::entity(EntityId(9)) };
+        let k2 = TripleKey { s: EntityId(1), p: PredicateId(6), o: ObjKey::entity(EntityId(0)) };
+        let k3 = TripleKey { s: EntityId(2), p: PredicateId(0), o: ObjKey::entity(EntityId(0)) };
+        assert!(k1 < k2 && k2 < k3);
+    }
+
+    #[test]
+    fn triple_constructor_converts_values() {
+        let t = Triple::new(EntityId(1), PredicateId(2), "hello");
+        assert_eq!(t.object, Value::Text("hello".into()));
+        let t = Triple::new(EntityId(1), PredicateId(2), EntityId(3));
+        assert_eq!(t.object, Value::Entity(EntityId(3)));
+    }
+}

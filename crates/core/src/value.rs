@@ -1,0 +1,238 @@
+//! Triple object values: entity references and typed literals.
+
+use crate::ids::EntityId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple calendar date (proleptic Gregorian). The synthetic KG and the
+/// extraction pipeline reason about dates (e.g. dates of birth, release
+/// dates), so we carry a small dedicated type rather than strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // calendar components
+pub struct Date {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+}
+
+impl Date {
+    /// Creates a date, validating month/day ranges (not full calendar rules).
+    pub fn new(year: i32, month: u8, day: u8) -> Option<Self> {
+        if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return None;
+        }
+        Some(Self { year, month, day })
+    }
+
+    /// Parses `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut it = s.splitn(3, '-');
+        let year: i32 = it.next()?.parse().ok()?;
+        let month: u8 = it.next()?.parse().ok()?;
+        let day: u8 = it.next()?.parse().ok()?;
+        Self::new(year, month, day)
+    }
+
+    /// Days since year 0 approximation used for ordering/recency arithmetic.
+    pub fn ordinal(&self) -> i64 {
+        self.year as i64 * 372 + (self.month as i64 - 1) * 31 + (self.day as i64 - 1)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// The kind of a [`Value`], used by view definitions to filter literal
+/// classes (e.g. drop numeric facts before embedding training, per Sec. 2 of
+/// the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // tags mirror the `Value` variants
+pub enum ValueKind {
+    Entity,
+    Text,
+    Integer,
+    Float,
+    Date,
+    Bool,
+    Identifier,
+}
+
+/// The object position of a triple: either a reference to another entity or a
+/// typed literal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Reference to another KG entity.
+    Entity(EntityId),
+    /// Free-form text (names, descriptions).
+    Text(String),
+    /// Integer quantity (heights, counts, follower numbers...).
+    Integer(i64),
+    /// Floating point quantity.
+    Float(f64),
+    /// Calendar date.
+    Date(Date),
+    /// Boolean flag.
+    Bool(bool),
+    /// External identifier (e.g. a National Library ID); textual but opaque.
+    Identifier(String),
+}
+
+impl Value {
+    /// Returns the kind tag of this value.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Entity(_) => ValueKind::Entity,
+            Value::Text(_) => ValueKind::Text,
+            Value::Integer(_) => ValueKind::Integer,
+            Value::Float(_) => ValueKind::Float,
+            Value::Date(_) => ValueKind::Date,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Identifier(_) => ValueKind::Identifier,
+        }
+    }
+
+    /// Returns the referenced entity id if this value is an entity.
+    pub fn as_entity(&self) -> Option<EntityId> {
+        match self {
+            Value::Entity(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Returns the text if this value is textual (`Text` or `Identifier`).
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) | Value::Identifier(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the date if this value is a date.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// A canonical display string, used for value equality in corroboration
+    /// and for rendering synthetic web pages.
+    pub fn canonical(&self) -> String {
+        match self {
+            Value::Entity(e) => format!("@{}", e.raw()),
+            Value::Text(s) => s.clone(),
+            Value::Integer(i) => i.to_string(),
+            Value::Float(f) => format!("{f:.4}"),
+            Value::Date(d) => d.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Identifier(s) => s.clone(),
+        }
+    }
+
+    /// True if two values denote the same fact object, with tolerant float
+    /// comparison (extraction may lose precision).
+    pub fn same_as(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Float(a), Value::Float(b)) => (a - b).abs() < 1e-6 * a.abs().max(1.0),
+            (Value::Float(a), Value::Integer(b)) | (Value::Integer(b), Value::Float(a)) => {
+                (a - *b as f64).abs() < 1e-6
+            }
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+impl From<EntityId> for Value {
+    fn from(e: EntityId) -> Self {
+        Value::Entity(e)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Integer(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<Date> for Value {
+    fn from(d: Date) -> Self {
+        Value::Date(d)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_parse_and_display_round_trip() {
+        let d = Date::parse("1979-07-23").unwrap();
+        assert_eq!(d, Date::new(1979, 7, 23).unwrap());
+        assert_eq!(d.to_string(), "1979-07-23");
+    }
+
+    #[test]
+    fn date_rejects_invalid() {
+        assert!(Date::new(2000, 0, 1).is_none());
+        assert!(Date::new(2000, 13, 1).is_none());
+        assert!(Date::new(2000, 1, 32).is_none());
+        assert!(Date::parse("not-a-date").is_none());
+        assert!(Date::parse("2000-01").is_none());
+    }
+
+    #[test]
+    fn date_ordinal_orders_chronologically() {
+        let a = Date::new(1979, 7, 23).unwrap();
+        let b = Date::new(1980, 9, 9).unwrap();
+        assert!(a.ordinal() < b.ordinal());
+    }
+
+    #[test]
+    fn value_kinds_and_accessors() {
+        assert_eq!(Value::Entity(EntityId(1)).kind(), ValueKind::Entity);
+        assert_eq!(Value::from("x").kind(), ValueKind::Text);
+        assert_eq!(Value::from(3i64).kind(), ValueKind::Integer);
+        assert_eq!(Value::Identifier("Q42".into()).kind(), ValueKind::Identifier);
+        assert_eq!(Value::Entity(EntityId(5)).as_entity(), Some(EntityId(5)));
+        assert_eq!(Value::from("hi").as_text(), Some("hi"));
+        assert_eq!(Value::from(1i64).as_entity(), None);
+    }
+
+    #[test]
+    fn same_as_is_tolerant_for_floats() {
+        assert!(Value::Float(1.0).same_as(&Value::Float(1.0 + 1e-9)));
+        assert!(Value::Float(3.0).same_as(&Value::Integer(3)));
+        assert!(!Value::Float(3.0).same_as(&Value::Integer(4)));
+        assert!(Value::from("a").same_as(&Value::from("a")));
+        assert!(!Value::from("a").same_as(&Value::from("b")));
+    }
+
+    #[test]
+    fn canonical_strings() {
+        assert_eq!(Value::Entity(EntityId(9)).canonical(), "@9");
+        assert_eq!(Value::Date(Date::new(2020, 1, 2).unwrap()).canonical(), "2020-01-02");
+        assert_eq!(Value::Bool(true).canonical(), "true");
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the triple store's core invariants.
+
+use proptest::prelude::*;
+use saga_core::entity::EntityBuilder;
+use saga_core::ontology::{Cardinality, Ontology, Volatility};
+use saga_core::value::ValueKind;
+use saga_core::{EntityId, KnowledgeGraph, Triple, Value};
+
+/// A scripted store operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { s: u8, p: u8, o: u8, literal: bool },
+    Remove { s: u8, p: u8, o: u8, literal: bool },
+    Commit,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16, 0u8..4, 0u8..16, any::<bool>())
+            .prop_map(|(s, p, o, literal)| Op::Insert { s, p, o, literal }),
+        (0u8..16, 0u8..4, 0u8..16, any::<bool>())
+            .prop_map(|(s, p, o, literal)| Op::Remove { s, p, o, literal }),
+        Just(Op::Commit),
+    ]
+}
+
+fn build_graph() -> (KnowledgeGraph, Vec<EntityId>, Vec<saga_core::PredicateId>) {
+    let mut o = Ontology::new();
+    let t = o.add_type("thing", None);
+    let preds: Vec<_> = (0..4)
+        .map(|i| {
+            o.add_predicate(
+                &format!("p{i}"),
+                &format!("p {i}"),
+                ValueKind::Entity,
+                None,
+                Cardinality::Multi,
+                Volatility::Stable,
+                false,
+            )
+        })
+        .collect();
+    let mut kg = KnowledgeGraph::new(o);
+    let ents: Vec<_> = (0..16).map(|i| kg.add_entity(EntityBuilder::new(format!("e{i}"), t))).collect();
+    (kg, ents, preds)
+}
+
+fn make_triple(ents: &[EntityId], preds: &[saga_core::PredicateId], s: u8, p: u8, o: u8, literal: bool) -> Triple {
+    let object = if literal {
+        Value::Text(format!("lit{o}"))
+    } else {
+        Value::Entity(ents[o as usize])
+    };
+    Triple { subject: ents[s as usize], predicate: preds[p as usize], object }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any op sequence, all three indexes agree and match a naive
+    /// model (a HashSet of committed triples).
+    #[test]
+    fn indexes_agree_with_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (mut kg, ents, preds) = build_graph();
+        let mut model: std::collections::HashSet<String> = Default::default();
+        let mut pending_add: Vec<String> = vec![];
+        let mut pending_rm: Vec<String> = vec![];
+        let keyof = |t: &Triple| format!("{:?}|{:?}|{}", t.subject, t.predicate, t.object.canonical());
+
+        for op in &ops {
+            match *op {
+                Op::Insert { s, p, o, literal } => {
+                    let t = make_triple(&ents, &preds, s, p, o, literal);
+                    pending_add.push(keyof(&t));
+                    kg.insert(t);
+                }
+                Op::Remove { s, p, o, literal } => {
+                    let t = make_triple(&ents, &preds, s, p, o, literal);
+                    pending_rm.push(keyof(&t));
+                    kg.remove(&t);
+                }
+                Op::Commit => {
+                    let adds: std::collections::HashSet<String> = pending_add.drain(..).collect();
+                    for k in pending_rm.drain(..) {
+                        if !adds.contains(&k) {
+                            model.remove(&k);
+                        }
+                    }
+                    model.extend(adds);
+                    kg.commit();
+                }
+            }
+        }
+        kg.commit();
+        let adds: std::collections::HashSet<String> = pending_add.drain(..).collect();
+        for k in pending_rm.drain(..) {
+            if !adds.contains(&k) {
+                model.remove(&k);
+            }
+        }
+        model.extend(adds);
+
+        kg.check_invariants().unwrap();
+        prop_assert_eq!(kg.num_triples(), model.len());
+        for k in kg.keys() {
+            let t = kg.decode(*k);
+            prop_assert!(model.contains(&keyof(&t)));
+            prop_assert!(kg.contains(&t));
+        }
+    }
+
+    /// Serialization round-trips the full store state.
+    #[test]
+    fn serde_round_trip(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let (mut kg, ents, preds) = build_graph();
+        for op in &ops {
+            match *op {
+                Op::Insert { s, p, o, literal } => kg.insert(make_triple(&ents, &preds, s, p, o, literal)),
+                Op::Remove { s, p, o, literal } => kg.remove(&make_triple(&ents, &preds, s, p, o, literal)),
+                Op::Commit => { kg.commit(); }
+            }
+        }
+        kg.commit();
+        let json = serde_json::to_string(&kg).unwrap();
+        let mut back: KnowledgeGraph = serde_json::from_str(&json).unwrap();
+        back.rebuild_after_load();
+        back.check_invariants().unwrap();
+        prop_assert_eq!(back.num_triples(), kg.num_triples());
+        prop_assert_eq!(back.keys(), kg.keys());
+        for k in kg.keys() {
+            let t = kg.decode(*k);
+            prop_assert!(back.contains(&t));
+            prop_assert_eq!(back.fact_meta(&t).unwrap(), kg.fact_meta(&t).unwrap());
+        }
+    }
+
+    /// Tokenizer: spans always slice to text whose normalization equals the
+    /// token, and tokens are non-empty alphanumeric.
+    #[test]
+    fn tokenizer_spans_are_consistent(text in "\\PC{0,200}") {
+        let toks = saga_core::text::tokenize(&text);
+        for t in &toks {
+            prop_assert!(!t.text.is_empty());
+            prop_assert!(t.start < t.end && t.end <= text.len());
+            let slice = &text[t.start..t.end];
+            prop_assert_eq!(saga_core::text::normalize_phrase(slice), t.text.clone());
+        }
+        // Spans are ordered and non-overlapping.
+        for w in toks.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    /// Frame files round-trip arbitrary payload sequences.
+    #[test]
+    fn frames_round_trip(payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 0..12)) {
+        let dir = std::env::temp_dir().join("saga-core-prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("frames-{}-{}.bin", std::process::id(), rand_suffix()));
+        {
+            let mut w = saga_core::persist::FrameWriter::create(&path).unwrap();
+            for p in &payloads {
+                w.write(p).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        let mut r = saga_core::persist::FrameReader::open(&path).unwrap();
+        let back = r.read_all().unwrap();
+        prop_assert_eq!(back, payloads);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+fn rand_suffix() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+}

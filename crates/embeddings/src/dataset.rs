@@ -1,0 +1,215 @@
+//! Training datasets: dense remapping of a graph view's edges plus
+//! deterministic train/valid/test splits.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use saga_core::{EntityId, PredicateId};
+use saga_graph::Edge;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A triple in dense local id space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DenseTriple {
+    /// Dense head-entity index.
+    pub h: u32,
+    /// Dense relation index.
+    pub r: u32,
+    /// Dense tail-entity index.
+    pub t: u32,
+}
+
+/// An embedding training set: dense ids, the id maps back to the KG, and
+/// train/valid/test splits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingSet {
+    /// Local entity index → KG entity id.
+    pub entities: Vec<EntityId>,
+    /// Local relation index → KG predicate id.
+    pub relations: Vec<PredicateId>,
+    /// Training split.
+    pub train: Vec<DenseTriple>,
+    /// Validation split.
+    pub valid: Vec<DenseTriple>,
+    /// Test split.
+    pub test: Vec<DenseTriple>,
+    #[serde(skip)]
+    entity_index: HashMap<EntityId, u32>,
+    #[serde(skip)]
+    all_triples: HashSet<DenseTriple>,
+}
+
+impl TrainingSet {
+    /// Builds a training set from view edges with the given split fractions
+    /// (`valid_frac + test_frac < 1`). Deterministic in `seed`.
+    pub fn from_edges(edges: &[Edge], valid_frac: f64, test_frac: f64, seed: u64) -> Self {
+        assert!(valid_frac + test_frac < 1.0, "splits must leave training data");
+        let mut entities: Vec<EntityId> = edges.iter().flat_map(|e| [e.head, e.tail]).collect();
+        entities.sort_unstable();
+        entities.dedup();
+        let mut relations: Vec<PredicateId> = edges.iter().map(|e| e.relation).collect();
+        relations.sort_unstable();
+        relations.dedup();
+        let entity_index: HashMap<EntityId, u32> =
+            entities.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
+        let rel_index: HashMap<PredicateId, u32> =
+            relations.iter().enumerate().map(|(i, &r)| (r, i as u32)).collect();
+
+        let mut triples: Vec<DenseTriple> = edges
+            .iter()
+            .map(|e| DenseTriple {
+                h: entity_index[&e.head],
+                r: rel_index[&e.relation],
+                t: entity_index[&e.tail],
+            })
+            .collect();
+        triples.sort_unstable_by_key(|t| (t.h, t.r, t.t));
+        triples.dedup();
+        let all_triples: HashSet<DenseTriple> = triples.iter().copied().collect();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        triples.shuffle(&mut rng);
+        let n = triples.len();
+        let n_valid = (n as f64 * valid_frac) as usize;
+        let n_test = (n as f64 * test_frac) as usize;
+        let valid = triples[..n_valid].to_vec();
+        let test = triples[n_valid..n_valid + n_test].to_vec();
+        let train = triples[n_valid + n_test..].to_vec();
+
+        Self { entities, relations, train, valid, test, entity_index, all_triples }
+    }
+
+    /// Builds a training set from explicit splits (for ablations that need
+    /// the same evaluation triples across differently-built training sets).
+    pub fn from_split_edges(train: &[Edge], valid: &[Edge], test: &[Edge]) -> Self {
+        let all: Vec<Edge> = train.iter().chain(valid).chain(test).copied().collect();
+        let mut entities: Vec<EntityId> = all.iter().flat_map(|e| [e.head, e.tail]).collect();
+        entities.sort_unstable();
+        entities.dedup();
+        let mut relations: Vec<PredicateId> = all.iter().map(|e| e.relation).collect();
+        relations.sort_unstable();
+        relations.dedup();
+        let entity_index: HashMap<EntityId, u32> =
+            entities.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
+        let rel_index: HashMap<PredicateId, u32> =
+            relations.iter().enumerate().map(|(i, &r)| (r, i as u32)).collect();
+        let densify = |edges: &[Edge]| -> Vec<DenseTriple> {
+            let mut v: Vec<DenseTriple> = edges
+                .iter()
+                .map(|e| DenseTriple {
+                    h: entity_index[&e.head],
+                    r: rel_index[&e.relation],
+                    t: entity_index[&e.tail],
+                })
+                .collect();
+            v.sort_unstable_by_key(|t| (t.h, t.r, t.t));
+            v.dedup();
+            v
+        };
+        let train = densify(train);
+        let valid = densify(valid);
+        let test = densify(test);
+        let all_triples: HashSet<DenseTriple> =
+            train.iter().chain(&valid).chain(&test).copied().collect();
+        Self { entities, relations, train, valid, test, entity_index, all_triples }
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Local index of a KG entity, if present in the training vocabulary.
+    pub fn entity_index(&self, e: EntityId) -> Option<u32> {
+        self.entity_index.get(&e).copied()
+    }
+
+    /// True if the (dense) triple exists anywhere in the dataset — the
+    /// "filtered" check used by evaluation and filtered negative sampling.
+    pub fn contains(&self, t: &DenseTriple) -> bool {
+        self.all_triples.contains(t)
+    }
+
+    /// Rebuilds the skipped lookup structures (after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.entity_index =
+            self.entities.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
+        self.all_triples = self
+            .train
+            .iter()
+            .chain(&self.valid)
+            .chain(&self.test)
+            .copied()
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::synth::{generate, SynthConfig};
+    use saga_graph::{GraphView, ViewDef};
+
+    fn make() -> TrainingSet {
+        let s = generate(&SynthConfig::tiny(21));
+        let v = GraphView::materialize(&s.kg, ViewDef::embedding_training(2));
+        TrainingSet::from_edges(&v.edges(), 0.05, 0.05, 3)
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_cover() {
+        let ds = make();
+        let total = ds.train.len() + ds.valid.len() + ds.test.len();
+        let mut all: HashSet<DenseTriple> = HashSet::new();
+        for t in ds.train.iter().chain(&ds.valid).chain(&ds.test) {
+            assert!(all.insert(*t), "duplicate across splits");
+        }
+        assert_eq!(all.len(), total);
+        assert!(ds.train.len() > ds.valid.len());
+        assert!(!ds.valid.is_empty() && !ds.test.is_empty());
+    }
+
+    #[test]
+    fn dense_ids_are_in_range() {
+        let ds = make();
+        for t in ds.train.iter().chain(&ds.valid).chain(&ds.test) {
+            assert!((t.h as usize) < ds.num_entities());
+            assert!((t.t as usize) < ds.num_entities());
+            assert!((t.r as usize) < ds.num_relations());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let s = generate(&SynthConfig::tiny(21));
+        let v = GraphView::materialize(&s.kg, ViewDef::embedding_training(2));
+        let a = TrainingSet::from_edges(&v.edges(), 0.1, 0.1, 5);
+        let b = TrainingSet::from_edges(&v.edges(), 0.1, 0.1, 5);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let c = TrainingSet::from_edges(&v.edges(), 0.1, 0.1, 6);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn contains_reflects_all_splits() {
+        let ds = make();
+        assert!(ds.contains(&ds.valid[0]));
+        assert!(ds.contains(&ds.train[0]));
+        let fake = DenseTriple { h: 0, r: 0, t: u32::MAX };
+        assert!(!ds.contains(&fake));
+    }
+
+    #[test]
+    fn entity_index_round_trips() {
+        let ds = make();
+        for (i, &e) in ds.entities.iter().enumerate().take(20) {
+            assert_eq!(ds.entity_index(e), Some(i as u32));
+        }
+    }
+}

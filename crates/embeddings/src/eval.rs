@@ -1,0 +1,186 @@
+//! Link-prediction evaluation: filtered MRR and Hits@k, plus ranking
+//! utilities shared by the downstream tasks.
+
+use crate::dataset::{DenseTriple, TrainingSet};
+use crate::train::TrainedModel;
+use serde::{Deserialize, Serialize};
+
+/// Link-prediction metrics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LinkPredictionMetrics {
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Fraction of queries ranked 1.
+    pub hits_at_1: f64,
+    /// Fraction of queries ranked ≤3.
+    pub hits_at_3: f64,
+    /// Fraction of queries ranked ≤10.
+    pub hits_at_10: f64,
+    /// Number of (triple, side) queries evaluated.
+    pub queries: usize,
+}
+
+/// Evaluates filtered link prediction on `triples`: for each triple, rank
+/// the true tail against all corrupted tails (and the true head against all
+/// corrupted heads), skipping corruptions that are known true triples.
+///
+/// `max_triples` caps evaluation cost; 0 = all.
+pub fn evaluate(
+    model: &TrainedModel,
+    ds: &TrainingSet,
+    triples: &[DenseTriple],
+    max_triples: usize,
+) -> LinkPredictionMetrics {
+    let n_ent = ds.num_entities() as u32;
+    let take = if max_triples == 0 { triples.len() } else { triples.len().min(max_triples) };
+    let mut mrr = 0.0f64;
+    let (mut h1, mut h3, mut h10) = (0usize, 0usize, 0usize);
+    let mut queries = 0usize;
+
+    for t in &triples[..take] {
+        for corrupt_tail in [true, false] {
+            let true_score = model.score_dense(t);
+            // Rank = 1 + number of corruptions scoring strictly higher.
+            let mut rank = 1usize;
+            for e in 0..n_ent {
+                let cand = if corrupt_tail {
+                    DenseTriple { h: t.h, r: t.r, t: e }
+                } else {
+                    DenseTriple { h: e, r: t.r, t: t.t }
+                };
+                if cand == *t || ds.contains(&cand) {
+                    continue; // filtered setting
+                }
+                if model.score_dense(&cand) > true_score {
+                    rank += 1;
+                }
+            }
+            mrr += 1.0 / rank as f64;
+            if rank <= 1 {
+                h1 += 1;
+            }
+            if rank <= 3 {
+                h3 += 1;
+            }
+            if rank <= 10 {
+                h10 += 1;
+            }
+            queries += 1;
+        }
+    }
+    if queries == 0 {
+        return LinkPredictionMetrics::default();
+    }
+    LinkPredictionMetrics {
+        mrr: mrr / queries as f64,
+        hits_at_1: h1 as f64 / queries as f64,
+        hits_at_3: h3 as f64 / queries as f64,
+        hits_at_10: h10 as f64 / queries as f64,
+        queries,
+    }
+}
+
+/// Area under the ROC curve for score separation between `pos` and `neg`
+/// score sets (fact-verification quality, experiment E2).
+pub fn auc(pos: &[f32], neg: &[f32]) -> f64 {
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    // Rank-sum (Mann-Whitney U) formulation with tie handling.
+    let mut all: Vec<(f32, bool)> = pos
+        .iter()
+        .map(|&s| (s, true))
+        .chain(neg.iter().map(|&s| (s, false)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut rank_sum = 0.0f64;
+    let mut i = 0usize;
+    while i < all.len() {
+        let mut j = i;
+        while j + 1 < all.len() && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &all[i..=j] {
+            if item.1 {
+                rank_sum += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let np = pos.len() as f64;
+    let nn = neg.len() as f64;
+    (rank_sum - np * (np + 1.0) / 2.0) / (np * nn)
+}
+
+/// Normalized discounted cumulative gain for a ranking against graded
+/// relevance (fact-ranking quality, experiment E2). `ranked` holds item
+/// relevances in predicted order.
+pub fn ndcg(ranked_relevances: &[f64]) -> f64 {
+    if ranked_relevances.is_empty() {
+        return 1.0;
+    }
+    let dcg: f64 = ranked_relevances
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (2f64.powf(*r) - 1.0) / ((i + 2) as f64).log2())
+        .sum();
+    let mut ideal: Vec<f64> = ranked_relevances.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let idcg: f64 = ideal
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (2f64.powf(*r) - 1.0) / ((i + 2) as f64).log2())
+        .sum();
+    if idcg == 0.0 {
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use crate::train::{train, TrainConfig};
+    use saga_core::synth::{generate, SynthConfig};
+    use saga_graph::{GraphView, ViewDef};
+
+    #[test]
+    fn auc_extremes_and_ties() {
+        assert!((auc(&[2.0, 3.0], &[0.0, 1.0]) - 1.0).abs() < 1e-9);
+        assert!((auc(&[0.0, 1.0], &[2.0, 3.0]) - 0.0).abs() < 1e-9);
+        assert!((auc(&[1.0], &[1.0]) - 0.5).abs() < 1e-9);
+        assert_eq!(auc(&[], &[1.0]), 0.5);
+    }
+
+    #[test]
+    fn ndcg_perfect_and_inverted() {
+        assert!((ndcg(&[3.0, 2.0, 1.0]) - 1.0).abs() < 1e-9);
+        assert!(ndcg(&[1.0, 2.0, 3.0]) < 1.0);
+        assert_eq!(ndcg(&[]), 1.0);
+        assert_eq!(ndcg(&[0.0, 0.0]), 1.0, "all-zero relevance is trivially ideal");
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_on_mrr() {
+        let s = generate(&SynthConfig::tiny(81));
+        let v = GraphView::materialize(&s.kg, ViewDef::embedding_training(2));
+        let ds = TrainingSet::from_edges(&v.edges(), 0.05, 0.05, 3);
+        let cfg = TrainConfig { dim: 16, epochs: 12, model: ModelKind::TransE, ..Default::default() };
+        let trained = train(&ds, &cfg);
+        let untrained = train(&ds, &TrainConfig { epochs: 0, ..cfg.clone() });
+        let m_trained = evaluate(&trained, &ds, &ds.test, 30);
+        let m_untrained = evaluate(&untrained, &ds, &ds.test, 30);
+        assert!(
+            m_trained.mrr > m_untrained.mrr * 2.0,
+            "trained {} vs untrained {}",
+            m_trained.mrr,
+            m_untrained.mrr
+        );
+        assert!(m_trained.hits_at_10 >= m_trained.hits_at_3);
+        assert!(m_trained.hits_at_3 >= m_trained.hits_at_1);
+        assert_eq!(m_trained.queries, 60);
+    }
+}

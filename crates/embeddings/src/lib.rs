@@ -1,0 +1,46 @@
+//! # saga-embeddings
+//!
+//! The knowledge-graph embedding pipeline of paper Sec. 2 / Fig. 3:
+//!
+//! - [`dataset`] — training sets built from graph-engine views (the fact
+//!   filtering stage);
+//! - [`model`] — TransE / DistMult / ComplEx scoring with analytic
+//!   gradients;
+//! - [`mod@train`] — the single-node trainer and the [`train::TrainedModel`]
+//!   artifact;
+//! - [`partition`] — random edge-based partitioning and multi-worker bucket
+//!   training (the PBG-style scalability lever);
+//! - [`disk`] — Marius-style disk-streamed training with a bounded
+//!   partition buffer;
+//! - [`eval`] — filtered MRR/Hits@k, AUC and NDCG;
+//! - [`tasks`] — the Fig. 2 applications: fact ranking, fact verification,
+//!   related entities and entity-linking support.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod disk;
+pub mod eval;
+pub mod model;
+pub mod partition;
+pub mod reasoning;
+pub mod sampler;
+pub mod table;
+pub mod tasks;
+pub mod train;
+pub mod walk;
+
+pub use dataset::{DenseTriple, TrainingSet};
+pub use disk::{train_disk, DiskStats};
+pub use eval::{auc, evaluate, ndcg, LinkPredictionMetrics};
+pub use model::ModelKind;
+pub use partition::{train_partitioned, PartitionedStats, Partitioning};
+pub use reasoning::{evaluate_paths, traverse_answers, PathQuery, PathReasoner};
+pub use sampler::NegativeSampler;
+pub use table::EmbeddingTable;
+pub use tasks::{
+    batch_score, build_flat_index, build_knn_index, rank_existing_facts, rank_facts,
+    related_entities, warm_cache, FactVerifier, Verification,
+};
+pub use train::{train, Loss, TrainConfig, TrainedModel};
+pub use walk::{train_on_walks, WalkConfig, WalkEmbeddings};

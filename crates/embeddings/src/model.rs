@@ -1,0 +1,204 @@
+//! Shallow KG embedding models: TransE, DistMult, ComplEx.
+//!
+//! These are the "shallow embedding models" of paper Sec. 2: embedding
+//! matrices for entities and predicates optimized with a contrastive
+//! objective over existing and corrupted edges. Each model provides a score
+//! and the analytic gradient of the score w.r.t. each input vector.
+
+use serde::{Deserialize, Serialize};
+
+/// Which model to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Translational: `score = -||h + r - t||²` (Bordes et al. 2013).
+    TransE,
+    /// Bilinear diagonal: `score = Σ h·r·t` (Yang et al. 2014).
+    DistMult,
+    /// Complex bilinear: `score = Re⟨h, r, conj(t)⟩` (Trouillon et al.).
+    ComplEx,
+}
+
+impl ModelKind {
+    /// All supported kinds (used by experiment sweeps).
+    pub const ALL: [ModelKind; 3] = [ModelKind::TransE, ModelKind::DistMult, ModelKind::ComplEx];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::TransE => "TransE",
+            ModelKind::DistMult => "DistMult",
+            ModelKind::ComplEx => "ComplEx",
+        }
+    }
+
+    /// Scores a triple given its three vectors.
+    pub fn score(self, h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+        debug_assert!(h.len() == r.len() && r.len() == t.len());
+        match self {
+            ModelKind::TransE => {
+                let mut d = 0.0;
+                for i in 0..h.len() {
+                    let x = h[i] + r[i] - t[i];
+                    d += x * x;
+                }
+                -d
+            }
+            ModelKind::DistMult => {
+                let mut s = 0.0;
+                for i in 0..h.len() {
+                    s += h[i] * r[i] * t[i];
+                }
+                s
+            }
+            ModelKind::ComplEx => {
+                let half = h.len() / 2;
+                let mut s = 0.0;
+                for i in 0..half {
+                    let (hr, hi) = (h[i], h[half + i]);
+                    let (rr, ri) = (r[i], r[half + i]);
+                    let (tr, ti) = (t[i], t[half + i]);
+                    s += tr * (hr * rr - hi * ri) + ti * (hr * ri + hi * rr);
+                }
+                s
+            }
+        }
+    }
+
+    /// Gradient of the score w.r.t. `h`, `r` and `t`, written into the
+    /// provided buffers (each of length `dim`).
+    pub fn score_grads(
+        self,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        dh: &mut [f32],
+        dr: &mut [f32],
+        dt: &mut [f32],
+    ) {
+        match self {
+            ModelKind::TransE => {
+                for i in 0..h.len() {
+                    let x = h[i] + r[i] - t[i];
+                    dh[i] = -2.0 * x;
+                    dr[i] = -2.0 * x;
+                    dt[i] = 2.0 * x;
+                }
+            }
+            ModelKind::DistMult => {
+                for i in 0..h.len() {
+                    dh[i] = r[i] * t[i];
+                    dr[i] = h[i] * t[i];
+                    dt[i] = h[i] * r[i];
+                }
+            }
+            ModelKind::ComplEx => {
+                let half = h.len() / 2;
+                for i in 0..half {
+                    let (hr, hi) = (h[i], h[half + i]);
+                    let (rr, ri) = (r[i], r[half + i]);
+                    let (tr, ti) = (t[i], t[half + i]);
+                    // score terms: tr(hr rr − hi ri) + ti(hr ri + hi rr)
+                    dh[i] = tr * rr + ti * ri; // d/d hr
+                    dh[half + i] = -tr * ri + ti * rr; // d/d hi
+                    dr[i] = tr * hr + ti * hi; // d/d rr
+                    dr[half + i] = -tr * hi + ti * hr; // d/d ri
+                    dt[i] = hr * rr - hi * ri; // d/d tr
+                    dt[half + i] = hr * ri + hi * rr; // d/d ti
+                }
+            }
+        }
+    }
+
+    /// True if entity rows should be clipped to the unit ball after updates
+    /// (TransE's original norm constraint).
+    pub fn clip_entities(self) -> bool {
+        matches!(self, ModelKind::TransE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(
+        kind: ModelKind,
+        h: &[f32],
+        r: &[f32],
+        t: &[f32],
+        which: usize,
+        idx: usize,
+    ) -> f32 {
+        let eps = 1e-3;
+        let mut hp = h.to_vec();
+        let mut rp = r.to_vec();
+        let mut tp = t.to_vec();
+        let bump = |v: &mut Vec<f32>, i: usize, d: f32| v[i] += d;
+        match which {
+            0 => bump(&mut hp, idx, eps),
+            1 => bump(&mut rp, idx, eps),
+            _ => bump(&mut tp, idx, eps),
+        }
+        let plus = kind.score(&hp, &rp, &tp);
+        let mut hm = h.to_vec();
+        let mut rm = r.to_vec();
+        let mut tm = t.to_vec();
+        match which {
+            0 => bump(&mut hm, idx, -eps),
+            1 => bump(&mut rm, idx, -eps),
+            _ => bump(&mut tm, idx, -eps),
+        }
+        let minus = kind.score(&hm, &rm, &tm);
+        (plus - minus) / (2.0 * eps)
+    }
+
+    #[test]
+    fn analytic_gradients_match_numeric() {
+        let h = vec![0.3, -0.2, 0.5, 0.1];
+        let r = vec![-0.1, 0.4, 0.2, -0.3];
+        let t = vec![0.2, 0.1, -0.4, 0.25];
+        for kind in ModelKind::ALL {
+            let (mut dh, mut dr, mut dt) = (vec![0.0; 4], vec![0.0; 4], vec![0.0; 4]);
+            kind.score_grads(&h, &r, &t, &mut dh, &mut dr, &mut dt);
+            for idx in 0..4 {
+                for (which, g) in [(0, &dh), (1, &dr), (2, &dt)] {
+                    let num = numeric_grad(kind, &h, &r, &t, which, idx);
+                    assert!(
+                        (g[idx] - num).abs() < 1e-2,
+                        "{kind:?} which={which} idx={idx}: analytic {} vs numeric {num}",
+                        g[idx]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transe_perfect_translation_scores_zero() {
+        let h = vec![0.1, 0.2];
+        let r = vec![0.3, -0.1];
+        let t = vec![0.4, 0.1];
+        assert!(ModelKind::TransE.score(&h, &r, &t).abs() < 1e-6);
+        // Any perturbation lowers the score.
+        let t_bad = vec![0.5, 0.3];
+        assert!(ModelKind::TransE.score(&h, &r, &t_bad) < -1e-3);
+    }
+
+    #[test]
+    fn distmult_is_symmetric_complex_is_not() {
+        let h = vec![0.3, -0.2, 0.5, 0.1];
+        let r = vec![-0.1, 0.4, 0.2, -0.3];
+        let t = vec![0.2, 0.1, -0.4, 0.25];
+        let d_fwd = ModelKind::DistMult.score(&h, &r, &t);
+        let d_rev = ModelKind::DistMult.score(&t, &r, &h);
+        assert!((d_fwd - d_rev).abs() < 1e-6, "DistMult must be symmetric");
+        let c_fwd = ModelKind::ComplEx.score(&h, &r, &t);
+        let c_rev = ModelKind::ComplEx.score(&t, &r, &h);
+        assert!((c_fwd - c_rev).abs() > 1e-4, "ComplEx must capture direction");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ModelKind::TransE.name(), "TransE");
+        assert_eq!(ModelKind::ALL.len(), 3);
+    }
+}

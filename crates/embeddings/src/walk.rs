@@ -1,0 +1,303 @@
+//! Specialized related-entity embeddings trained on pre-computed graph
+//! traversals.
+//!
+//! Paper Sec. 2: "for specialized related entity embeddings we use the
+//! scalable graph processing capabilities of our graph engine to
+//! pre-compute graph traversals". The graph engine emits random-walk
+//! corpora ([`saga_graph::precompute_walk_corpus`]); this module trains
+//! skip-gram-with-negative-sampling (SGNS) embeddings over them, so that
+//! entities co-visited by walks land close in the vector space — the signal
+//! a related-entities service wants, independent of the link-prediction
+//! objective of the general KG embeddings.
+
+use crate::table::EmbeddingTable;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use saga_core::EntityId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// SGNS training hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalkConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Context window (steps on either side within a walk).
+    pub window: usize,
+    /// Negatives per (center, context) pair.
+    pub negatives: usize,
+    /// Passes over the walk corpus.
+    pub epochs: usize,
+    /// AdaGrad learning rate.
+    pub learning_rate: f32,
+    /// RNG seed (negative sampling).
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self { dim: 32, window: 2, negatives: 3, epochs: 3, learning_rate: 0.05, seed: 77 }
+    }
+}
+
+/// Embeddings trained from a walk corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalkEmbeddings {
+    /// Vocabulary: local index → entity.
+    pub entity_ids: Vec<EntityId>,
+    /// Center ("input") vectors — the ones served.
+    pub vectors: EmbeddingTable,
+    #[serde(skip)]
+    index: HashMap<EntityId, u32>,
+}
+
+impl WalkEmbeddings {
+    /// Embedding of an entity, if it appeared in the corpus.
+    pub fn embedding(&self, e: EntityId) -> Option<&[f32]> {
+        self.index.get(&e).map(|&i| self.vectors.row(i as usize))
+    }
+
+    /// Number of vocabulary entities.
+    pub fn len(&self) -> usize {
+        self.entity_ids.len()
+    }
+
+    /// True when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entity_ids.is_empty()
+    }
+
+    /// Rebuilds the lookup map (after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.index = self.entity_ids.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
+    }
+
+    /// Top-`k` most related entities by cosine similarity (brute force —
+    /// callers wanting ANN should load the vectors into an HNSW index).
+    pub fn related(&self, e: EntityId, k: usize) -> Vec<(EntityId, f32)> {
+        let Some(q) = self.embedding(e) else { return Vec::new() };
+        let mut scored: Vec<(EntityId, f32)> = self
+            .entity_ids
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o != e)
+            .map(|(i, &o)| (o, saga_core::text::cosine(q, self.vectors.row(i))))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Trains SGNS embeddings over a pre-computed walk corpus.
+pub fn train_on_walks(corpus: &[Vec<EntityId>], cfg: &WalkConfig) -> WalkEmbeddings {
+    // Vocabulary.
+    let mut entity_ids: Vec<EntityId> = corpus.iter().flatten().copied().collect();
+    entity_ids.sort_unstable();
+    entity_ids.dedup();
+    let index: HashMap<EntityId, u32> =
+        entity_ids.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
+    let n = entity_ids.len();
+    if n == 0 {
+        return WalkEmbeddings {
+            entity_ids,
+            vectors: EmbeddingTable::zeros(1, cfg.dim),
+            index,
+        };
+    }
+
+    let mut centers = EmbeddingTable::init(n, cfg.dim, cfg.seed);
+    let mut contexts = EmbeddingTable::init(n, cfg.dim, cfg.seed ^ 0xc0);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 1);
+    let mut grad_c = vec![0.0f32; cfg.dim];
+    let mut grad_o = vec![0.0f32; cfg.dim];
+
+    // Dense local walks.
+    let walks: Vec<Vec<u32>> = corpus
+        .iter()
+        .map(|w| w.iter().map(|e| index[e]).collect())
+        .collect();
+
+    for _epoch in 0..cfg.epochs {
+        for walk in &walks {
+            for (i, &center) in walk.iter().enumerate() {
+                let lo = i.saturating_sub(cfg.window);
+                let hi = (i + cfg.window + 1).min(walk.len());
+                for (j, &ctx) in walk.iter().enumerate().take(hi).skip(lo) {
+                    if i == j {
+                        continue;
+                    }
+                    // Positive update.
+                    sgns_step(
+                        &mut centers,
+                        &mut contexts,
+                        center as usize,
+                        ctx as usize,
+                        true,
+                        cfg.learning_rate,
+                        &mut grad_c,
+                        &mut grad_o,
+                    );
+                    // Negative updates.
+                    for _ in 0..cfg.negatives {
+                        let neg = rng.gen_range(0..n);
+                        if neg == ctx as usize {
+                            continue;
+                        }
+                        sgns_step(
+                            &mut centers,
+                            &mut contexts,
+                            center as usize,
+                            neg,
+                            false,
+                            cfg.learning_rate,
+                            &mut grad_c,
+                            &mut grad_o,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    WalkEmbeddings { entity_ids, vectors: centers, index }
+}
+
+/// One SGNS gradient step: `L = -log σ(±c·o)`.
+#[allow(clippy::too_many_arguments)]
+fn sgns_step(
+    centers: &mut EmbeddingTable,
+    contexts: &mut EmbeddingTable,
+    center: usize,
+    context: usize,
+    positive: bool,
+    lr: f32,
+    grad_c: &mut [f32],
+    grad_o: &mut [f32],
+) {
+    let dim = centers.dim();
+    let mut dot = 0.0f32;
+    {
+        let c = centers.row(center);
+        let o = contexts.row(context);
+        for k in 0..dim {
+            dot += c[k] * o[k];
+        }
+    }
+    let label = if positive { 1.0 } else { 0.0 };
+    let err = sigmoid(dot) - label; // dL/d(dot)
+    {
+        let c = centers.row(center);
+        let o = contexts.row(context);
+        for k in 0..dim {
+            grad_c[k] = err * o[k];
+            grad_o[k] = err * c[k];
+        }
+    }
+    centers.adagrad_update(center, grad_c, lr);
+    contexts.adagrad_update(context, grad_o, lr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::synth::{generate, SynthConfig};
+    use saga_graph::{precompute_walk_corpus, Adjacency, GraphView, ViewDef};
+
+    fn corpus_and_adj() -> (Vec<Vec<EntityId>>, Adjacency, saga_core::synth::SynthKg) {
+        let s = generate(&SynthConfig::tiny(241));
+        let view = GraphView::materialize(&s.kg, ViewDef::embedding_training(0));
+        let adj = Adjacency::from_edges(s.kg.num_entities(), &view.edges());
+        let ents: Vec<EntityId> = s.people.iter().copied().take(80).collect();
+        let corpus = precompute_walk_corpus(&adj, &ents, 8, 6, 11);
+        (corpus, adj, s)
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (corpus, _, _) = corpus_and_adj();
+        let a = train_on_walks(&corpus, &WalkConfig::default());
+        let b = train_on_walks(&corpus, &WalkConfig::default());
+        assert_eq!(a.entity_ids, b.entity_ids);
+        assert_eq!(a.vectors.row(0), b.vectors.row(0));
+    }
+
+    #[test]
+    fn covisited_entities_are_closer_than_random() {
+        let (corpus, adj, s) = corpus_and_adj();
+        let emb = train_on_walks(&corpus, &WalkConfig { epochs: 4, ..Default::default() });
+        // For several probe entities: mean cosine to direct neighbours must
+        // exceed mean cosine to random vocabulary entities.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut wins = 0;
+        let mut probes = 0;
+        for &e in s.people.iter().take(40) {
+            let Some(q) = emb.embedding(e) else { continue };
+            let nbs: Vec<EntityId> = adj
+                .neighbors(e)
+                .iter()
+                .map(|x| x.0)
+                .filter(|&o| emb.embedding(o).is_some())
+                .collect();
+            if nbs.is_empty() {
+                continue;
+            }
+            let near: f32 = nbs
+                .iter()
+                .map(|&o| saga_core::text::cosine(q, emb.embedding(o).unwrap()))
+                .sum::<f32>()
+                / nbs.len() as f32;
+            let far: f32 = (0..nbs.len())
+                .map(|_| {
+                    let o = emb.entity_ids[rng.gen_range(0..emb.len())];
+                    saga_core::text::cosine(q, emb.embedding(o).unwrap())
+                })
+                .sum::<f32>()
+                / nbs.len() as f32;
+            probes += 1;
+            if near > far {
+                wins += 1;
+            }
+        }
+        assert!(probes >= 20);
+        assert!(
+            wins * 100 >= probes * 75,
+            "neighbours closer than random only {wins}/{probes}"
+        );
+    }
+
+    #[test]
+    fn related_returns_sorted_without_self() {
+        let (corpus, _, s) = corpus_and_adj();
+        let emb = train_on_walks(&corpus, &WalkConfig::default());
+        let e = s.people[0];
+        let rel = emb.related(e, 5);
+        assert!(rel.len() <= 5);
+        assert!(rel.iter().all(|(o, _)| *o != e));
+        assert!(rel.windows(2).all(|w| w[0].1 >= w[1].1));
+        // Unknown entity → empty.
+        assert!(emb.related(EntityId(u64::MAX - 3), 5).is_empty());
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let emb = train_on_walks(&[], &WalkConfig::default());
+        assert!(emb.is_empty());
+        assert!(emb.related(EntityId(0), 3).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (corpus, _, s) = corpus_and_adj();
+        let emb = train_on_walks(&corpus, &WalkConfig { epochs: 1, ..Default::default() });
+        let json = serde_json::to_string(&emb).unwrap();
+        let mut back: WalkEmbeddings = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        let e = s.people[0];
+        assert_eq!(back.embedding(e), emb.embedding(e));
+    }
+}

@@ -1,0 +1,17 @@
+//! # saga-fusion
+//!
+//! Server-side continuous knowledge construction — the Saga substrate
+//! (Ilyas et al., SIGMOD '22) that this paper's extensions sit on: multiple
+//! feeds deliver overlapping entity records; the engine blocks and matches
+//! them against the canonical graph, merges duplicates (tolerant of name
+//! variants), and resolves conflicting values by accumulated source trust.
+//! Ingestion is incremental: batches arriving over time converge to the
+//! same canonical graph as a one-shot load (verified by tests).
+
+#![warn(missing_docs)]
+
+pub mod fuse;
+pub mod source;
+
+pub use fuse::{FusionConfig, FusionEngine, IngestStats, ValueEvidence};
+pub use source::{generate_feeds, FeedConfig, FeedData, FeedTrust, SourceEntity};

@@ -1,0 +1,30 @@
+//! # saga-graph
+//!
+//! The graph query engine layered on the `saga-core` triple store:
+//!
+//! - [`pattern`] — index-dispatched triple-pattern scans;
+//! - [`view`] — declarative, incrementally-maintained views (the fact
+//!   filtering of paper Sec. 2 and the static knowledge asset of Sec. 5);
+//! - [`traverse`] — CSR adjacency, k-hop neighbourhoods, seeded random walks
+//!   and the pre-computed traversal corpora used for related-entity
+//!   embeddings;
+//! - [`mod@profile`] — predicate statistics, coverage and staleness analysis
+//!   feeding the ODKE profiler (Sec. 4);
+//! - [`query`] — conjunctive queries for entity retrieval.
+
+#![warn(missing_docs)]
+
+pub mod pattern;
+pub mod profile;
+pub mod query;
+pub mod traverse;
+pub mod view;
+
+pub use pattern::{scan, TriplePattern};
+pub use profile::{missing_facts, profile, stale_facts, GraphProfile, MissingFact, StaleFact};
+pub use query::{solve, Clause, ConjunctiveQuery, Term};
+pub use traverse::{
+    co_visit_counts, k_hop, personalized_pagerank, precompute_walk_corpus, related_by_walks,
+    Adjacency,
+};
+pub use view::{Edge, GraphView, ViewDef};

@@ -1,0 +1,47 @@
+//! Property test: incremental view maintenance is equivalent to recompute.
+
+use proptest::prelude::*;
+use saga_core::synth::{generate, SynthConfig};
+use saga_core::{Triple, Value};
+use saga_graph::{GraphView, ViewDef};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn view_maintenance_equals_recompute(
+        seed in 0u64..500,
+        min_freq in 0usize..8,
+        ops in proptest::collection::vec((0usize..50, 0usize..50, any::<bool>()), 1..30),
+    ) {
+        let mut s = generate(&SynthConfig::tiny(seed));
+        let def = ViewDef::embedding_training(min_freq);
+        let mut view = GraphView::materialize(&s.kg, def.clone());
+
+        for (i, (a, b, add)) in ops.iter().enumerate() {
+            let pa = s.people[a % s.people.len()];
+            let pb = s.people[b % s.people.len()];
+            if pa == pb { continue; }
+            let pred = if i % 3 == 0 { s.preds.rare[i % s.preds.rare.len()] } else { s.preds.spouse };
+            let t = Triple::new(pa, pred, Value::Entity(pb));
+            if *add {
+                s.kg.insert(t);
+            } else {
+                s.kg.remove(&t);
+            }
+            if i % 4 == 3 {
+                let delta = s.kg.commit();
+                view.apply_delta(&s.kg, &delta);
+            }
+        }
+        let delta = s.kg.commit();
+        view.apply_delta(&s.kg, &delta);
+
+        let fresh = GraphView::materialize(&s.kg, def);
+        let mut a: Vec<String> = view.triples().map(|t| format!("{t:?}")).collect();
+        let mut b: Vec<String> = fresh.triples().map(|t| format!("{t:?}")).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,245 @@
+//! Corroboration (Fig. 5/6 ⑤): aggregates candidate extractions per target
+//! and scores each distinct value with a trained logistic model over
+//! evidence features — "the number of support, extractor type and
+//! confidence, and quality of the source page" plus the subject-identity
+//! signal from semantic annotation.
+
+use crate::extract::{ExtractedCandidate, ExtractorKind};
+use serde::{Deserialize, Serialize};
+
+/// Feature vector of one distinct candidate value. Field order is the model
+/// weight order.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct EvidenceFeatures {
+    /// ln(1 + number of supporting extractions).
+    pub support: f32,
+    /// Max extractor confidence among supports.
+    pub max_confidence: f32,
+    /// Mean extractor confidence.
+    pub mean_confidence: f32,
+    /// Mean source-page quality.
+    pub mean_quality: f32,
+    /// Fraction of supports whose page confirmed the subject identity.
+    pub subject_confirmed_frac: f32,
+    /// Distinct extractor kinds / 4.
+    pub extractor_diversity: f32,
+}
+
+impl EvidenceFeatures {
+    fn as_array(&self) -> [f32; 6] {
+        [
+            self.support,
+            self.max_confidence,
+            self.mean_confidence,
+            self.mean_quality,
+            self.subject_confirmed_frac,
+            self.extractor_diversity,
+        ]
+    }
+}
+
+/// A scored distinct value for one `(subject, predicate)` target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoredValue {
+    /// Canonical value text (grouping key).
+    pub value_text: String,
+    /// A representative parsed value (first support with a parse).
+    pub value: Option<saga_core::Value>,
+    /// Evidence features of the value.
+    pub features: EvidenceFeatures,
+    /// Model probability that this value is correct.
+    pub probability: f32,
+    /// Number of raw supporting extractions.
+    pub support_count: usize,
+}
+
+/// Groups candidates by value text and computes evidence features.
+pub fn featurize(candidates: &[ExtractedCandidate]) -> Vec<(String, EvidenceFeatures, Vec<&ExtractedCandidate>)> {
+    let mut groups: std::collections::BTreeMap<String, Vec<&ExtractedCandidate>> =
+        Default::default();
+    for c in candidates {
+        groups.entry(c.value_text.clone()).or_default().push(c);
+    }
+    groups
+        .into_iter()
+        .map(|(value, supports)| {
+            let n = supports.len() as f32;
+            let kinds: std::collections::HashSet<ExtractorKind> =
+                supports.iter().map(|c| c.extractor).collect();
+            let f = EvidenceFeatures {
+                support: (1.0 + n).ln(),
+                max_confidence: supports.iter().map(|c| c.confidence).fold(0.0, f32::max),
+                mean_confidence: supports.iter().map(|c| c.confidence).sum::<f32>() / n,
+                mean_quality: supports.iter().map(|c| c.page_quality).sum::<f32>() / n,
+                subject_confirmed_frac: supports.iter().filter(|c| c.subject_confirmed).count()
+                    as f32
+                    / n,
+                extractor_diversity: kinds.len() as f32 / 4.0,
+            };
+            (value, f, supports)
+        })
+        .collect()
+}
+
+/// Logistic corroboration model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corroborator {
+    /// Feature weights (order of `EvidenceFeatures`).
+    pub weights: [f32; 6],
+    /// Intercept term.
+    pub bias: f32,
+}
+
+impl Default for Corroborator {
+    /// Sensible hand-tuned prior (used before calibration data exists).
+    fn default() -> Self {
+        Self { weights: [0.8, 0.6, 0.4, 0.5, 2.0, 0.5], bias: -2.0 }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Corroborator {
+    /// Probability a value with features `f` is correct.
+    pub fn predict(&self, f: &EvidenceFeatures) -> f32 {
+        let z: f32 =
+            self.bias + f.as_array().iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f32>();
+        sigmoid(z)
+    }
+
+    /// Trains by gradient descent on labelled `(features, correct)` pairs.
+    /// Deterministic (full-batch).
+    pub fn train(examples: &[(EvidenceFeatures, bool)], epochs: usize, lr: f32) -> Self {
+        let mut m = Corroborator { weights: [0.0; 6], bias: 0.0 };
+        if examples.is_empty() {
+            return Corroborator::default();
+        }
+        let n = examples.len() as f32;
+        for _ in 0..epochs {
+            let mut gw = [0.0f32; 6];
+            let mut gb = 0.0f32;
+            for (f, label) in examples {
+                let p = m.predict(f);
+                let err = p - (*label as u8 as f32);
+                for (i, x) in f.as_array().iter().enumerate() {
+                    gw[i] += err * x;
+                }
+                gb += err;
+            }
+            for i in 0..6 {
+                m.weights[i] -= lr * gw[i] / n;
+            }
+            m.bias -= lr * gb / n;
+        }
+        m
+    }
+
+    /// Scores all distinct values of a candidate set, best first.
+    pub fn corroborate(&self, candidates: &[ExtractedCandidate]) -> Vec<ScoredValue> {
+        let mut out: Vec<ScoredValue> = featurize(candidates)
+            .into_iter()
+            .map(|(value_text, features, supports)| ScoredValue {
+                value: supports.iter().find_map(|c| c.value.clone()),
+                support_count: supports.len(),
+                probability: self.predict(&features),
+                value_text,
+                features,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.probability
+                .partial_cmp(&a.probability)
+                .unwrap()
+                .then(a.value_text.cmp(&b.value_text))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::{DocId, EntityId, PredicateId, Value};
+
+    fn cand(
+        value: &str,
+        confidence: f32,
+        quality: f32,
+        confirmed: bool,
+        kind: ExtractorKind,
+    ) -> ExtractedCandidate {
+        ExtractedCandidate {
+            doc: DocId(0),
+            subject: EntityId(1),
+            predicate: PredicateId(2),
+            value_text: value.into(),
+            value: Some(Value::Text(value.into())),
+            extractor: kind,
+            confidence,
+            page_quality: quality,
+            subject_confirmed: confirmed,
+        }
+    }
+
+    #[test]
+    fn featurize_groups_by_value() {
+        let cands = vec![
+            cand("1979-07-23", 0.9, 0.8, true, ExtractorKind::Infobox),
+            cand("1979-07-23", 0.7, 0.9, true, ExtractorKind::Pattern),
+            cand("1980-09-09", 0.7, 0.4, false, ExtractorKind::Pattern),
+        ];
+        let groups = featurize(&cands);
+        assert_eq!(groups.len(), 2);
+        let right = groups.iter().find(|(v, _, _)| v == "1979-07-23").unwrap();
+        assert!((right.1.support - (3.0f32).ln()).abs() < 1e-6);
+        assert_eq!(right.1.subject_confirmed_frac, 1.0);
+        assert!((right.1.extractor_diversity - 2.0 / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_model_prefers_confirmed_supported_values() {
+        let m = Corroborator::default();
+        let cands = vec![
+            cand("right", 0.9, 0.9, true, ExtractorKind::Infobox),
+            cand("right", 0.7, 0.8, true, ExtractorKind::Pattern),
+            cand("wrong", 0.9, 0.5, false, ExtractorKind::Pattern),
+        ];
+        let scored = m.corroborate(&cands);
+        assert_eq!(scored[0].value_text, "right");
+        assert!(scored[0].probability > scored[1].probability);
+    }
+
+    #[test]
+    fn training_learns_to_separate() {
+        // Synthetic labelled data: confirmed+supported = correct.
+        let mut examples = Vec::new();
+        for i in 0..200 {
+            let good = i % 2 == 0;
+            let f = EvidenceFeatures {
+                support: if good { 1.4 } else { 0.7 },
+                max_confidence: if good { 0.9 } else { 0.6 },
+                mean_confidence: if good { 0.8 } else { 0.5 },
+                mean_quality: 0.7,
+                subject_confirmed_frac: if good { 1.0 } else { 0.1 },
+                extractor_diversity: if good { 0.67 } else { 0.33 },
+            };
+            examples.push((f, good));
+        }
+        let m = Corroborator::train(&examples, 500, 0.5);
+        let correct = examples
+            .iter()
+            .filter(|(f, label)| (m.predict(f) > 0.5) == *label)
+            .count();
+        assert!(correct as f64 / examples.len() as f64 > 0.95, "accuracy {correct}/200");
+        // Subject confirmation must carry positive weight.
+        assert!(m.weights[4] > 0.0);
+    }
+
+    #[test]
+    fn empty_training_falls_back_to_default() {
+        let m = Corroborator::train(&[], 10, 0.1);
+        assert_eq!(m.weights, Corroborator::default().weights);
+    }
+}

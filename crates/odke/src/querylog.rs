@@ -1,0 +1,110 @@
+//! Synthetic query logs and reactive gap detection.
+//!
+//! Paper Sec. 4: missing/stale facts "can \[be\] reactively identif\[ied\] ...
+//! by analyzing query logs and finding user queries that are not answered
+//! correctly due to missing or stale facts."
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use saga_core::synth::SynthKg;
+use saga_core::{EntityId, PredicateId};
+use serde::{Deserialize, Serialize};
+
+/// One logged user query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// The query/text content.
+    pub text: String,
+    /// The fact the user asked for.
+    pub target: (EntityId, PredicateId),
+    /// Whether the KG could answer it at log time.
+    pub answered: bool,
+}
+
+/// Generates a query log: random "what is the {phrase} of {name}" questions
+/// over popular entities; `answered` reflects current KG coverage.
+pub fn generate_query_log(s: &SynthKg, queries: usize, seed: u64) -> Vec<QueryRecord> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let asked_preds = [
+        s.preds.date_of_birth,
+        s.preds.occupation,
+        s.preds.spouse,
+        s.preds.born_in,
+        s.preds.lives_in,
+    ];
+    // Popularity-weighted subject sampling (popular entities are asked
+    // about more, matching importance scoring downstream).
+    let mut out = Vec::with_capacity(queries);
+    for _ in 0..queries {
+        // Rejection-sample by popularity.
+        let subject = loop {
+            let e = s.people[rng.gen_range(0..s.people.len())];
+            if rng.gen::<f32>() < s.kg.entity(e).popularity.max(0.05) {
+                break e;
+            }
+        };
+        let pred = asked_preds[rng.gen_range(0..asked_preds.len())];
+        let info = s.kg.ontology().predicate(pred);
+        let name = &s.kg.entity(subject).name;
+        let text = format!("what is the {} of {}", info.phrase, name);
+        let answered = !s.kg.objects(subject, pred).is_empty();
+        out.push(QueryRecord { text, target: (subject, pred), answered });
+    }
+    out
+}
+
+/// Extracts the distinct unanswered targets from a log, most-frequent first
+/// (frequency ≈ user demand).
+pub fn unanswered_targets(log: &[QueryRecord]) -> Vec<((EntityId, PredicateId), usize)> {
+    let mut counts: std::collections::HashMap<(EntityId, PredicateId), usize> = Default::default();
+    for q in log {
+        if !q.answered {
+            *counts.entry(q.target).or_default() += 1;
+        }
+    }
+    let mut v: Vec<_> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::synth::{generate, SynthConfig};
+
+    #[test]
+    fn log_reflects_kg_coverage() {
+        let s = generate(&SynthConfig::tiny(191));
+        let log = generate_query_log(&s, 500, 1);
+        assert_eq!(log.len(), 500);
+        for q in &log {
+            let has = !s.kg.objects(q.target.0, q.target.1).is_empty();
+            assert_eq!(q.answered, has);
+            assert!(q.text.starts_with("what is the "));
+        }
+        // Some queries are unanswered (spouse coverage is partial).
+        assert!(log.iter().any(|q| !q.answered));
+        assert!(log.iter().any(|q| q.answered));
+    }
+
+    #[test]
+    fn unanswered_targets_sorted_by_demand() {
+        let s = generate(&SynthConfig::tiny(191));
+        let log = generate_query_log(&s, 800, 2);
+        let targets = unanswered_targets(&log);
+        assert!(!targets.is_empty());
+        assert!(targets.windows(2).all(|w| w[0].1 >= w[1].1));
+        for ((e, p), _) in &targets {
+            assert!(s.kg.objects(*e, *p).is_empty());
+        }
+    }
+
+    #[test]
+    fn log_generation_is_deterministic() {
+        let s = generate(&SynthConfig::tiny(191));
+        let a = generate_query_log(&s, 100, 3);
+        let b = generate_query_log(&s, 100, 3);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.text == y.text));
+    }
+}

@@ -1,0 +1,304 @@
+//! The end-to-end ODKE pipeline (Fig. 5): targets → query synthesis → web
+//! search → extraction → corroboration → fact fusion into the KG.
+
+use crate::corroborate::{Corroborator, EvidenceFeatures, ScoredValue};
+use crate::extract::extract_from_page;
+use crate::profiler::FactTarget;
+use crate::synthesize::synthesize_queries;
+use saga_annotation::AnnotationService;
+use saga_core::{DocId, EntityId, KnowledgeGraph, PredicateId, Triple};
+use saga_webcorpus::{Corpus, SearchEngine};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OdkeConfig {
+    /// Top search hits fetched per synthesized query.
+    pub docs_per_query: usize,
+    /// Minimum corroboration probability to accept a value.
+    pub min_probability: f32,
+    /// The corroboration model.
+    pub corroborator: Corroborator,
+}
+
+impl Default for OdkeConfig {
+    fn default() -> Self {
+        Self { docs_per_query: 5, min_probability: 0.5, corroborator: Corroborator::default() }
+    }
+}
+
+/// Outcome for one target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TargetOutcome {
+    /// The entity concerned.
+    pub entity: EntityId,
+    /// The predicate.
+    pub predicate: PredicateId,
+    /// Best value, if any cleared the probability bar.
+    pub winner: Option<ScoredValue>,
+    /// All scored values (diagnostics).
+    pub scored: Vec<ScoredValue>,
+    /// Documents fetched for this target.
+    pub docs_examined: usize,
+}
+
+/// Report of one ODKE run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OdkeReport {
+    /// Per-target outcomes.
+    pub outcomes: Vec<TargetOutcome>,
+    /// Distinct documents fetched across all targets — the "volume
+    /// reduction" numerator (denominator = corpus size).
+    pub distinct_docs_fetched: usize,
+    /// Total pages in the corpus.
+    pub corpus_size: usize,
+    /// Facts written into the KG.
+    pub facts_written: usize,
+}
+
+impl OdkeReport {
+    /// Fraction of the corpus the targeted pipeline actually touched.
+    pub fn volume_fraction(&self) -> f64 {
+        if self.corpus_size == 0 {
+            0.0
+        } else {
+            self.distinct_docs_fetched as f64 / self.corpus_size as f64
+        }
+    }
+}
+
+/// Gathers candidate documents for a target via query synthesis + search.
+pub fn find_documents(
+    kg: &KnowledgeGraph,
+    search: &SearchEngine,
+    target: &FactTarget,
+    docs_per_query: usize,
+) -> Vec<DocId> {
+    let mut docs: Vec<DocId> = Vec::new();
+    let mut seen = HashSet::new();
+    for q in synthesize_queries(kg, target) {
+        for hit in search.search(&q.text, docs_per_query) {
+            if seen.insert(hit.doc) {
+                docs.push(hit.doc);
+            }
+        }
+    }
+    docs
+}
+
+/// Runs the full pipeline over `targets`, writing accepted facts into `kg`.
+pub fn run_odke(
+    kg: &mut KnowledgeGraph,
+    service: &AnnotationService,
+    search: &SearchEngine,
+    corpus: &Corpus,
+    targets: &[FactTarget],
+    cfg: &OdkeConfig,
+) -> OdkeReport {
+    let src = kg.register_source("odke");
+    let mut outcomes = Vec::with_capacity(targets.len());
+    let mut all_docs: HashSet<DocId> = HashSet::new();
+    let mut facts_written = 0;
+
+    for target in targets {
+        let docs = find_documents(kg, search, target, cfg.docs_per_query);
+        all_docs.extend(docs.iter().copied());
+        let mut candidates = Vec::new();
+        for &doc in &docs {
+            candidates.extend(extract_from_page(
+                kg,
+                service,
+                corpus.page(doc),
+                target.entity,
+                target.predicate,
+            ));
+        }
+        let scored = cfg.corroborator.corroborate(&candidates);
+        let winner = scored
+            .iter()
+            .find(|s| s.probability >= cfg.min_probability && s.value.is_some())
+            .cloned();
+        if let Some(w) = &winner {
+            let value = w.value.clone().expect("winner has parsed value");
+            // Single-cardinality predicates are *replaced*: a refreshed
+            // value supersedes the stale one (paper Sec. 4, freshness).
+            let info = kg.ontology().predicate(target.predicate);
+            if info.cardinality == saga_core::Cardinality::Single {
+                for old in kg.objects(target.entity, target.predicate) {
+                    if !old.same_as(&value) {
+                        kg.remove(&Triple {
+                            subject: target.entity,
+                            predicate: target.predicate,
+                            object: old,
+                        });
+                    }
+                }
+            }
+            kg.insert_with(
+                Triple { subject: target.entity, predicate: target.predicate, object: value },
+                src,
+                w.probability,
+            );
+            facts_written += 1;
+        }
+        outcomes.push(TargetOutcome {
+            entity: target.entity,
+            predicate: target.predicate,
+            winner,
+            scored,
+            docs_examined: docs.len(),
+        });
+    }
+    kg.commit();
+
+    OdkeReport {
+        outcomes,
+        distinct_docs_fetched: all_docs.len(),
+        corpus_size: corpus.len(),
+        facts_written,
+    }
+}
+
+/// Calibrates the corroborator on targets whose true value is known: runs
+/// retrieval+extraction, labels each scored value by string equality with
+/// the truth, and trains the logistic model (the "trained machine learning
+/// model" of Sec. 4).
+pub fn calibrate_corroborator(
+    kg: &KnowledgeGraph,
+    service: &AnnotationService,
+    search: &SearchEngine,
+    corpus: &Corpus,
+    labelled: &[(FactTarget, String)],
+    docs_per_query: usize,
+) -> Corroborator {
+    let mut examples: Vec<(EvidenceFeatures, bool)> = Vec::new();
+    for (target, truth) in labelled {
+        let docs = find_documents(kg, search, target, docs_per_query);
+        let mut candidates = Vec::new();
+        for &doc in &docs {
+            candidates.extend(extract_from_page(
+                kg,
+                service,
+                corpus.page(doc),
+                target.entity,
+                target.predicate,
+            ));
+        }
+        for (value_text, features, _) in crate::corroborate::featurize(&candidates) {
+            examples.push((features, &value_text == truth));
+        }
+    }
+    Corroborator::train(&examples, 400, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::TargetReason;
+    use saga_annotation::{LinkerConfig, Tier};
+    use saga_core::synth::{generate, SynthConfig};
+    use saga_core::{Date, Value};
+    use saga_webcorpus::{generate_corpus, CorpusConfig};
+
+    fn setup() -> (
+        saga_core::synth::SynthKg,
+        Corpus,
+        saga_webcorpus::CorpusTruth,
+        AnnotationService,
+        SearchEngine,
+    ) {
+        let s = generate(&SynthConfig::tiny(231));
+        let extra = vec![(
+            s.scenario.mw_singer,
+            s.preds.date_of_birth,
+            Value::Date(Date::new(1979, 7, 23).unwrap()),
+        )];
+        let (c, t) = generate_corpus(&s, &extra, &CorpusConfig::tiny(17));
+        let svc = AnnotationService::build(&s.kg, LinkerConfig::tier(Tier::T2Contextual));
+        let search = SearchEngine::build(&c);
+        (s, c, t, svc, search)
+    }
+
+    #[test]
+    fn fig6_scenario_recovers_the_singer_dob() {
+        let (s, c, _t, svc, search) = setup();
+        let mut kg = s.kg.clone();
+        let target = FactTarget {
+            entity: s.scenario.mw_singer,
+            predicate: s.preds.date_of_birth,
+            reason: TargetReason::CoverageGap,
+            importance: 1.0,
+        };
+        let report = run_odke(&mut kg, &svc, &search, &c, &[target], &OdkeConfig::default());
+        let outcome = &report.outcomes[0];
+        let winner = outcome.winner.as_ref().expect("a DOB must be found");
+        assert_eq!(
+            winner.value_text, "1979-07-23",
+            "must pick the singer's DOB, not the actress's 1980-09-09: {:?}",
+            outcome.scored
+        );
+        // The fact is now in the KG with ODKE provenance.
+        let got = kg.object(s.scenario.mw_singer, s.preds.date_of_birth);
+        assert_eq!(got, Some(Value::Date(Date::new(1979, 7, 23).unwrap())));
+        assert_eq!(report.facts_written, 1);
+    }
+
+    #[test]
+    fn targeted_search_touches_a_small_corpus_fraction() {
+        let (s, c, _t, svc, search) = setup();
+        let mut kg = s.kg.clone();
+        let targets: Vec<FactTarget> = s.people[..10]
+            .iter()
+            .map(|&e| FactTarget {
+                entity: e,
+                predicate: s.preds.date_of_birth,
+                reason: TargetReason::CoverageGap,
+                importance: 1.0,
+            })
+            .collect();
+        let report = run_odke(&mut kg, &svc, &search, &c, &targets, &OdkeConfig::default());
+        assert!(
+            report.volume_fraction() < 0.5,
+            "targeted search must not scan the whole corpus: {}",
+            report.volume_fraction()
+        );
+        assert!(report.distinct_docs_fetched > 0);
+    }
+
+    #[test]
+    fn calibration_produces_a_working_model() {
+        let (s, c, t, svc, search) = setup();
+        // Labelled targets: facts the KG already has, with their truth.
+        let mut labelled = Vec::new();
+        for (_, e, p, v) in
+            t.rendered_facts.iter().filter(|(_, _, p, _)| *p == s.preds.date_of_birth).take(30)
+        {
+            labelled.push((
+                FactTarget {
+                    entity: *e,
+                    predicate: *p,
+                    reason: TargetReason::CoverageGap,
+                    importance: 1.0,
+                },
+                v.clone(),
+            ));
+        }
+        assert!(labelled.len() >= 5, "need calibration data");
+        let model = calibrate_corroborator(&s.kg, &svc, &search, &c, &labelled, 4);
+        // The trained model should still solve the Fig. 6 scenario.
+        let mut kg = s.kg.clone();
+        let target = FactTarget {
+            entity: s.scenario.mw_singer,
+            predicate: s.preds.date_of_birth,
+            reason: TargetReason::CoverageGap,
+            importance: 1.0,
+        };
+        let cfg = OdkeConfig { corroborator: model, min_probability: 0.3, ..Default::default() };
+        let report = run_odke(&mut kg, &svc, &search, &c, &[target], &cfg);
+        let outcome = &report.outcomes[0];
+        if let Some(w) = &outcome.winner {
+            assert_eq!(w.value_text, "1979-07-23");
+        }
+    }
+}

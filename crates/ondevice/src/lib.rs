@@ -1,0 +1,40 @@
+//! # saga-ondevice
+//!
+//! Private on-device knowledge (paper Sec. 5): personal KG construction
+//! from contacts/messages/calendar with entity resolution and fusion
+//! (Fig. 7), a pausable incremental construction pipeline, memory-bounded
+//! spill-to-disk operators, per-source cross-device sync with computation
+//! offload, on-device semantic annotation with contextual relevance
+//! ranking, and the three global-knowledge enrichment paths (static asset,
+//! piggyback, PIR/DP private retrieval).
+
+#![warn(missing_docs)]
+
+pub mod assistant;
+pub mod enrich;
+pub mod fuse;
+pub mod matching;
+pub mod personalize;
+pub mod pipeline;
+pub mod sources;
+pub mod spill;
+pub mod sync;
+
+pub use assistant::{person_context_embedding, resolve_references, ResolvedReference};
+pub use enrich::{
+    decode_pir_block, dp_count, pir_fetch, piggyback_answer, EnrichmentPath, GlobalKnowledge,
+    PirDatabase, PirFetch, StaticAsset,
+};
+pub use fuse::{fuse_clusters, personal_ontology, FusedPerson, PersonalOntology};
+pub use matching::{
+    block_observations, normalize_email, normalize_phone, resolve_entities, score_pair, BlockKey,
+    MatchScore, UnionFind,
+};
+pub use personalize::{build_preferences, recommend, PreferenceProfile};
+pub use pipeline::{ConstructionPipeline, IncrementReport, PipelineConfig, Stage};
+pub use sources::{generate_device_data, DeviceDataConfig, DeviceTruth, PersonObservation, SourceKind, TruePerson};
+pub use spill::{SpillSorter, SpillStats};
+pub use sync::{
+    gossip_until_stable, offload_compute, sync_pair, Device, DeviceId, DeviceTier, SourceOp,
+    SyncPolicy, SyncReport, ViewArtifact,
+};

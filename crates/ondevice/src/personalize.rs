@@ -1,0 +1,177 @@
+//! Private personalization from global knowledge (paper Sec. 5, *Global
+//! Knowledge Enrichment*): "knowing the typical genre and release year of
+//! music the user likes to listen to can help personalize music
+//! recommendations" — computed entirely on-device from the user's private
+//! listening history joined against the (privately obtained) global facts.
+
+use crate::enrich::GlobalKnowledge;
+use saga_core::{EntityId, PredicateId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An aggregated preference profile.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PreferenceProfile {
+    /// Genre entity → interaction count, most preferred first.
+    pub genres: Vec<(EntityId, usize)>,
+    /// Mean release year of consumed items (None without date facts).
+    pub typical_release_year: Option<f64>,
+    /// History items that had no covering global facts — candidates for
+    /// private retrieval (enrichment path 3).
+    pub uncovered: Vec<EntityId>,
+}
+
+/// Builds a preference profile from a private interaction history (e.g.
+/// played songs) and the device's global knowledge. Nothing leaves the
+/// device: the join runs over locally held facts only.
+pub fn build_preferences(
+    global: &GlobalKnowledge,
+    history: &[EntityId],
+    genre_predicate: PredicateId,
+    release_predicate: PredicateId,
+) -> PreferenceProfile {
+    let mut genre_counts: HashMap<EntityId, usize> = HashMap::new();
+    let mut year_sum = 0f64;
+    let mut year_n = 0usize;
+    let mut uncovered = Vec::new();
+
+    for &item in history {
+        let facts = global.facts_of(item);
+        if facts.is_empty() {
+            uncovered.push(item);
+            continue;
+        }
+        for fact in facts {
+            if fact.predicate == genre_predicate {
+                if let Value::Entity(g) = fact.object {
+                    *genre_counts.entry(g).or_default() += 1;
+                }
+            } else if fact.predicate == release_predicate {
+                if let Value::Date(d) = fact.object {
+                    year_sum += d.year as f64;
+                    year_n += 1;
+                }
+            }
+        }
+    }
+    let mut genres: Vec<(EntityId, usize)> = genre_counts.into_iter().collect();
+    genres.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    uncovered.sort_unstable();
+    uncovered.dedup();
+    PreferenceProfile {
+        genres,
+        typical_release_year: if year_n == 0 { None } else { Some(year_sum / year_n as f64) },
+        uncovered,
+    }
+}
+
+/// Recommends unseen items from the global knowledge whose genre matches
+/// the profile, most-preferred genres first. Pure on-device computation.
+pub fn recommend(
+    global: &GlobalKnowledge,
+    profile: &PreferenceProfile,
+    history: &[EntityId],
+    genre_predicate: PredicateId,
+    k: usize,
+) -> Vec<EntityId> {
+    let seen: std::collections::HashSet<EntityId> = history.iter().copied().collect();
+    let genre_rank: HashMap<EntityId, usize> =
+        profile.genres.iter().enumerate().map(|(i, (g, _))| (*g, i)).collect();
+    let mut candidates: Vec<(usize, EntityId)> = Vec::new();
+    for (fact, _) in &global.facts {
+        if fact.predicate != genre_predicate || seen.contains(&fact.subject) {
+            continue;
+        }
+        if let Value::Entity(g) = fact.object {
+            if let Some(&rank) = genre_rank.get(&g) {
+                candidates.push((rank, fact.subject));
+            }
+        }
+    }
+    candidates.sort();
+    candidates.dedup_by_key(|(_, e)| *e);
+    candidates.into_iter().map(|(_, e)| e).take(k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enrich::StaticAsset;
+    use saga_core::synth::{generate, SynthConfig};
+
+    fn setup() -> (saga_core::synth::SynthKg, GlobalKnowledge) {
+        let s = generate(&SynthConfig::tiny(261));
+        // Ship an asset with a low popularity bar so songs are included.
+        let asset = StaticAsset::build(&s.kg, 0.2);
+        let mut g = GlobalKnowledge::default();
+        g.load_static_asset(&asset);
+        (s, g)
+    }
+
+    #[test]
+    fn preferences_reflect_listening_history() {
+        let (s, g) = setup();
+        // History: songs of one genre the asset covers.
+        let mut history = Vec::new();
+        let mut expected_genre = None;
+        for &song in &s.songs {
+            let facts = g.facts_of(song);
+            let genre = facts.iter().find_map(|f| {
+                (f.predicate == s.preds.genre).then(|| f.object.as_entity()).flatten()
+            });
+            if let Some(genre) = genre {
+                if expected_genre.is_none() {
+                    expected_genre = Some(genre);
+                }
+                if expected_genre == Some(genre) {
+                    history.push(song);
+                }
+            }
+        }
+        assert!(history.len() >= 2, "need covered songs of one genre");
+        let profile = build_preferences(&g, &history, s.preds.genre, s.preds.release_date);
+        assert_eq!(profile.genres.first().map(|(g, _)| *g), expected_genre);
+        assert!(profile.typical_release_year.is_some());
+        let year = profile.typical_release_year.unwrap();
+        assert!((1950.0..2025.0).contains(&year), "year {year}");
+    }
+
+    #[test]
+    fn uncovered_items_flagged_for_private_retrieval() {
+        let (_, g) = setup();
+        let ghost = EntityId(u64::MAX - 17);
+        let profile = build_preferences(&g, &[ghost], saga_core::PredicateId(0), saga_core::PredicateId(1));
+        assert_eq!(profile.uncovered, vec![ghost]);
+        assert!(profile.genres.is_empty());
+    }
+
+    #[test]
+    fn recommendations_match_preferred_genre_and_exclude_history() {
+        let (s, g) = setup();
+        let mut history = Vec::new();
+        for &song in &s.songs {
+            if g.facts_of(song).iter().any(|f| f.predicate == s.preds.genre) {
+                history.push(song);
+            }
+            if history.len() == 3 {
+                break;
+            }
+        }
+        if history.is_empty() {
+            return; // asset too small at this seed; covered elsewhere
+        }
+        let profile = build_preferences(&g, &history, s.preds.genre, s.preds.release_date);
+        let recs = recommend(&g, &profile, &history, s.preds.genre, 5);
+        for r in &recs {
+            assert!(!history.contains(r), "recommended an already-played item");
+            // Each recommendation's genre is one of the profile's genres.
+            let genres: Vec<EntityId> = g
+                .facts_of(*r)
+                .iter()
+                .filter(|f| f.predicate == s.preds.genre)
+                .filter_map(|f| f.object.as_entity())
+                .collect();
+            assert!(genres.iter().any(|gid| profile.genres.iter().any(|(pg, _)| pg == gid)));
+        }
+    }
+}

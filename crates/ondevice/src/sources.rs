@@ -1,0 +1,246 @@
+//! On-device data sources (contacts, messages, calendar) and the synthetic
+//! device-data generator with entity-resolution ground truth.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which on-device source a record came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// The address book.
+    Contacts,
+    /// Message threads (sender observations).
+    Messages,
+    /// Calendar events (invitee observations).
+    Calendar,
+}
+
+impl SourceKind {
+    /// All source kinds.
+    pub const ALL: [SourceKind; 3] = [SourceKind::Contacts, SourceKind::Messages, SourceKind::Calendar];
+}
+
+/// A normalized observation of a person from one source record — the unit
+/// the entity-resolution pipeline consumes. (Fig. 7: contact cards, message
+/// senders and calendar invitees all observe "Tim" differently.)
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PersonObservation {
+    /// Originating source kind.
+    pub source: SourceKind,
+    /// Record id within the source.
+    pub record_id: u64,
+    /// Name as it appeared (may be a short form).
+    pub name: String,
+    /// Phone number(s).
+    pub phone: Option<String>,
+    /// Email address(es).
+    pub email: Option<String>,
+    /// Free-text context (message text, event title) for contextual
+    /// relevance ranking.
+    pub context: String,
+}
+
+/// Ground truth for the generator: which observations belong to which
+/// person.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DeviceTruth {
+    /// `(source, record_id)` → ground-truth person index.
+    pub owner: std::collections::HashMap<(SourceKind, u64), usize>,
+    /// Ground-truth person profiles.
+    pub persons: Vec<TruePerson>,
+}
+
+/// A ground-truth person on the device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TruePerson {
+    /// Canonical full name.
+    pub full_name: String,
+    /// Phone number(s).
+    pub phone: String,
+    /// Email address(es).
+    pub email: String,
+    /// Topics this person talks about (drives message content).
+    pub topics: Vec<String>,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceDataConfig {
+    /// RNG seed (determinism).
+    pub seed: u64,
+    /// Ground-truth persons to generate.
+    pub num_persons: usize,
+    /// Messages per person (average).
+    pub messages_per_person: usize,
+    /// Calendar events per person (average).
+    pub events_per_person: usize,
+    /// Fraction of persons sharing a first name with someone else (the
+    /// "two Tims" ambiguity).
+    pub first_name_collision_rate: f64,
+}
+
+impl Default for DeviceDataConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            num_persons: 300,
+            messages_per_person: 4,
+            events_per_person: 2,
+            first_name_collision_rate: 0.2,
+        }
+    }
+}
+
+impl DeviceDataConfig {
+    /// Small dataset for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self { seed, num_persons: 40, ..Self::default() }
+    }
+}
+
+const FIRSTS: &[&str] = &[
+    "tim", "anna", "miguel", "sara", "leo", "nina", "omar", "ruth", "ivan", "mei", "kai", "zoe",
+    "raj", "lucy", "sam", "vera", "hugo", "iris", "noel", "dana",
+];
+const LASTS: &[&str] = &[
+    "archer", "bellamy", "cruz", "dalton", "ellis", "fontaine", "grieves", "holt", "imai",
+    "jensen", "kovacs", "lindqvist", "moreau", "novak", "ortega", "petrov", "quirke", "rossi",
+    "sato", "tanaka",
+];
+const TOPICS: &[&str] = &[
+    "sigmod draft", "quarterly budget", "soccer practice", "book club", "road trip",
+    "house renovation", "piano recital", "tax filing", "hiking plan", "birthday party",
+];
+
+/// Generates device observations and their ground truth. Deterministic.
+pub fn generate_device_data(cfg: &DeviceDataConfig) -> (Vec<PersonObservation>, DeviceTruth) {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut truth = DeviceTruth::default();
+    let mut observations = Vec::new();
+    let mut record_id = 0u64;
+
+    // Build persons; force some first-name collisions.
+    let mut used_firsts: Vec<&str> = Vec::new();
+    for i in 0..cfg.num_persons {
+        let first = if !used_firsts.is_empty() && rng.gen_bool(cfg.first_name_collision_rate) {
+            used_firsts[rng.gen_range(0..used_firsts.len())]
+        } else {
+            let f = FIRSTS[rng.gen_range(0..FIRSTS.len())];
+            used_firsts.push(f);
+            f
+        };
+        let last = LASTS[rng.gen_range(0..LASTS.len())];
+        let full_name = format!(
+            "{} {}",
+            saga_core::synth::titlecase(first),
+            saga_core::synth::titlecase(last)
+        );
+        let phone = format!("+1 555 {:03} {:04}", i % 1000, rng.gen_range(0..10000));
+        let email = format!("{first}.{last}{i}@example.com");
+        let topics: Vec<String> = (0..2)
+            .map(|_| TOPICS[rng.gen_range(0..TOPICS.len())].to_owned())
+            .collect();
+        truth.persons.push(TruePerson { full_name, phone, email, topics });
+    }
+
+    for (pi, person) in truth.persons.iter().enumerate() {
+        let first = person.full_name.split(' ').next().unwrap().to_owned();
+
+        // Contact card: full name + phone + email.
+        observations.push(PersonObservation {
+            source: SourceKind::Contacts,
+            record_id,
+            name: person.full_name.clone(),
+            phone: Some(person.phone.clone()),
+            email: Some(person.email.clone()),
+            context: String::new(),
+        });
+        truth.owner.insert((SourceKind::Contacts, record_id), pi);
+        record_id += 1;
+
+        // Messages: short-form name + phone, topical text.
+        let n_msgs = 1 + rng.gen_range(0..cfg.messages_per_person * 2);
+        for _ in 0..n_msgs {
+            let topic = &person.topics[rng.gen_range(0..person.topics.len())];
+            observations.push(PersonObservation {
+                source: SourceKind::Messages,
+                record_id,
+                name: first.clone(),
+                phone: Some(person.phone.clone()),
+                email: None,
+                context: format!("about the {topic}"),
+            });
+            truth.owner.insert((SourceKind::Messages, record_id), pi);
+            record_id += 1;
+        }
+
+        // Calendar invitees: full name + email, event-title context.
+        let n_events = 1 + rng.gen_range(0..cfg.events_per_person * 2);
+        for _ in 0..n_events {
+            let topic = &person.topics[rng.gen_range(0..person.topics.len())];
+            observations.push(PersonObservation {
+                source: SourceKind::Calendar,
+                record_id,
+                name: person.full_name.clone(),
+                phone: None,
+                email: Some(person.email.clone()),
+                context: format!("meeting: {topic}"),
+            });
+            truth.owner.insert((SourceKind::Calendar, record_id), pi);
+            record_id += 1;
+        }
+    }
+
+    (observations, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_complete() {
+        let (a, ta) = generate_device_data(&DeviceDataConfig::tiny(1));
+        let (b, _) = generate_device_data(&DeviceDataConfig::tiny(1));
+        assert_eq!(a, b);
+        assert_eq!(ta.owner.len(), a.len());
+        for o in &a {
+            assert!(ta.owner.contains_key(&(o.source, o.record_id)));
+        }
+    }
+
+    #[test]
+    fn all_sources_observed_per_person() {
+        let (obs, truth) = generate_device_data(&DeviceDataConfig::tiny(2));
+        for pi in 0..truth.persons.len() {
+            for kind in SourceKind::ALL {
+                assert!(
+                    obs.iter().any(|o| o.source == kind
+                        && truth.owner[&(o.source, o.record_id)] == pi),
+                    "person {pi} missing {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_collisions_exist() {
+        let (_, truth) = generate_device_data(&DeviceDataConfig::tiny(3));
+        let mut firsts: std::collections::HashMap<&str, usize> = Default::default();
+        for p in &truth.persons {
+            *firsts.entry(p.full_name.split(' ').next().unwrap()).or_default() += 1;
+        }
+        assert!(firsts.values().any(|&c| c > 1), "some first names must collide");
+    }
+
+    #[test]
+    fn message_observations_use_short_names() {
+        let (obs, truth) = generate_device_data(&DeviceDataConfig::tiny(4));
+        let msg = obs.iter().find(|o| o.source == SourceKind::Messages).unwrap();
+        let person = &truth.persons[truth.owner[&(msg.source, msg.record_id)]];
+        assert_eq!(msg.name, person.full_name.split(' ').next().unwrap());
+        assert!(msg.email.is_none());
+        assert!(msg.phone.is_some());
+    }
+}

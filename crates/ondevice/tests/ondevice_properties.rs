@@ -1,0 +1,127 @@
+//! Property tests for the on-device stack: sync convergence, spill-sort
+//! equivalence, and pause/resume losslessness under arbitrary schedules.
+
+use proptest::prelude::*;
+use saga_ondevice::{
+    gossip_until_stable, sync_pair, ConstructionPipeline, Device, DeviceId, DeviceTier,
+    PersonObservation, PipelineConfig, SourceKind, SpillSorter, SyncPolicy,
+};
+
+fn obs(source: SourceKind, id: u64, name: &str) -> PersonObservation {
+    PersonObservation {
+        source,
+        record_id: id,
+        name: name.into(),
+        phone: Some(format!("+1 555 000 {:04}", id % 10_000)),
+        email: None,
+        context: String::new(),
+    }
+}
+
+fn source_of(i: u8) -> SourceKind {
+    SourceKind::ALL[i as usize % 3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary device policies and op placements, gossip converges,
+    /// and afterwards: two devices agree on a source iff both sync it (or
+    /// neither received any op for it); non-synced sources never leave
+    /// their origin device.
+    #[test]
+    fn sync_convergence_under_arbitrary_policies(
+        policies in proptest::collection::vec(0u8..8, 3),
+        ops in proptest::collection::vec((0u8..3, 0u8..3, 0u64..50), 1..40),
+    ) {
+        let mk_policy = |bits: u8| {
+            let sources: Vec<SourceKind> = SourceKind::ALL
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| bits & (1 << i) != 0)
+                .map(|(_, s)| s)
+                .collect();
+            SyncPolicy::only(&sources)
+        };
+        let mut devices: Vec<Device> = policies
+            .iter()
+            .enumerate()
+            .map(|(i, &bits)| Device::new(DeviceId(i as u8), DeviceTier::Phone, mk_policy(bits)))
+            .collect();
+        for (dev, src, id) in &ops {
+            let d = (*dev as usize) % devices.len();
+            devices[d].ingest_local(obs(source_of(*src), *id, &format!("p{id}")));
+        }
+        let rounds = gossip_until_stable(&mut devices, 20);
+        prop_assert!(rounds < 20, "must converge");
+
+        // Idempotence: one more exchange moves nothing.
+        let (a, rest) = devices.split_at_mut(1);
+        let r = sync_pair(&mut a[0], &mut rest[0]);
+        prop_assert_eq!(r.ops_a_to_b + r.ops_b_to_a, 0);
+
+        // Policy containment: a device that does not sync source s holds
+        // only its own ops for s.
+        for d in &devices {
+            for s in SourceKind::ALL {
+                if !d.policy.syncs(s) {
+                    for op in d.ops_for(s) {
+                        prop_assert_eq!(op.origin, d.id, "foreign op leaked into non-synced source");
+                    }
+                }
+            }
+        }
+    }
+
+    /// SpillSorter output equals a plain in-memory sort for every input and
+    /// budget.
+    #[test]
+    fn spill_sort_equivalence(
+        items in proptest::collection::vec((0u32..1000, 0u32..1000), 0..300),
+        budget in 1024usize..32_768,
+    ) {
+        let dir = std::env::temp_dir()
+            .join("saga-prop-spill")
+            .join(format!("{}-{budget}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut sorter: SpillSorter<(u32, u32)> = SpillSorter::new(&dir, budget).unwrap();
+        for it in &items {
+            sorter.push(*it).unwrap();
+        }
+        let (got, stats) = sorter.finish().unwrap();
+        let mut want = items.clone();
+        want.sort();
+        prop_assert_eq!(got, want);
+        prop_assert!(stats.peak_memory_bytes <= budget + 128);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The construction pipeline yields identical results for any step
+    /// granularity and any pause/resume schedule.
+    #[test]
+    fn pipeline_schedule_independence(
+        seed in 0u64..200,
+        steps in proptest::collection::vec(1usize..60, 1..40),
+    ) {
+        let (obs, _) = saga_ondevice::generate_device_data(
+            &saga_ondevice::DeviceDataConfig { seed, num_persons: 25, ..Default::default() },
+        );
+        let mut reference = ConstructionPipeline::new(obs.clone(), PipelineConfig::default());
+        reference.run_to_completion();
+
+        let mut p = ConstructionPipeline::new(obs.clone(), PipelineConfig::default());
+        let mut step_iter = steps.iter().cycle();
+        let mut hops = 0;
+        while !p.is_done() {
+            p.step(*step_iter.next().unwrap());
+            if hops % 3 == 0 {
+                let ckpt = p.checkpoint();
+                p = ConstructionPipeline::resume(obs.clone(), PipelineConfig::default(), &ckpt)
+                    .unwrap();
+            }
+            hops += 1;
+            prop_assert!(hops < 1_000_000);
+        }
+        prop_assert_eq!(p.result_fingerprint(), reference.result_fingerprint());
+    }
+}

@@ -1,0 +1,243 @@
+//! Corpus churn: the Web's "rate of change" (paper Sec. 3.1). Applies
+//! edits/additions to a corpus, bumping versions, and reports exactly which
+//! documents changed so downstream pipelines can reprocess only those.
+
+use crate::gen::Corpus;
+use crate::page::{PageKind, WebPage};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use saga_core::DocId;
+use serde::{Deserialize, Serialize};
+
+/// Churn parameters for one simulated crawl interval.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Fraction of existing pages edited.
+    pub edit_fraction: f64,
+    /// Brand-new pages added.
+    pub new_pages: usize,
+    /// RNG seed (determinism).
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self { edit_fraction: 0.05, new_pages: 10, seed: 99 }
+    }
+}
+
+/// The outcome of one churn interval.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// Documents whose content changed (edited or new).
+    pub changed: Vec<DocId>,
+    /// Corpus version after the churn.
+    pub version: u64,
+}
+
+/// Applies one interval of churn to `corpus`.
+pub fn apply_churn(corpus: &mut Corpus, cfg: &ChurnConfig) -> ChurnReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ corpus.version);
+    corpus.version += 1;
+    let version = corpus.version;
+    let mut changed = Vec::new();
+
+    let n_edits = (corpus.pages.len() as f64 * cfg.edit_fraction) as usize;
+    let mut indices: Vec<usize> = (0..corpus.pages.len()).collect();
+    indices.shuffle(&mut rng);
+    for &i in indices.iter().take(n_edits) {
+        let page = &mut corpus.pages[i];
+        page.paragraphs.push(format!("Updated in revision {version}."));
+        page.last_modified = version;
+        changed.push(page.id);
+    }
+
+    for _ in 0..cfg.new_pages {
+        let id = DocId(corpus.pages.len() as u64);
+        corpus.pages.push(WebPage {
+            id,
+            url: format!("synth://new/{}", id.raw()),
+            title: format!("Fresh page {}", id.raw()),
+            kind: PageKind::Noise,
+            lang: "en".into(),
+            quality: rng.gen_range(0.2..0.8),
+            last_modified: version,
+            infobox: Vec::new(),
+            tables: Vec::new(),
+            paragraphs: vec![format!("Newly published content at revision {version}.")],
+        });
+        changed.push(id);
+    }
+
+    changed.sort_unstable();
+    ChurnReport { changed, version }
+}
+
+
+/// A real-world fact change propagated onto the Web: the pages about
+/// `subject` now render `new_value` for `predicate` (the KG still holds the
+/// old value until ODKE refreshes it) — the "certain facts ... may also
+/// change over time" veracity challenge of paper Sec. 4.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FactChange {
+    /// The subject whose fact changed in the world.
+    pub subject: saga_core::EntityId,
+    /// The changed predicate.
+    pub predicate: saga_core::PredicateId,
+    /// Rendered form previously on the pages.
+    pub old_value: String,
+    /// Rendered form now on the pages.
+    pub new_value: String,
+    /// Pages rewritten.
+    pub docs: Vec<DocId>,
+}
+
+/// Changes the value of up to `n_facts` volatile facts on the Web: picks
+/// people with a rendered `lives_in` fact and moves them to a different
+/// place, rewriting every page that rendered the old value. Returns the
+/// changes (ground truth for the freshness experiment).
+pub fn apply_fact_churn(
+    corpus: &mut Corpus,
+    s: &saga_core::synth::SynthKg,
+    truth: &crate::gen::CorpusTruth,
+    n_facts: usize,
+    seed: u64,
+) -> Vec<FactChange> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xfac7);
+    corpus.version += 1;
+    let version = corpus.version;
+    let mut changes = Vec::new();
+    let mut used_subjects = std::collections::HashSet::new();
+
+    // Rendered lives_in facts, deduped by subject.
+    let candidates: Vec<(saga_core::EntityId, String)> = truth
+        .rendered_facts
+        .iter()
+        .filter(|(_, _, p, _)| *p == s.preds.lives_in)
+        .map(|(_, e, _, v)| (*e, v.clone()))
+        .collect();
+
+    for (subject, old_value) in candidates {
+        if changes.len() >= n_facts {
+            break;
+        }
+        if !used_subjects.insert(subject) {
+            continue;
+        }
+        // New home: a different place.
+        let new_place = loop {
+            let p = s.places[rng.gen_range(0..s.places.len())];
+            let name = &s.kg.entity(p).name;
+            if name != &old_value {
+                break name.clone();
+            }
+        };
+        let subject_name = s.kg.entity(subject).name.clone();
+        let phrase = s.kg.ontology().predicate(s.preds.lives_in).phrase.clone();
+        let mut docs = Vec::new();
+        for page in corpus.pages.iter_mut() {
+            let mut touched = false;
+            if page.title == subject_name {
+                for row in page.infobox.iter_mut() {
+                    if row.key == phrase && row.value == old_value {
+                        row.value = new_place.clone();
+                        touched = true;
+                    }
+                }
+            }
+            for para in page.paragraphs.iter_mut() {
+                if para.contains(&subject_name)
+                    && para.contains(&old_value)
+                    && (para.contains(&phrase) || para.contains("lives in"))
+                {
+                    *para = para.replace(&old_value, &new_place);
+                    touched = true;
+                }
+            }
+            if touched {
+                page.last_modified = version;
+                docs.push(page.id);
+            }
+        }
+        if !docs.is_empty() {
+            changes.push(FactChange {
+                subject,
+                predicate: s.preds.lives_in,
+                old_value,
+                new_value: new_place,
+                docs,
+            });
+        }
+    }
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_corpus, CorpusConfig};
+    use saga_core::synth::{generate, SynthConfig};
+
+    fn corpus() -> Corpus {
+        let s = generate(&SynthConfig::tiny(121));
+        generate_corpus(&s, &[], &CorpusConfig::tiny(9)).0
+    }
+
+    #[test]
+    fn churn_changes_expected_fraction() {
+        let mut c = corpus();
+        let before = c.len();
+        let report = apply_churn(&mut c, &ChurnConfig { edit_fraction: 0.1, new_pages: 5, seed: 1 });
+        let expected_edits = (before as f64 * 0.1) as usize;
+        assert_eq!(report.changed.len(), expected_edits + 5);
+        assert_eq!(c.len(), before + 5);
+        assert_eq!(report.version, 1);
+    }
+
+    #[test]
+    fn changed_docs_carry_new_version() {
+        let mut c = corpus();
+        let report = apply_churn(&mut c, &ChurnConfig::default());
+        for d in &report.changed {
+            assert_eq!(c.page(*d).last_modified, report.version);
+        }
+        // Unchanged pages keep version 0.
+        let changed: std::collections::HashSet<DocId> = report.changed.iter().copied().collect();
+        for p in &c.pages {
+            if !changed.contains(&p.id) {
+                assert_eq!(p.last_modified, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fact_churn_rewrites_the_web() {
+        let s = generate(&SynthConfig::tiny(121));
+        let (mut c, truth) = generate_corpus(&s, &[], &CorpusConfig::tiny(9));
+        let changes = apply_fact_churn(&mut c, &s, &truth, 5, 3);
+        assert!(!changes.is_empty(), "some lives_in facts changed");
+        for ch in &changes {
+            assert_ne!(ch.old_value, ch.new_value);
+            for d in &ch.docs {
+                let text = c.page(*d).full_text();
+                assert!(text.contains(&ch.new_value), "page carries the new value");
+            }
+            // The KG still holds the old value (it is now stale).
+            let kg_val = s.kg.object(ch.subject, ch.predicate).unwrap();
+            let kg_rendered = match &kg_val {
+                saga_core::Value::Entity(e) => s.kg.entity(*e).name.clone(),
+                other => other.canonical(),
+            };
+            assert_eq!(kg_rendered, ch.old_value);
+        }
+    }
+
+    #[test]
+    fn repeated_churn_differs_per_interval() {
+        let mut c = corpus();
+        let r1 = apply_churn(&mut c, &ChurnConfig::default());
+        let r2 = apply_churn(&mut c, &ChurnConfig::default());
+        assert_eq!(r2.version, 2);
+        assert_ne!(r1.changed, r2.changed, "intervals churn different pages");
+    }
+}

@@ -1,0 +1,481 @@
+//! Entity-grounded corpus generation.
+//!
+//! Stands in for "the Web" (DESIGN.md §2): pages carry the signal mix the
+//! annotation and ODKE pipelines consume — semi-structured infoboxes,
+//! prose with entity mentions, conflicting and wrong values (including
+//! homonym confusions à la the Michelle Williams example of Fig. 6),
+//! quality priors, and mixed-language templates.
+
+use crate::page::{InfoboxRow, PageKind, PageTable, WebPage};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use saga_core::synth::SynthKg;
+use saga_core::{DocId, EntityId, PredicateId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// RNG seed (determinism).
+    pub seed: u64,
+    /// Entity-profile pages (one per entity, most popular first; popular
+    /// entities additionally get mirror pages).
+    pub entity_pages: usize,
+    /// News-style pages to generate.
+    pub news_pages: usize,
+    /// Entity-free noise pages to generate.
+    pub noise_pages: usize,
+    /// Probability a rendered fact value is wrong.
+    pub error_rate: f64,
+    /// Given an error, probability it is a homonym's value (type
+    /// confusion) rather than a random perturbation.
+    pub homonym_confusion_rate: f64,
+    /// Fraction of profile pages carrying a structured infobox.
+    pub structured_fraction: f64,
+    /// Fraction of pages using the Spanish sentence template.
+    pub spanish_fraction: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1234,
+            entity_pages: 2_000,
+            news_pages: 400,
+            noise_pages: 200,
+            error_rate: 0.08,
+            homonym_confusion_rate: 0.6,
+            structured_fraction: 0.55,
+            spanish_fraction: 0.15,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// Small corpus for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            entity_pages: 220,
+            news_pages: 40,
+            noise_pages: 20,
+            ..Self::default()
+        }
+    }
+}
+
+/// The generated corpus with a monotone version counter (for churn).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// All pages, indexed by `DocId` position.
+    pub pages: Vec<WebPage>,
+    /// Monotone corpus/artifact version.
+    pub version: u64,
+}
+
+impl Corpus {
+    /// Page by id (ids are dense positions).
+    pub fn page(&self, id: DocId) -> &WebPage {
+        &self.pages[id.index()]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+/// Ground truth accompanying a generated corpus.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CorpusTruth {
+    /// Profile page → the entity it is about.
+    pub page_topics: HashMap<DocId, EntityId>,
+    /// Page → every entity genuinely mentioned by (one of) its names.
+    pub mentions: HashMap<DocId, Vec<EntityId>>,
+    /// Facts rendered *correctly* somewhere: `(doc, subject, predicate,
+    /// canonical value)`.
+    pub rendered_facts: Vec<(DocId, EntityId, PredicateId, String)>,
+    /// Wrong values planted: `(doc, subject, predicate, wrong canonical)`.
+    pub planted_errors: Vec<(DocId, EntityId, PredicateId, String)>,
+}
+
+/// Renders a KG value for display: entities become their names.
+fn render_value(s: &SynthKg, v: &Value) -> String {
+    match v {
+        Value::Entity(e) => s.kg.entity(*e).name.clone(),
+        other => other.canonical(),
+    }
+}
+
+fn sentence(lang: &str, phrase: &str, name: &str, value: &str) -> String {
+    match lang {
+        "es" => format!("El {phrase} de {name} es {value}."),
+        _ => format!("The {phrase} of {name} is {value}."),
+    }
+}
+
+const NOISE_WORDS: &[&str] = &[
+    "weather", "recipe", "forum", "discussion", "tutorial", "gadget", "review", "travel",
+    "garden", "fitness", "coupon", "stream", "puzzle", "market", "archive", "newsletter",
+];
+
+/// Generates the corpus. `extra_facts` are facts that must appear on pages
+/// even if absent from the KG store (e.g. the Fig. 6 missing DOB).
+pub fn generate_corpus(
+    s: &SynthKg,
+    extra_facts: &[(EntityId, PredicateId, Value)],
+    cfg: &CorpusConfig,
+) -> (Corpus, CorpusTruth) {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut pages = Vec::new();
+    let mut truth = CorpusTruth::default();
+
+    // Homonym lookup: name → other entities with the same name.
+    let mut by_name: HashMap<String, Vec<EntityId>> = HashMap::new();
+    for e in s.kg.entities() {
+        by_name.entry(e.name.to_lowercase()).or_default().push(e.id);
+    }
+
+    // Facts per entity: KG triples + extras.
+    let mut extra_by_subject: HashMap<EntityId, Vec<(PredicateId, Value)>> = HashMap::new();
+    for (e, p, v) in extra_facts {
+        extra_by_subject.entry(*e).or_default().push((*p, v.clone()));
+    }
+
+    // Pick profile subjects: all entities ordered by popularity.
+    let mut subjects: Vec<EntityId> = s
+        .people
+        .iter()
+        .chain(&s.movies)
+        .chain(&s.orgs)
+        .chain(&s.teams)
+        .copied()
+        .collect();
+    subjects.sort_by(|a, b| {
+        s.kg.entity(*b).popularity.partial_cmp(&s.kg.entity(*a).popularity).unwrap()
+    });
+    subjects.truncate(cfg.entity_pages);
+
+    for &subject in &subjects {
+        let id = DocId(pages.len() as u64);
+        let rec = s.kg.entity(subject);
+        let lang = if rng.gen_bool(cfg.spanish_fraction) { "es" } else { "en" };
+        let structured = rng.gen_bool(cfg.structured_fraction);
+        let quality: f32 = rng.gen_range(0.3..1.0);
+
+        let mut infobox = Vec::new();
+        let mut paragraphs = Vec::new();
+        let mut mentioned = vec![subject];
+
+        // Lead paragraph: name + description (the disambiguation context).
+        paragraphs.push(format!("{} is {}.", rec.name, rec.description));
+
+        // Facts: KG triples of the subject plus extras.
+        let mut facts: Vec<(PredicateId, Value)> = s
+            .kg
+            .triples_of(subject)
+            .map(|t| (t.predicate, t.object))
+            .collect();
+        if let Some(extra) = extra_by_subject.get(&subject) {
+            facts.extend(extra.iter().cloned());
+        }
+
+        for (pred, value) in facts {
+            let info = s.kg.ontology().predicate(pred);
+            if info.is_noise_for_embeddings && rng.gen_bool(0.5) {
+                continue; // bookkeeping facts appear less often on the web
+            }
+            // Decide whether this rendering is wrong.
+            let mut rendered = render_value(s, &value);
+            let mut wrong = false;
+            if rng.gen_bool(cfg.error_rate * (1.5 - quality as f64)) {
+                // Low-quality pages err more.
+                let homonyms: Vec<EntityId> = by_name
+                    .get(&rec.name.to_lowercase())
+                    .map(|v| v.iter().copied().filter(|&e| e != subject).collect())
+                    .unwrap_or_default();
+                let confused = if !homonyms.is_empty() && rng.gen_bool(cfg.homonym_confusion_rate)
+                {
+                    // Use the homonym's value for the same predicate — the
+                    // Fig. 6 confusion.
+                    let h = homonyms[rng.gen_range(0..homonyms.len())];
+                    s.kg.object(h, pred).map(|v| render_value(s, &v))
+                } else {
+                    None
+                };
+                rendered = confused.unwrap_or_else(|| perturb(&rendered, &mut rng));
+                wrong = true;
+            }
+
+            if structured {
+                infobox.push(InfoboxRow { key: info.phrase.clone(), value: rendered.clone() });
+            }
+            paragraphs.push(sentence(lang, &info.phrase, &rec.name, &rendered));
+
+            if !wrong {
+                truth.rendered_facts.push((id, subject, pred, rendered.clone()));
+                if let Value::Entity(obj) = &value {
+                    mentioned.push(*obj);
+                }
+            } else {
+                truth.planted_errors.push((id, subject, pred, rendered));
+            }
+        }
+
+        // Filmography table: movies this person directed, with their
+        // release dates — semi-structured data only tables carry.
+        let mut tables = Vec::new();
+        let directed = s.kg.subjects_with(s.preds.directed_by, &Value::Entity(subject));
+        if directed.len() >= 2 {
+            let mut rows = Vec::new();
+            for &movie in &directed {
+                let title = s.kg.entity(movie).name.clone();
+                let date = s
+                    .kg
+                    .object(movie, s.preds.release_date)
+                    .map(|v| v.canonical())
+                    .unwrap_or_default();
+                if !date.is_empty() {
+                    truth.rendered_facts.push((id, movie, s.preds.release_date, date.clone()));
+                    mentioned.push(movie);
+                    rows.push(vec![title, date]);
+                }
+            }
+            if !rows.is_empty() {
+                tables.push(PageTable {
+                    caption: format!("Filmography of {}", rec.name),
+                    columns: vec!["title".into(), "release date".into()],
+                    rows,
+                });
+            }
+        }
+
+        mentioned.sort_unstable();
+        mentioned.dedup();
+        truth.page_topics.insert(id, subject);
+        truth.mentions.insert(id, mentioned);
+        pages.push(WebPage {
+            id,
+            url: format!("synth://profile/{}/{}", rec.name.replace(' ', "-").to_lowercase(), id.raw()),
+            title: rec.name.clone(),
+            kind: PageKind::EntityProfile,
+            lang: lang.into(),
+            quality,
+            last_modified: 0,
+            infobox,
+            tables,
+            paragraphs,
+        });
+    }
+
+    // News pages: prose mentioning several entities.
+    for _ in 0..cfg.news_pages {
+        let id = DocId(pages.len() as u64);
+        let lang = if rng.gen_bool(cfg.spanish_fraction) { "es" } else { "en" };
+        let n = rng.gen_range(3..8);
+        let mut mentioned = Vec::new();
+        let mut paragraphs = Vec::new();
+        for _ in 0..n {
+            let a = subjects[rng.gen_range(0..subjects.len())];
+            let b = subjects[rng.gen_range(0..subjects.len())];
+            let place = s.places[rng.gen_range(0..s.places.len())];
+            paragraphs.push(format!(
+                "{} appeared alongside {} at an event in {}.",
+                s.kg.entity(a).name,
+                s.kg.entity(b).name,
+                s.kg.entity(place).name
+            ));
+            mentioned.extend([a, b, place]);
+        }
+        mentioned.sort_unstable();
+        mentioned.dedup();
+        truth.mentions.insert(id, mentioned);
+        pages.push(WebPage {
+            id,
+            url: format!("synth://news/{}", id.raw()),
+            title: format!("News digest {}", id.raw()),
+            kind: PageKind::News,
+            lang: lang.into(),
+            quality: rng.gen_range(0.4..0.9),
+            last_modified: 0,
+            infobox: Vec::new(),
+            tables: Vec::new(),
+            paragraphs,
+        });
+    }
+
+    // Noise pages.
+    for _ in 0..cfg.noise_pages {
+        let id = DocId(pages.len() as u64);
+        let n = rng.gen_range(3..10);
+        let paragraphs: Vec<String> = (0..n)
+            .map(|_| {
+                let w1 = NOISE_WORDS[rng.gen_range(0..NOISE_WORDS.len())];
+                let w2 = NOISE_WORDS[rng.gen_range(0..NOISE_WORDS.len())];
+                let w3 = NOISE_WORDS[rng.gen_range(0..NOISE_WORDS.len())];
+                format!("Read our {w1} {w2} about the best {w3} this season.")
+            })
+            .collect();
+        truth.mentions.insert(id, Vec::new());
+        pages.push(WebPage {
+            id,
+            url: format!("synth://misc/{}", id.raw()),
+            title: format!("Miscellany {}", id.raw()),
+            kind: PageKind::Noise,
+            lang: "en".into(),
+            quality: rng.gen_range(0.1..0.5),
+            last_modified: 0,
+            infobox: Vec::new(),
+            tables: Vec::new(),
+            paragraphs,
+        });
+    }
+
+    (Corpus { pages, version: 0 }, truth)
+}
+
+/// Perturbs a rendered value into a plausible-but-wrong variant.
+fn perturb(value: &str, rng: &mut ChaCha8Rng) -> String {
+    if let Some(d) = saga_core::Date::parse(value) {
+        let year = d.year + rng.gen_range(-3i32..=3).max(1 - d.year);
+        let month = rng.gen_range(1..=12u8);
+        let day = rng.gen_range(1..=28u8);
+        return saga_core::Date::new(year, month, day).expect("valid perturbed date").to_string();
+    }
+    if let Ok(i) = value.parse::<i64>() {
+        return (i + rng.gen_range(1..=9)).to_string();
+    }
+    format!("{value} Jr")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::synth::{generate, SynthConfig};
+    use saga_core::Date;
+
+    fn corpus() -> (SynthKg, Corpus, CorpusTruth) {
+        let s = generate(&SynthConfig::tiny(101));
+        let extra = vec![(
+            s.scenario.mw_singer,
+            s.preds.date_of_birth,
+            Value::Date(Date::new(1979, 7, 23).unwrap()),
+        )];
+        let (c, t) = generate_corpus(&s, &extra, &CorpusConfig::tiny(5));
+        (s, c, t)
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let s = generate(&SynthConfig::tiny(101));
+        let (a, _) = generate_corpus(&s, &[], &CorpusConfig::tiny(5));
+        let (b, _) = generate_corpus(&s, &[], &CorpusConfig::tiny(5));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.pages[3].full_text(), b.pages[3].full_text());
+    }
+
+    #[test]
+    fn profile_pages_mention_their_topic() {
+        let (s, c, t) = corpus();
+        for (doc, subject) in t.page_topics.iter().take(30) {
+            let page = c.page(*doc);
+            let name = &s.kg.entity(*subject).name;
+            assert!(
+                page.full_text().contains(name.as_str()),
+                "page {doc:?} must mention {name}"
+            );
+            assert!(t.mentions[doc].contains(subject));
+        }
+    }
+
+    #[test]
+    fn extra_facts_are_rendered() {
+        let (s, c, t) = corpus();
+        // The singer's injected DOB appears on some page as a rendered fact.
+        let hit = t
+            .rendered_facts
+            .iter()
+            .find(|(_, e, p, _)| *e == s.scenario.mw_singer && *p == s.preds.date_of_birth);
+        let (doc, _, _, val) = hit.expect("injected DOB fact rendered");
+        assert_eq!(val, "1979-07-23");
+        assert!(c.page(*doc).full_text().contains("1979-07-23"));
+    }
+
+    #[test]
+    fn errors_are_planted_and_disjoint_from_truth() {
+        let (_, _, t) = corpus();
+        assert!(!t.planted_errors.is_empty(), "error rate must plant some wrong values");
+        for (doc, e, p, wrong) in &t.planted_errors {
+            assert!(
+                !t.rendered_facts.iter().any(|(d2, e2, p2, v2)| d2 == doc
+                    && e2 == e
+                    && p2 == p
+                    && v2 == wrong),
+                "a value cannot be both correct and planted-wrong on one page"
+            );
+        }
+    }
+
+    #[test]
+    fn page_kinds_all_present_and_counts_add_up() {
+        let (_, c, _) = corpus();
+        let cfg = CorpusConfig::tiny(5);
+        assert_eq!(c.len(), cfg.entity_pages.min(c.len() - cfg.news_pages - cfg.noise_pages) + cfg.news_pages + cfg.noise_pages);
+        use crate::page::PageKind::*;
+        for kind in [EntityProfile, News, Noise] {
+            assert!(c.pages.iter().any(|p| p.kind == kind), "{kind:?} present");
+        }
+    }
+
+    #[test]
+    fn filmography_tables_render_release_dates() {
+        let (s, c, t) = corpus();
+        let with_tables: Vec<_> = c.pages.iter().filter(|p| !p.tables.is_empty()).collect();
+        assert!(!with_tables.is_empty(), "some director pages carry filmography tables");
+        for page in with_tables.iter().take(5) {
+            let table = &page.tables[0];
+            assert!(table.caption.starts_with("Filmography of"));
+            assert_eq!(table.columns, vec!["title".to_string(), "release date".to_string()]);
+            for row in &table.rows {
+                assert_eq!(row.len(), 2);
+                assert!(saga_core::Date::parse(&row[1]).is_some(), "date cell: {}", row[1]);
+                // The rendered fact is recorded for the movie, not the page
+                // topic.
+                if let Some(m) = s.kg.find_entity_by_name(&row[0]) {
+                    assert!(t
+                        .rendered_facts
+                        .iter()
+                        .any(|(d, e, p, v)| *d == page.id
+                            && *e == m.id
+                            && *p == s.preds.release_date
+                            && v == &row[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multilingual_pages_exist() {
+        let (_, c, _) = corpus();
+        assert!(c.pages.iter().any(|p| p.lang == "es"));
+        assert!(c.pages.iter().any(|p| p.lang == "en"));
+        let es = c.pages.iter().find(|p| p.lang == "es" && p.kind == PageKind::EntityProfile);
+        if let Some(p) = es {
+            assert!(p.paragraphs.iter().any(|s| s.starts_with("El ")), "spanish template used");
+        }
+    }
+
+    #[test]
+    fn perturb_changes_values() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_ne!(perturb("1980-09-09", &mut rng), "1980-09-09");
+        assert_ne!(perturb("42", &mut rng), "42");
+        assert_eq!(perturb("Some Name", &mut rng), "Some Name Jr");
+    }
+}

@@ -1,0 +1,19 @@
+//! # saga-webcorpus
+//!
+//! The synthetic web substrate (DESIGN.md §2): entity-grounded page
+//! generation with planted errors and homonym confusions, a BM25 search
+//! engine with incremental reindexing, and a change feed simulating the
+//! Web's rate of change.
+
+#![warn(missing_docs)]
+#![allow(clippy::len_without_is_empty)]
+
+pub mod changefeed;
+pub mod gen;
+pub mod page;
+pub mod search;
+
+pub use changefeed::{apply_churn, apply_fact_churn, ChurnConfig, ChurnReport, FactChange};
+pub use gen::{generate_corpus, Corpus, CorpusConfig, CorpusTruth};
+pub use page::{InfoboxRow, PageKind, WebPage};
+pub use search::{SearchEngine, SearchHit};

@@ -1,0 +1,189 @@
+//! A BM25 web-search engine over the corpus — the "Web Search" box of the
+//! ODKE pipeline (Fig. 5). Supports incremental reindexing of changed pages
+//! so the annotation pipeline's change feed and the search index stay in
+//! sync.
+
+use crate::gen::Corpus;
+use crate::page::WebPage;
+use saga_core::text::tokenize;
+use saga_core::DocId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+const K1: f32 = 1.2;
+const B: f32 = 0.75;
+
+/// A search hit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// Document id.
+    pub doc: DocId,
+    /// Score; higher is better.
+    pub score: f32,
+}
+
+/// Inverted index with BM25 ranking.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SearchEngine {
+    /// term → postings (doc, term frequency).
+    postings: HashMap<String, Vec<(DocId, u32)>>,
+    /// doc → length in tokens (0 = not indexed / removed).
+    doc_len: HashMap<DocId, u32>,
+    /// doc → its terms (for incremental removal).
+    doc_terms: HashMap<DocId, Vec<String>>,
+    total_len: u64,
+}
+
+impl SearchEngine {
+    /// Builds the index over a whole corpus.
+    pub fn build(corpus: &Corpus) -> Self {
+        let mut s = Self::default();
+        for p in &corpus.pages {
+            s.index_page(p);
+        }
+        s
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Adds or replaces a page in the index.
+    pub fn index_page(&mut self, page: &WebPage) {
+        self.remove_doc(page.id);
+        let toks = tokenize(&page.full_text());
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in &toks {
+            *tf.entry(t.text.clone()).or_default() += 1;
+        }
+        let mut terms = Vec::with_capacity(tf.len());
+        for (term, f) in tf {
+            self.postings.entry(term.clone()).or_default().push((page.id, f));
+            terms.push(term);
+        }
+        self.doc_len.insert(page.id, toks.len() as u32);
+        self.doc_terms.insert(page.id, terms);
+        self.total_len += toks.len() as u64;
+    }
+
+    /// Removes a document from the index (no-op if absent).
+    pub fn remove_doc(&mut self, doc: DocId) {
+        let Some(terms) = self.doc_terms.remove(&doc) else { return };
+        for term in terms {
+            if let Some(list) = self.postings.get_mut(&term) {
+                list.retain(|(d, _)| *d != doc);
+                if list.is_empty() {
+                    self.postings.remove(&term);
+                }
+            }
+        }
+        if let Some(len) = self.doc_len.remove(&doc) {
+            self.total_len -= len as u64;
+        }
+    }
+
+    fn avg_len(&self) -> f32 {
+        if self.doc_len.is_empty() {
+            0.0
+        } else {
+            self.total_len as f32 / self.doc_len.len() as f32
+        }
+    }
+
+    /// BM25 search; returns the top `k` documents.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        let n = self.doc_len.len() as f32;
+        if n == 0.0 {
+            return Vec::new();
+        }
+        let avg = self.avg_len();
+        let mut scores: HashMap<DocId, f32> = HashMap::new();
+        for tok in tokenize(query) {
+            let Some(list) = self.postings.get(&tok.text) else { continue };
+            let df = list.len() as f32;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for (doc, tf) in list {
+                let len = self.doc_len[doc] as f32;
+                let tf = *tf as f32;
+                let s = idf * (tf * (K1 + 1.0)) / (tf + K1 * (1.0 - B + B * len / avg));
+                *scores.entry(*doc).or_default() += s;
+            }
+        }
+        let mut hits: Vec<SearchHit> =
+            scores.into_iter().map(|(doc, score)| SearchHit { doc, score }).collect();
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.doc.cmp(&b.doc)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_corpus, CorpusConfig};
+    use saga_core::synth::{generate, SynthConfig};
+
+    fn setup() -> (saga_core::synth::SynthKg, Corpus, SearchEngine) {
+        let s = generate(&SynthConfig::tiny(111));
+        let (c, _) = generate_corpus(&s, &[], &CorpusConfig::tiny(7));
+        let e = SearchEngine::build(&c);
+        (s, c, e)
+    }
+
+    #[test]
+    fn search_finds_entity_profile_for_name_query() {
+        let (s, c, e) = setup();
+        let name = &s.kg.entity(s.scenario.benicio).name;
+        let hits = e.search(&format!("{name} occupation"), 10);
+        assert!(!hits.is_empty());
+        let top_titles: Vec<&str> =
+            hits.iter().take(3).map(|h| c.page(h.doc).title.as_str()).collect();
+        assert!(
+            top_titles.iter().any(|t| t.contains("Benicio")),
+            "top hits {top_titles:?} must include the profile"
+        );
+    }
+
+    #[test]
+    fn scores_are_sorted_and_bounded() {
+        let (_, _, e) = setup();
+        let hits = e.search("the famous person", 50);
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn unknown_terms_yield_empty() {
+        let (_, _, e) = setup();
+        assert!(e.search("zzzqqqxxx", 10).is_empty());
+        assert!(e.search("", 10).is_empty());
+    }
+
+    #[test]
+    fn incremental_reindex_replaces_content() {
+        let (_, mut c, mut e) = setup();
+        let doc = c.pages[0].id;
+        let before = e.search("xylophonearama", 5);
+        assert!(before.is_empty());
+        c.pages[0].paragraphs.push("A unique xylophonearama festival.".into());
+        e.index_page(&c.pages[0]);
+        let after = e.search("xylophonearama", 5);
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].doc, doc);
+        // Old content still searchable (page replaced, not duplicated).
+        assert_eq!(e.num_docs(), c.len());
+    }
+
+    #[test]
+    fn remove_doc_purges_postings() {
+        let (_, c, mut e) = setup();
+        let doc = c.pages[0].id;
+        e.remove_doc(doc);
+        assert_eq!(e.num_docs(), c.len() - 1);
+        let hits = e.search(&c.pages[0].title, 50);
+        assert!(hits.iter().all(|h| h.doc != doc));
+        // Removing again is a no-op.
+        e.remove_doc(doc);
+        assert_eq!(e.num_docs(), c.len() - 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! The embedding service (Fig. 1): train embeddings, warm the low-latency
+//! KV cache, build the HNSW serving index, and serve similarity and kNN
+//! requests — including the price/performance comparison against exact
+//! search and the quantized on-device variant.
+//!
+//! ```text
+//! cargo run --release -p saga-examples --example embedding_service
+//! ```
+
+use saga_ann::{EmbeddingCache, HnswParams, Metric, QuantizedTable};
+use saga_core::synth::{generate, SynthConfig};
+use saga_core::text::cosine;
+use saga_embeddings::{
+    build_flat_index, build_knn_index, train, warm_cache, ModelKind, TrainConfig, TrainingSet,
+};
+use saga_graph::{GraphView, ViewDef};
+use std::time::Instant;
+
+fn main() {
+    let synth = generate(&SynthConfig::tiny(7));
+    let view = GraphView::materialize(&synth.kg, ViewDef::embedding_training(5));
+    let ds = TrainingSet::from_edges(&view.edges(), 0.05, 0.05, 3);
+    let model = train(
+        &ds,
+        &TrainConfig { model: ModelKind::TransE, dim: 32, epochs: 12, ..Default::default() },
+    );
+    println!("trained {} entity embeddings (dim {})", model.entity_ids.len(), model.dim());
+
+    // Precompute + cache (Sec. 3.2: "cache the results in a low-latency
+    // key-value store").
+    let cache = EmbeddingCache::new();
+    let n = warm_cache(&model, &cache);
+    println!("warmed embedding cache with {n} entries");
+
+    // Similarity between two entities, served from the cache.
+    let a = cache.get(synth.scenario.mj_player.raw()).expect("cached");
+    let b = cache.get(synth.scenario.benicio.raw()).expect("cached");
+    println!(
+        "cosine(Michael Jordan, Benicio del Toro) = {:.3}; cache hit rate {:.2}",
+        cosine(&a, &b),
+        cache.stats().hit_rate()
+    );
+
+    // kNN serving: exact vs approximate.
+    let flat = build_flat_index(&model);
+    let hnsw = build_knn_index(&model, HnswParams::default());
+    let query = model.entity_embedding(synth.scenario.benicio).unwrap();
+
+    let t0 = Instant::now();
+    let exact = flat.search(query, 10);
+    let flat_time = t0.elapsed();
+    let t1 = Instant::now();
+    let approx = hnsw.search_ef(query, 10, 64);
+    let hnsw_time = t1.elapsed();
+    let truth: std::collections::HashSet<u64> = exact.iter().map(|h| h.id).collect();
+    let recall = approx.iter().filter(|h| truth.contains(&h.id)).count() as f64 / 10.0;
+    println!(
+        "\nkNN k=10: flat {:?} vs hnsw {:?} (recall {recall:.2})",
+        flat_time, hnsw_time
+    );
+    println!("nearest neighbours of Benicio del Toro:");
+    for h in approx.iter().take(5) {
+        println!("  {:.3}  {}", h.score, synth.kg.entity(saga_core::EntityId(h.id)).name);
+    }
+
+    // Quantized on-device variant.
+    let table = QuantizedTable::build(
+        model.dim(),
+        model
+            .entity_ids
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.raw(), model.entities.row(i).to_vec())),
+    );
+    let f32_bytes = model.entity_ids.len() * model.dim() * 4;
+    println!(
+        "\non-device quantized table: {} bytes vs {} bytes f32 ({:.1}x smaller)",
+        table.bytes(),
+        f32_bytes,
+        f32_bytes as f64 / table.bytes() as f64
+    );
+    let qhits = table.search(Metric::Cosine, query, 10);
+    let qrecall = qhits.iter().filter(|h| truth.contains(&h.id)).count() as f64 / 10.0;
+    println!("quantized recall@10 vs exact f32: {qrecall:.2}");
+}

@@ -1,0 +1,1 @@
+//! Example host crate; see the example files at the package root.

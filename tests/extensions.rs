@@ -1,0 +1,131 @@
+//! Integration tests for the extension features: table extraction, walk
+//! embeddings, path reasoning, on-device personalization, and incremental
+//! device construction — all wired through multiple crates.
+
+use saga_annotation::{AnnotationService, LinkerConfig, Tier};
+use saga_core::synth::{generate, SynthConfig};
+use saga_core::{Triple, Value};
+use saga_embeddings::{
+    train, train_on_walks, ModelKind, PathQuery, PathReasoner, TrainConfig, TrainingSet,
+    WalkConfig,
+};
+use saga_graph::{personalized_pagerank, precompute_walk_corpus, Adjacency, GraphView, ViewDef};
+use saga_odke::{run_odke, FactTarget, OdkeConfig, TargetReason};
+use saga_ondevice::{build_preferences, GlobalKnowledge, StaticAsset};
+use saga_webcorpus::{generate_corpus, CorpusConfig, SearchEngine};
+
+#[test]
+fn table_extraction_recovers_a_held_out_release_date() {
+    let synth = generate(&SynthConfig::tiny(881));
+    let (corpus, truth) = generate_corpus(&synth, &[], &CorpusConfig::tiny(7));
+    let search = SearchEngine::build(&corpus);
+    let svc = AnnotationService::build(&synth.kg, LinkerConfig::tier(Tier::T2Contextual));
+    let mut kg = synth.kg.clone();
+
+    // Pick a movie whose release date is rendered in some filmography table.
+    let table_fact = truth
+        .rendered_facts
+        .iter()
+        .find(|(doc, _, p, _)| {
+            *p == synth.preds.release_date && !corpus.page(*doc).tables.is_empty()
+        })
+        .expect("a table-rendered release date exists");
+    let (_, movie, pred, date_text) = table_fact.clone();
+
+    // Remove it from the KG.
+    for obj in kg.objects(movie, pred) {
+        kg.remove(&Triple { subject: movie, predicate: pred, object: obj });
+    }
+    kg.commit();
+    assert!(kg.object(movie, pred).is_none());
+
+    // ODKE recovers it.
+    let target =
+        FactTarget { entity: movie, predicate: pred, reason: TargetReason::CoverageGap, importance: 1.0 };
+    let report = run_odke(&mut kg, &svc, &search, &corpus, &[target], &OdkeConfig::default());
+    let outcome = &report.outcomes[0];
+    let winner = outcome.winner.as_ref().expect("release date recovered");
+    assert_eq!(winner.value_text, date_text);
+    assert!(kg.object(movie, pred).is_some());
+}
+
+#[test]
+fn walk_embeddings_agree_with_pagerank_relatedness() {
+    let synth = generate(&SynthConfig::tiny(883));
+    let view = GraphView::materialize(&synth.kg, ViewDef::embedding_training(0));
+    let adj = Adjacency::from_edges(synth.kg.num_entities(), &view.edges());
+    let probes: Vec<_> = synth.people.iter().copied().take(40).collect();
+    let corpus = precompute_walk_corpus(&adj, &probes, 10, 5, 5);
+    let emb = train_on_walks(&corpus, &WalkConfig { epochs: 4, ..Default::default() });
+
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for &e in probes.iter().take(15) {
+        let ppr: std::collections::HashSet<_> =
+            personalized_pagerank(&adj, e, 0.85, 15, 20).into_iter().map(|(x, _)| x).collect();
+        if ppr.is_empty() {
+            continue;
+        }
+        let related = emb.related(e, 10);
+        agree += related.iter().filter(|(x, _)| ppr.contains(x)).count();
+        total += related.len();
+    }
+    assert!(total > 0);
+    let precision = agree as f64 / total as f64;
+    assert!(precision > 0.1, "walk-embedding vs PPR precision {precision}");
+}
+
+#[test]
+fn path_reasoning_answers_compose_across_crates() {
+    let synth = generate(&SynthConfig::tiny(885));
+    let view = GraphView::materialize(&synth.kg, ViewDef::embedding_training(3));
+    let ds = TrainingSet::from_edges(&view.edges(), 0.02, 0.02, 5);
+    let model = train(
+        &ds,
+        &TrainConfig { model: ModelKind::TransE, dim: 24, epochs: 12, ..Default::default() },
+    );
+    let reasoner = PathReasoner::new(&model);
+    // "Where was X born?" as a one-hop embedding query, verified against
+    // the graph engine's traversal answer.
+    let mut checked = 0;
+    let mut hits = 0;
+    for &p in synth.people.iter().take(40) {
+        let q = PathQuery::hop(p, synth.preds.born_in);
+        let truth = saga_embeddings::traverse_answers(&synth.kg, &q);
+        if truth.is_empty() {
+            continue;
+        }
+        checked += 1;
+        if reasoner.answer(&q, 20).iter().any(|(e, _)| truth.contains(e)) {
+            hits += 1;
+        }
+    }
+    assert!(checked >= 20);
+    assert!(hits * 100 / checked >= 30, "hits@20 {hits}/{checked}");
+}
+
+#[test]
+fn device_personalization_runs_off_the_shipped_asset() {
+    let synth = generate(&SynthConfig::tiny(887));
+    let asset = StaticAsset::build(&synth.kg, 0.2);
+    let mut global = GlobalKnowledge::default();
+    global.load_static_asset(&asset);
+    let history: Vec<_> = synth
+        .songs
+        .iter()
+        .copied()
+        .filter(|&s| !global.facts_of(s).is_empty())
+        .take(6)
+        .collect();
+    if history.len() < 2 {
+        return; // asset too small at this seed
+    }
+    let profile =
+        build_preferences(&global, &history, synth.preds.genre, synth.preds.release_date);
+    assert!(!profile.genres.is_empty());
+    let recs =
+        saga_ondevice::recommend(&global, &profile, &history, synth.preds.genre, 5);
+    for r in &recs {
+        assert!(!history.contains(r));
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration-test host crate; see the test files at the package root.
