@@ -1,8 +1,16 @@
 //! Exact brute-force k-NN index: the recall=1.0 baseline the HNSW index is
 //! benchmarked against (experiment E3).
+//!
+//! The serving path is allocation-free after warm-up: scoring runs the
+//! batch kernel over the contiguous slab into a reusable buffer, and top-k
+//! selection uses a bounded min-heap (O(N + k log k) instead of a full
+//! sort). Lookups by id are O(1) through a maintained position map.
 
 use crate::vector::Metric;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
 
 /// A scored search hit. `id` is caller-assigned (typically an entity id).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -13,20 +21,140 @@ pub struct Hit {
     pub score: f32,
 }
 
-/// Exact k-NN over a contiguous vector slab.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct FlatIndex {
+/// Heap entry ordered so the *worst* hit (lowest score, then largest id) is
+/// the maximum: a `BinaryHeap<WorstFirst>` of size k keeps the k best hits
+/// with the eviction candidate on top.
+#[derive(Debug, Clone, Copy)]
+struct WorstFirst(Hit);
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(Ordering::Equal)
+            .then(self.0.id.cmp(&other.0.id))
+    }
+}
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for WorstFirst {}
+
+/// Bounded-heap top-k selection: keeps the k best hits from `hits` in
+/// `out`, best first, ties broken by smaller id — identical to a full sort
+/// by `(score desc, id asc)` followed by `truncate(k)`, in O(N + k log k).
+/// `heap` is caller-owned scratch so steady-state selection allocates
+/// nothing.
+pub(crate) fn select_top_k_into(
+    heap: &mut BinaryHeap<WorstFirst>,
+    hits: impl Iterator<Item = Hit>,
+    k: usize,
+    out: &mut Vec<Hit>,
+) {
+    out.clear();
+    heap.clear();
+    if k == 0 {
+        return;
+    }
+    for h in hits {
+        if heap.len() < k {
+            heap.push(WorstFirst(h));
+        } else if let Some(&worst) = heap.peek() {
+            if WorstFirst(h) < worst {
+                heap.pop();
+                heap.push(WorstFirst(h));
+            }
+        }
+    }
+    out.extend(heap.drain().map(|w| w.0));
+    out.sort_unstable_by(|a, b| {
+        b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal).then(a.id.cmp(&b.id))
+    });
+}
+
+/// Convenience wrapper over [`select_top_k_into`] for callers without
+/// scratch (quantized/PQ tables).
+pub(crate) fn select_top_k(hits: impl Iterator<Item = Hit>, k: usize) -> Vec<Hit> {
+    let mut heap = BinaryHeap::new();
+    let mut out = Vec::with_capacity(k);
+    select_top_k_into(&mut heap, hits, k, &mut out);
+    out
+}
+
+/// Reusable per-thread state for [`FlatIndex`] queries: the score buffer
+/// the batch kernel writes into plus the bounded selection heap.
+#[derive(Debug, Default)]
+pub struct FlatScratch {
+    scores: Vec<f32>,
+    heap: BinaryHeap<WorstFirst>,
+}
+
+impl FlatScratch {
+    /// Creates empty scratch; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Backs the zero-allocation default search path.
+    static FLAT_SCRATCH: RefCell<FlatScratch> = RefCell::new(FlatScratch::new());
+}
+
+/// Serialized form — the position map is an in-memory acceleration
+/// structure rebuilt on load, keeping the wire format identical to older
+/// snapshots.
+#[derive(Serialize, Deserialize)]
+struct FlatIndexData {
     dim: usize,
     metric: Metric,
     ids: Vec<u64>,
     data: Vec<f32>,
 }
 
+impl From<FlatIndexData> for FlatIndex {
+    fn from(d: FlatIndexData) -> Self {
+        let mut idx = FlatIndex {
+            dim: d.dim,
+            metric: d.metric,
+            ids: d.ids,
+            data: d.data,
+            pos: HashMap::new(),
+        };
+        for (i, &id) in idx.ids.iter().enumerate() {
+            idx.pos.entry(id).or_insert(i as u32);
+        }
+        idx
+    }
+}
+
+/// Exact k-NN over a contiguous vector slab.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "FlatIndexData")]
+pub struct FlatIndex {
+    dim: usize,
+    metric: Metric,
+    ids: Vec<u64>,
+    data: Vec<f32>,
+    /// id → first position holding it (O(1) [`FlatIndex::get`]).
+    #[serde(skip)]
+    pos: HashMap<u64, u32>,
+}
+
 impl FlatIndex {
     /// Creates an empty index for `dim`-dimensional vectors.
     pub fn new(dim: usize, metric: Metric) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Self { dim, metric, ids: Vec::new(), data: Vec::new() }
+        Self { dim, metric, ids: Vec::new(), data: Vec::new(), pos: HashMap::new() }
     }
 
     /// Vector dimension.
@@ -50,6 +178,8 @@ impl FlatIndex {
     /// Panics if `v.len() != dim`.
     pub fn add(&mut self, id: u64, v: &[f32]) {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        // First occurrence wins, matching the pre-map linear-scan `get`.
+        self.pos.entry(id).or_insert(self.ids.len() as u32);
         self.ids.push(id);
         self.data.extend_from_slice(v);
     }
@@ -60,19 +190,72 @@ impl FlatIndex {
     }
 
     /// Exact top-`k` most similar vectors to `query`.
+    ///
+    /// Uses a per-thread [`FlatScratch`]; after warm-up the only allocation
+    /// is the returned `Vec`. Use [`FlatIndex::search_into`] for a fully
+    /// allocation-free path.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
-        assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        let mut hits: Vec<Hit> = (0..self.len())
-            .map(|i| Hit { id: self.ids[i], score: self.metric.score(query, self.vec_at(i)) })
-            .collect();
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.id.cmp(&b.id)));
-        hits.truncate(k);
-        hits
+        FLAT_SCRATCH.with(|s| self.search_with(query, k, &mut s.borrow_mut()))
     }
 
-    /// Looks up a vector by id (linear scan; the KV cache is the hot path).
+    /// [`FlatIndex::search`] with caller-owned scratch.
+    pub fn search_with(&self, query: &[f32], k: usize, scratch: &mut FlatScratch) -> Vec<Hit> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        self.search_into(query, k, scratch, &mut out);
+        out
+    }
+
+    /// Zero-allocation search: scores into `scratch`, selects into `out`
+    /// (cleared first). Performs no heap allocation once both have reached
+    /// steady-state capacity.
+    pub fn search_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut FlatScratch,
+        out: &mut Vec<Hit>,
+    ) {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        self.metric.score_many(query, &self.data, &mut scratch.scores);
+        select_top_k_into(
+            &mut scratch.heap,
+            scratch.scores.iter().zip(&self.ids).map(|(&score, &id)| Hit { id, score }),
+            k,
+            out,
+        );
+    }
+
+    /// Exact top-`k` for a batch of queries fanned out over `workers`
+    /// scoped threads, each with its own scratch. Results are in query
+    /// order, identical to sequential [`FlatIndex::search`] per query.
+    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize, workers: usize) -> Vec<Vec<Hit>> {
+        let workers = workers.max(1);
+        if workers == 1 || queries.len() <= 1 {
+            let mut scratch = FlatScratch::new();
+            return queries.iter().map(|q| self.search_with(q, k, &mut scratch)).collect();
+        }
+        let chunk = queries.len().div_ceil(workers);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|qs| {
+                    s.spawn(move |_| {
+                        let mut scratch = FlatScratch::new();
+                        qs.iter().map(|q| self.search_with(q, k, &mut scratch)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("flat search worker panicked"))
+                .collect()
+        })
+        .expect("flat search scope failed")
+    }
+
+    /// Looks up a vector by id — O(1) via the maintained position map.
     pub fn get(&self, id: u64) -> Option<&[f32]> {
-        self.ids.iter().position(|&x| x == id).map(|i| self.vec_at(i))
+        self.pos.get(&id).map(|&i| self.vec_at(i as usize))
     }
 }
 
@@ -109,6 +292,14 @@ mod tests {
     }
 
     #[test]
+    fn get_returns_first_occurrence_of_duplicate_id() {
+        let mut idx = FlatIndex::new(1, Metric::Dot);
+        idx.add(7, &[1.0]);
+        idx.add(7, &[2.0]);
+        assert_eq!(idx.get(7), Some(&[1.0][..]));
+    }
+
+    #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn dimension_mismatch_panics() {
         let mut idx = FlatIndex::new(2, Metric::Cosine);
@@ -123,5 +314,31 @@ mod tests {
         let hits = idx.search(&[1.0], 2);
         assert_eq!(hits[0].id, 3);
         assert_eq!(hits[1].id, 5);
+    }
+
+    #[test]
+    fn search_batch_matches_sequential() {
+        let mut idx = FlatIndex::new(3, Metric::Cosine);
+        for i in 0..200u64 {
+            let f = i as f32;
+            idx.add(i, &[(f * 0.37).sin(), (f * 0.11).cos(), (f * 0.71).sin()]);
+        }
+        let queries: Vec<Vec<f32>> =
+            (0..17).map(|i| vec![(i as f32).sin(), 0.5, (i as f32).cos()]).collect();
+        let seq: Vec<Vec<Hit>> = queries.iter().map(|q| idx.search(q, 5)).collect();
+        for workers in [1, 3, 8] {
+            assert_eq!(idx.search_batch(&queries, 5, workers), seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_position_map() {
+        let mut idx = FlatIndex::new(2, Metric::Euclidean);
+        idx.add(11, &[1.0, 2.0]);
+        idx.add(22, &[3.0, 4.0]);
+        let json = serde_json::to_string(&idx).unwrap();
+        let back: FlatIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get(22), Some(&[3.0, 4.0][..]));
+        assert_eq!(back.search(&[1.0, 2.0], 1)[0].id, 11);
     }
 }

@@ -4,12 +4,21 @@
 //! This powers the paper's embedding service ("efficient
 //! k-nearest-neighbour retrieval", Sec. 1/Fig. 1). Experiment E3 sweeps its
 //! latency/recall trade-off against [`crate::flat::FlatIndex`].
+//!
+//! The query path is allocation-free after warm-up: an epoch-stamped
+//! [`SearchScratch`] (visited marks + reusable candidate/result heaps) is
+//! threaded through `search_layer`, both for inserts (the index owns one)
+//! and for queries (per-thread default, or caller-owned via
+//! [`HnswIndex::search_ef_into`]). Before this, every `search_layer` call —
+//! once per layer per insert — allocated an O(N) visited array, making
+//! index build cost quadratic in allocations.
 
 use crate::flat::Hit;
 use crate::vector::Metric;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -41,7 +50,7 @@ struct Node {
 }
 
 /// Candidate ordered by score descending (max-heap on score).
-#[derive(PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Cand {
     score: f32,
     idx: u32,
@@ -59,6 +68,7 @@ impl PartialOrd for Cand {
 }
 
 /// Min-heap entry (worst of the result set on top) via reversed ordering.
+#[derive(Debug, Clone, Copy)]
 struct RevCand(Cand);
 impl PartialEq for RevCand {
     fn eq(&self, other: &Self) -> bool {
@@ -77,6 +87,65 @@ impl PartialOrd for RevCand {
     }
 }
 
+/// Reusable beam-search state: epoch-stamped visited marks plus the
+/// candidate/result heaps and buffers `search_layer` works in. One scratch
+/// serves any number of queries against any index — `begin` grows the
+/// visited array to the index size and bumps the epoch, so marks from
+/// earlier queries are invalidated in O(1) instead of reallocated.
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    /// Current epoch; `visited[i] == epoch` means "seen this query".
+    epoch: u32,
+    visited: Vec<u32>,
+    candidates: BinaryHeap<Cand>,
+    results: BinaryHeap<RevCand>,
+    /// `search_layer` output, best first.
+    layer_out: Vec<Cand>,
+    /// Neighbour ids selected for a new node (insert path).
+    selected: Vec<u32>,
+    /// Scored neighbour list for pruning (insert path).
+    prune: Vec<(f32, u32)>,
+}
+
+impl SearchScratch {
+    /// Creates empty scratch; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares for one `search_layer` pass over an index of `n` nodes.
+    fn begin(&mut self, n: usize) {
+        if self.visited.len() < n {
+            self.visited.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: clear stale marks once every 2^32 queries.
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.epoch = 1;
+        }
+        self.candidates.clear();
+        self.results.clear();
+    }
+
+    /// Marks `i` visited; true when this is the first visit this query.
+    #[inline]
+    fn visit(&mut self, i: u32) -> bool {
+        let slot = &mut self.visited[i as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+thread_local! {
+    /// Backs the zero-allocation default search path.
+    static HNSW_SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::new());
+}
+
 /// The HNSW index.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HnswIndex {
@@ -89,6 +158,9 @@ pub struct HnswIndex {
     max_level: usize,
     #[serde(skip, default = "default_rng")]
     rng: ChaCha8Rng,
+    /// Insert-path scratch, reused across `add` calls.
+    #[serde(skip)]
+    scratch: SearchScratch,
 }
 
 fn default_rng() -> ChaCha8Rng {
@@ -100,7 +172,17 @@ impl HnswIndex {
     pub fn new(dim: usize, metric: Metric, params: HnswParams) -> Self {
         assert!(dim > 0 && params.m >= 2, "invalid HNSW parameters");
         let rng = ChaCha8Rng::seed_from_u64(params.seed);
-        Self { dim, metric, params, nodes: Vec::new(), data: Vec::new(), entry: None, max_level: 0, rng }
+        Self {
+            dim,
+            metric,
+            params,
+            nodes: Vec::new(),
+            data: Vec::new(),
+            entry: None,
+            max_level: 0,
+            rng,
+            scratch: SearchScratch::new(),
+        }
     }
 
     /// Number of elements.
@@ -155,40 +237,47 @@ impl HnswIndex {
         }
     }
 
-    /// Beam search at one layer returning up to `ef` best candidates.
-    fn search_layer(&self, q: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<Cand> {
-        let mut visited = vec![false; self.nodes.len()];
-        visited[entry as usize] = true;
+    /// Beam search at one layer: leaves up to `ef` best candidates in
+    /// `scratch.layer_out`, best first. Allocation-free at steady state.
+    fn search_layer(
+        &self,
+        q: &[f32],
+        entry: u32,
+        ef: usize,
+        layer: usize,
+        scratch: &mut SearchScratch,
+    ) {
+        scratch.begin(self.nodes.len());
+        scratch.visit(entry);
         let e = Cand { score: self.score_to(q, entry), idx: entry };
-        let mut results: BinaryHeap<RevCand> = BinaryHeap::new(); // min-heap
-        let mut candidates: BinaryHeap<Cand> = BinaryHeap::new(); // max-heap
-        results.push(RevCand(Cand { score: e.score, idx: e.idx }));
-        candidates.push(e);
+        scratch.results.push(RevCand(e));
+        scratch.candidates.push(e);
 
-        while let Some(c) = candidates.pop() {
-            let worst = results.peek().map(|r| r.0.score).unwrap_or(f32::NEG_INFINITY);
-            if c.score < worst && results.len() >= ef {
+        while let Some(c) = scratch.candidates.pop() {
+            let worst = scratch.results.peek().map(|r| r.0.score).unwrap_or(f32::NEG_INFINITY);
+            if c.score < worst && scratch.results.len() >= ef {
                 break;
             }
             for &nb in &self.nodes[c.idx as usize].neighbors[layer] {
-                if visited[nb as usize] {
+                if !scratch.visit(nb) {
                     continue;
                 }
-                visited[nb as usize] = true;
                 let s = self.score_to(q, nb);
-                let worst = results.peek().map(|r| r.0.score).unwrap_or(f32::NEG_INFINITY);
-                if results.len() < ef || s > worst {
-                    candidates.push(Cand { score: s, idx: nb });
-                    results.push(RevCand(Cand { score: s, idx: nb }));
-                    if results.len() > ef {
-                        results.pop();
+                let worst = scratch.results.peek().map(|r| r.0.score).unwrap_or(f32::NEG_INFINITY);
+                if scratch.results.len() < ef || s > worst {
+                    scratch.candidates.push(Cand { score: s, idx: nb });
+                    scratch.results.push(RevCand(Cand { score: s, idx: nb }));
+                    if scratch.results.len() > ef {
+                        scratch.results.pop();
                     }
                 }
             }
         }
-        let mut out: Vec<Cand> = results.into_iter().map(|r| r.0).collect();
-        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
-        out
+        scratch.layer_out.clear();
+        scratch.layer_out.extend(scratch.results.drain().map(|r| r.0));
+        scratch
+            .layer_out
+            .sort_unstable_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
     }
 
     /// Inserts a vector under `id`.
@@ -205,6 +294,10 @@ impl HnswIndex {
             return;
         };
 
+        // Take the owned scratch so `search_layer` can borrow `self`
+        // immutably alongside it; returned at the end of the insert.
+        let mut scratch = std::mem::take(&mut self.scratch);
+
         // Descend through layers above the node's level.
         for l in (level + 1..=self.max_level).rev() {
             cur = self.greedy_at_layer(v, cur, l);
@@ -212,28 +305,41 @@ impl HnswIndex {
 
         // Connect at each layer from min(level, max_level) down to 0.
         for l in (0..=level.min(self.max_level)).rev() {
-            let cands = self.search_layer(v, cur, self.params.ef_construction, l);
-            cur = cands.first().map(|c| c.idx).unwrap_or(cur);
+            self.search_layer(v, cur, self.params.ef_construction, l, &mut scratch);
+            cur = scratch.layer_out.first().map(|c| c.idx).unwrap_or(cur);
             let m_max = if l == 0 { self.params.m * 2 } else { self.params.m };
-            let selected: Vec<u32> =
-                cands.iter().take(self.params.m).map(|c| c.idx).collect();
-            self.nodes[idx as usize].neighbors[l] = selected.clone();
-            for nb in selected {
-                let list = &mut self.nodes[nb as usize].neighbors[l];
-                list.push(idx);
-                if list.len() > m_max {
+            scratch.selected.clear();
+            scratch.selected.extend(scratch.layer_out.iter().take(self.params.m).map(|c| c.idx));
+            let node_list = &mut self.nodes[idx as usize].neighbors[l];
+            node_list.clear();
+            node_list.extend_from_slice(&scratch.selected);
+            for &nb in &scratch.selected {
+                let len_after = {
+                    let list = &mut self.nodes[nb as usize].neighbors[l];
+                    list.push(idx);
+                    list.len()
+                };
+                if len_after > m_max {
                     // Prune: keep the m_max closest to nb.
-                    let nb_vec: Vec<f32> = self.vec_at(nb).to_vec();
-                    let mut scored: Vec<(f32, u32)> = self.nodes[nb as usize].neighbors[l]
-                        .iter()
-                        .map(|&x| (self.metric.score(&nb_vec, self.vec_at(x)), x))
-                        .collect();
-                    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-                    scored.truncate(m_max);
-                    self.nodes[nb as usize].neighbors[l] = scored.into_iter().map(|(_, x)| x).collect();
+                    scratch.prune.clear();
+                    {
+                        let nb_vec = self.vec_at(nb);
+                        for &x in &self.nodes[nb as usize].neighbors[l] {
+                            scratch.prune.push((self.metric.score(nb_vec, self.vec_at(x)), x));
+                        }
+                    }
+                    scratch
+                        .prune
+                        .sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal));
+                    scratch.prune.truncate(m_max);
+                    let list = &mut self.nodes[nb as usize].neighbors[l];
+                    list.clear();
+                    list.extend(scratch.prune.iter().map(|&(_, x)| x));
                 }
             }
         }
+
+        self.scratch = scratch;
 
         if level > self.max_level {
             self.max_level = level;
@@ -247,18 +353,84 @@ impl HnswIndex {
     }
 
     /// Approximate top-`k` search with an explicit beam width.
+    ///
+    /// Uses a per-thread [`SearchScratch`]; after warm-up the only
+    /// allocation is the returned `Vec`. Use [`HnswIndex::search_ef_into`]
+    /// for a fully allocation-free path.
     pub fn search_ef(&self, query: &[f32], k: usize, ef: usize) -> Vec<Hit> {
+        HNSW_SCRATCH.with(|s| self.search_ef_with(query, k, ef, &mut s.borrow_mut()))
+    }
+
+    /// [`HnswIndex::search_ef`] with caller-owned scratch.
+    pub fn search_ef_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+    ) -> Vec<Hit> {
+        let mut out = Vec::with_capacity(k);
+        self.search_ef_into(query, k, ef, scratch, &mut out);
+        out
+    }
+
+    /// Zero-allocation search: hits are written into `out` (cleared
+    /// first). Performs no heap allocation once `scratch` and `out` have
+    /// reached steady-state capacity.
+    pub fn search_ef_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Hit>,
+    ) {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        let Some(mut cur) = self.entry else { return Vec::new() };
+        out.clear();
+        let Some(mut cur) = self.entry else { return };
         for l in (1..=self.max_level).rev() {
             cur = self.greedy_at_layer(query, cur, l);
         }
-        let cands = self.search_layer(query, cur, ef.max(k), 0);
-        cands
-            .into_iter()
-            .take(k)
-            .map(|c| Hit { id: self.nodes[c.idx as usize].id, score: c.score })
-            .collect()
+        self.search_layer(query, cur, ef.max(k), 0, scratch);
+        out.extend(
+            scratch
+                .layer_out
+                .iter()
+                .take(k)
+                .map(|c| Hit { id: self.nodes[c.idx as usize].id, score: c.score }),
+        );
+    }
+
+    /// Approximate top-`k` for a batch of queries fanned out over
+    /// `workers` scoped threads, each with its own scratch. Results are in
+    /// query order, identical to sequential [`HnswIndex::search`] per
+    /// query.
+    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize, workers: usize) -> Vec<Vec<Hit>> {
+        let ef = self.params.ef_search.max(k);
+        let workers = workers.max(1);
+        if workers == 1 || queries.len() <= 1 {
+            let mut scratch = SearchScratch::new();
+            return queries.iter().map(|q| self.search_ef_with(q, k, ef, &mut scratch)).collect();
+        }
+        let chunk = queries.len().div_ceil(workers);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|qs| {
+                    s.spawn(move |_| {
+                        let mut scratch = SearchScratch::new();
+                        qs.iter()
+                            .map(|q| self.search_ef_with(q, k, ef, &mut scratch))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("hnsw search worker panicked"))
+                .collect()
+        })
+        .expect("hnsw search scope failed")
     }
 }
 
@@ -344,5 +516,37 @@ mod tests {
             }
         }
         assert!(found >= 48, "self-recall {found}/50");
+    }
+
+    #[test]
+    fn scratch_variants_agree_with_default_path() {
+        let vecs = random_vectors(400, 12, 9);
+        let mut idx = HnswIndex::new(12, Metric::Cosine, HnswParams::default());
+        for (i, v) in vecs.iter().enumerate() {
+            idx.add(i as u64, v);
+        }
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        for q in vecs.iter().take(25) {
+            let a = idx.search_ef(q, 10, 64);
+            let b = idx.search_ef_with(q, 10, 64, &mut scratch);
+            idx.search_ef_into(q, 10, 64, &mut scratch, &mut out);
+            assert_eq!(a, b);
+            assert_eq!(a, out);
+        }
+    }
+
+    #[test]
+    fn search_batch_matches_sequential() {
+        let vecs = random_vectors(500, 10, 23);
+        let mut idx = HnswIndex::new(10, Metric::Euclidean, HnswParams::default());
+        for (i, v) in vecs.iter().enumerate() {
+            idx.add(i as u64, v);
+        }
+        let queries = random_vectors(13, 10, 77);
+        let seq: Vec<Vec<Hit>> = queries.iter().map(|q| idx.search(q, 5)).collect();
+        for workers in [1, 2, 4] {
+            assert_eq!(idx.search_batch(&queries, 5, workers), seq, "workers={workers}");
+        }
     }
 }

@@ -82,6 +82,19 @@ impl EmbeddingCache {
         out
     }
 
+    /// Zero-copy read: runs `f` on the stored embedding while holding the
+    /// shard read lock, recording hit/miss. The serving-path variant of
+    /// [`EmbeddingCache::get`] — no per-lookup clone of the vector.
+    pub fn with<R>(&self, key: u64, f: impl FnOnce(&[f32]) -> R) -> Option<R> {
+        let out = self.shard(key).read().get(&key).map(|(_, v)| f(v));
+        if out.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
     /// Fetches with the stored version stamp (for freshness checks).
     pub fn get_versioned(&self, key: u64) -> Option<(u64, Vec<f32>)> {
         self.shard(key).read().get(&key).cloned()
@@ -135,6 +148,16 @@ mod tests {
         assert_eq!(s.misses, 1);
         assert_eq!(s.entries, 1);
         assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_reads_without_clone_and_counts() {
+        let c = EmbeddingCache::new();
+        c.put(7, vec![3.0, 4.0]);
+        assert_eq!(c.with(7, saga_core::kernels::l2_norm), Some(5.0));
+        assert_eq!(c.with(8, |v| v.len()), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
     }
 
     #[test]

@@ -15,8 +15,8 @@ pub mod pq;
 pub mod quant;
 pub mod vector;
 
-pub use flat::{FlatIndex, Hit};
-pub use hnsw::{HnswIndex, HnswParams};
+pub use flat::{FlatIndex, FlatScratch, Hit};
+pub use hnsw::{HnswIndex, HnswParams, SearchScratch};
 pub use kv::{CacheStats, EmbeddingCache};
 pub use pq::{PqCodebook, PqConfig, PqIndex};
 pub use quant::{QuantizedTable, QuantizedVector};

@@ -204,20 +204,14 @@ impl PqIndex {
         let m = self.codebook.subspaces;
         let kc = self.codebook.centroids;
         let lut = self.codebook.distance_table(query);
-        let mut hits: Vec<Hit> = (0..self.len())
-            .map(|i| {
+        crate::flat::select_top_k(
+            (0..self.len()).map(|i| {
                 let codes = &self.codes[i * m..(i + 1) * m];
-                let d: f32 = codes
-                    .iter()
-                    .enumerate()
-                    .map(|(s, &c)| lut[s * kc + c as usize])
-                    .sum();
+                let d: f32 = codes.iter().enumerate().map(|(s, &c)| lut[s * kc + c as usize]).sum();
                 Hit { id: self.ids[i], score: -d }
-            })
-            .collect();
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.id.cmp(&b.id)));
-        hits.truncate(k);
-        hits
+            }),
+            k,
+        )
     }
 }
 
@@ -243,7 +237,10 @@ mod tests {
     #[test]
     fn encode_decode_reduces_error_vs_random_codes() {
         let vecs = clustered_vectors(300, 16, 3);
-        let cb = PqCodebook::train(&vecs, &PqConfig { subspaces: 4, centroids: 16, ..Default::default() });
+        let cb = PqCodebook::train(
+            &vecs,
+            &PqConfig { subspaces: 4, centroids: 16, ..Default::default() },
+        );
         let mut err = 0.0f32;
         for v in &vecs {
             let back = cb.decode(&cb.encode(v));
@@ -259,7 +256,8 @@ mod tests {
         let vecs = clustered_vectors(500, dim, 7);
         let items: Vec<(u64, Vec<f32>)> =
             vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())).collect();
-        let pq = PqIndex::build(&items, &PqConfig { subspaces: 4, centroids: 32, ..Default::default() });
+        let pq =
+            PqIndex::build(&items, &PqConfig { subspaces: 4, centroids: 32, ..Default::default() });
         let mut flat = FlatIndex::new(dim, Metric::Euclidean);
         for (id, v) in &items {
             flat.add(*id, v);
@@ -282,18 +280,20 @@ mod tests {
             vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())).collect();
         let pq = PqIndex::build(&items, &PqConfig::default());
         let f32_bytes = 1000 * 32 * 4;
-        assert!(
-            pq.bytes() * 3 < f32_bytes,
-            "PQ {} vs f32 {f32_bytes}",
-            pq.bytes()
-        );
+        assert!(pq.bytes() * 3 < f32_bytes, "PQ {} vs f32 {f32_bytes}", pq.bytes());
     }
 
     #[test]
     fn deterministic_training() {
         let vecs = clustered_vectors(200, 8, 5);
-        let a = PqCodebook::train(&vecs, &PqConfig { subspaces: 2, centroids: 8, ..Default::default() });
-        let b = PqCodebook::train(&vecs, &PqConfig { subspaces: 2, centroids: 8, ..Default::default() });
+        let a = PqCodebook::train(
+            &vecs,
+            &PqConfig { subspaces: 2, centroids: 8, ..Default::default() },
+        );
+        let b = PqCodebook::train(
+            &vecs,
+            &PqConfig { subspaces: 2, centroids: 8, ..Default::default() },
+        );
         assert_eq!(a.encode(&vecs[0]), b.encode(&vecs[0]));
     }
 

@@ -98,17 +98,16 @@ impl QuantizedTable {
         self.data[i * self.dim..(i + 1) * self.dim].iter().map(|&q| q as f32 * s).collect()
     }
 
-    /// Exact top-`k` search over the quantized table.
+    /// Exact top-`k` search over the quantized table (bounded-heap
+    /// selection, O(N + k log k)).
     pub fn search(&self, metric: Metric, query: &[f32], k: usize) -> Vec<crate::flat::Hit> {
-        let mut hits: Vec<crate::flat::Hit> = (0..self.len())
-            .map(|i| {
+        crate::flat::select_top_k(
+            (0..self.len()).map(|i| {
                 let v = self.dequantize_row(i);
                 crate::flat::Hit { id: self.ids[i], score: metric.score(query, &v) }
-            })
-            .collect();
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.id.cmp(&b.id)));
-        hits.truncate(k);
-        hits
+            }),
+            k,
+        )
     }
 }
 

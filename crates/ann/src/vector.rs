@@ -1,5 +1,7 @@
-//! Dense vector math shared by the indexes.
+//! Dense vector math shared by the indexes, backed by the unrolled kernels
+//! in [`saga_core::kernels`].
 
+use saga_core::kernels;
 use serde::{Deserialize, Serialize};
 
 /// Distance/similarity metric for a vector index.
@@ -19,35 +21,33 @@ impl Metric {
     pub fn score(self, a: &[f32], b: &[f32]) -> f32 {
         debug_assert_eq!(a.len(), b.len());
         match self {
-            Metric::Cosine => {
-                let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
-                for (x, y) in a.iter().zip(b) {
-                    dot += x * y;
-                    na += x * x;
-                    nb += y * y;
-                }
-                if na == 0.0 || nb == 0.0 {
-                    0.0
-                } else {
-                    dot / (na.sqrt() * nb.sqrt())
-                }
-            }
+            Metric::Cosine => kernels::cosine(a, b),
+            Metric::Euclidean => -kernels::l2_sq(a, b),
+            Metric::Dot => kernels::dot(a, b),
+        }
+    }
+
+    /// Scores `q` against every row of a contiguous row-major `block`
+    /// (`block.len()` must be a multiple of `q.len()`), one score per row
+    /// appended to `out` after clearing it. Allocation-free once `out` has
+    /// grown to the block's row count — the flat index's serving path.
+    pub fn score_many(self, q: &[f32], block: &[f32], out: &mut Vec<f32>) {
+        match self {
+            Metric::Cosine => kernels::cosine_batch(q, block, out),
             Metric::Euclidean => {
-                let mut d = 0.0f32;
-                for (x, y) in a.iter().zip(b) {
-                    let diff = x - y;
-                    d += diff * diff;
+                kernels::l2_sq_batch(q, block, out);
+                for s in out.iter_mut() {
+                    *s = -*s;
                 }
-                -d
             }
-            Metric::Dot => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            Metric::Dot => kernels::dot_batch(q, block, out),
         }
     }
 }
 
 /// L2 norm of a vector.
 pub fn l2_norm(v: &[f32]) -> f32 {
-    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+    kernels::l2_norm(v)
 }
 
 /// Normalizes `v` to unit length in place (no-op for the zero vector).
@@ -80,6 +80,24 @@ mod tests {
     fn euclidean_is_negative_distance() {
         assert_eq!(Metric::Euclidean.score(&[0.0], &[3.0]), -9.0);
         assert_eq!(Metric::Euclidean.score(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn score_many_matches_score_per_row() {
+        let dim = 5;
+        let q = [0.3, -0.7, 0.2, 0.9, -0.1];
+        let rows: Vec<[f32; 5]> =
+            vec![[1.0, 0.0, 0.5, -0.5, 0.25], [0.0; 5], [-0.9, 0.4, 0.1, 0.2, 0.8]];
+        let block: Vec<f32> = rows.iter().flatten().copied().collect();
+        let mut out = Vec::new();
+        for m in [Metric::Cosine, Metric::Euclidean, Metric::Dot] {
+            m.score_many(&q, &block, &mut out);
+            assert_eq!(out.len(), rows.len());
+            for (row, s) in rows.iter().zip(&out) {
+                assert!((m.score(&q, row) - s).abs() < 1e-6, "{m:?}");
+            }
+        }
+        assert_eq!(dim, q.len());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use saga_ann::{FlatIndex, HnswIndex, HnswParams, Metric, QuantizedVector};
+use saga_ann::{FlatIndex, Hit, HnswIndex, HnswParams, Metric, QuantizedVector, SearchScratch};
 
 fn vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -71,6 +71,59 @@ proptest! {
             if metric != Metric::Dot {
                 prop_assert_eq!(hits[0].id, 0);
             }
+        }
+    }
+
+    /// A persistent, reused [`SearchScratch`] gives results identical to a
+    /// fresh scratch per query, across interleaved adds and searches — the
+    /// epoch-stamped visited marks must never leak state between queries.
+    #[test]
+    fn hnsw_scratch_reuse_equals_fresh(seed in 0u64..10_000) {
+        let dim = 10;
+        let vecs = vectors(300, dim, seed);
+        let queries = vectors(6, dim, seed ^ 0x517);
+        let mut idx = HnswIndex::new(dim, Metric::Cosine, HnswParams::default());
+        let mut reused = SearchScratch::new();
+        for (chunk_no, chunk) in vecs.chunks(75).enumerate() {
+            for (i, v) in chunk.iter().enumerate() {
+                idx.add((chunk_no * 75 + i) as u64, v);
+            }
+            for q in &queries {
+                let with_reused = idx.search_ef_with(q, 10, 64, &mut reused);
+                let with_fresh = idx.search_ef_with(q, 10, 64, &mut SearchScratch::new());
+                prop_assert_eq!(with_reused, with_fresh);
+            }
+        }
+    }
+
+    /// The bounded-heap top-k of [`FlatIndex::search`] equals the full-sort
+    /// reference — `(score desc, id asc)` then truncate — including exact
+    /// tie handling. Components are quantized to force score collisions.
+    #[test]
+    fn flat_top_k_equals_full_sort(seed in 0u64..10_000, k in 1usize..30) {
+        let dim = 4;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Few distinct component values + tiny dim → many duplicate vectors
+        // and therefore many exact score ties.
+        let vecs: Vec<Vec<f32>> = (0..120)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-2i32..=2) as f32 * 0.5).collect())
+            .collect();
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-2i32..=2) as f32 * 0.5).collect();
+        for metric in [Metric::Cosine, Metric::Euclidean, Metric::Dot] {
+            let mut idx = FlatIndex::new(dim, metric);
+            for (i, v) in vecs.iter().enumerate() {
+                idx.add(i as u64, v);
+            }
+            let mut reference: Vec<Hit> = vecs
+                .iter()
+                .enumerate()
+                .map(|(i, v)| Hit { id: i as u64, score: metric.score(&q, v) })
+                .collect();
+            reference.sort_by(|a, b| {
+                b.score.partial_cmp(&a.score).unwrap().then(a.id.cmp(&b.id))
+            });
+            reference.truncate(k);
+            prop_assert_eq!(idx.search(&q, k), reference, "metric {:?}", metric);
         }
     }
 }

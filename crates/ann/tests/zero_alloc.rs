@@ -1,0 +1,97 @@
+//! Asserts the acceptance criterion of the serving-path rework: after
+//! warm-up, a query allocates nothing — not in the scoring kernels, not in
+//! top-k selection, not in the HNSW beam search.
+//!
+//! A counting global allocator is armed around the measured section only;
+//! the queries replayed under measurement are the same ones used for
+//! warm-up, so every scratch buffer has reached steady-state capacity.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use saga_ann::{FlatIndex, FlatScratch, Hit, HnswIndex, HnswParams, Metric, SearchScratch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting armed, returning how many allocations
+/// it performed.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn warm_query_path_performs_no_allocation() {
+    let dim = 32;
+    let n = 1_000;
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let vecs: Vec<Vec<f32>> =
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let queries: Vec<Vec<f32>> =
+        (0..25).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let k = 10;
+
+    let mut flat = FlatIndex::new(dim, Metric::Cosine);
+    let mut hnsw = HnswIndex::new(dim, Metric::Cosine, HnswParams::default());
+    for (i, v) in vecs.iter().enumerate() {
+        flat.add(i as u64, v);
+        hnsw.add(i as u64, v);
+    }
+
+    let mut flat_scratch = FlatScratch::new();
+    let mut hnsw_scratch = SearchScratch::new();
+    let mut out: Vec<Hit> = Vec::new();
+
+    // Warm-up: grow every buffer to steady state on the exact query set
+    // measured below.
+    for q in &queries {
+        flat.search_into(q, k, &mut flat_scratch, &mut out);
+        hnsw.search_ef_into(q, k, 64, &mut hnsw_scratch, &mut out);
+    }
+
+    let flat_allocs = count_allocs(|| {
+        for q in &queries {
+            flat.search_into(q, k, &mut flat_scratch, &mut out);
+        }
+    });
+    assert_eq!(flat_allocs, 0, "flat warm path allocated {flat_allocs} times");
+    assert_eq!(out.len(), k);
+
+    let hnsw_allocs = count_allocs(|| {
+        for q in &queries {
+            hnsw.search_ef_into(q, k, 64, &mut hnsw_scratch, &mut out);
+        }
+    });
+    assert_eq!(hnsw_allocs, 0, "hnsw warm path allocated {hnsw_allocs} times");
+    assert_eq!(out.len(), k);
+}

@@ -47,7 +47,11 @@ impl AliasTable {
                 }
                 let list = forms.entry(norm).or_default();
                 if !list.iter().any(|c| c.entity == e.id) {
-                    list.push(Candidate { entity: e.id, name_prior: 0.7, popularity: e.popularity });
+                    list.push(Candidate {
+                        entity: e.id,
+                        name_prior: 0.7,
+                        popularity: e.popularity,
+                    });
                 }
             }
         }

@@ -258,13 +258,8 @@ mod tests {
     #[test]
     fn scan_against_naive_reference() {
         // Property-style check on a fixed corpus: automaton ≡ naive search.
-        let patterns: Vec<Vec<&str>> = vec![
-            vec!["a"],
-            vec!["a", "b"],
-            vec!["b", "a"],
-            vec!["a", "b", "a"],
-            vec!["c"],
-        ];
+        let patterns: Vec<Vec<&str>> =
+            vec![vec!["a"], vec!["a", "b"], vec!["b", "a"], vec!["a", "b", "a"], vec!["c"]];
         let mut a = PhraseAutomaton::new();
         for p in &patterns {
             a.add_pattern(p);

@@ -57,7 +57,8 @@ pub fn evaluate_linking(annotated: &AnnotatedCorpus, truth: &CorpusTruth) -> Lin
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    let topic_accuracy = if topic_total == 0 { 0.0 } else { topic_hits as f64 / topic_total as f64 };
+    let topic_accuracy =
+        if topic_total == 0 { 0.0 } else { topic_hits as f64 / topic_total as f64 };
     LinkingQuality { precision, recall, f1, topic_accuracy, docs_evaluated: docs }
 }
 

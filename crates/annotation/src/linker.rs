@@ -9,7 +9,8 @@
 
 use crate::mention::Mention;
 use saga_ann::EmbeddingCache;
-use saga_core::text::{cosine, hash_embed, Token};
+use saga_core::kernels;
+use saga_core::text::{hash_embed, Token};
 use saga_core::EntityId;
 use saga_embeddings::TrainedModel;
 use serde::{Deserialize, Serialize};
@@ -138,8 +139,14 @@ pub fn link_mentions(
         if m.candidates.is_empty() {
             continue;
         }
+        // The mention's context embedding is scored against every
+        // candidate's cached feature embedding, so its norm is computed
+        // once and each candidate is scored in place against the cache
+        // entry (no per-candidate clone).
         let ctx = if cfg.tier >= Tier::T2Contextual {
-            Some(context_embedding(tokens, m, cfg.context_window, cfg.feature_dim))
+            let emb = context_embedding(tokens, m, cfg.context_window, cfg.feature_dim);
+            let norm = kernels::l2_norm(&emb);
+            Some((emb, norm))
         } else {
             None
         };
@@ -151,9 +158,11 @@ pub fn link_mentions(
                 if cfg.tier >= Tier::T1Popularity {
                     score += cfg.w_popularity * c.popularity;
                 }
-                if let Some(ctx) = &ctx {
-                    if let Some(feat) = features.get(c.entity.raw()) {
-                        score += cfg.w_context * cosine(ctx, &feat).max(0.0);
+                if let Some((ctx, ctx_norm)) = &ctx {
+                    if let Some(sim) = features
+                        .with(c.entity.raw(), |feat| kernels::cosine_qnorm(ctx, *ctx_norm, feat))
+                    {
+                        score += cfg.w_context * sim.max(0.0);
                     }
                     if let Some(model) = kge {
                         score += cfg.w_coherence * coherence(model, c.entity, &anchors);
@@ -183,6 +192,7 @@ pub fn link_mentions(
 /// anchors' embeddings (0 when unavailable).
 fn coherence(model: &TrainedModel, entity: EntityId, anchors: &[EntityId]) -> f32 {
     let Some(e) = model.entity_embedding(entity) else { return 0.0 };
+    let e_norm = kernels::l2_norm(e);
     let mut sum = 0.0f32;
     let mut n = 0usize;
     for &a in anchors {
@@ -190,7 +200,7 @@ fn coherence(model: &TrainedModel, entity: EntityId, anchors: &[EntityId]) -> f3
             continue;
         }
         if let Some(av) = model.entity_embedding(a) {
-            sum += cosine(e, av).max(0.0);
+            sum += kernels::cosine_qnorm(e, e_norm, av).max(0.0);
             n += 1;
         }
     }
@@ -271,7 +281,8 @@ mod tests {
         let s = generate(&SynthConfig::tiny(151));
         let table = AliasTable::build(&s.kg);
         let (a, forms) = table.compile();
-        let (m, toks) = detect_mentions("alpha beta Michael Jordan gamma delta", &a, &forms, &table);
+        let (m, toks) =
+            detect_mentions("alpha beta Michael Jordan gamma delta", &a, &forms, &table);
         let mention = m.iter().find(|x| x.form == "michael jordan").unwrap();
         let ctx = context_embedding(&toks, mention, 10, 64);
         let expected = saga_core::text::hash_embed(&["alpha", "beta", "gamma", "delta"], 64);

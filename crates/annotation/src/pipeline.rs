@@ -34,15 +34,15 @@ impl AnnotatedCorpus {
     pub fn entity_docs(&self) -> HashMap<EntityId, Vec<DocId>> {
         let mut out: HashMap<EntityId, Vec<DocId>> = HashMap::new();
         for ad in self.docs.values() {
-            let mut seen = std::collections::HashSet::new();
             for m in &ad.mentions {
-                if seen.insert(m.entity) {
-                    out.entry(m.entity).or_default().push(ad.doc);
-                }
+                out.entry(m.entity).or_default().push(ad.doc);
             }
         }
+        // Duplicates (an entity mentioned several times in one document)
+        // collapse in the sort+dedup — cheaper than a per-document set.
         for v in out.values_mut() {
             v.sort_unstable();
+            v.dedup();
         }
         out
     }
@@ -93,7 +93,11 @@ pub fn annotate_corpus(
                     }
                     let page = &corpus.pages[i];
                     let mentions = service.annotate(&page.full_text());
-                    local.push(AnnotatedDoc { doc: page.id, version: page.last_modified, mentions });
+                    local.push(AnnotatedDoc {
+                        doc: page.id,
+                        version: page.last_modified,
+                        mentions,
+                    });
                 }
                 results[w].lock().extend(local);
             });
@@ -129,9 +133,7 @@ pub fn annotate_incremental(
         let page = corpus.page(doc);
         let mentions = service.annotate(&page.full_text());
         mentions_found += mentions.len();
-        annotated
-            .docs
-            .insert(doc, AnnotatedDoc { doc, version: page.last_modified, mentions });
+        annotated.docs.insert(doc, AnnotatedDoc { doc, version: page.last_modified, mentions });
     }
     PipelineStats { docs_processed: changed.len(), mentions_found, elapsed: start.elapsed() }
 }
@@ -212,7 +214,8 @@ mod tests {
     fn incremental_processes_only_changed() {
         let (_, mut c, svc) = setup();
         let (mut annotated, full_stats) = annotate_corpus(&svc, &c, 2);
-        let report = apply_churn(&mut c, &ChurnConfig { edit_fraction: 0.05, new_pages: 5, seed: 3 });
+        let report =
+            apply_churn(&mut c, &ChurnConfig { edit_fraction: 0.05, new_pages: 5, seed: 3 });
         let inc_stats = annotate_incremental(&svc, &c, &mut annotated, &report.changed);
         assert_eq!(inc_stats.docs_processed, report.changed.len());
         assert!(inc_stats.docs_processed < full_stats.docs_processed / 5);

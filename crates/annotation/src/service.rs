@@ -105,8 +105,7 @@ impl AnnotationService {
         self.aliases.add_entity(kg, entity);
         self.features.put(entity.raw(), entity_feature_embedding(kg, entity, self.cfg.feature_dim));
         let ty = kg.entity(entity).entity_type;
-        self.entity_types
-            .insert(entity.raw(), (ty, kg.ontology().type_info(ty).name.clone()));
+        self.entity_types.insert(entity.raw(), (ty, kg.ontology().type_info(ty).name.clone()));
         let e = kg.entity(entity);
         for form in e.surface_forms() {
             let norm = saga_core::text::normalize_phrase(form);
@@ -178,10 +177,7 @@ fn merge_mentions(main: &mut Vec<Mention>, extra: Vec<Mention>) {
             .collect();
         if overlaps.is_empty() {
             main.push(m);
-        } else if overlaps
-            .iter()
-            .all(|&i| (main[i].end - main[i].start) < (m.end - m.start))
-        {
+        } else if overlaps.iter().all(|&i| (main[i].end - main[i].start) < (m.end - m.start)) {
             // The new mention is strictly longer than everything it
             // overlaps: replace them.
             for &i in overlaps.iter().rev() {

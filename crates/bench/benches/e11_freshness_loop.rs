@@ -36,8 +36,15 @@ fn bench(c: &mut Criterion) {
         b.iter_batched(
             || world.synth.kg.clone(),
             |mut kg| {
-                run_odke(&mut kg, &svc, &world.search, &world.corpus, &[target], &OdkeConfig::default())
-                    .facts_written
+                run_odke(
+                    &mut kg,
+                    &svc,
+                    &world.search,
+                    &world.corpus,
+                    &[target],
+                    &OdkeConfig::default(),
+                )
+                .facts_written
             },
             BatchSize::PerIteration,
         )

@@ -1,0 +1,120 @@
+//! E13 bench — kernel layer: unrolled dot/cosine vs the naive scalar loops
+//! they replaced, batch scoring vs per-row calls, and the serving-path
+//! rework (bounded-heap top-k, warm search scratch).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use saga_ann::{FlatIndex, FlatScratch, HnswIndex, HnswParams, Metric, SearchScratch};
+use saga_core::kernels;
+
+fn vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+/// The pre-kernel scalar loops, kept here as the baseline under test.
+fn scalar_dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut s = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        s += x * y;
+    }
+    s
+}
+
+fn scalar_cosine(a: &[f32], b: &[f32]) -> f32 {
+    let (mut d, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+    for (x, y) in a.iter().zip(b) {
+        d += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        d / (na.sqrt() * nb.sqrt())
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let dim = 128;
+    let mut g = c.benchmark_group("e13_kernels");
+    let pair = vectors(2, dim, 7);
+    let (a, b) = (&pair[0], &pair[1]);
+    g.bench_function(BenchmarkId::new("dot_scalar", dim), |bch| {
+        bch.iter(|| scalar_dot(black_box(a), black_box(b)))
+    });
+    g.bench_function(BenchmarkId::new("dot_kernel", dim), |bch| {
+        bch.iter(|| kernels::dot(black_box(a), black_box(b)))
+    });
+    g.bench_function(BenchmarkId::new("cosine_scalar", dim), |bch| {
+        bch.iter(|| scalar_cosine(black_box(a), black_box(b)))
+    });
+    g.bench_function(BenchmarkId::new("cosine_kernel", dim), |bch| {
+        bch.iter(|| kernels::cosine(black_box(a), black_box(b)))
+    });
+    // The serving-path shape: query norm precomputed once, as in the
+    // reranker and the flat-index batch scorer.
+    let qn = kernels::l2_norm(a);
+    g.bench_function(BenchmarkId::new("cosine_qnorm_kernel", dim), |bch| {
+        bch.iter(|| kernels::cosine_qnorm(black_box(a), black_box(qn), black_box(b)))
+    });
+
+    // Batch scoring: one query against a contiguous 4096-row block.
+    let rows = 4_096;
+    let block: Vec<f32> = vectors(rows, dim, 9).into_iter().flatten().collect();
+    let mut out = Vec::with_capacity(rows);
+    g.bench_function(BenchmarkId::new("dot_batch_4096", dim), |bch| {
+        bch.iter(|| kernels::dot_batch(black_box(a), black_box(&block), &mut out))
+    });
+    g.bench_function(BenchmarkId::new("cosine_batch_4096", dim), |bch| {
+        bch.iter(|| kernels::cosine_batch(black_box(a), black_box(&block), &mut out))
+    });
+    g.finish();
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let dim = 64;
+    let n = 10_000;
+    let k = 10;
+    let vecs = vectors(n, dim, 17);
+    let q = vectors(1, dim, 18).pop().unwrap();
+    let mut flat = FlatIndex::new(dim, Metric::Cosine);
+    let mut hnsw = HnswIndex::new(dim, Metric::Cosine, HnswParams::default());
+    for (i, v) in vecs.iter().enumerate() {
+        flat.add(i as u64, v);
+        hnsw.add(i as u64, v);
+    }
+
+    let mut g = c.benchmark_group("e13_serving");
+    g.sample_size(30);
+    // Flat: bounded-heap selection through the warm thread-local scratch.
+    g.bench_function("flat_topk_bounded_heap", |bch| b_iter_flat(bch, &flat, &q, k));
+    // HNSW: fresh scratch per query (the pre-rework allocation profile) vs
+    // a warm reused scratch.
+    g.bench_function("hnsw_fresh_scratch", |bch| {
+        bch.iter(|| {
+            let mut scratch = SearchScratch::new();
+            hnsw.search_ef_with(black_box(&q), k, 64, &mut scratch)
+        })
+    });
+    let mut warm = SearchScratch::new();
+    hnsw.search_ef_with(&q, k, 64, &mut warm);
+    g.bench_function("hnsw_warm_scratch", |bch| {
+        bch.iter(|| hnsw.search_ef_with(black_box(&q), k, 64, &mut warm))
+    });
+    g.finish();
+}
+
+fn b_iter_flat(bch: &mut criterion::Bencher, flat: &FlatIndex, q: &[f32], k: usize) {
+    let mut scratch = FlatScratch::new();
+    let mut out = Vec::with_capacity(k);
+    flat.search_into(q, k, &mut scratch, &mut out);
+    bch.iter(|| {
+        flat.search_into(black_box(q), k, &mut scratch, &mut out);
+        out.len()
+    })
+}
+
+criterion_group!(benches, bench_kernels, bench_serving);
+criterion_main!(benches);

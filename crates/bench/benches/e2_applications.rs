@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
     let world = World::build(Scale::Quick, 13);
     let view = GraphView::materialize(&world.synth.kg, ViewDef::embedding_training(5));
     let ds = TrainingSet::from_edges(&view.edges(), 0.05, 0.05, 23);
-    let model = train(&ds, &TrainConfig { model: ModelKind::TransE, dim: 16, epochs: 8, ..Default::default() });
+    let model = train(
+        &ds,
+        &TrainConfig { model: ModelKind::TransE, dim: 16, epochs: 8, ..Default::default() },
+    );
     let index = build_knn_index(&model, saga_ann::HnswParams::default());
     let verifier = FactVerifier::calibrate(&model, &ds, 0.9);
     let svc = world.annotation_service(Tier::T2Contextual);
@@ -33,9 +36,8 @@ fn bench(c: &mut Criterion) {
     g.bench_function("related_entities_k10", |b| {
         b.iter(|| related_entities(&model, &index, &world.synth.kg, benicio, 10, false))
     });
-    let batch: Vec<_> = (0..64)
-        .map(|i| (world.synth.people[i], occ, world.synth.occupations[i % 15]))
-        .collect();
+    let batch: Vec<_> =
+        (0..64).map(|i| (world.synth.people[i], occ, world.synth.occupations[i % 15])).collect();
     g.bench_function("batch_score_64", |b| b.iter(|| batch_score(&model, &batch)));
     g.bench_function("entity_linking_query", |b| {
         b.iter(|| svc.annotate("Michael Jordan the legendary basketball champion stats"))

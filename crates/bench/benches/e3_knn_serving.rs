@@ -24,7 +24,8 @@ fn bench(c: &mut Criterion) {
             flat.add(i as u64, v);
             hnsw.add(i as u64, v);
         }
-        let quant = QuantizedTable::build(dim, vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())));
+        let quant =
+            QuantizedTable::build(dim, vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())));
         g.bench_with_input(BenchmarkId::new("flat_exact", n), &n, |b, _| {
             b.iter(|| flat.search(&q, 10))
         });

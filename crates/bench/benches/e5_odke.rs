@@ -22,7 +22,9 @@ fn bench(c: &mut Criterion) {
     let page = world.corpus.page(docs[0]);
     let candidates: Vec<_> = docs
         .iter()
-        .flat_map(|&d| extract_from_page(kg, &svc, world.corpus.page(d), target.entity, target.predicate))
+        .flat_map(|&d| {
+            extract_from_page(kg, &svc, world.corpus.page(d), target.entity, target.predicate)
+        })
         .collect();
     let model = Corroborator::default();
 

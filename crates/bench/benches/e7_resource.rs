@@ -6,9 +6,8 @@ use saga_ann::QuantizedVector;
 use saga_ondevice::SpillSorter;
 
 fn bench(c: &mut Criterion) {
-    let items: Vec<(u64, String)> = (0..3000u64)
-        .map(|i| (i.wrapping_mul(0x9e3779b9) % 3000, format!("payload-{i}")))
-        .collect();
+    let items: Vec<(u64, String)> =
+        (0..3000u64).map(|i| (i.wrapping_mul(0x9e3779b9) % 3000, format!("payload-{i}"))).collect();
 
     let mut g = c.benchmark_group("e7_resource");
     g.sample_size(10);

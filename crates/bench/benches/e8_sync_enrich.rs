@@ -36,11 +36,13 @@ fn bench(c: &mut Criterion) {
     g.bench_function("pir_fetch_one_block", |b| b.iter(|| pir_fetch(&db_a, &db_b, 3, 55)));
     g.bench_function("direct_block_read_baseline", |b| {
         // The non-private equivalent: read one block.
-        b.iter(|| db_a.answer(&{
-            let mut sel = vec![false; db_a.len()];
-            sel[3] = true;
-            sel
-        }))
+        b.iter(|| {
+            db_a.answer(&{
+                let mut sel = vec![false; db_a.len()];
+                sel[3] = true;
+                sel
+            })
+        })
     });
     g.finish();
 }

@@ -24,10 +24,8 @@ fn bench(c: &mut Criterion) {
     for buffer in [2usize, 8] {
         g.bench_with_input(BenchmarkId::new("disk_epoch_buffer", buffer), &buffer, |b, &buf| {
             b.iter(|| {
-                let dir = std::env::temp_dir().join(format!(
-                    "saga-e9b-{}-{buf}",
-                    std::process::id()
-                ));
+                let dir =
+                    std::env::temp_dir().join(format!("saga-e9b-{}-{buf}", std::process::id()));
                 let out = train_disk(&ds, &cfg, 8, buf, &dir).unwrap().1.partition_loads;
                 std::fs::remove_dir_all(&dir).ok();
                 out

@@ -213,10 +213,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
         "ablation — rare-predicate frequency threshold (same test triples)",
         &["min_predicate_freq", "train_edges", "relations", "MRR", "Hits@10"],
     );
-    for (label, d) in [
-        ("0 (keep rare)".to_string(), &ds_keep_rare),
-        (format!("{min_freq}"), &ds_filtered),
-    ] {
+    for (label, d) in
+        [("0 (keep rare)".to_string(), &ds_keep_rare), (format!("{min_freq}"), &ds_filtered)]
+    {
         let cfg = train_config(scale, ModelKind::TransE);
         let m = train(d, &cfg);
         let metrics = evaluate(&m, d, &d.test, eval_cap(scale));

@@ -31,18 +31,14 @@ pub fn run(scale: Scale) -> ExperimentResult {
     }
     // All immediately linkable?
     let all_linkable = new_ids.iter().enumerate().all(|(i, id)| {
-        svc.annotate(&format!("call Novel Entity {i} Quux today"))
-            .iter()
-            .any(|l| l.entity == *id)
+        svc.annotate(&format!("call Novel Entity {i} Quux today")).iter().any(|l| l.entity == *id)
     });
     // Full rebuild cost (merge).
     let start = Instant::now();
     svc.merge_delta();
     let merge_cost = start.elapsed();
-    let still_linkable = svc
-        .annotate("call Novel Entity 0 Quux today")
-        .iter()
-        .any(|l| l.entity == new_ids[0]);
+    let still_linkable =
+        svc.annotate("call Novel Entity 0 Quux today").iter().any(|l| l.entity == new_ids[0]);
 
     let mut t = Table::new("time-to-linkable for new entities", &["operation", "value"]);
     t.row(&["incremental add (mean per entity)".into(), us(add_total / n_new as u32)]);

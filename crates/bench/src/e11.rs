@@ -98,15 +98,16 @@ pub fn run(scale: Scale) -> ExperimentResult {
     t.row(&["pages rewritten / reindexed incrementally".into(), reindexed.to_string()]);
     t.row(&[
         "flagged stale by the profiler".into(),
-        format!("{} ({:.0}%)", flagged.len(), 100.0 * flagged.len() as f64 / changes.len().max(1) as f64),
+        format!(
+            "{} ({:.0}%)",
+            flagged.len(),
+            100.0 * flagged.len() as f64 / changes.len().max(1) as f64
+        ),
     ]);
     t.row(&["refreshed to the new value".into(), refreshed_correctly.to_string()]);
     t.row(&["still stale".into(), still_stale.to_string()]);
     t.row(&["wrong / duplicated".into(), wrong.to_string()]);
-    t.row(&[
-        "refresh rate".into(),
-        f3(refreshed_correctly as f64 / changes.len().max(1) as f64),
-    ]);
+    t.row(&["refresh rate".into(), f3(refreshed_correctly as f64 / changes.len().max(1) as f64)]);
     t.row(&["docs fetched".into(), report.distinct_docs_fetched.to_string()]);
     result.tables.push(t);
 

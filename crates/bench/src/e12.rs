@@ -106,8 +106,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
     let same_resolutions = data.records.iter().all(|r| {
         inc.resolution(&r.source, &r.external_id) == engine.resolution(&r.source, &r.external_id)
     });
-    let mut inc_t =
-        Table::new("continuous (batched) ingestion ≡ one-shot", &["property", "value"]);
+    let mut inc_t = Table::new("continuous (batched) ingestion ≡ one-shot", &["property", "value"]);
     inc_t.row(&["batches".into(), batches.to_string()]);
     inc_t.row(&["same canonical entity count".into(), same_entities.to_string()]);
     inc_t.row(&["every record resolved identically".into(), same_resolutions.to_string()]);

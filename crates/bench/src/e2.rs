@@ -16,8 +16,10 @@ use saga_graph::{related_by_walks, Adjacency, GraphView, ViewDef};
 
 /// Runs E2.
 pub fn run(scale: Scale) -> ExperimentResult {
-    let mut result =
-        ExperimentResult::new("E2", "Fig. 2 — fact ranking, verification, related entities, linking");
+    let mut result = ExperimentResult::new(
+        "E2",
+        "Fig. 2 — fact ranking, verification, related entities, linking",
+    );
     let world = World::build(scale, 13);
     let kg = &world.synth.kg;
     let view = GraphView::materialize(kg, ViewDef::embedding_training(5));

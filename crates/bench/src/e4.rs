@@ -16,7 +16,16 @@ pub fn run(scale: Scale) -> ExperimentResult {
     // ---- tier curve -------------------------------------------------------
     let mut t = Table::new(
         format!("annotation tiers over {} pages (price/performance)", world.corpus.len()),
-        &["tier", "precision", "recall", "F1", "topic_acc", "docs_per_s", "rel_cost", "cache_bytes"],
+        &[
+            "tier",
+            "precision",
+            "recall",
+            "F1",
+            "topic_acc",
+            "docs_per_s",
+            "rel_cost",
+            "cache_bytes",
+        ],
     );
     let mut t0_rate = 0.0f64;
     let deployments: Vec<(String, saga_annotation::LinkerConfig)> = vec![
@@ -73,8 +82,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
     let svc = world.annotation_service(Tier::T2Contextual);
     let (mut annotated, full_stats) = annotate_corpus(&svc, &corpus, workers);
     let new_pages = corpus.len() / 100;
-    let report =
-        apply_churn(&mut corpus, &ChurnConfig { edit_fraction: 0.05, new_pages, seed: 5 });
+    let report = apply_churn(&mut corpus, &ChurnConfig { edit_fraction: 0.05, new_pages, seed: 5 });
     let inc_stats = annotate_incremental(&svc, &corpus, &mut annotated, &report.changed);
     let mut inc = Table::new(
         "incremental re-annotation after 5% churn (Sec. 3.1 'rate of change')",

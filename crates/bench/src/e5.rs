@@ -77,7 +77,12 @@ pub fn run(scale: Scale) -> ExperimentResult {
             continue;
         }
         labelled.push((
-            FactTarget { entity: *e, predicate: *p, reason: TargetReason::CoverageGap, importance: 1.0 },
+            FactTarget {
+                entity: *e,
+                predicate: *p,
+                reason: TargetReason::CoverageGap,
+                importance: 1.0,
+            },
             v.clone(),
         ));
     }
@@ -161,29 +166,34 @@ pub fn run(scale: Scale) -> ExperimentResult {
     t.row(&["recall".into(), f3(recall)]);
     result.tables.push(t);
 
-    let mut vol = Table::new("targeted search volume reduction (Sec. 4 'volume of data')", &["metric", "value"]);
+    let mut vol = Table::new(
+        "targeted search volume reduction (Sec. 4 'volume of data')",
+        &["metric", "value"],
+    );
     vol.row(&["corpus pages".into(), report.corpus_size.to_string()]);
     vol.row(&["distinct pages fetched".into(), report.distinct_docs_fetched.to_string()]);
     vol.row(&["fraction of corpus touched".into(), f3(report.volume_fraction())]);
     result.tables.push(vol);
 
-    let mut ext = Table::new("extractor contributions (raw candidates)", &["extractor", "candidates"]);
+    let mut ext =
+        Table::new("extractor contributions (raw candidates)", &["extractor", "candidates"]);
     for kind in [
         ExtractorKind::Infobox,
         ExtractorKind::Pattern,
         ExtractorKind::Contextual,
         ExtractorKind::Table,
     ] {
-        ext.row(&[format!("{kind:?}"), extractor_support.get(&kind).copied().unwrap_or(0).to_string()]);
+        ext.row(&[
+            format!("{kind:?}"),
+            extractor_support.get(&kind).copied().unwrap_or(0).to_string(),
+        ]);
     }
     result.tables.push(ext);
 
     // ---- the Fig. 6 worked example -----------------------------------------
-    let mw = report
-        .outcomes
-        .iter()
-        .find(|o| o.entity == world.synth.scenario.mw_singer
-            && o.predicate == world.synth.preds.date_of_birth);
+    let mw = report.outcomes.iter().find(|o| {
+        o.entity == world.synth.scenario.mw_singer && o.predicate == world.synth.preds.date_of_birth
+    });
     let mut fig6 = Table::new(
         "Fig. 6 scenario — singer Michelle Williams date of birth",
         &["candidate value", "probability", "supports", "verdict"],

@@ -12,7 +12,9 @@ use std::time::Instant;
 fn device_config(scale: Scale) -> DeviceDataConfig {
     match scale {
         Scale::Quick => DeviceDataConfig::tiny(61),
-        Scale::Full => DeviceDataConfig { seed: 61, num_persons: 600, ..DeviceDataConfig::default() },
+        Scale::Full => {
+            DeviceDataConfig { seed: 61, num_persons: 600, ..DeviceDataConfig::default() }
+        }
     }
 }
 
@@ -86,7 +88,11 @@ pub fn run(scale: Scale) -> ExperimentResult {
         &["run", "result_fingerprint", "pause_points"],
     );
     pr.row(&["uninterrupted".into(), format!("{reference_fp:x}"), "0".into()]);
-    pr.row(&["paused+resumed".into(), format!("{:x}", paused.result_fingerprint()), resumes.to_string()]);
+    pr.row(&[
+        "paused+resumed".into(),
+        format!("{:x}", paused.result_fingerprint()),
+        resumes.to_string(),
+    ]);
     result.tables.push(pr);
 
     // ---- the 'three Tims' consolidation + contextual resolution -------------
@@ -118,14 +124,13 @@ pub fn run(scale: Scale) -> ExperimentResult {
             .filter_map(|v| v.as_text().map(str::to_owned))
             .collect()
     };
-    let first_of =
-        |f: &saga_ondevice::FusedPerson| f.display_name.split(' ').next().unwrap_or("").to_lowercase();
+    let first_of = |f: &saga_ondevice::FusedPerson| {
+        f.display_name.split(' ').next().unwrap_or("").to_lowercase()
+    };
     let mut demo: Option<(String, String, saga_core::EntityId)> = None;
     'outer: for f in fused.iter().filter(|f| f.members.len() >= 3) {
-        let namesakes: Vec<_> = fused
-            .iter()
-            .filter(|g| g.entity != f.entity && first_of(g) == first_of(f))
-            .collect();
+        let namesakes: Vec<_> =
+            fused.iter().filter(|g| g.entity != f.entity && first_of(g) == first_of(f)).collect();
         if namesakes.is_empty() {
             continue;
         }
@@ -141,9 +146,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
     if let Some((first, topic, target)) = demo {
         let utterance = format!("message {first} {topic}");
         let refs = resolve_references(&kg, &handles, &fused, &utterance);
-        let resolved_correctly = refs
-            .iter()
-            .any(|r| r.ranked.first().map(|(i, _)| fused[*i].entity) == Some(target));
+        let resolved_correctly =
+            refs.iter().any(|r| r.ranked.first().map(|(i, _)| fused[*i].entity) == Some(target));
         tims.row(&[
             format!("utterance: '{utterance}'"),
             "context-ranked among namesakes".into(),

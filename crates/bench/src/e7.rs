@@ -11,8 +11,12 @@ use std::time::Instant;
 pub fn run(scale: Scale) -> ExperimentResult {
     let mut result = ExperimentResult::new("E7", "Sec. 5 — resource-constrained construction");
     let cfg = match scale {
-        Scale::Quick => DeviceDataConfig { seed: 71, num_persons: 200, ..DeviceDataConfig::default() },
-        Scale::Full => DeviceDataConfig { seed: 71, num_persons: 2_000, ..DeviceDataConfig::default() },
+        Scale::Quick => {
+            DeviceDataConfig { seed: 71, num_persons: 200, ..DeviceDataConfig::default() }
+        }
+        Scale::Full => {
+            DeviceDataConfig { seed: 71, num_persons: 2_000, ..DeviceDataConfig::default() }
+        }
     };
     let (obs, _) = generate_device_data(&cfg);
 
@@ -97,8 +101,7 @@ mod tests {
         let spills_large: usize = rows[rows.len() - 1][2].parse().unwrap();
         assert!(spills_small > spills_large);
         // Pair output identical across budgets (spilling is transparent).
-        let pairs: std::collections::HashSet<String> =
-            rows.iter().map(|r| r[5].clone()).collect();
+        let pairs: std::collections::HashSet<String> = rows.iter().map(|r| r[5].clone()).collect();
         assert_eq!(pairs.len(), 1, "pair counts must not depend on budget: {pairs:?}");
     }
 }

@@ -68,8 +68,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
     // ---- offload --------------------------------------------------------
     let builder = offload_compute(&mut devices, "expensive-contact-view", 1, |d| {
         // An "expensive" derived artifact: sorted distinct contact names.
-        let mut names: Vec<String> =
-            d.observations().iter().map(|o| o.name.clone()).collect();
+        let mut names: Vec<String> = d.observations().iter().map(|o| o.name.clone()).collect();
         names.sort();
         names.dedup();
         serde_json::to_vec(&names).unwrap_or_default()
@@ -159,10 +158,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
         world.synth.preds.release_date,
     );
     let recs = saga_ondevice::recommend(&wide, &profile, &history, world.synth.preds.genre, 5);
-    let mut pers = Table::new(
-        "private on-device personalization (music preferences)",
-        &["signal", "value"],
-    );
+    let mut pers =
+        Table::new("private on-device personalization (music preferences)", &["signal", "value"]);
     pers.row(&["history items".into(), history.len().to_string()]);
     pers.row(&[
         "top genre".into(),

@@ -9,8 +9,12 @@ use std::time::Instant;
 
 fn cfg(scale: Scale) -> TrainConfig {
     match scale {
-        Scale::Quick => TrainConfig { model: ModelKind::TransE, dim: 16, epochs: 3, ..Default::default() },
-        Scale::Full => TrainConfig { model: ModelKind::TransE, dim: 32, epochs: 5, ..Default::default() },
+        Scale::Quick => {
+            TrainConfig { model: ModelKind::TransE, dim: 16, epochs: 3, ..Default::default() }
+        }
+        Scale::Full => {
+            TrainConfig { model: ModelKind::TransE, dim: 32, epochs: 5, ..Default::default() }
+        }
     }
 }
 

@@ -50,11 +50,8 @@ impl Table {
         out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
         out.push('\n');
         for row in &self.rows {
-            let cells: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
-                .collect();
+            let cells: Vec<String> =
+                row.iter().enumerate().map(|(i, c)| format!("{:w$}", c, w = widths[i])).collect();
             out.push_str(&cells.join("  "));
             out.push('\n');
         }

@@ -6,7 +6,7 @@ use saga_core::synth::{generate, SynthConfig};
 use saga_core::{EntityId, KnowledgeGraph, Value};
 use saga_embeddings::{
     build_knn_index, related_entities, train, FactVerifier, ModelKind, PathQuery, PathReasoner,
-    TrainConfig, TrainingSet, TrainedModel,
+    TrainConfig, TrainedModel, TrainingSet,
 };
 use saga_graph::{missing_facts, GraphView, ViewDef};
 use std::path::Path;
@@ -419,21 +419,43 @@ mod tests {
         let model_path = tmpfile("model.saga");
         run(&["generate", "--seed", "3", "--people", "120", "--out", &kg_path]).unwrap();
         run(&[
-            "train", &kg_path, "--model", "transe", "--dim", "16", "--epochs", "6", "--out",
+            "train",
+            &kg_path,
+            "--model",
+            "transe",
+            "--dim",
+            "16",
+            "--epochs",
+            "6",
+            "--out",
             &model_path,
         ])
         .unwrap();
         run(&["related", &kg_path, &model_path, "--name", "Benicio del Toro", "-k", "5"]).unwrap();
         run(&[
-            "verify", &kg_path, &model_path, "--subject", "Michael Jordan", "--predicate",
-            "occupation", "--object", "basketball player",
+            "verify",
+            &kg_path,
+            &model_path,
+            "--subject",
+            "Michael Jordan",
+            "--predicate",
+            "occupation",
+            "--object",
+            "basketball player",
         ])
         .unwrap();
         run(&["annotate", &kg_path, "--text", "Michael Jordan basketball stats", "--tier", "t2"])
             .unwrap();
         run(&[
-            "path", &kg_path, &model_path, "--start", "Benicio del Toro", "--via",
-            "occupation", "-k", "3",
+            "path",
+            &kg_path,
+            &model_path,
+            "--start",
+            "Benicio del Toro",
+            "--via",
+            "occupation",
+            "-k",
+            "3",
         ])
         .unwrap();
         std::fs::remove_file(&kg_path).ok();

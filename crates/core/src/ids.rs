@@ -124,12 +124,7 @@ impl Interner {
     /// Rebuilds the reverse index after deserialization (the index is not
     /// serialized to keep snapshots compact).
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.clone(), i as u32))
-            .collect();
+        self.index = self.strings.iter().enumerate().map(|(i, s)| (s.clone(), i as u32)).collect();
     }
 
     /// Iterates over `(symbol, string)` pairs in allocation order.

@@ -15,6 +15,8 @@
 //! - checksummed binary persistence frames ([`persist`]);
 //! - shared text utilities — tokenizer, stable hashing, hashed feature
 //!   embeddings ([`text`]);
+//! - unrolled dense-vector kernels shared by every scoring hot path
+//!   ([`kernels`]);
 //! - a deterministic synthetic open-domain KG generator standing in for the
 //!   paper's production graph ([`synth`]).
 
@@ -24,6 +26,7 @@
 pub mod entity;
 pub mod error;
 pub mod ids;
+pub mod kernels;
 pub mod literal;
 pub mod ontology;
 pub mod persist;

@@ -68,12 +68,8 @@ impl LiteralTable {
 
     /// Rebuilds the lookup index after deserialization.
     pub fn rebuild_index(&mut self) {
-        self.index = self
-            .values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (key_of(v), LiteralId(i as u64)))
-            .collect();
+        self.index =
+            self.values.iter().enumerate().map(|(i, v)| (key_of(v), LiteralId(i as u64))).collect();
     }
 }
 

@@ -135,9 +135,8 @@ pub fn save_artifact<T: Serialize>(path: &Path, value: &T) -> Result<()> {
 /// Loads a value previously written by [`save_artifact`].
 pub fn load_artifact<T: DeserializeOwned>(path: &Path) -> Result<T> {
     let mut r = FrameReader::open(path)?;
-    let payload = r
-        .next_frame()?
-        .ok_or_else(|| SagaError::Corrupt("artifact file has no frames".into()))?;
+    let payload =
+        r.next_frame()?.ok_or_else(|| SagaError::Corrupt("artifact file has no frames".into()))?;
     Ok(serde_json::from_slice(&payload)?)
 }
 

@@ -337,10 +337,7 @@ impl KnowledgeGraph {
     pub fn out_edges(&self, s: EntityId) -> Vec<(PredicateId, EntityId)> {
         let lo = self.spo.partition_point(|k| k.s < s);
         let hi = self.spo.partition_point(|k| k.s <= s);
-        self.spo[lo..hi]
-            .iter()
-            .filter_map(|k| k.o.as_entity().map(|e| (k.p, e)))
-            .collect()
+        self.spo[lo..hi].iter().filter_map(|k| k.o.as_entity().map(|e| (k.p, e))).collect()
     }
 
     /// Incoming entity-valued edges of `o`: `(subject, predicate)`.

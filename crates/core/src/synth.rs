@@ -100,38 +100,218 @@ pub fn standard_ontology(rare_predicates: usize) -> (Ontology, TypeIds, PredIds)
     use ValueKind as VK;
     use Volatility::{Fast, Slow, Stable};
     let p = |o: &mut Ontology,
-                 name: &str,
-                 phrase: &str,
-                 range: VK,
-                 dom: Option<TypeId>,
-                 card: Cardinality,
-                 vol: Volatility,
-                 noise: bool| o.add_predicate(name, phrase, range, dom, card, vol, noise);
+             name: &str,
+             phrase: &str,
+             range: VK,
+             dom: Option<TypeId>,
+             card: Cardinality,
+             vol: Volatility,
+             noise: bool| o.add_predicate(name, phrase, range, dom, card, vol, noise);
 
     let preds = PredIds {
-        occupation: p(&mut o, "occupation", "occupation", VK::Entity, Some(person), Multi, Slow, false),
+        occupation: p(
+            &mut o,
+            "occupation",
+            "occupation",
+            VK::Entity,
+            Some(person),
+            Multi,
+            Slow,
+            false,
+        ),
         spouse: p(&mut o, "spouse", "spouse", VK::Entity, Some(person), Single, Slow, false),
-        born_in: p(&mut o, "born_in", "place of birth", VK::Entity, Some(person), Single, Stable, false),
+        born_in: p(
+            &mut o,
+            "born_in",
+            "place of birth",
+            VK::Entity,
+            Some(person),
+            Single,
+            Stable,
+            false,
+        ),
         lives_in: p(&mut o, "lives_in", "lives in", VK::Entity, Some(person), Single, Slow, false),
-        works_for: p(&mut o, "works_for", "works for", VK::Entity, Some(person), Multi, Slow, false),
-        member_of: p(&mut o, "member_of", "member of", VK::Entity, Some(person), Multi, Slow, false),
-        directed_by: p(&mut o, "directed_by", "directed by", VK::Entity, Some(types.movie), Single, Stable, false),
-        starring: p(&mut o, "starring", "starring", VK::Entity, Some(types.movie), Multi, Stable, false),
-        performed_by: p(&mut o, "performed_by", "performed by", VK::Entity, Some(types.song), Single, Stable, false),
+        works_for: p(
+            &mut o,
+            "works_for",
+            "works for",
+            VK::Entity,
+            Some(person),
+            Multi,
+            Slow,
+            false,
+        ),
+        member_of: p(
+            &mut o,
+            "member_of",
+            "member of",
+            VK::Entity,
+            Some(person),
+            Multi,
+            Slow,
+            false,
+        ),
+        directed_by: p(
+            &mut o,
+            "directed_by",
+            "directed by",
+            VK::Entity,
+            Some(types.movie),
+            Single,
+            Stable,
+            false,
+        ),
+        starring: p(
+            &mut o,
+            "starring",
+            "starring",
+            VK::Entity,
+            Some(types.movie),
+            Multi,
+            Stable,
+            false,
+        ),
+        performed_by: p(
+            &mut o,
+            "performed_by",
+            "performed by",
+            VK::Entity,
+            Some(types.song),
+            Single,
+            Stable,
+            false,
+        ),
         genre: p(&mut o, "genre", "genre", VK::Entity, None, Multi, Stable, false),
-        founded_by: p(&mut o, "founded_by", "founded by", VK::Entity, Some(types.organization), Multi, Stable, false),
-        headquarters: p(&mut o, "headquarters", "headquarters", VK::Entity, Some(types.organization), Single, Slow, false),
-        home_city: p(&mut o, "home_city", "home city", VK::Entity, Some(types.team), Single, Slow, false),
-        located_in: p(&mut o, "located_in", "located in", VK::Entity, Some(types.place), Single, Stable, false),
-        date_of_birth: p(&mut o, "date_of_birth", "date of birth", VK::Date, Some(person), Single, Stable, false),
-        release_date: p(&mut o, "release_date", "release date", VK::Date, None, Single, Stable, false),
-        founded_date: p(&mut o, "founded_date", "founded", VK::Date, Some(types.organization), Single, Stable, false),
-        height_cm: p(&mut o, "height_cm", "height", VK::Integer, Some(person), Single, Stable, true),
-        net_worth: p(&mut o, "net_worth", "net worth", VK::Integer, Some(person), Single, Fast, true),
-        social_followers: p(&mut o, "social_followers", "social media followers", VK::Integer, Some(person), Single, Fast, true),
-        library_id: p(&mut o, "library_id", "national library id", VK::Identifier, None, Single, Stable, true),
-        runtime_minutes: p(&mut o, "runtime_minutes", "runtime", VK::Integer, Some(types.movie), Single, Stable, true),
-        population: p(&mut o, "population", "population", VK::Integer, Some(types.place), Single, Slow, true),
+        founded_by: p(
+            &mut o,
+            "founded_by",
+            "founded by",
+            VK::Entity,
+            Some(types.organization),
+            Multi,
+            Stable,
+            false,
+        ),
+        headquarters: p(
+            &mut o,
+            "headquarters",
+            "headquarters",
+            VK::Entity,
+            Some(types.organization),
+            Single,
+            Slow,
+            false,
+        ),
+        home_city: p(
+            &mut o,
+            "home_city",
+            "home city",
+            VK::Entity,
+            Some(types.team),
+            Single,
+            Slow,
+            false,
+        ),
+        located_in: p(
+            &mut o,
+            "located_in",
+            "located in",
+            VK::Entity,
+            Some(types.place),
+            Single,
+            Stable,
+            false,
+        ),
+        date_of_birth: p(
+            &mut o,
+            "date_of_birth",
+            "date of birth",
+            VK::Date,
+            Some(person),
+            Single,
+            Stable,
+            false,
+        ),
+        release_date: p(
+            &mut o,
+            "release_date",
+            "release date",
+            VK::Date,
+            None,
+            Single,
+            Stable,
+            false,
+        ),
+        founded_date: p(
+            &mut o,
+            "founded_date",
+            "founded",
+            VK::Date,
+            Some(types.organization),
+            Single,
+            Stable,
+            false,
+        ),
+        height_cm: p(
+            &mut o,
+            "height_cm",
+            "height",
+            VK::Integer,
+            Some(person),
+            Single,
+            Stable,
+            true,
+        ),
+        net_worth: p(
+            &mut o,
+            "net_worth",
+            "net worth",
+            VK::Integer,
+            Some(person),
+            Single,
+            Fast,
+            true,
+        ),
+        social_followers: p(
+            &mut o,
+            "social_followers",
+            "social media followers",
+            VK::Integer,
+            Some(person),
+            Single,
+            Fast,
+            true,
+        ),
+        library_id: p(
+            &mut o,
+            "library_id",
+            "national library id",
+            VK::Identifier,
+            None,
+            Single,
+            Stable,
+            true,
+        ),
+        runtime_minutes: p(
+            &mut o,
+            "runtime_minutes",
+            "runtime",
+            VK::Integer,
+            Some(types.movie),
+            Single,
+            Stable,
+            true,
+        ),
+        population: p(
+            &mut o,
+            "population",
+            "population",
+            VK::Integer,
+            Some(types.place),
+            Single,
+            Slow,
+            true,
+        ),
         rare: (0..rare_predicates)
             .map(|i| {
                 p(
@@ -253,48 +433,162 @@ const FIRST_NAMES: &[&str] = &[
     "rosa", "george", "diana", "edward", "alice", "ronald", "grace", "timothy", "helen",
 ];
 const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "garcia", "miller", "davis", "rodriguez", "martinez", "hernandez",
-    "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
-    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark", "ramirez", "lewis",
-    "robinson", "walker", "young", "allen", "king", "wright", "scott", "torres", "nguyen", "hill",
-    "flores", "green", "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
-    "carter", "roberts", "okafor", "kowalski", "haddad",
+    "smith",
+    "johnson",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
+    "green",
+    "adams",
+    "nelson",
+    "baker",
+    "hall",
+    "rivera",
+    "campbell",
+    "mitchell",
+    "carter",
+    "roberts",
+    "okafor",
+    "kowalski",
+    "haddad",
 ];
 const PLACE_STEMS: &[&str] = &[
     "spring", "oak", "river", "lake", "stone", "maple", "cedar", "iron", "silver", "golden",
     "north", "east", "harbor", "crystal", "summit", "valley", "meadow", "aurora", "granite",
     "willow",
 ];
-const PLACE_SUFFIXES: &[&str] = &["field", "ton", "ville", "burg", "port", "haven", "wood", "ford", "dale", "view"];
+const PLACE_SUFFIXES: &[&str] =
+    &["field", "ton", "ville", "burg", "port", "haven", "wood", "ford", "dale", "view"];
 const MOVIE_ADJ: &[&str] = &[
-    "silent", "crimson", "endless", "broken", "hidden", "burning", "frozen", "electric",
-    "midnight", "golden", "savage", "quiet", "restless", "shattered", "velvet", "hollow",
+    "silent",
+    "crimson",
+    "endless",
+    "broken",
+    "hidden",
+    "burning",
+    "frozen",
+    "electric",
+    "midnight",
+    "golden",
+    "savage",
+    "quiet",
+    "restless",
+    "shattered",
+    "velvet",
+    "hollow",
 ];
 const MOVIE_NOUN: &[&str] = &[
-    "horizon", "empire", "garden", "shadow", "promise", "voyage", "reckoning", "symphony",
-    "frontier", "labyrinth", "harvest", "covenant", "mirage", "cascade", "paradox", "winter",
+    "horizon",
+    "empire",
+    "garden",
+    "shadow",
+    "promise",
+    "voyage",
+    "reckoning",
+    "symphony",
+    "frontier",
+    "labyrinth",
+    "harvest",
+    "covenant",
+    "mirage",
+    "cascade",
+    "paradox",
+    "winter",
 ];
 const SONG_VERB: &[&str] = &[
     "dancing", "falling", "running", "dreaming", "waiting", "burning", "flying", "drifting",
     "singing", "breaking",
 ];
 const SONG_TAIL: &[&str] = &[
-    "in the rain", "without you", "tonight", "all over again", "under neon lights", "back home",
-    "for the last time", "in slow motion", "past midnight", "on the highway",
+    "in the rain",
+    "without you",
+    "tonight",
+    "all over again",
+    "under neon lights",
+    "back home",
+    "for the last time",
+    "in slow motion",
+    "past midnight",
+    "on the highway",
 ];
 const ORG_STEMS: &[&str] = &[
     "apex", "nova", "vertex", "quantum", "stellar", "cobalt", "meridian", "zenith", "atlas",
     "helios", "aurora", "titan", "vector", "lumen", "orbit",
 ];
-const ORG_SUFFIXES: &[&str] = &["labs", "industries", "systems", "media", "records", "studios", "group", "works", "dynamics", "institute"];
+const ORG_SUFFIXES: &[&str] = &[
+    "labs",
+    "industries",
+    "systems",
+    "media",
+    "records",
+    "studios",
+    "group",
+    "works",
+    "dynamics",
+    "institute",
+];
 const OCCUPATIONS: &[&str] = &[
-    "basketball player", "professor", "singer", "actor", "film director", "writer", "politician",
-    "software engineer", "chef", "painter", "journalist", "producer", "entrepreneur", "athlete",
+    "basketball player",
+    "professor",
+    "singer",
+    "actor",
+    "film director",
+    "writer",
+    "politician",
+    "software engineer",
+    "chef",
+    "painter",
+    "journalist",
+    "producer",
+    "entrepreneur",
+    "athlete",
     "composer",
 ];
 const GENRES: &[&str] = &[
-    "drama", "comedy", "thriller", "science fiction", "documentary", "pop", "rock", "jazz",
-    "hip hop", "classical", "folk", "electronic",
+    "drama",
+    "comedy",
+    "thriller",
+    "science fiction",
+    "documentary",
+    "pop",
+    "rock",
+    "jazz",
+    "hip hop",
+    "classical",
+    "folk",
+    "electronic",
 ];
 const SPORTS: &[&str] = &["basketball", "baseball", "soccer", "hockey", "tennis"];
 
@@ -355,7 +649,10 @@ pub fn generate(cfg: &SynthConfig) -> SynthKg {
         let pop = zipf_popularity(i, cfg.num_places);
         let id = kg.add_entity(
             EntityBuilder::new(titlecase(&name), types.place)
-                .description(format!("a city known for its {} district", PLACE_STEMS[i % PLACE_STEMS.len()]))
+                .description(format!(
+                    "a city known for its {} district",
+                    PLACE_STEMS[i % PLACE_STEMS.len()]
+                ))
                 .popularity(pop),
         );
         places.push(id);
@@ -478,7 +775,8 @@ pub fn generate(cfg: &SynthConfig) -> SynthKg {
             3 => types.actor,
             _ => types.person,
         };
-        let n_occ = 1 + (rng.gen_range(0..100) < 30) as usize + (rng.gen_range(0..100) < 10) as usize;
+        let n_occ =
+            1 + (rng.gen_range(0..100) < 30) as usize + (rng.gen_range(0..100) < 10) as usize;
         let mut occs: Vec<EntityId> = Vec::new();
         while occs.len() < n_occ {
             let o = occupations[rng.gen_range(0..occupations.len())];
@@ -560,7 +858,11 @@ pub fn generate(cfg: &SynthConfig) -> SynthKg {
         }
         if rng.gen_bool(cfg.noise_fact_rate * 0.4) {
             kg.insert_with(
-                Triple::new(id, preds.library_id, Value::Identifier(format!("NL{:08}", rng.gen::<u32>()))),
+                Triple::new(
+                    id,
+                    preds.library_id,
+                    Value::Identifier(format!("NL{:08}", rng.gen::<u32>())),
+                ),
                 src,
                 1.0,
             );
@@ -612,9 +914,11 @@ pub fn generate(cfg: &SynthConfig) -> SynthKg {
             titlecase(MOVIE_ADJ[rng.gen_range(0..MOVIE_ADJ.len())]),
             titlecase(MOVIE_NOUN[rng.gen_range(0..MOVIE_NOUN.len())])
         );
-        let title = if rng.gen_bool(0.35) { format!("{title} {}", rng.gen_range(2..4)) } else { title };
+        let title =
+            if rng.gen_bool(0.35) { format!("{title} {}", rng.gen_range(2..4)) } else { title };
         // Benicio directs/stars in the first few movies (intro example).
-        let director = if i < 4 { scenario.benicio } else { actor_pool[rng.gen_range(0..actor_pool.len())] };
+        let director =
+            if i < 4 { scenario.benicio } else { actor_pool[rng.gen_range(0..actor_pool.len())] };
         let id = kg.add_entity(
             EntityBuilder::new(&title, types.movie)
                 .description(format!("a film directed by {}", kg.entity(director).name))
@@ -634,10 +938,19 @@ pub fn generate(cfg: &SynthConfig) -> SynthKg {
             src,
             1.0,
         );
-        let rd = Date::new(rng.gen_range(1960..2023), rng.gen_range(1..=12) as u8, rng.gen_range(1..=28) as u8).unwrap();
+        let rd = Date::new(
+            rng.gen_range(1960..2023),
+            rng.gen_range(1..=12) as u8,
+            rng.gen_range(1..=28) as u8,
+        )
+        .unwrap();
         kg.insert_with(Triple::new(id, preds.release_date, rd), src, 1.0);
         if rng.gen_bool(cfg.noise_fact_rate) {
-            kg.insert_with(Triple::new(id, preds.runtime_minutes, rng.gen_range(70i64..200)), src, 1.0);
+            kg.insert_with(
+                Triple::new(id, preds.runtime_minutes, rng.gen_range(70i64..200)),
+                src,
+                1.0,
+            );
         }
         movies.push(id);
     }
@@ -663,7 +976,12 @@ pub fn generate(cfg: &SynthConfig) -> SynthKg {
             src,
             1.0,
         );
-        let rd = Date::new(rng.gen_range(1960..2023), rng.gen_range(1..=12) as u8, rng.gen_range(1..=28) as u8).unwrap();
+        let rd = Date::new(
+            rng.gen_range(1960..2023),
+            rng.gen_range(1..=12) as u8,
+            rng.gen_range(1..=28) as u8,
+        )
+        .unwrap();
         kg.insert_with(Triple::new(id, preds.release_date, rd), src, 1.0);
         songs.push(id);
     }
@@ -761,8 +1079,7 @@ mod tests {
         let s = generate(&SynthConfig::tiny(7));
         assert!(!s.homonym_groups.is_empty());
         for group in &s.homonym_groups {
-            let names: Vec<_> =
-                group.iter().map(|&e| s.kg.entity(e).name.to_lowercase()).collect();
+            let names: Vec<_> = group.iter().map(|&e| s.kg.entity(e).name.to_lowercase()).collect();
             assert!(names.windows(2).all(|w| w[0] == w[1]), "group shares a name");
         }
     }

@@ -113,7 +113,7 @@ pub fn hash_embed(tokens: &[&str], dim: usize) -> Vec<f32> {
         let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
         v[idx] += sign;
     }
-    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let norm = crate::kernels::l2_norm(&v);
     if norm > 0.0 {
         for x in &mut v {
             *x /= norm;
@@ -122,22 +122,11 @@ pub fn hash_embed(tokens: &[&str], dim: usize) -> Vec<f32> {
     v
 }
 
-/// Cosine similarity between two equal-length vectors (0.0 for zero vectors).
+/// Cosine similarity between two equal-length vectors (0.0 for zero
+/// vectors). Thin alias for [`crate::kernels::cosine`], kept so text-side
+/// callers need only this module.
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut dot = 0.0f32;
-    let mut na = 0.0f32;
-    let mut nb = 0.0f32;
-    for (x, y) in a.iter().zip(b) {
-        dot += x * y;
-        na += x * x;
-        nb += y * y;
-    }
-    if na == 0.0 || nb == 0.0 {
-        0.0
-    } else {
-        dot / (na.sqrt() * nb.sqrt())
-    }
+    crate::kernels::cosine(a, b)
 }
 
 /// Jaccard similarity of two token sets, a cheap lexical name-match feature.

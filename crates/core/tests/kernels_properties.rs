@@ -1,0 +1,119 @@
+//! Property tests: the unrolled kernels must agree with the naive scalar
+//! loops they replaced (within float-reassociation tolerance) for arbitrary
+//! inputs — lengths straddling the unroll width, zero vectors, tiny and
+//! large magnitudes.
+
+use proptest::prelude::*;
+use saga_core::kernels;
+
+fn naive_dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn naive_l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn naive_cosine(a: &[f32], b: &[f32]) -> f32 {
+    let d = naive_dot(a, b);
+    let na = naive_dot(a, a);
+    let nb = naive_dot(b, b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        d / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Tolerance scaled by the magnitude of the terms being summed: unrolled
+/// kernels reassociate the reduction, so the bound must grow with the sum
+/// of absolute terms (it reduces to the plain 1e-5 for unit-scale data).
+fn tol(terms: impl Iterator<Item = f32>) -> f32 {
+    1e-5 * (1.0 + terms.map(f32::abs).sum::<f32>())
+}
+
+/// A pair of equal-length vectors with lengths around the unroll widths.
+fn vec_pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (1usize..96).prop_flat_map(|n| {
+        (proptest::collection::vec(-1.0f32..1.0, n), proptest::collection::vec(-1.0f32..1.0, n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_matches_scalar((a, b) in vec_pair()) {
+        let t = tol(a.iter().zip(&b).map(|(x, y)| x * y));
+        prop_assert!((kernels::dot(&a, &b) - naive_dot(&a, &b)).abs() <= t);
+    }
+
+    #[test]
+    fn l2_sq_matches_scalar((a, b) in vec_pair()) {
+        let t = tol(a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)));
+        prop_assert!((kernels::l2_sq(&a, &b) - naive_l2_sq(&a, &b)).abs() <= t);
+        let tn = tol(a.iter().map(|x| x * x));
+        prop_assert!((kernels::norm_sq(&a) - naive_dot(&a, &a)).abs() <= tn);
+    }
+
+    /// Cosine is bounded in [-1, 1]; the plain 1e-5 applies. Both the full
+    /// kernel and the precomputed-query-norm variant must agree with the
+    /// scalar reference.
+    #[test]
+    fn cosine_matches_scalar((a, b) in vec_pair()) {
+        let reference = naive_cosine(&a, &b);
+        prop_assert!((kernels::cosine(&a, &b) - reference).abs() <= 1e-5);
+        let qn = kernels::l2_norm(&a);
+        prop_assert!((kernels::cosine_qnorm(&a, qn, &b) - reference).abs() <= 1e-5);
+    }
+
+    #[test]
+    fn triple_kernels_match_scalar((a, b) in vec_pair(), seed in 0u64..1000) {
+        // Third vector derived deterministically from the pair.
+        let c: Vec<f32> = a
+            .iter()
+            .zip(&b)
+            .enumerate()
+            .map(|(i, (x, y))| (x - y) * ((seed + i as u64) % 7) as f32 / 7.0)
+            .collect();
+        let nd3: f32 = (0..a.len()).map(|i| a[i] * b[i] * c[i]).sum();
+        let t3 = tol((0..a.len()).map(|i| a[i] * b[i] * c[i]));
+        prop_assert!((kernels::dot3(&a, &b, &c) - nd3).abs() <= t3);
+        let ntr: f32 = (0..a.len())
+            .map(|i| {
+                let d = a[i] + b[i] - c[i];
+                d * d
+            })
+            .sum();
+        let tt = tol((0..a.len()).map(|i| {
+            let d = a[i] + b[i] - c[i];
+            d * d
+        }));
+        prop_assert!((kernels::translate_l2_sq(&a, &b, &c) - ntr).abs() <= tt);
+    }
+
+    /// Batch kernels must agree with row-at-a-time single calls exactly —
+    /// they share the same per-row implementation.
+    #[test]
+    fn batch_matches_single(q in proptest::collection::vec(-1.0f32..1.0, 1..48), rows in 0usize..12, seed in 0u64..1000) {
+        let dim = q.len();
+        let block: Vec<f32> = (0..rows * dim)
+            .map(|i| (((seed + i as u64) % 17) as f32 / 8.5) - 1.0)
+            .collect();
+        let mut out = Vec::new();
+        kernels::dot_batch(&q, &block, &mut out);
+        prop_assert_eq!(out.len(), rows);
+        for (i, &s) in out.iter().enumerate() {
+            prop_assert_eq!(s, kernels::dot(&q, &block[i * dim..(i + 1) * dim]));
+        }
+        kernels::l2_sq_batch(&q, &block, &mut out);
+        for (i, &s) in out.iter().enumerate() {
+            prop_assert_eq!(s, kernels::l2_sq(&q, &block[i * dim..(i + 1) * dim]));
+        }
+        let qn = kernels::l2_norm(&q);
+        kernels::cosine_batch(&q, &block, &mut out);
+        for (i, &s) in out.iter().enumerate() {
+            prop_assert_eq!(s, kernels::cosine_qnorm(&q, qn, &block[i * dim..(i + 1) * dim]));
+        }
+    }
+}

@@ -16,10 +16,18 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..16, 0u8..4, 0u8..16, any::<bool>())
-            .prop_map(|(s, p, o, literal)| Op::Insert { s, p, o, literal }),
-        (0u8..16, 0u8..4, 0u8..16, any::<bool>())
-            .prop_map(|(s, p, o, literal)| Op::Remove { s, p, o, literal }),
+        (0u8..16, 0u8..4, 0u8..16, any::<bool>()).prop_map(|(s, p, o, literal)| Op::Insert {
+            s,
+            p,
+            o,
+            literal
+        }),
+        (0u8..16, 0u8..4, 0u8..16, any::<bool>()).prop_map(|(s, p, o, literal)| Op::Remove {
+            s,
+            p,
+            o,
+            literal
+        }),
         Just(Op::Commit),
     ]
 }
@@ -41,16 +49,21 @@ fn build_graph() -> (KnowledgeGraph, Vec<EntityId>, Vec<saga_core::PredicateId>)
         })
         .collect();
     let mut kg = KnowledgeGraph::new(o);
-    let ents: Vec<_> = (0..16).map(|i| kg.add_entity(EntityBuilder::new(format!("e{i}"), t))).collect();
+    let ents: Vec<_> =
+        (0..16).map(|i| kg.add_entity(EntityBuilder::new(format!("e{i}"), t))).collect();
     (kg, ents, preds)
 }
 
-fn make_triple(ents: &[EntityId], preds: &[saga_core::PredicateId], s: u8, p: u8, o: u8, literal: bool) -> Triple {
-    let object = if literal {
-        Value::Text(format!("lit{o}"))
-    } else {
-        Value::Entity(ents[o as usize])
-    };
+fn make_triple(
+    ents: &[EntityId],
+    preds: &[saga_core::PredicateId],
+    s: u8,
+    p: u8,
+    o: u8,
+    literal: bool,
+) -> Triple {
+    let object =
+        if literal { Value::Text(format!("lit{o}")) } else { Value::Entity(ents[o as usize]) };
     Triple { subject: ents[s as usize], predicate: preds[p as usize], object }
 }
 

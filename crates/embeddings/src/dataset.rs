@@ -137,15 +137,9 @@ impl TrainingSet {
 
     /// Rebuilds the skipped lookup structures (after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.entity_index =
-            self.entities.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
-        self.all_triples = self
-            .train
-            .iter()
-            .chain(&self.valid)
-            .chain(&self.test)
-            .copied()
-            .collect();
+        self.entity_index = self.entities.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
+        self.all_triples =
+            self.train.iter().chain(&self.valid).chain(&self.test).copied().collect();
     }
 }
 

@@ -50,7 +50,8 @@ impl PartitionStore {
 
     fn save(&self, p: u16, table: &EmbeddingTable, stats: &mut DiskStats) -> Result<()> {
         save_artifact(&self.path(p), table)?;
-        stats.bytes_written += std::fs::metadata(self.path(p)).map(|m| m.len() as usize).unwrap_or(0);
+        stats.bytes_written +=
+            std::fs::metadata(self.path(p)).map(|m| m.len() as usize).unwrap_or(0);
         Ok(())
     }
 
@@ -280,11 +281,8 @@ fn disk_step(
     let mut table_t = table_t;
     for (i, &g) in uniq.iter().enumerate() {
         let (in_h, local) = locate(g);
-        let dst: &mut EmbeddingTable = if in_h {
-            table_h
-        } else {
-            table_t.as_deref_mut().expect("tail partition resident")
-        };
+        let dst: &mut EmbeddingTable =
+            if in_h { table_h } else { table_t.as_deref_mut().expect("tail partition resident") };
         dst.copy_row_from(local, scratch, i);
     }
     loss
@@ -304,7 +302,9 @@ mod tests {
     }
 
     fn workdir(name: &str) -> PathBuf {
-        let d = std::env::temp_dir().join("saga-disk-tests").join(format!("{}-{name}", std::process::id()));
+        let d = std::env::temp_dir()
+            .join("saga-disk-tests")
+            .join(format!("{}-{name}", std::process::id()));
         std::fs::create_dir_all(&d).unwrap();
         d
     }
@@ -312,7 +312,8 @@ mod tests {
     #[test]
     fn disk_training_converges() {
         let ds = dataset();
-        let cfg = TrainConfig { dim: 12, epochs: 4, model: ModelKind::TransE, ..Default::default() };
+        let cfg =
+            TrainConfig { dim: 12, epochs: 4, model: ModelKind::TransE, ..Default::default() };
         let dir = workdir("converge");
         let (model, stats) = train_disk(&ds, &cfg, 4, 2, &dir).unwrap();
         assert!(stats.partition_loads > 0);

@@ -87,11 +87,8 @@ pub fn auc(pos: &[f32], neg: &[f32]) -> f64 {
         return 0.5;
     }
     // Rank-sum (Mann-Whitney U) formulation with tie handling.
-    let mut all: Vec<(f32, bool)> = pos
-        .iter()
-        .map(|&s| (s, true))
-        .chain(neg.iter().map(|&s| (s, false)))
-        .collect();
+    let mut all: Vec<(f32, bool)> =
+        pos.iter().map(|&s| (s, true)).chain(neg.iter().map(|&s| (s, false))).collect();
     all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     let mut rank_sum = 0.0f64;
     let mut i = 0usize;
@@ -168,7 +165,8 @@ mod tests {
         let s = generate(&SynthConfig::tiny(81));
         let v = GraphView::materialize(&s.kg, ViewDef::embedding_training(2));
         let ds = TrainingSet::from_edges(&v.edges(), 0.05, 0.05, 3);
-        let cfg = TrainConfig { dim: 16, epochs: 12, model: ModelKind::TransE, ..Default::default() };
+        let cfg =
+            TrainConfig { dim: 16, epochs: 12, model: ModelKind::TransE, ..Default::default() };
         let trained = train(&ds, &cfg);
         let untrained = train(&ds, &TrainConfig { epochs: 0, ..cfg.clone() });
         let m_trained = evaluate(&trained, &ds, &ds.test, 30);

@@ -5,6 +5,7 @@
 //! objective over existing and corrupted edges. Each model provides a score
 //! and the analytic gradient of the score w.r.t. each input vector.
 
+use saga_core::kernels;
 use serde::{Deserialize, Serialize};
 
 /// Which model to train.
@@ -35,21 +36,8 @@ impl ModelKind {
     pub fn score(self, h: &[f32], r: &[f32], t: &[f32]) -> f32 {
         debug_assert!(h.len() == r.len() && r.len() == t.len());
         match self {
-            ModelKind::TransE => {
-                let mut d = 0.0;
-                for i in 0..h.len() {
-                    let x = h[i] + r[i] - t[i];
-                    d += x * x;
-                }
-                -d
-            }
-            ModelKind::DistMult => {
-                let mut s = 0.0;
-                for i in 0..h.len() {
-                    s += h[i] * r[i] * t[i];
-                }
-                s
-            }
+            ModelKind::TransE => -kernels::translate_l2_sq(h, r, t),
+            ModelKind::DistMult => kernels::dot3(h, r, t),
             ModelKind::ComplEx => {
                 let half = h.len() / 2;
                 let mut s = 0.0;

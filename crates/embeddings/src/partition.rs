@@ -206,7 +206,11 @@ pub fn train_partitioned(
                             pool.extend_from_slice(&parts.members[*pt as usize]);
                         }
                         let mut rng = ChaCha8Rng::seed_from_u64(
-                            cfg.seed ^ ((epoch as u64) << 32) ^ ((*ph as u64) << 16) ^ (*pt as u64) ^ w as u64,
+                            cfg.seed
+                                ^ ((epoch as u64) << 32)
+                                ^ ((*ph as u64) << 16)
+                                ^ (*pt as u64)
+                                ^ w as u64,
                         );
 
                         let mut local_loss = 0.0f64;
@@ -329,11 +333,8 @@ fn bucket_step(
     // Load.
     for (i, &g) in uniq.iter().enumerate() {
         let (in_a, local) = locate(g);
-        let src: &EmbeddingTable = if in_a {
-            guard_a
-        } else {
-            guard_b.as_deref().expect("partition B locked")
-        };
+        let src: &EmbeddingTable =
+            if in_a { guard_a } else { guard_b.as_deref().expect("partition B locked") };
         scratch.copy_row_from(i, src, local);
     }
     // Relations live in the caller's bucket-local table (real indices).
@@ -346,11 +347,8 @@ fn bucket_step(
     let mut guard_b = guard_b;
     for (i, &g) in uniq.iter().enumerate() {
         let (in_a, local) = locate(g);
-        let dst: &mut EmbeddingTable = if in_a {
-            guard_a
-        } else {
-            guard_b.as_deref_mut().expect("partition B locked")
-        };
+        let dst: &mut EmbeddingTable =
+            if in_a { guard_a } else { guard_b.as_deref_mut().expect("partition B locked") };
         dst.copy_row_from(local, scratch, i);
     }
     loss
@@ -418,7 +416,8 @@ mod tests {
     #[test]
     fn partitioned_training_reduces_loss() {
         let ds = dataset();
-        let cfg = TrainConfig { dim: 16, epochs: 6, model: ModelKind::TransE, ..Default::default() };
+        let cfg =
+            TrainConfig { dim: 16, epochs: 6, model: ModelKind::TransE, ..Default::default() };
         let (model, stats) = train_partitioned(&ds, &cfg, 4, 2);
         assert!(stats.buckets_trained > 0);
         let first = model.epoch_losses[0];
@@ -436,7 +435,11 @@ mod tests {
         // differ, exact equality is not expected).
         let l_seq = *seq.epoch_losses.last().unwrap();
         let l_par = *par.epoch_losses.last().unwrap();
-        assert!(l_par < seq.epoch_losses[0], "parallel converges: {l_par} vs initial {}", seq.epoch_losses[0]);
+        assert!(
+            l_par < seq.epoch_losses[0],
+            "parallel converges: {l_par} vs initial {}",
+            seq.epoch_losses[0]
+        );
         assert!((l_seq - l_par).abs() < l_seq.max(l_par), "same order of magnitude");
     }
 

@@ -76,11 +76,7 @@ impl<'m> PathReasoner<'m> {
     /// Top-`k` candidate answers with scores (negative squared distance).
     pub fn answer(&self, q: &PathQuery, k: usize) -> Vec<(EntityId, f32)> {
         let Some(emb) = self.embed_query(q) else { return Vec::new() };
-        self.index
-            .search(&emb, k)
-            .into_iter()
-            .map(|h| (EntityId(h.id), h.score))
-            .collect()
+        self.index.search(&emb, k).into_iter().map(|h| (EntityId(h.id), h.score)).collect()
     }
 }
 
@@ -160,9 +156,7 @@ mod tests {
             .find(|&&p| {
                 let spouses = traverse_answers(&s.kg, &PathQuery::hop(p, s.preds.spouse));
                 !spouses.is_empty()
-                    && spouses
-                        .iter()
-                        .any(|&sp| !s.kg.objects(sp, s.preds.born_in).is_empty())
+                    && spouses.iter().any(|&sp| !s.kg.objects(sp, s.preds.born_in).is_empty())
             })
             .copied()
             .expect("a married person with a spouse birthplace exists");
@@ -178,12 +172,8 @@ mod tests {
     fn one_hop_answers_beat_chance() {
         let (s, m) = setup();
         let reasoner = PathReasoner::new(&m);
-        let queries: Vec<PathQuery> = s
-            .people
-            .iter()
-            .take(60)
-            .map(|&p| PathQuery::hop(p, s.preds.born_in))
-            .collect();
+        let queries: Vec<PathQuery> =
+            s.people.iter().take(60).map(|&p| PathQuery::hop(p, s.preds.born_in)).collect();
         let (hits_at_20, total) = evaluate_paths(&s.kg, &reasoner, &queries, 20);
         assert!(total >= 30);
         // Chance of hitting the right place in 20 tries over ~280 entities

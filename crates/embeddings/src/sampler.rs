@@ -17,17 +17,18 @@ impl NegativeSampler {
     /// Creates a new instance.
     pub fn new(num_entities: usize, filtered: bool, seed: u64) -> Self {
         assert!(num_entities > 1, "need at least two entities to corrupt");
-        Self {
-            rng: ChaCha8Rng::seed_from_u64(seed),
-            num_entities: num_entities as u32,
-            filtered,
-        }
+        Self { rng: ChaCha8Rng::seed_from_u64(seed), num_entities: num_entities as u32, filtered }
     }
 
     /// Produces `n` corruptions of `positive`, alternating head and tail
     /// corruption. With filtering on, avoids sampling true triples (up to a
     /// bounded number of retries, so degenerate graphs cannot loop forever).
-    pub fn corrupt(&mut self, positive: &DenseTriple, n: usize, ds: &TrainingSet) -> Vec<DenseTriple> {
+    pub fn corrupt(
+        &mut self,
+        positive: &DenseTriple,
+        n: usize,
+        ds: &TrainingSet,
+    ) -> Vec<DenseTriple> {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
             let corrupt_head = i % 2 == 0;

@@ -59,7 +59,8 @@ impl EmbeddingTable {
     pub fn copy_row_from(&mut self, dst: usize, src: &EmbeddingTable, src_row: usize) {
         debug_assert_eq!(self.dim, src.dim);
         let d = self.dim;
-        self.data[dst * d..(dst + 1) * d].copy_from_slice(&src.data[src_row * d..(src_row + 1) * d]);
+        self.data[dst * d..(dst + 1) * d]
+            .copy_from_slice(&src.data[src_row * d..(src_row + 1) * d]);
         self.grad_sq[dst * d..(dst + 1) * d]
             .copy_from_slice(&src.grad_sq[src_row * d..(src_row + 1) * d]);
     }

@@ -4,7 +4,7 @@
 
 use crate::dataset::TrainingSet;
 use crate::train::TrainedModel;
-use saga_ann::{EmbeddingCache, FlatIndex, HnswIndex, HnswParams, Hit, Metric};
+use saga_ann::{EmbeddingCache, FlatIndex, Hit, HnswIndex, HnswParams, Metric};
 use saga_core::{EntityId, KnowledgeGraph, PredicateId, Value};
 use serde::{Deserialize, Serialize};
 
@@ -165,7 +165,8 @@ mod tests {
         let s = generate(&SynthConfig::tiny(91));
         let v = GraphView::materialize(&s.kg, ViewDef::embedding_training(2));
         let ds = TrainingSet::from_edges(&v.edges(), 0.05, 0.05, 3);
-        let cfg = TrainConfig { dim: 16, epochs: 12, model: ModelKind::TransE, ..Default::default() };
+        let cfg =
+            TrainConfig { dim: 16, epochs: 12, model: ModelKind::TransE, ..Default::default() };
         let m = train(&ds, &cfg);
         (s, ds, m)
     }
@@ -197,17 +198,18 @@ mod tests {
     fn verifier_calibration_hits_target_recall() {
         let (_, ds, m) = setup();
         let v = FactVerifier::calibrate(&m, &ds, 0.9);
-        let above = ds
-            .valid
-            .iter()
-            .filter(|t| m.score_dense(t) >= v.threshold())
-            .count();
+        let above = ds.valid.iter().filter(|t| m.score_dense(t) >= v.threshold()).count();
         let recall = above as f64 / ds.valid.len() as f64;
         assert!(recall >= 0.85, "calibrated recall {recall}");
         // Verify API surfaces plausibility.
         let t = &ds.valid[0];
         let res = v
-            .verify(&m, m.entity_ids[t.h as usize], m.relation_ids[t.r as usize], m.entity_ids[t.t as usize])
+            .verify(
+                &m,
+                m.entity_ids[t.h as usize],
+                m.relation_ids[t.r as usize],
+                m.entity_ids[t.t as usize],
+            )
             .unwrap();
         assert_eq!(res.plausible, res.score >= v.threshold());
     }

@@ -355,11 +355,7 @@ mod tests {
             let m = train(&ds, &quick_cfg(model));
             let first = m.epoch_losses[0];
             let last = *m.epoch_losses.last().unwrap();
-            assert!(
-                last < first * 0.8,
-                "{}: loss did not drop ({first} -> {last})",
-                model.name()
-            );
+            assert!(last < first * 0.8, "{}: loss did not drop ({first} -> {last})", model.name());
             assert!(m.epoch_losses.iter().all(|l| l.is_finite()));
         }
     }

@@ -74,14 +74,16 @@ impl WalkEmbeddings {
 
     /// Top-`k` most related entities by cosine similarity (brute force —
     /// callers wanting ANN should load the vectors into an HNSW index).
+    /// The query norm is computed once and reused across all rows.
     pub fn related(&self, e: EntityId, k: usize) -> Vec<(EntityId, f32)> {
         let Some(q) = self.embedding(e) else { return Vec::new() };
+        let q_norm = saga_core::kernels::l2_norm(q);
         let mut scored: Vec<(EntityId, f32)> = self
             .entity_ids
             .iter()
             .enumerate()
             .filter(|(_, &o)| o != e)
-            .map(|(i, &o)| (o, saga_core::text::cosine(q, self.vectors.row(i))))
+            .map(|(i, &o)| (o, saga_core::kernels::cosine_qnorm(q, q_norm, self.vectors.row(i))))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         scored.truncate(k);
@@ -103,11 +105,7 @@ pub fn train_on_walks(corpus: &[Vec<EntityId>], cfg: &WalkConfig) -> WalkEmbeddi
         entity_ids.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
     let n = entity_ids.len();
     if n == 0 {
-        return WalkEmbeddings {
-            entity_ids,
-            vectors: EmbeddingTable::zeros(1, cfg.dim),
-            index,
-        };
+        return WalkEmbeddings { entity_ids, vectors: EmbeddingTable::zeros(1, cfg.dim), index };
     }
 
     let mut centers = EmbeddingTable::init(n, cfg.dim, cfg.seed);
@@ -117,10 +115,8 @@ pub fn train_on_walks(corpus: &[Vec<EntityId>], cfg: &WalkConfig) -> WalkEmbeddi
     let mut grad_o = vec![0.0f32; cfg.dim];
 
     // Dense local walks.
-    let walks: Vec<Vec<u32>> = corpus
-        .iter()
-        .map(|w| w.iter().map(|e| index[e]).collect())
-        .collect();
+    let walks: Vec<Vec<u32>> =
+        corpus.iter().map(|w| w.iter().map(|e| index[e]).collect()).collect();
 
     for _epoch in 0..cfg.epochs {
         for walk in &walks {
@@ -180,14 +176,7 @@ fn sgns_step(
     grad_o: &mut [f32],
 ) {
     let dim = centers.dim();
-    let mut dot = 0.0f32;
-    {
-        let c = centers.row(center);
-        let o = contexts.row(context);
-        for k in 0..dim {
-            dot += c[k] * o[k];
-        }
-    }
+    let dot = saga_core::kernels::dot(centers.row(center), contexts.row(context));
     let label = if positive { 1.0 } else { 0.0 };
     let err = sigmoid(dot) - label; // dL/d(dot)
     {
@@ -264,10 +253,7 @@ mod tests {
             }
         }
         assert!(probes >= 20);
-        assert!(
-            wins * 100 >= probes * 75,
-            "neighbours closer than random only {wins}/{probes}"
-        );
+        assert!(wins * 100 >= probes * 75, "neighbours closer than random only {wins}/{probes}");
     }
 
     #[test]

@@ -4,9 +4,7 @@
 
 use crate::source::{FeedTrust, SourceEntity};
 use saga_core::text::{jaccard, normalize_phrase};
-use saga_core::{
-    Cardinality, EntityBuilder, EntityId, KnowledgeGraph, Ontology, Triple, Value,
-};
+use saga_core::{Cardinality, EntityBuilder, EntityId, KnowledgeGraph, Ontology, Triple, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -125,8 +123,7 @@ impl FusionEngine {
             return 0.0;
         }
         // Type agreement.
-        let type_ok =
-            self.kg.ontology().type_info(ent.entity_type).name == r.type_name;
+        let type_ok = self.kg.ontology().type_info(ent.entity_type).name == r.type_name;
         // Shared-fact agreement: does any of the record's facts match a
         // stored fact of the canonical entity?
         let mut agree = 0usize;
@@ -177,9 +174,7 @@ impl FusionEngine {
             for c in candidates {
                 stats.pairs_scored += 1;
                 let s = self.score_against(r, c);
-                if s >= self.cfg.match_threshold
-                    && best.map_or(true, |(_, bs)| s > bs)
-                {
+                if s >= self.cfg.match_threshold && best.map_or(true, |(_, bs)| s > bs) {
                     best = Some((c, s));
                 }
             }
@@ -317,10 +312,7 @@ mod tests {
     }
 
     /// Pairwise resolution quality vs ground truth.
-    fn pairwise_f1(
-        engine: &FusionEngine,
-        data: &crate::source::FeedData,
-    ) -> (f64, f64, f64) {
+    fn pairwise_f1(engine: &FusionEngine, data: &crate::source::FeedData) -> (f64, f64, f64) {
         let recs: Vec<&SourceEntity> = data.records.iter().collect();
         let (mut tp, mut fp, mut fn_) = (0u64, 0u64, 0u64);
         for i in 0..recs.len() {
@@ -401,10 +393,7 @@ mod tests {
             }
         }
         assert!(checked > 20);
-        assert!(
-            correct * 100 >= checked * 95,
-            "trusted DOB wins only {correct}/{checked}"
-        );
+        assert!(correct * 100 >= checked * 95, "trusted DOB wins only {correct}/{checked}");
     }
 
     #[test]
@@ -458,10 +447,7 @@ mod tests {
             }
         }
         if candidates > 0 {
-            assert!(
-                linked * 100 >= candidates * 70,
-                "initialed linking {linked}/{candidates}"
-            );
+            assert!(linked * 100 >= candidates * 70, "initialed linking {linked}/{candidates}");
         }
     }
 }

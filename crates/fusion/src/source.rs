@@ -92,8 +92,7 @@ pub fn generate_feeds(s: &SynthKg, cfg: &FeedConfig) -> FeedData {
     });
     people.truncate(cfg.people_per_feed + cfg.people_per_feed / 2);
 
-    let type_of =
-        |e: EntityId| s.kg.ontology().type_info(s.kg.entity(e).entity_type).name.clone();
+    let type_of = |e: EntityId| s.kg.ontology().type_info(s.kg.entity(e).entity_type).name.clone();
     // Feeds reference other entities by NAME, not by our internal ids (a
     // feed cannot know the canonical id space) — entity values are rendered
     // as text; resolving them back to canonical entities is a downstream

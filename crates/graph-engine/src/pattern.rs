@@ -61,12 +61,9 @@ pub fn scan(kg: &KnowledgeGraph, pat: &TriplePattern) -> Vec<Triple> {
             .into_iter()
             .map(|(s, p)| Triple { subject: s, predicate: p, object: Value::Entity(*e) })
             .collect(),
-        (None, None, _) => kg
-            .keys()
-            .iter()
-            .map(|k| kg.decode(*k))
-            .filter(|t| pat.matches(t))
-            .collect(),
+        (None, None, _) => {
+            kg.keys().iter().map(|k| kg.decode(*k)).filter(|t| pat.matches(t)).collect()
+        }
     }
 }
 

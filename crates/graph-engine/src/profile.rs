@@ -302,15 +302,14 @@ mod tests {
         kg.commit();
         let missing = missing_facts(&kg, 100_000);
         assert!(
-            missing
-                .iter()
-                .any(|m| m.entity == victim && m.predicate == s.preds.release_date),
+            missing.iter().any(|m| m.entity == victim && m.predicate == s.preds.release_date),
             "the movie's missing release_date must be flagged despite release_date having no \
              declared domain"
         );
         // But people must NOT be expected to have release dates.
-        assert!(!missing.iter().any(|m| m.predicate == s.preds.release_date
-            && s.people.contains(&m.entity)));
+        assert!(!missing
+            .iter()
+            .any(|m| m.predicate == s.preds.release_date && s.people.contains(&m.entity)));
     }
 
     #[test]

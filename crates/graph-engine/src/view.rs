@@ -73,7 +73,9 @@ impl ViewDef {
         if self.exclude_predicates.contains(&t.predicate) {
             return false;
         }
-        if self.exclude_noise_predicates && kg.ontology().predicate(t.predicate).is_noise_for_embeddings {
+        if self.exclude_noise_predicates
+            && kg.ontology().predicate(t.predicate).is_noise_for_embeddings
+        {
             return false;
         }
         let obj_entity = t.object.as_entity();
@@ -166,7 +168,11 @@ impl GraphView {
     pub fn edges(&self) -> Vec<Edge> {
         self.triples()
             .filter_map(|t| {
-                t.object.as_entity().map(|o| Edge { head: t.subject, relation: t.predicate, tail: o })
+                t.object.as_entity().map(|o| Edge {
+                    head: t.subject,
+                    relation: t.predicate,
+                    tail: o,
+                })
             })
             .collect()
     }
@@ -186,9 +192,7 @@ impl GraphView {
     pub fn entities(&self) -> Vec<EntityId> {
         let mut out: Vec<EntityId> = self
             .triples()
-            .flat_map(|t| {
-                std::iter::once(t.subject).chain(t.object.as_entity())
-            })
+            .flat_map(|t| std::iter::once(t.subject).chain(t.object.as_entity()))
             .collect();
         out.sort_unstable();
         out.dedup();

@@ -54,7 +54,9 @@ pub struct ScoredValue {
 }
 
 /// Groups candidates by value text and computes evidence features.
-pub fn featurize(candidates: &[ExtractedCandidate]) -> Vec<(String, EvidenceFeatures, Vec<&ExtractedCandidate>)> {
+pub fn featurize(
+    candidates: &[ExtractedCandidate],
+) -> Vec<(String, EvidenceFeatures, Vec<&ExtractedCandidate>)> {
     let mut groups: std::collections::BTreeMap<String, Vec<&ExtractedCandidate>> =
         Default::default();
     for c in candidates {
@@ -149,10 +151,7 @@ impl Corroborator {
             })
             .collect();
         out.sort_by(|a, b| {
-            b.probability
-                .partial_cmp(&a.probability)
-                .unwrap()
-                .then(a.value_text.cmp(&b.value_text))
+            b.probability.partial_cmp(&a.probability).unwrap().then(a.value_text.cmp(&b.value_text))
         });
         out
     }
@@ -228,10 +227,7 @@ mod tests {
             examples.push((f, good));
         }
         let m = Corroborator::train(&examples, 500, 0.5);
-        let correct = examples
-            .iter()
-            .filter(|(f, label)| (m.predict(f) > 0.5) == *label)
-            .count();
+        let correct = examples.iter().filter(|(f, label)| (m.predict(f) > 0.5) == *label).count();
         assert!(correct as f64 / examples.len() as f64 > 0.95, "accuracy {correct}/200");
         // Subject confirmation must carry positive weight.
         assert!(m.weights[4] > 0.0);

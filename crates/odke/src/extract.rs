@@ -72,11 +72,8 @@ pub fn parse_value(kg: &KnowledgeGraph, range: ValueKind, text: &str) -> Option<
 /// Checks whether the page's opening links the subject's name to the target
 /// entity (rather than a homonym).
 pub fn confirm_subject(service: &AnnotationService, page: &WebPage, subject: EntityId) -> bool {
-    let lead = format!(
-        "{}. {}",
-        page.title,
-        page.paragraphs.first().map(String::as_str).unwrap_or("")
-    );
+    let lead =
+        format!("{}. {}", page.title, page.paragraphs.first().map(String::as_str).unwrap_or(""));
     service.annotate(&lead).iter().any(|m| m.entity == subject)
 }
 
@@ -90,8 +87,7 @@ pub fn extract_from_page(
 ) -> Vec<ExtractedCandidate> {
     let pinfo = kg.ontology().predicate(predicate);
     let subject_rec = kg.entity(subject);
-    let surface_forms: Vec<String> =
-        subject_rec.surface_forms().map(normalize_phrase).collect();
+    let surface_forms: Vec<String> = subject_rec.surface_forms().map(normalize_phrase).collect();
     let confirmed = confirm_subject(service, page, subject);
     let mut out = Vec::new();
 
@@ -188,10 +184,8 @@ pub fn extract_from_page(
             if !surface_forms.iter().any(|f| norm_sentence.contains(f.as_str())) {
                 continue;
             }
-            let overlap = phrase_tokens
-                .iter()
-                .filter(|t| norm_sentence.contains(t.as_str()))
-                .count();
+            let overlap =
+                phrase_tokens.iter().filter(|t| norm_sentence.contains(t.as_str())).count();
             if overlap == 0 || phrase_tokens.is_empty() {
                 continue;
             }
@@ -232,10 +226,9 @@ fn normalize_matches(text: &str, forms: &[String]) -> bool {
 /// `(name, value)`.
 fn match_template(sentence: &str, phrase: &str) -> Option<(String, String)> {
     let s = sentence.trim();
-    for (prefix, mid) in [
-        (format!("The {phrase} of "), " is "),
-        (format!("El {phrase} de "), " es "),
-    ] {
+    for (prefix, mid) in
+        [(format!("The {phrase} of "), " is "), (format!("El {phrase} de "), " es ")]
+    {
         if let Some(rest) = s.strip_prefix(&prefix) {
             if let Some(pos) = rest.find(mid) {
                 let name = rest[..pos].to_owned();
@@ -330,11 +323,8 @@ mod tests {
     fn table_extractor_recovers_release_dates_from_filmographies() {
         let (s, c, t, svc) = setup();
         // Find a filmography row rendered in the corpus.
-        let page = c
-            .pages
-            .iter()
-            .find(|p| !p.tables.is_empty())
-            .expect("a page with a filmography table");
+        let page =
+            c.pages.iter().find(|p| !p.tables.is_empty()).expect("a page with a filmography table");
         let table = &page.tables[0];
         let movie = table
             .rows

@@ -16,8 +16,12 @@ pub mod runner;
 pub mod synthesize;
 
 pub use corroborate::{featurize, Corroborator, EvidenceFeatures, ScoredValue};
-pub use extract::{confirm_subject, extract_from_page, parse_value, ExtractedCandidate, ExtractorKind};
+pub use extract::{
+    confirm_subject, extract_from_page, parse_value, ExtractedCandidate, ExtractorKind,
+};
 pub use profiler::{select_targets, FactTarget, ProfilerConfig, TargetReason};
 pub use querylog::{generate_query_log, unanswered_targets, QueryRecord};
-pub use runner::{calibrate_corroborator, find_documents, run_odke, OdkeConfig, OdkeReport, TargetOutcome};
+pub use runner::{
+    calibrate_corroborator, find_documents, run_odke, OdkeConfig, OdkeReport, TargetOutcome,
+};
 pub use synthesize::{synthesize_queries, SynthesizedQuery};

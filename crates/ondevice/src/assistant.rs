@@ -5,7 +5,7 @@
 //! embeddings (the "smaller models optimized for on-device deployment").
 
 use crate::fuse::{FusedPerson, PersonalOntology};
-use saga_core::text::{cosine, hash_embed, normalize_phrase, tokenize};
+use saga_core::text::{hash_embed, normalize_phrase, tokenize};
 use saga_core::{KnowledgeGraph, Value};
 use serde::{Deserialize, Serialize};
 
@@ -71,7 +71,9 @@ pub fn resolve_references(
             .into_iter()
             .map(|i| {
                 let ctx = person_context_embedding(kg, handles, &persons[i]);
-                let relevance = cosine(&utterance_emb, &ctx).max(0.0);
+                // hash_embed outputs are unit-length (or all-zero), so the
+                // dot kernel is exactly cosine here — one pass, no norms.
+                let relevance = saga_core::kernels::dot(&utterance_emb, &ctx).max(0.0);
                 // Popularity of the person on-device (observation count).
                 let familiarity = (persons[i].members.len() as f32 / 20.0).min(0.3);
                 (i, relevance + familiarity)
@@ -133,8 +135,7 @@ mod tests {
     #[test]
     fn soccer_context_flips_the_ranking() {
         let (kg, handles, fused) = two_tims();
-        let refs =
-            resolve_references(&kg, &handles, &fused, "tell Tim the soccer practice moved");
+        let refs = resolve_references(&kg, &handles, &fused, "tell Tim the soccer practice moved");
         let tim_ref = refs.iter().find(|r| r.mention == "tim").unwrap();
         let top = &fused[tim_ref.ranked[0].0];
         assert_eq!(top.display_name, "Tim Novak", "soccer context → the other Tim");

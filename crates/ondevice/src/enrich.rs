@@ -332,9 +332,7 @@ mod tests {
         assert!(estimates.iter().any(|e| (e - 100.0).abs() > 0.5));
         // Lower epsilon → more noise (on average).
         let spread = |eps: f64| {
-            (0..200)
-                .map(|i| (dp_count(true_count, eps, 1000 + i) - 100.0).abs())
-                .sum::<f64>()
+            (0..200).map(|i| (dp_count(true_count, eps, 1000 + i) - 100.0).abs()).sum::<f64>()
                 / 200.0
         };
         assert!(spread(0.1) > spread(10.0));

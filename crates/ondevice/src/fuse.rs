@@ -27,10 +27,42 @@ pub fn personal_ontology() -> (Ontology, PersonalOntology) {
     let person = o.add_type("person", None);
     let handles = PersonalOntology {
         person,
-        phone: o.add_predicate("phone", "phone number", ValueKind::Text, Some(person), Multi, Slow, true),
-        email: o.add_predicate("email", "email address", ValueKind::Text, Some(person), Multi, Slow, true),
-        observed_name: o.add_predicate("observed_name", "observed name", ValueKind::Text, Some(person), Multi, Slow, true),
-        talks_about: o.add_predicate("talks_about", "talks about", ValueKind::Text, Some(person), Multi, Slow, false),
+        phone: o.add_predicate(
+            "phone",
+            "phone number",
+            ValueKind::Text,
+            Some(person),
+            Multi,
+            Slow,
+            true,
+        ),
+        email: o.add_predicate(
+            "email",
+            "email address",
+            ValueKind::Text,
+            Some(person),
+            Multi,
+            Slow,
+            true,
+        ),
+        observed_name: o.add_predicate(
+            "observed_name",
+            "observed name",
+            ValueKind::Text,
+            Some(person),
+            Multi,
+            Slow,
+            true,
+        ),
+        talks_about: o.add_predicate(
+            "talks_about",
+            "talks about",
+            ValueKind::Text,
+            Some(person),
+            Multi,
+            Slow,
+            false,
+        ),
     };
     (o, handles)
 }
@@ -58,11 +90,8 @@ pub fn fuse_clusters(
     let mut out = Vec::with_capacity(clusters.len());
     for cluster in clusters {
         let members: Vec<&PersonObservation> = cluster.iter().map(|&i| &observations[i]).collect();
-        let display_name = members
-            .iter()
-            .map(|o| o.name.clone())
-            .max_by_key(|n| n.len())
-            .unwrap_or_default();
+        let display_name =
+            members.iter().map(|o| o.name.clone()).max_by_key(|n| n.len()).unwrap_or_default();
 
         let entity = kg.add_entity(
             EntityBuilder::new(&display_name, handles.person)
@@ -73,14 +102,22 @@ pub fn fuse_clusters(
             let src = kg.register_source(source_name(o.source));
             if let Some(p) = &o.phone {
                 kg.insert_with(
-                    Triple::new(entity, handles.phone, Value::Text(crate::matching::normalize_phone(p))),
+                    Triple::new(
+                        entity,
+                        handles.phone,
+                        Value::Text(crate::matching::normalize_phone(p)),
+                    ),
                     src,
                     1.0,
                 );
             }
             if let Some(e) = &o.email {
                 kg.insert_with(
-                    Triple::new(entity, handles.email, Value::Text(crate::matching::normalize_email(e))),
+                    Triple::new(
+                        entity,
+                        handles.email,
+                        Value::Text(crate::matching::normalize_email(e)),
+                    ),
                     src,
                     1.0,
                 );
@@ -133,7 +170,12 @@ mod tests {
         assert_eq!(fused.len(), clusters.len());
         // Cluster count should approximate the true person count.
         let diff = (fused.len() as i64 - truth.persons.len() as i64).abs();
-        assert!(diff <= (truth.persons.len() / 5) as i64, "clusters {} vs persons {}", fused.len(), truth.persons.len());
+        assert!(
+            diff <= (truth.persons.len() / 5) as i64,
+            "clusters {} vs persons {}",
+            fused.len(),
+            truth.persons.len()
+        );
         // Each fused person has phone and email facts (contact always present).
         let multi: Vec<&FusedPerson> = fused.iter().filter(|f| f.members.len() > 1).collect();
         assert!(!multi.is_empty());

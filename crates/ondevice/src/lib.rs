@@ -22,7 +22,7 @@ pub mod sync;
 
 pub use assistant::{person_context_embedding, resolve_references, ResolvedReference};
 pub use enrich::{
-    decode_pir_block, dp_count, pir_fetch, piggyback_answer, EnrichmentPath, GlobalKnowledge,
+    decode_pir_block, dp_count, piggyback_answer, pir_fetch, EnrichmentPath, GlobalKnowledge,
     PirDatabase, PirFetch, StaticAsset,
 };
 pub use fuse::{fuse_clusters, personal_ontology, FusedPerson, PersonalOntology};
@@ -32,7 +32,9 @@ pub use matching::{
 };
 pub use personalize::{build_preferences, recommend, PreferenceProfile};
 pub use pipeline::{ConstructionPipeline, IncrementReport, PipelineConfig, Stage};
-pub use sources::{generate_device_data, DeviceDataConfig, DeviceTruth, PersonObservation, SourceKind, TruePerson};
+pub use sources::{
+    generate_device_data, DeviceDataConfig, DeviceTruth, PersonObservation, SourceKind, TruePerson,
+};
 pub use spill::{SpillSorter, SpillStats};
 pub use sync::{
     gossip_until_stable, offload_compute, sync_pair, Device, DeviceId, DeviceTier, SourceOp,

@@ -276,8 +276,7 @@ mod tests {
                 context: String::new(),
             },
         ];
-        let (clusters, _) =
-            resolve_entities(&obs, &spill_dir("tims"), 1 << 20, 0.9).unwrap();
+        let (clusters, _) = resolve_entities(&obs, &spill_dir("tims"), 1 << 20, 0.9).unwrap();
         let non_singleton: Vec<_> = clusters.iter().filter(|c| c.len() > 1).collect();
         assert_eq!(non_singleton.len(), 1, "exactly one merged Tim: {clusters:?}");
         assert_eq!(non_singleton[0], &vec![0, 1, 2]);
@@ -288,8 +287,7 @@ mod tests {
     #[test]
     fn resolution_matches_ground_truth_well() {
         let (obs, truth) = generate_device_data(&DeviceDataConfig::tiny(21));
-        let (clusters, _) =
-            resolve_entities(&obs, &spill_dir("truth"), 1 << 20, 0.9).unwrap();
+        let (clusters, _) = resolve_entities(&obs, &spill_dir("truth"), 1 << 20, 0.9).unwrap();
         // Pairwise precision/recall vs ground truth.
         let mut owner_of = vec![0usize; obs.len()];
         for (i, o) in obs.iter().enumerate() {

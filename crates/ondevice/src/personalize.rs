@@ -140,7 +140,8 @@ mod tests {
     fn uncovered_items_flagged_for_private_retrieval() {
         let (_, g) = setup();
         let ghost = EntityId(u64::MAX - 17);
-        let profile = build_preferences(&g, &[ghost], saga_core::PredicateId(0), saga_core::PredicateId(1));
+        let profile =
+            build_preferences(&g, &[ghost], saga_core::PredicateId(0), saga_core::PredicateId(1));
         assert_eq!(profile.uncovered, vec![ghost]);
         assert!(profile.genres.is_empty());
     }

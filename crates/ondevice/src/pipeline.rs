@@ -166,7 +166,8 @@ impl ConstructionPipeline {
                     let end = (self.state.cursor + remaining).min(self.state.pairs.len());
                     for idx in self.state.cursor..end {
                         let (a, b) = self.state.pairs[idx];
-                        let s = score_pair(&self.state.observations[a], &self.state.observations[b]);
+                        let s =
+                            score_pair(&self.state.observations[a], &self.state.observations[b]);
                         if s.score >= self.cfg.match_threshold {
                             self.state.matched.push((a, b));
                         }
@@ -207,7 +208,11 @@ impl ConstructionPipeline {
     }
 
     /// Restores a pipeline from a checkpoint over the same input snapshot.
-    pub fn resume(input: Vec<PersonObservation>, cfg: PipelineConfig, checkpoint: &[u8]) -> Result<Self> {
+    pub fn resume(
+        input: Vec<PersonObservation>,
+        cfg: PipelineConfig,
+        checkpoint: &[u8],
+    ) -> Result<Self> {
         let state: PipelineState =
             serde_json::from_slice(checkpoint).map_err(|e| SagaError::Serde(e.to_string()))?;
         Ok(Self { input, cfg, state })
@@ -263,9 +268,7 @@ impl ConstructionPipeline {
                 j += 1;
             }
             let group = &keyed[i..=j];
-            if group.len() <= self.cfg.max_block_size
-                && group.iter().any(|(_, idx)| *idx >= base)
-            {
+            if group.len() <= self.cfg.max_block_size && group.iter().any(|(_, idx)| *idx >= base) {
                 for a in 0..group.len() {
                     for b in a + 1..group.len() {
                         let (x, y) = (group[a].1, group[b].1);

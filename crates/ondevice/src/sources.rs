@@ -18,7 +18,8 @@ pub enum SourceKind {
 
 impl SourceKind {
     /// All source kinds.
-    pub const ALL: [SourceKind; 3] = [SourceKind::Contacts, SourceKind::Messages, SourceKind::Calendar];
+    pub const ALL: [SourceKind; 3] =
+        [SourceKind::Contacts, SourceKind::Messages, SourceKind::Calendar];
 }
 
 /// A normalized observation of a person from one source record — the unit
@@ -104,13 +105,38 @@ const FIRSTS: &[&str] = &[
     "raj", "lucy", "sam", "vera", "hugo", "iris", "noel", "dana",
 ];
 const LASTS: &[&str] = &[
-    "archer", "bellamy", "cruz", "dalton", "ellis", "fontaine", "grieves", "holt", "imai",
-    "jensen", "kovacs", "lindqvist", "moreau", "novak", "ortega", "petrov", "quirke", "rossi",
-    "sato", "tanaka",
+    "archer",
+    "bellamy",
+    "cruz",
+    "dalton",
+    "ellis",
+    "fontaine",
+    "grieves",
+    "holt",
+    "imai",
+    "jensen",
+    "kovacs",
+    "lindqvist",
+    "moreau",
+    "novak",
+    "ortega",
+    "petrov",
+    "quirke",
+    "rossi",
+    "sato",
+    "tanaka",
 ];
 const TOPICS: &[&str] = &[
-    "sigmod draft", "quarterly budget", "soccer practice", "book club", "road trip",
-    "house renovation", "piano recital", "tax filing", "hiking plan", "birthday party",
+    "sigmod draft",
+    "quarterly budget",
+    "soccer practice",
+    "book club",
+    "road trip",
+    "house renovation",
+    "piano recital",
+    "tax filing",
+    "hiking plan",
+    "birthday party",
 ];
 
 /// Generates device observations and their ground truth. Deterministic.
@@ -131,16 +157,12 @@ pub fn generate_device_data(cfg: &DeviceDataConfig) -> (Vec<PersonObservation>, 
             f
         };
         let last = LASTS[rng.gen_range(0..LASTS.len())];
-        let full_name = format!(
-            "{} {}",
-            saga_core::synth::titlecase(first),
-            saga_core::synth::titlecase(last)
-        );
+        let full_name =
+            format!("{} {}", saga_core::synth::titlecase(first), saga_core::synth::titlecase(last));
         let phone = format!("+1 555 {:03} {:04}", i % 1000, rng.gen_range(0..10000));
         let email = format!("{first}.{last}{i}@example.com");
-        let topics: Vec<String> = (0..2)
-            .map(|_| TOPICS[rng.gen_range(0..TOPICS.len())].to_owned())
-            .collect();
+        let topics: Vec<String> =
+            (0..2).map(|_| TOPICS[rng.gen_range(0..TOPICS.len())].to_owned()).collect();
         truth.persons.push(TruePerson { full_name, phone, email, topics });
     }
 
@@ -216,8 +238,8 @@ mod tests {
         for pi in 0..truth.persons.len() {
             for kind in SourceKind::ALL {
                 assert!(
-                    obs.iter().any(|o| o.source == kind
-                        && truth.owner[&(o.source, o.record_id)] == pi),
+                    obs.iter()
+                        .any(|o| o.source == kind && truth.owner[&(o.source, o.record_id)] == pi),
                     "person {pi} missing {kind:?}"
                 );
             }

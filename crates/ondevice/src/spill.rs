@@ -95,8 +95,8 @@ impl<T: Serialize + DeserializeOwned + Ord> SpillSorter<T> {
             readers.push(FrameReader::open(r)?);
         }
         let next_from = |src: usize,
-                             memory: &mut std::collections::VecDeque<T>,
-                             readers: &mut Vec<FrameReader>|
+                         memory: &mut std::collections::VecDeque<T>,
+                         readers: &mut Vec<FrameReader>|
          -> Result<Option<T>> {
             if src == 0 {
                 Ok(memory.pop_front())

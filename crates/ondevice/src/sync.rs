@@ -176,23 +176,13 @@ pub struct SyncReport {
 /// artifacts. Idempotent and commutative.
 pub fn sync_pair(a: &mut Device, b: &mut Device) -> SyncReport {
     let mut report = SyncReport::default();
-    let shared: Vec<SourceKind> = SourceKind::ALL
-        .into_iter()
-        .filter(|s| a.policy.syncs(*s) && b.policy.syncs(*s))
-        .collect();
+    let shared: Vec<SourceKind> =
+        SourceKind::ALL.into_iter().filter(|s| a.policy.syncs(*s) && b.policy.syncs(*s)).collect();
 
-    let from_a: Vec<SourceOp> = a
-        .log
-        .values()
-        .filter(|op| shared.contains(&op.source))
-        .cloned()
-        .collect();
-    let from_b: Vec<SourceOp> = b
-        .log
-        .values()
-        .filter(|op| shared.contains(&op.source))
-        .cloned()
-        .collect();
+    let from_a: Vec<SourceOp> =
+        a.log.values().filter(|op| shared.contains(&op.source)).cloned().collect();
+    let from_b: Vec<SourceOp> =
+        b.log.values().filter(|op| shared.contains(&op.source)).cloned().collect();
 
     for op in from_a {
         let key = (op.origin, op.source, op.seq);
@@ -262,12 +252,8 @@ pub fn offload_compute(
         .max_by_key(|(_, d)| d.tier)?
         .0;
     let payload = build(&devices[builder_idx]);
-    let artifact = ViewArtifact {
-        name: name.to_owned(),
-        built_by: devices[builder_idx].id,
-        version,
-        payload,
-    };
+    let artifact =
+        ViewArtifact { name: name.to_owned(), built_by: devices[builder_idx].id, version, payload };
     for d in devices.iter_mut() {
         d.store_artifact(artifact.clone());
     }
@@ -361,11 +347,10 @@ mod tests {
     #[test]
     fn offload_picks_most_capable_and_ships_artifact() {
         let mut devices = three_devices();
-        let builder =
-            offload_compute(&mut devices, "popular-contacts-view", 1, |d| {
-                format!("built-from-{}-ops", d.observations().len()).into_bytes()
-            })
-            .unwrap();
+        let builder = offload_compute(&mut devices, "popular-contacts-view", 1, |d| {
+            format!("built-from-{}-ops", d.observations().len()).into_bytes()
+        })
+        .unwrap();
         assert_eq!(builder, DeviceId(0), "laptop is most capable");
         for d in &devices {
             let art = d.artifact("popular-contacts-view").unwrap();
@@ -379,8 +364,18 @@ mod tests {
     #[test]
     fn artifact_versions_monotonic() {
         let mut d = Device::new(DeviceId(9), DeviceTier::Phone, SyncPolicy::all());
-        d.store_artifact(ViewArtifact { name: "v".into(), built_by: DeviceId(0), version: 2, payload: vec![2] });
-        d.store_artifact(ViewArtifact { name: "v".into(), built_by: DeviceId(0), version: 1, payload: vec![1] });
+        d.store_artifact(ViewArtifact {
+            name: "v".into(),
+            built_by: DeviceId(0),
+            version: 2,
+            payload: vec![2],
+        });
+        d.store_artifact(ViewArtifact {
+            name: "v".into(),
+            built_by: DeviceId(0),
+            version: 1,
+            payload: vec![1],
+        });
         assert_eq!(d.artifact("v").unwrap().payload, vec![2], "older version ignored");
     }
 }

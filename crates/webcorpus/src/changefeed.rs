@@ -73,7 +73,6 @@ pub fn apply_churn(corpus: &mut Corpus, cfg: &ChurnConfig) -> ChurnReport {
     ChurnReport { changed, version }
 }
 
-
 /// A real-world fact change propagated onto the Web: the pages about
 /// `subject` now render `new_value` for `predicate` (the KG still holds the
 /// old value until ODKE refreshes it) — the "certain facts ... may also
@@ -187,7 +186,8 @@ mod tests {
     fn churn_changes_expected_fraction() {
         let mut c = corpus();
         let before = c.len();
-        let report = apply_churn(&mut c, &ChurnConfig { edit_fraction: 0.1, new_pages: 5, seed: 1 });
+        let report =
+            apply_churn(&mut c, &ChurnConfig { edit_fraction: 0.1, new_pages: 5, seed: 1 });
         let expected_edits = (before as f64 * 0.1) as usize;
         assert_eq!(report.changed.len(), expected_edits + 5);
         assert_eq!(c.len(), before + 5);

@@ -55,13 +55,7 @@ impl Default for CorpusConfig {
 impl CorpusConfig {
     /// Small corpus for unit tests.
     pub fn tiny(seed: u64) -> Self {
-        Self {
-            seed,
-            entity_pages: 220,
-            news_pages: 40,
-            noise_pages: 20,
-            ..Self::default()
-        }
+        Self { seed, entity_pages: 220, news_pages: 40, noise_pages: 20, ..Self::default() }
     }
 }
 
@@ -121,8 +115,22 @@ fn sentence(lang: &str, phrase: &str, name: &str, value: &str) -> String {
 }
 
 const NOISE_WORDS: &[&str] = &[
-    "weather", "recipe", "forum", "discussion", "tutorial", "gadget", "review", "travel",
-    "garden", "fitness", "coupon", "stream", "puzzle", "market", "archive", "newsletter",
+    "weather",
+    "recipe",
+    "forum",
+    "discussion",
+    "tutorial",
+    "gadget",
+    "review",
+    "travel",
+    "garden",
+    "fitness",
+    "coupon",
+    "stream",
+    "puzzle",
+    "market",
+    "archive",
+    "newsletter",
 ];
 
 /// Generates the corpus. `extra_facts` are facts that must appear on pages
@@ -149,14 +157,8 @@ pub fn generate_corpus(
     }
 
     // Pick profile subjects: all entities ordered by popularity.
-    let mut subjects: Vec<EntityId> = s
-        .people
-        .iter()
-        .chain(&s.movies)
-        .chain(&s.orgs)
-        .chain(&s.teams)
-        .copied()
-        .collect();
+    let mut subjects: Vec<EntityId> =
+        s.people.iter().chain(&s.movies).chain(&s.orgs).chain(&s.teams).copied().collect();
     subjects.sort_by(|a, b| {
         s.kg.entity(*b).popularity.partial_cmp(&s.kg.entity(*a).popularity).unwrap()
     });
@@ -177,11 +179,8 @@ pub fn generate_corpus(
         paragraphs.push(format!("{} is {}.", rec.name, rec.description));
 
         // Facts: KG triples of the subject plus extras.
-        let mut facts: Vec<(PredicateId, Value)> = s
-            .kg
-            .triples_of(subject)
-            .map(|t| (t.predicate, t.object))
-            .collect();
+        let mut facts: Vec<(PredicateId, Value)> =
+            s.kg.triples_of(subject).map(|t| (t.predicate, t.object)).collect();
         if let Some(extra) = extra_by_subject.get(&subject) {
             facts.extend(extra.iter().cloned());
         }
@@ -200,8 +199,7 @@ pub fn generate_corpus(
                     .get(&rec.name.to_lowercase())
                     .map(|v| v.iter().copied().filter(|&e| e != subject).collect())
                     .unwrap_or_default();
-                let confused = if !homonyms.is_empty() && rng.gen_bool(cfg.homonym_confusion_rate)
-                {
+                let confused = if !homonyms.is_empty() && rng.gen_bool(cfg.homonym_confusion_rate) {
                     // Use the homonym's value for the same predicate — the
                     // Fig. 6 confusion.
                     let h = homonyms[rng.gen_range(0..homonyms.len())];
@@ -236,11 +234,10 @@ pub fn generate_corpus(
             let mut rows = Vec::new();
             for &movie in &directed {
                 let title = s.kg.entity(movie).name.clone();
-                let date = s
-                    .kg
-                    .object(movie, s.preds.release_date)
-                    .map(|v| v.canonical())
-                    .unwrap_or_default();
+                let date =
+                    s.kg.object(movie, s.preds.release_date)
+                        .map(|v| v.canonical())
+                        .unwrap_or_default();
                 if !date.is_empty() {
                     truth.rendered_facts.push((id, movie, s.preds.release_date, date.clone()));
                     mentioned.push(movie);
@@ -262,7 +259,11 @@ pub fn generate_corpus(
         truth.mentions.insert(id, mentioned);
         pages.push(WebPage {
             id,
-            url: format!("synth://profile/{}/{}", rec.name.replace(' ', "-").to_lowercase(), id.raw()),
+            url: format!(
+                "synth://profile/{}/{}",
+                rec.name.replace(' ', "-").to_lowercase(),
+                id.raw()
+            ),
             title: rec.name.clone(),
             kind: PageKind::EntityProfile,
             lang: lang.into(),
@@ -386,10 +387,7 @@ mod tests {
         for (doc, subject) in t.page_topics.iter().take(30) {
             let page = c.page(*doc);
             let name = &s.kg.entity(*subject).name;
-            assert!(
-                page.full_text().contains(name.as_str()),
-                "page {doc:?} must mention {name}"
-            );
+            assert!(page.full_text().contains(name.as_str()), "page {doc:?} must mention {name}");
             assert!(t.mentions[doc].contains(subject));
         }
     }
@@ -413,10 +411,9 @@ mod tests {
         assert!(!t.planted_errors.is_empty(), "error rate must plant some wrong values");
         for (doc, e, p, wrong) in &t.planted_errors {
             assert!(
-                !t.rendered_facts.iter().any(|(d2, e2, p2, v2)| d2 == doc
-                    && e2 == e
-                    && p2 == p
-                    && v2 == wrong),
+                !t.rendered_facts
+                    .iter()
+                    .any(|(d2, e2, p2, v2)| d2 == doc && e2 == e && p2 == p && v2 == wrong),
                 "a value cannot be both correct and planted-wrong on one page"
             );
         }
@@ -426,7 +423,12 @@ mod tests {
     fn page_kinds_all_present_and_counts_add_up() {
         let (_, c, _) = corpus();
         let cfg = CorpusConfig::tiny(5);
-        assert_eq!(c.len(), cfg.entity_pages.min(c.len() - cfg.news_pages - cfg.noise_pages) + cfg.news_pages + cfg.noise_pages);
+        assert_eq!(
+            c.len(),
+            cfg.entity_pages.min(c.len() - cfg.news_pages - cfg.noise_pages)
+                + cfg.news_pages
+                + cfg.noise_pages
+        );
         use crate::page::PageKind::*;
         for kind in [EntityProfile, News, Noise] {
             assert!(c.pages.iter().any(|p| p.kind == kind), "{kind:?} present");
@@ -448,13 +450,10 @@ mod tests {
                 // The rendered fact is recorded for the movie, not the page
                 // topic.
                 if let Some(m) = s.kg.find_entity_by_name(&row[0]) {
-                    assert!(t
-                        .rendered_facts
-                        .iter()
-                        .any(|(d, e, p, v)| *d == page.id
-                            && *e == m.id
-                            && *p == s.preds.release_date
-                            && v == &row[1]));
+                    assert!(t.rendered_facts.iter().any(|(d, e, p, v)| *d == page.id
+                        && *e == m.id
+                        && *p == s.preds.release_date
+                        && v == &row[1]));
                 }
             }
         }

@@ -42,20 +42,19 @@ fn main() {
     );
 
     // Show one cross-feed consolidation.
-    let example = data
-        .records
-        .iter()
-        .filter(|r| r.source == "newswire" && r.name.contains(". "))
-        .find_map(|r| {
-            let truth = data.owner[&(r.source.clone(), r.external_id.clone())];
-            let census = data.records.iter().find(|c| {
-                c.source == "census"
-                    && data.owner[&(c.source.clone(), c.external_id.clone())] == truth
-            })?;
-            let a = engine.resolution(&r.source, &r.external_id)?;
-            let b = engine.resolution(&census.source, &census.external_id)?;
-            (a == b).then_some((r.name.clone(), census.name.clone(), a))
-        });
+    let example =
+        data.records.iter().filter(|r| r.source == "newswire" && r.name.contains(". ")).find_map(
+            |r| {
+                let truth = data.owner[&(r.source.clone(), r.external_id.clone())];
+                let census = data.records.iter().find(|c| {
+                    c.source == "census"
+                        && data.owner[&(c.source.clone(), c.external_id.clone())] == truth
+                })?;
+                let a = engine.resolution(&r.source, &r.external_id)?;
+                let b = engine.resolution(&census.source, &census.external_id)?;
+                (a == b).then_some((r.name.clone(), census.name.clone(), a))
+            },
+        );
     if let Some((short, full, canonical)) = example {
         println!("\ncross-feed match: newswire '{short}' ≡ census '{full}'");
         println!("canonical entity: {}", engine.kg().entity(canonical).name);
@@ -64,11 +63,7 @@ fn main() {
                 saga_core::Value::Entity(e) => engine.kg().entity(*e).name.clone(),
                 other => other.canonical(),
             };
-            println!(
-                "    {} = {}",
-                engine.kg().ontology().predicate(t.predicate).name,
-                rendered
-            );
+            println!("    {} = {}", engine.kg().ontology().predicate(t.predicate).name, rendered);
         }
     }
 

@@ -54,10 +54,7 @@ fn main() {
     let hnsw_time = t1.elapsed();
     let truth: std::collections::HashSet<u64> = exact.iter().map(|h| h.id).collect();
     let recall = approx.iter().filter(|h| truth.contains(&h.id)).count() as f64 / 10.0;
-    println!(
-        "\nkNN k=10: flat {:?} vs hnsw {:?} (recall {recall:.2})",
-        flat_time, hnsw_time
-    );
+    println!("\nkNN k=10: flat {:?} vs hnsw {:?} (recall {recall:.2})", flat_time, hnsw_time);
     println!("nearest neighbours of Benicio del Toro:");
     for h in approx.iter().take(5) {
         println!("  {:.3}  {}", h.score, synth.kg.entity(saga_core::EntityId(h.id)).name);
@@ -66,11 +63,7 @@ fn main() {
     // Quantized on-device variant.
     let table = QuantizedTable::build(
         model.dim(),
-        model
-            .entity_ids
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (e.raw(), model.entities.row(i).to_vec())),
+        model.entity_ids.iter().enumerate().map(|(i, e)| (e.raw(), model.entities.row(i).to_vec())),
     );
     let f32_bytes = model.entity_ids.len() * model.dim() * 4;
     println!(

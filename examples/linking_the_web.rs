@@ -58,7 +58,8 @@ fn main() {
 
     // The Web changes: re-annotate only the changed pages (Sec. 3.1 "rate
     // of change").
-    let report = apply_churn(&mut corpus, &ChurnConfig { edit_fraction: 0.05, new_pages: 8, seed: 3 });
+    let report =
+        apply_churn(&mut corpus, &ChurnConfig { edit_fraction: 0.05, new_pages: 8, seed: 3 });
     let inc = annotate_incremental(&svc, &corpus, &mut annotated, &report.changed);
     println!(
         "\nincremental pass after churn: {} of {} docs re-annotated ({:.1}% of a full pass)",

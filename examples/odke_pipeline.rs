@@ -74,7 +74,9 @@ fn main() {
         );
     }
     match &outcome.winner {
-        Some(w) => println!("\naccepted fact: date_of_birth = {} (p={:.3})", w.value_text, w.probability),
+        Some(w) => {
+            println!("\naccepted fact: date_of_birth = {} (p={:.3})", w.value_text, w.probability)
+        }
         None => println!("\nno value cleared the corroboration bar"),
     }
     println!(
@@ -88,5 +90,9 @@ fn main() {
             kg.object(synth.scenario.mw_singer, synth.preds.date_of_birth).unwrap(),
         ))
         .unwrap();
-    println!("provenance: source={} confidence={:.3}", kg.source_name(meta.source), meta.confidence);
+    println!(
+        "provenance: source={} confidence={:.3}",
+        kg.source_name(meta.source),
+        meta.confidence
+    );
 }

@@ -87,7 +87,8 @@ fn main() {
         DeviceTier::Phone,
         SyncPolicy::only(&[SourceKind::Contacts, SourceKind::Messages]),
     );
-    let watch = Device::new(DeviceId(2), DeviceTier::Watch, SyncPolicy::only(&[SourceKind::Contacts]));
+    let watch =
+        Device::new(DeviceId(2), DeviceTier::Watch, SyncPolicy::only(&[SourceKind::Contacts]));
     for o in &obs {
         match o.source {
             SourceKind::Calendar => laptop.ingest_local(o.clone()),
@@ -110,9 +111,11 @@ fn main() {
     let builder = offload_compute(&mut devices, "contact-embedding-view", 1, |d| {
         format!("view over {} ops", d.observations().len()).into_bytes()
     });
-    println!("  expensive view computed by {:?}, artifact on watch: {}",
+    println!(
+        "  expensive view computed by {:?}, artifact on watch: {}",
         builder.unwrap(),
-        devices[2].artifact("contact-embedding-view").is_some());
+        devices[2].artifact("contact-embedding-view").is_some()
+    );
 
     // ---- global knowledge enrichment ---------------------------------------
     let server = generate(&SynthConfig::tiny(7));

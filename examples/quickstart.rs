@@ -44,7 +44,10 @@ fn main() {
     let view = GraphView::materialize(kg, ViewDef::embedding_training(5));
     println!("\nfiltered training view: {} edges (of {} facts)", view.len(), kg.num_triples());
     let ds = TrainingSet::from_edges(&view.edges(), 0.05, 0.05, 3);
-    let model = train(&ds, &TrainConfig { model: ModelKind::TransE, dim: 16, epochs: 10, ..Default::default() });
+    let model = train(
+        &ds,
+        &TrainConfig { model: ModelKind::TransE, dim: 16, epochs: 10, ..Default::default() },
+    );
     println!("trained TransE, final epoch loss {:.4}", model.epoch_losses.last().unwrap());
 
     // 4a. Fact ranking: "what is the occupation of Benicio del Toro?"

@@ -12,9 +12,7 @@ use saga_embeddings::{
     build_knn_index, evaluate, related_entities, train, ModelKind, TrainConfig, TrainingSet,
 };
 use saga_graph::{GraphView, ViewDef};
-use saga_odke::{
-    generate_query_log, run_odke, select_targets, OdkeConfig, ProfilerConfig,
-};
+use saga_odke::{generate_query_log, run_odke, select_targets, OdkeConfig, ProfilerConfig};
 use saga_ondevice::StaticAsset;
 use saga_webcorpus::{generate_corpus, CorpusConfig, SearchEngine};
 
@@ -64,15 +62,11 @@ fn the_full_platform_chain() {
 
     // ---------------- ODKE fills the Fig. 6 gap ---------------------------
     let log = generate_query_log(&synth, 300, 13);
-    assert!(
-        log.iter().any(|q| !q.answered),
-        "some queries must be unanswerable before ODKE"
-    );
+    assert!(log.iter().any(|q| !q.answered), "some queries must be unanswerable before ODKE");
     let targets = select_targets(&kg, &log, &ProfilerConfig::default());
     let mw_target = targets
         .iter()
-        .find(|t| t.entity == synth.scenario.mw_singer
-            && t.predicate == synth.preds.date_of_birth)
+        .find(|t| t.entity == synth.scenario.mw_singer && t.predicate == synth.preds.date_of_birth)
         .copied()
         .expect("gap targeted");
     let report = run_odke(&mut kg, &svc, &search, &corpus, &[mw_target], &OdkeConfig::default());

@@ -6,8 +6,7 @@ use saga_annotation::{AnnotationService, LinkerConfig, Tier};
 use saga_core::synth::{generate, SynthConfig};
 use saga_core::{Triple, Value};
 use saga_embeddings::{
-    train, train_on_walks, ModelKind, PathQuery, PathReasoner, TrainConfig, TrainingSet,
-    WalkConfig,
+    train, train_on_walks, ModelKind, PathQuery, PathReasoner, TrainConfig, TrainingSet, WalkConfig,
 };
 use saga_graph::{personalized_pagerank, precompute_walk_corpus, Adjacency, GraphView, ViewDef};
 use saga_odke::{run_odke, FactTarget, OdkeConfig, TargetReason};
@@ -40,8 +39,12 @@ fn table_extraction_recovers_a_held_out_release_date() {
     assert!(kg.object(movie, pred).is_none());
 
     // ODKE recovers it.
-    let target =
-        FactTarget { entity: movie, predicate: pred, reason: TargetReason::CoverageGap, importance: 1.0 };
+    let target = FactTarget {
+        entity: movie,
+        predicate: pred,
+        reason: TargetReason::CoverageGap,
+        importance: 1.0,
+    };
     let report = run_odke(&mut kg, &svc, &search, &corpus, &[target], &OdkeConfig::default());
     let outcome = &report.outcomes[0];
     let winner = outcome.winner.as_ref().expect("release date recovered");
@@ -110,21 +113,14 @@ fn device_personalization_runs_off_the_shipped_asset() {
     let asset = StaticAsset::build(&synth.kg, 0.2);
     let mut global = GlobalKnowledge::default();
     global.load_static_asset(&asset);
-    let history: Vec<_> = synth
-        .songs
-        .iter()
-        .copied()
-        .filter(|&s| !global.facts_of(s).is_empty())
-        .take(6)
-        .collect();
+    let history: Vec<_> =
+        synth.songs.iter().copied().filter(|&s| !global.facts_of(s).is_empty()).take(6).collect();
     if history.len() < 2 {
         return; // asset too small at this seed
     }
-    let profile =
-        build_preferences(&global, &history, synth.preds.genre, synth.preds.release_date);
+    let profile = build_preferences(&global, &history, synth.preds.genre, synth.preds.release_date);
     assert!(!profile.genres.is_empty());
-    let recs =
-        saga_ondevice::recommend(&global, &profile, &history, synth.preds.genre, 5);
+    let recs = saga_ondevice::recommend(&global, &profile, &history, synth.preds.genre, 5);
     for r in &recs {
         assert!(!history.contains(r));
     }
