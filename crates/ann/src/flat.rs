@@ -23,9 +23,10 @@ pub struct Hit {
 
 /// Heap entry ordered so the *worst* hit (lowest score, then largest id) is
 /// the maximum: a `BinaryHeap<WorstFirst>` of size k keeps the k best hits
-/// with the eviction candidate on top.
+/// with the eviction candidate on top. Shared with the quantized and PQ
+/// tables so their scratch types can own a selection heap too.
 #[derive(Debug, Clone, Copy)]
-struct WorstFirst(Hit);
+pub(crate) struct WorstFirst(Hit);
 
 impl Ord for WorstFirst {
     fn cmp(&self, other: &Self) -> Ordering {
@@ -79,15 +80,6 @@ pub(crate) fn select_top_k_into(
     out.sort_unstable_by(|a, b| {
         b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal).then(a.id.cmp(&b.id))
     });
-}
-
-/// Convenience wrapper over [`select_top_k_into`] for callers without
-/// scratch (quantized/PQ tables).
-pub(crate) fn select_top_k(hits: impl Iterator<Item = Hit>, k: usize) -> Vec<Hit> {
-    let mut heap = BinaryHeap::new();
-    let mut out = Vec::with_capacity(k);
-    select_top_k_into(&mut heap, hits, k, &mut out);
-    out
 }
 
 /// Reusable per-thread state for [`FlatIndex`] queries: the score buffer

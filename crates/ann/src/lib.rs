@@ -18,6 +18,6 @@ pub mod vector;
 pub use flat::{FlatIndex, FlatScratch, Hit};
 pub use hnsw::{HnswIndex, HnswParams, SearchScratch};
 pub use kv::{CacheStats, EmbeddingCache};
-pub use pq::{PqCodebook, PqConfig, PqIndex};
-pub use quant::{QuantizedTable, QuantizedVector};
+pub use pq::{PqCodebook, PqConfig, PqIndex, PqScratch};
+pub use quant::{QuantScratch, QuantizedTable, QuantizedVector};
 pub use vector::{l2_norm, normalize, Metric};

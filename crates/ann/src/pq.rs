@@ -6,10 +6,13 @@
 //! (`M` bytes per vector). Search uses asymmetric distance computation:
 //! per-query lookup tables of query-to-centroid distances, summed per code.
 
-use crate::flat::Hit;
+use crate::flat::{select_top_k_into, Hit, WorstFirst};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+use saga_core::kernels;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BinaryHeap;
 
 /// PQ training parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -144,20 +147,37 @@ impl PqCodebook {
     }
 
     /// Per-query distance lookup table: `[subspace][centroid]` squared
-    /// distances from the query's subvector to each centroid.
-    fn distance_table(&self, query: &[f32]) -> Vec<f32> {
-        let mut lut = vec![0.0f32; self.subspaces * self.centroids];
+    /// distances from the query's subvector to each centroid, written into
+    /// a caller-owned buffer (cleared first) through the unrolled L2
+    /// kernel — no allocation once `lut` has reached steady-state capacity.
+    fn distance_table_into(&self, query: &[f32], lut: &mut Vec<f32>) {
+        lut.clear();
         for s in 0..self.subspaces {
             let lo = s * self.sub_dim;
             let sub = &query[lo..lo + self.sub_dim];
-            for c in 0..self.centroids {
-                let cent = self.centroid(s, c);
-                lut[s * self.centroids + c] =
-                    sub.iter().zip(cent).map(|(a, b)| (a - b) * (a - b)).sum();
-            }
+            lut.extend((0..self.centroids).map(|c| kernels::l2_sq(sub, self.centroid(s, c))));
         }
-        lut
     }
+}
+
+/// Reusable per-thread state for [`PqIndex`] queries: the per-query ADC
+/// lookup table plus the bounded selection heap.
+#[derive(Debug, Default)]
+pub struct PqScratch {
+    lut: Vec<f32>,
+    heap: BinaryHeap<WorstFirst>,
+}
+
+impl PqScratch {
+    /// Creates empty scratch; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Backs the zero-allocation default search path.
+    static PQ_SCRATCH: RefCell<PqScratch> = RefCell::new(PqScratch::new());
 }
 
 /// A PQ-compressed index.
@@ -200,18 +220,46 @@ impl PqIndex {
 
     /// Approximate top-`k` nearest (squared-Euclidean) via asymmetric
     /// distance computation. Scores are negative distances (larger=closer).
+    ///
+    /// Uses a per-thread [`PqScratch`]; after warm-up the only allocation
+    /// is the returned `Vec`. Use [`PqIndex::search_into`] for a fully
+    /// allocation-free path.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        PQ_SCRATCH.with(|s| self.search_with(query, k, &mut s.borrow_mut()))
+    }
+
+    /// [`PqIndex::search`] with caller-owned scratch.
+    pub fn search_with(&self, query: &[f32], k: usize, scratch: &mut PqScratch) -> Vec<Hit> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        self.search_into(query, k, scratch, &mut out);
+        out
+    }
+
+    /// Zero-allocation ADC search: builds the lookup table in `scratch`,
+    /// sums code distances per row, and selects into `out` (cleared
+    /// first). Performs no heap allocation once scratch and `out` have
+    /// reached steady-state capacity.
+    pub fn search_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut PqScratch,
+        out: &mut Vec<Hit>,
+    ) {
         let m = self.codebook.subspaces;
         let kc = self.codebook.centroids;
-        let lut = self.codebook.distance_table(query);
-        crate::flat::select_top_k(
+        self.codebook.distance_table_into(query, &mut scratch.lut);
+        let lut = &scratch.lut;
+        select_top_k_into(
+            &mut scratch.heap,
             (0..self.len()).map(|i| {
                 let codes = &self.codes[i * m..(i + 1) * m];
                 let d: f32 = codes.iter().enumerate().map(|(s, &c)| lut[s * kc + c as usize]).sum();
                 Hit { id: self.ids[i], score: -d }
             }),
             k,
-        )
+            out,
+        );
     }
 }
 
@@ -295,6 +343,22 @@ mod tests {
             &PqConfig { subspaces: 2, centroids: 8, ..Default::default() },
         );
         assert_eq!(a.encode(&vecs[0]), b.encode(&vecs[0]));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_searches() {
+        let dim = 16;
+        let vecs = clustered_vectors(300, dim, 11);
+        let items: Vec<(u64, Vec<f32>)> =
+            vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())).collect();
+        let pq =
+            PqIndex::build(&items, &PqConfig { subspaces: 4, centroids: 16, ..Default::default() });
+        let mut warm = PqScratch::new();
+        for q in vecs.iter().step_by(40) {
+            let reused = pq.search_with(q, 7, &mut warm);
+            let fresh = pq.search_with(q, 7, &mut PqScratch::new());
+            assert_eq!(reused, fresh);
+        }
     }
 
     #[test]

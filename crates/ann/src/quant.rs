@@ -1,9 +1,19 @@
 //! Scalar quantization (f32 → i8), the paper's on-device model-compression
 //! lever ("compressing learned models (e.g., by floating point precision
 //! reduction)", Sec. 5 Resource Constraints).
+//!
+//! Scoring never dequantizes: rows are consumed as raw i8 through the
+//! integer kernels in [`saga_core::kernels`], with each row's scale folded
+//! into the final sum once. Cosine and Euclidean additionally need per-row
+//! norms, which the table precomputes at build time (4 bytes per row), so
+//! every candidate costs exactly one mixed-precision dot product.
 
+use crate::flat::{select_top_k_into, Hit, WorstFirst};
 use crate::vector::Metric;
+use saga_core::kernels;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::BinaryHeap;
 
 /// A symmetrically-quantized vector: `value ≈ q * scale`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,48 +43,137 @@ impl QuantizedVector {
         self.data.len() + std::mem::size_of::<f32>()
     }
 
+    /// Dequantized L2 norm `scale · ‖data‖`, computed without
+    /// materializing the f32 vector.
+    pub fn norm(&self) -> f32 {
+        self.scale * (kernels::norm_sq_i8(&self.data) as f32).sqrt()
+    }
+
     /// Similarity against an f32 query without materializing the
-    /// dequantized vector.
+    /// dequantized vector — every metric runs on raw i8 data and performs
+    /// no allocation.
     pub fn score(&self, metric: Metric, query: &[f32]) -> f32 {
         debug_assert_eq!(query.len(), self.data.len());
         match metric {
-            Metric::Dot => {
-                let mut dot = 0.0f32;
-                for (&q, &x) in self.data.iter().zip(query) {
-                    dot += q as f32 * x;
+            Metric::Dot => self.scale * kernels::dot_f32i8(query, &self.data),
+            Metric::Cosine => {
+                // The scale cancels between numerator and row norm, so
+                // cosine needs only the integer row norm.
+                let d = kernels::dot_f32i8(query, &self.data);
+                let qn = kernels::norm_sq(query);
+                let bn = kernels::norm_sq_i8(&self.data) as f32;
+                if qn == 0.0 || bn == 0.0 {
+                    0.0
+                } else {
+                    d / (qn.sqrt() * bn.sqrt())
                 }
-                dot * self.scale
             }
-            Metric::Cosine | Metric::Euclidean => {
-                let deq = self.dequantize();
-                metric.score(query, &deq)
-            }
+            // One fused pass — a standalone row has no precomputed norm,
+            // so the norm-expansion form would cost an extra sweep here.
+            Metric::Euclidean => -kernels::l2_sq_f32i8_direct(query, &self.data, self.scale),
         }
     }
 }
 
-/// A table of quantized vectors with shared dimension — the compressed
-/// on-device embedding asset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct QuantizedTable {
+/// Reusable per-thread state for [`QuantizedTable`] queries: the bounded
+/// selection heap. Scoring itself needs no buffer — each candidate is a
+/// single kernel call over the row slice.
+#[derive(Debug, Default)]
+pub struct QuantScratch {
+    heap: BinaryHeap<WorstFirst>,
+}
+
+impl QuantScratch {
+    /// Creates empty scratch; the heap grows to k on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Backs the zero-allocation default search path.
+    static QUANT_SCRATCH: RefCell<QuantScratch> = RefCell::new(QuantScratch::new());
+}
+
+/// Serialized form — per-row norms are an in-memory acceleration structure
+/// rebuilt on load, keeping the wire format identical to older snapshots.
+#[derive(Serialize, Deserialize)]
+struct QuantizedTableData {
     dim: usize,
     ids: Vec<u64>,
     scales: Vec<f32>,
     data: Vec<i8>,
 }
 
+impl From<QuantizedTableData> for QuantizedTable {
+    fn from(d: QuantizedTableData) -> Self {
+        let mut t = QuantizedTable {
+            dim: d.dim,
+            ids: d.ids,
+            scales: d.scales,
+            data: d.data,
+            norms: vec![],
+        };
+        t.norms = (0..t.len())
+            .map(|i| t.scales[i] * (kernels::norm_sq_i8(t.row(i)) as f32).sqrt())
+            .collect();
+        t
+    }
+}
+
+/// A table of quantized vectors with shared dimension — the compressed
+/// on-device embedding asset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "QuantizedTableData")]
+pub struct QuantizedTable {
+    dim: usize,
+    ids: Vec<u64>,
+    scales: Vec<f32>,
+    data: Vec<i8>,
+    /// Dequantized row norms (`scale · ‖row‖`), precomputed so cosine and
+    /// Euclidean scoring cost one dot product per candidate.
+    #[serde(skip)]
+    norms: Vec<f32>,
+}
+
 impl QuantizedTable {
     /// Quantizes a set of `(id, vector)` pairs.
     pub fn build(dim: usize, items: impl IntoIterator<Item = (u64, Vec<f32>)>) -> Self {
-        let mut t = Self { dim, ids: Vec::new(), scales: Vec::new(), data: Vec::new() };
+        let mut t =
+            Self { dim, ids: Vec::new(), scales: Vec::new(), data: Vec::new(), norms: Vec::new() };
         for (id, v) in items {
             assert_eq!(v.len(), dim, "vector dimension mismatch");
             let q = QuantizedVector::quantize(&v);
             t.ids.push(id);
             t.scales.push(q.scale);
+            t.norms.push(q.norm());
             t.data.extend_from_slice(&q.data);
         }
         t
+    }
+
+    /// Assembles a table from already-quantized rows, e.g. rows that were
+    /// staged through a memory-bounded spill sorter. No f32 vectors are
+    /// materialized.
+    pub fn from_quantized_rows(
+        dim: usize,
+        items: impl IntoIterator<Item = (u64, QuantizedVector)>,
+    ) -> Self {
+        let mut t =
+            Self { dim, ids: Vec::new(), scales: Vec::new(), data: Vec::new(), norms: Vec::new() };
+        for (id, q) in items {
+            assert_eq!(q.data.len(), dim, "row dimension mismatch");
+            t.ids.push(id);
+            t.scales.push(q.scale);
+            t.norms.push(q.norm());
+            t.data.extend_from_slice(&q.data);
+        }
+        t
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
     }
 
     /// Number of elements.
@@ -87,27 +186,140 @@ impl QuantizedTable {
         self.ids.is_empty()
     }
 
-    /// Total payload bytes (i8 data + scales + ids).
+    /// Total payload bytes (i8 data + scales + norms + ids).
     pub fn bytes(&self) -> usize {
-        self.data.len() + self.scales.len() * 4 + self.ids.len() * 8
+        self.data.len() + (self.scales.len() + self.norms.len()) * 4 + self.ids.len() * 8
+    }
+
+    /// Raw quantized row `i`.
+    fn row(&self, i: usize) -> &[i8] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Scores row `i` against an f32 query without dequantizing — the
+    /// per-candidate path used by serving layers that pick their own
+    /// candidate sets (e.g. the on-device assistant) instead of running a
+    /// full top-k scan. Allocation-free.
+    pub fn score_row(&self, metric: Metric, query: &[f32], i: usize) -> f32 {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let d = kernels::dot_f32i8(query, self.row(i));
+        match metric {
+            Metric::Dot => self.scales[i] * d,
+            Metric::Cosine => {
+                let q_norm = kernels::norm_sq(query).sqrt();
+                let n = self.norms[i];
+                if q_norm == 0.0 || n == 0.0 {
+                    0.0
+                } else {
+                    self.scales[i] * d / (q_norm * n)
+                }
+            }
+            Metric::Euclidean => {
+                let n = self.norms[i];
+                -(kernels::norm_sq(query) - 2.0 * self.scales[i] * d + n * n).max(0.0)
+            }
+        }
     }
 
     /// Dequantized vector for row `i`.
     pub fn dequantize_row(&self, i: usize) -> Vec<f32> {
         let s = self.scales[i];
-        self.data[i * self.dim..(i + 1) * self.dim].iter().map(|&q| q as f32 * s).collect()
+        self.row(i).iter().map(|&q| q as f32 * s).collect()
     }
 
     /// Exact top-`k` search over the quantized table (bounded-heap
     /// selection, O(N + k log k)).
-    pub fn search(&self, metric: Metric, query: &[f32], k: usize) -> Vec<crate::flat::Hit> {
-        crate::flat::select_top_k(
-            (0..self.len()).map(|i| {
-                let v = self.dequantize_row(i);
-                crate::flat::Hit { id: self.ids[i], score: metric.score(query, &v) }
-            }),
-            k,
-        )
+    ///
+    /// Uses a per-thread [`QuantScratch`]; after warm-up the only
+    /// allocation is the returned `Vec`. Use [`QuantizedTable::search_into`]
+    /// for a fully allocation-free path.
+    pub fn search(&self, metric: Metric, query: &[f32], k: usize) -> Vec<Hit> {
+        QUANT_SCRATCH.with(|s| self.search_with(metric, query, k, &mut s.borrow_mut()))
+    }
+
+    /// [`QuantizedTable::search`] with caller-owned scratch.
+    pub fn search_with(
+        &self,
+        metric: Metric,
+        query: &[f32],
+        k: usize,
+        scratch: &mut QuantScratch,
+    ) -> Vec<Hit> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        self.search_into(metric, query, k, scratch, &mut out);
+        out
+    }
+
+    /// Zero-allocation search: scores raw i8 rows through the integer
+    /// kernels and selects into `out` (cleared first). Performs no heap
+    /// allocation once scratch and `out` have reached steady-state capacity.
+    pub fn search_into(
+        &self,
+        metric: Metric,
+        query: &[f32],
+        k: usize,
+        scratch: &mut QuantScratch,
+        out: &mut Vec<Hit>,
+    ) {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let q_norm_sq = kernels::norm_sq(query);
+        let q_norm = q_norm_sq.sqrt();
+        let hits = self.ids.iter().enumerate().map(|(i, &id)| {
+            let d = kernels::dot_f32i8(query, self.row(i));
+            let score = match metric {
+                Metric::Dot => self.scales[i] * d,
+                Metric::Cosine => {
+                    let n = self.norms[i];
+                    if q_norm == 0.0 || n == 0.0 {
+                        0.0
+                    } else {
+                        self.scales[i] * d / (q_norm * n)
+                    }
+                }
+                Metric::Euclidean => {
+                    let n = self.norms[i];
+                    -(q_norm_sq - 2.0 * self.scales[i] * d + n * n).max(0.0)
+                }
+            };
+            Hit { id, score }
+        });
+        select_top_k_into(&mut scratch.heap, hits, k, out);
+    }
+
+    /// Exact top-`k` for a batch of queries fanned out over `workers`
+    /// scoped threads, each with its own scratch. Results are in query
+    /// order, identical to sequential [`QuantizedTable::search`] per query.
+    pub fn search_batch(
+        &self,
+        metric: Metric,
+        queries: &[Vec<f32>],
+        k: usize,
+        workers: usize,
+    ) -> Vec<Vec<Hit>> {
+        let workers = workers.max(1);
+        if workers == 1 || queries.len() <= 1 {
+            let mut scratch = QuantScratch::new();
+            return queries.iter().map(|q| self.search_with(metric, q, k, &mut scratch)).collect();
+        }
+        let chunk = queries.len().div_ceil(workers);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|qs| {
+                    s.spawn(move |_| {
+                        let mut scratch = QuantScratch::new();
+                        qs.iter()
+                            .map(|q| self.search_with(metric, q, k, &mut scratch))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("quantized search worker panicked"))
+                .collect()
+        })
+        .expect("quantized search scope failed")
     }
 }
 
@@ -129,6 +341,9 @@ mod tests {
     fn zero_vector_is_stable() {
         let q = QuantizedVector::quantize(&[0.0; 8]);
         assert_eq!(q.dequantize(), vec![0.0; 8]);
+        // Zero-norm guards: cosine is 0, euclidean is plain −‖q‖².
+        assert_eq!(q.score(Metric::Cosine, &[1.0; 8]), 0.0);
+        assert!((q.score(Metric::Euclidean, &[1.0; 8]) + 8.0).abs() < 1e-5);
     }
 
     #[test]
@@ -168,5 +383,102 @@ mod tests {
         let fast = q.score(Metric::Dot, &query);
         let slow = Metric::Dot.score(&q.dequantize(), &query);
         assert!((fast - slow).abs() < 1e-4);
+    }
+
+    #[test]
+    fn all_metrics_match_dequantized_reference() {
+        let v: Vec<f32> = (0..48).map(|i| ((i as f32) * 0.23).sin()).collect();
+        let q = QuantizedVector::quantize(&v);
+        let query: Vec<f32> = (0..48).map(|i| ((i as f32) * 0.41).cos()).collect();
+        let deq = q.dequantize();
+        for m in [Metric::Dot, Metric::Cosine, Metric::Euclidean] {
+            let fast = q.score(m, &query);
+            let slow = m.score(&query, &deq);
+            assert!((fast - slow).abs() < 1e-3, "{m:?}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn table_search_matches_per_row_scoring() {
+        let dim = 24;
+        let vecs: Vec<Vec<f32>> = (0..50)
+            .map(|i| (0..dim).map(|j| ((i * dim + j) as f32 * 0.17).sin()).collect())
+            .collect();
+        let table =
+            QuantizedTable::build(dim, vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())));
+        let query: Vec<f32> = (0..dim).map(|j| (j as f32 * 0.31).cos()).collect();
+        for m in [Metric::Dot, Metric::Cosine, Metric::Euclidean] {
+            let hits = table.search(m, &query, 5);
+            for h in &hits {
+                let qv = QuantizedVector {
+                    scale: table.scales[h.id as usize],
+                    data: table.row(h.id as usize).to_vec(),
+                };
+                assert!(
+                    (h.score - qv.score(m, &query)).abs() < 1e-4,
+                    "{m:?} id {}: {} vs {}",
+                    h.id,
+                    h.score,
+                    qv.score(m, &query)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_row_matches_search_scores() {
+        let dim = 20;
+        let vecs: Vec<Vec<f32>> = (0..30)
+            .map(|i| (0..dim).map(|j| ((i * 11 + j) as f32 * 0.19).sin()).collect())
+            .collect();
+        let table =
+            QuantizedTable::build(dim, vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())));
+        let query: Vec<f32> = (0..dim).map(|j| (j as f32 * 0.43).cos()).collect();
+        for m in [Metric::Dot, Metric::Cosine, Metric::Euclidean] {
+            for h in table.search(m, &query, table.len()) {
+                let direct = table.score_row(m, &query, h.id as usize);
+                assert!((h.score - direct).abs() < 1e-6, "{m:?} id {}", h.id);
+            }
+        }
+    }
+
+    #[test]
+    fn from_quantized_rows_matches_build() {
+        let dim = 12;
+        let vecs: Vec<Vec<f32>> = (0..25)
+            .map(|i| (0..dim).map(|j| ((i * 5 + j) as f32 * 0.27).sin()).collect())
+            .collect();
+        let built =
+            QuantizedTable::build(dim, vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())));
+        let assembled = QuantizedTable::from_quantized_rows(
+            dim,
+            vecs.iter().enumerate().map(|(i, v)| (i as u64, QuantizedVector::quantize(v))),
+        );
+        assert_eq!(built.ids, assembled.ids);
+        assert_eq!(built.scales, assembled.scales);
+        assert_eq!(built.data, assembled.data);
+        assert_eq!(built.norms, assembled.norms);
+    }
+
+    #[test]
+    fn search_batch_matches_sequential() {
+        let dim = 16;
+        let vecs: Vec<Vec<f32>> = (0..120)
+            .map(|i| (0..dim).map(|j| ((i * 7 + j) as f32 * 0.13).sin()).collect())
+            .collect();
+        let table =
+            QuantizedTable::build(dim, vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())));
+        let queries: Vec<Vec<f32>> = (0..13)
+            .map(|i| (0..dim).map(|j| ((i * 3 + j) as f32 * 0.29).cos()).collect())
+            .collect();
+        let seq: Vec<Vec<Hit>> =
+            queries.iter().map(|q| table.search(Metric::Cosine, q, 5)).collect();
+        for workers in [1, 3, 8] {
+            assert_eq!(
+                table.search_batch(Metric::Cosine, &queries, 5, workers),
+                seq,
+                "workers={workers}"
+            );
+        }
     }
 }

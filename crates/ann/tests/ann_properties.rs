@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use saga_ann::{FlatIndex, Hit, HnswIndex, HnswParams, Metric, QuantizedVector, SearchScratch};
+use saga_ann::{
+    FlatIndex, Hit, HnswIndex, HnswParams, Metric, QuantizedTable, QuantizedVector, SearchScratch,
+};
 
 fn vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -124,6 +126,71 @@ proptest! {
             });
             reference.truncate(k);
             prop_assert_eq!(idx.search(&q, k), reference, "metric {:?}", metric);
+        }
+    }
+
+    /// Dequantize-free scoring through the i8 kernels agrees with the
+    /// scalar dequantize-then-score reference within `1e-3 · scale · dim`
+    /// for every metric and arbitrary vectors.
+    #[test]
+    fn i8_scoring_matches_dequantized_reference(
+        v in proptest::collection::vec(-100.0f32..100.0, 1..256),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let query: Vec<f32> = (0..v.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let q = QuantizedVector::quantize(&v);
+        let deq = q.dequantize();
+        for metric in [Metric::Dot, Metric::Cosine, Metric::Euclidean] {
+            let fast = q.score(metric, &query);
+            let slow = metric.score(&query, &deq);
+            // Absolute term per the kernel contract, plus a relative term
+            // for f32 rounding at large magnitudes (‖v‖² grows with dim).
+            let bound = 1e-3 * q.scale * v.len() as f32 + 1e-4 + 1e-5 * slow.abs();
+            prop_assert!(
+                (fast - slow).abs() <= bound,
+                "{:?}: fast {} vs dequantized {} (bound {})",
+                metric, fast, slow, bound
+            );
+        }
+    }
+
+    /// [`QuantizedTable::search`] equals the full-sort reference over its
+    /// own per-row scores — `(score desc, id asc)` then truncate, including
+    /// exact tie handling — and every returned score stays within the
+    /// quantization error bound of the dequantized baseline. Components are
+    /// drawn from a small grid to force duplicate rows and exact ties.
+    #[test]
+    fn quantized_top_k_equals_full_sort(seed in 0u64..10_000, k in 1usize..30) {
+        let dim = 4;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let vecs: Vec<Vec<f32>> = (0..120)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-2i32..=2) as f32 * 0.5).collect())
+            .collect();
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-2i32..=2) as f32 * 0.5).collect();
+        let table = QuantizedTable::build(
+            dim,
+            vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())),
+        );
+        for metric in [Metric::Cosine, Metric::Euclidean, Metric::Dot] {
+            let mut reference: Vec<Hit> = (0..table.len())
+                .map(|i| Hit { id: i as u64, score: table.score_row(metric, &q, i) })
+                .collect();
+            reference.sort_by(|a, b| {
+                b.score.partial_cmp(&a.score).unwrap().then(a.id.cmp(&b.id))
+            });
+            reference.truncate(k);
+            let hits = table.search(metric, &q, k);
+            prop_assert_eq!(&hits, &reference, "metric {:?}", metric);
+            // Returned scores track the dequantized baseline.
+            for h in &hits {
+                let baseline = metric.score(&q, &table.dequantize_row(h.id as usize));
+                prop_assert!(
+                    (h.score - baseline).abs() <= 1e-2,
+                    "{:?} id {}: {} vs baseline {}",
+                    metric, h.id, h.score, baseline
+                );
+            }
         }
     }
 }

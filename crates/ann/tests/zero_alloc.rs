@@ -8,7 +8,10 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use saga_ann::{FlatIndex, FlatScratch, Hit, HnswIndex, HnswParams, Metric, SearchScratch};
+use saga_ann::{
+    FlatIndex, FlatScratch, Hit, HnswIndex, HnswParams, Metric, PqConfig, PqIndex, PqScratch,
+    QuantScratch, QuantizedTable, SearchScratch,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -93,5 +96,54 @@ fn warm_query_path_performs_no_allocation() {
         }
     });
     assert_eq!(hnsw_allocs, 0, "hnsw warm path allocated {hnsw_allocs} times");
+    assert_eq!(out.len(), k);
+}
+
+/// The quantized serving path scores raw i8 rows through the integer
+/// kernels; after warm-up it must allocate nothing for any metric, and the
+/// PQ ADC path must reuse its lookup-table scratch the same way.
+#[test]
+fn warm_quantized_paths_perform_no_allocation() {
+    let dim = 32;
+    let n = 1_000;
+    let mut rng = ChaCha8Rng::seed_from_u64(43);
+    let vecs: Vec<Vec<f32>> =
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let queries: Vec<Vec<f32>> =
+        (0..25).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let k = 10;
+
+    let items: Vec<(u64, Vec<f32>)> =
+        vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())).collect();
+    let table = QuantizedTable::build(dim, items.iter().cloned());
+    let pq = PqIndex::build(&items, &PqConfig::default());
+
+    let mut quant_scratch = QuantScratch::new();
+    let mut pq_scratch = PqScratch::new();
+    let mut out: Vec<Hit> = Vec::new();
+
+    for metric in [Metric::Dot, Metric::Cosine, Metric::Euclidean] {
+        // Warm-up on the exact query set measured below.
+        for q in &queries {
+            table.search_into(metric, q, k, &mut quant_scratch, &mut out);
+        }
+        let quant_allocs = count_allocs(|| {
+            for q in &queries {
+                table.search_into(metric, q, k, &mut quant_scratch, &mut out);
+            }
+        });
+        assert_eq!(quant_allocs, 0, "{metric:?} warm quantized path allocated {quant_allocs}");
+        assert_eq!(out.len(), k);
+    }
+
+    for q in &queries {
+        pq.search_into(q, k, &mut pq_scratch, &mut out);
+    }
+    let pq_allocs = count_allocs(|| {
+        for q in &queries {
+            pq.search_into(q, k, &mut pq_scratch, &mut out);
+        }
+    });
+    assert_eq!(pq_allocs, 0, "warm pq path allocated {pq_allocs} times");
     assert_eq!(out.len(), k);
 }

@@ -1,0 +1,121 @@
+//! E14 bench — the quantized serving and training path: dequantize-free i8
+//! scoring vs the dequantize-then-f32 baseline it replaced, quantized
+//! top-k vs the f32 flat index at serving scale, and partitioned-training
+//! throughput across worker counts (the round-based parallel bucket drain).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use saga_ann::{FlatIndex, Metric, QuantScratch, QuantizedTable, QuantizedVector};
+use saga_bench::{Scale, World};
+use saga_core::kernels;
+use saga_embeddings::{train_partitioned, ModelKind, TrainConfig, TrainingSet};
+use saga_graph::{GraphView, ViewDef};
+
+fn vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+}
+
+/// The pre-rework scoring shape: materialize the f32 row, then dot.
+fn dequantize_then_dot(q: &QuantizedVector, query: &[f32]) -> f32 {
+    kernels::dot(query, &q.dequantize())
+}
+
+fn bench_i8_kernels(c: &mut Criterion) {
+    let dim = 128;
+    let pair = vectors(2, dim, 3);
+    let (a, b) = (&pair[0], &pair[1]);
+    let qa = QuantizedVector::quantize(a);
+    let qb = QuantizedVector::quantize(b);
+
+    let mut g = c.benchmark_group("e14_i8_kernels");
+    g.bench_function(BenchmarkId::new("dequantize_then_dot", dim), |bch| {
+        bch.iter(|| dequantize_then_dot(black_box(&qb), black_box(a)))
+    });
+    g.bench_function(BenchmarkId::new("dot_f32i8", dim), |bch| {
+        bch.iter(|| black_box(qb.scale) * kernels::dot_f32i8(black_box(a), black_box(&qb.data)))
+    });
+    g.bench_function(BenchmarkId::new("dot_i8i8", dim), |bch| {
+        bch.iter(|| {
+            black_box(qa.scale)
+                * black_box(qb.scale)
+                * kernels::dot_i8i8(black_box(&qa.data), black_box(&qb.data)) as f32
+        })
+    });
+    g.bench_function(BenchmarkId::new("l2_sq_f32i8", dim), |bch| {
+        let q_norm_sq = kernels::norm_sq(a);
+        let b_norm = qb.norm();
+        bch.iter(|| {
+            kernels::l2_sq_f32i8(
+                black_box(a),
+                black_box(q_norm_sq),
+                black_box(&qb.data),
+                black_box(qb.scale),
+                black_box(b_norm),
+            )
+        })
+    });
+    // Full score level — the pre-rework path materialized the f32 row and
+    // recomputed its norm per call; the reworked path is one mixed dot.
+    for metric in [Metric::Dot, Metric::Cosine, Metric::Euclidean] {
+        g.bench_function(
+            BenchmarkId::new(format!("{metric:?}_dequantize_then_score"), dim),
+            |bch| bch.iter(|| metric.score(black_box(a), &black_box(&qb).dequantize())),
+        );
+        g.bench_function(BenchmarkId::new(format!("{metric:?}_i8_score"), dim), |bch| {
+            bch.iter(|| black_box(&qb).score(metric, black_box(a)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantized_topk(c: &mut Criterion) {
+    let dim = 64;
+    let k = 10;
+    let mut g = c.benchmark_group("e14_quant_topk");
+    g.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        let vecs = vectors(n, dim, 17);
+        let q = vectors(1, dim, 18).pop().unwrap();
+        let mut flat = FlatIndex::new(dim, Metric::Cosine);
+        for (i, v) in vecs.iter().enumerate() {
+            flat.add(i as u64, v);
+        }
+        let table =
+            QuantizedTable::build(dim, vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())));
+        g.bench_with_input(BenchmarkId::new("flat_f32", n), &n, |bch, _| {
+            bch.iter(|| flat.search(black_box(&q), k))
+        });
+        g.bench_with_input(BenchmarkId::new("quantized_i8", n), &n, |bch, _| {
+            let mut scratch = QuantScratch::new();
+            let mut out = Vec::with_capacity(k);
+            bch.iter(|| {
+                table.search_into(Metric::Cosine, black_box(&q), k, &mut scratch, &mut out);
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_partitioned_throughput(c: &mut Criterion) {
+    let world = World::build(Scale::Quick, 37);
+    let view = GraphView::materialize(&world.synth.kg, ViewDef::embedding_training(5));
+    let ds = TrainingSet::from_edges(&view.edges(), 0.02, 0.02, 41);
+    // Heavier per-bucket work than e9 (dim 64) so the per-round fan-out
+    // cost is measured against realistic bucket sizes.
+    let cfg = TrainConfig { model: ModelKind::TransE, dim: 64, epochs: 1, ..Default::default() };
+
+    let mut g = c.benchmark_group("e14_partitioned");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("epoch_workers", workers), &workers, |b, &w| {
+            b.iter(|| train_partitioned(&ds, &cfg, 8, w).1.buckets_trained)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_i8_kernels, bench_quantized_topk, bench_partitioned_throughput);
+criterion_main!(benches);

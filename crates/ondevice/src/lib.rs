@@ -20,7 +20,10 @@ pub mod sources;
 pub mod spill;
 pub mod sync;
 
-pub use assistant::{person_context_embedding, resolve_references, ResolvedReference};
+pub use assistant::{
+    person_context_embedding, resolve_references, resolve_references_with_asset, ContextAsset,
+    ResolvedReference,
+};
 pub use enrich::{
     decode_pir_block, dp_count, piggyback_answer, pir_fetch, EnrichmentPath, GlobalKnowledge,
     PirDatabase, PirFetch, StaticAsset,
