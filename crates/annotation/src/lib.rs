@@ -15,6 +15,7 @@ pub mod eval;
 pub mod linker;
 pub mod mention;
 pub mod pipeline;
+pub mod resilient;
 pub mod service;
 
 pub use alias::{AliasTable, Candidate};
@@ -26,4 +27,5 @@ pub use pipeline::{
     annotate_corpus, annotate_incremental, extend_kg_with_links, AnnotatedCorpus, AnnotatedDoc,
     PipelineStats,
 };
+pub use resilient::{ResilienceReport, ResilientAnnotator, SITE_ANNOTATE, SITE_EMBED_CACHE};
 pub use service::{entity_feature_embedding, AnnotationService, TypedMention};

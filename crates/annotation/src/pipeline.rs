@@ -47,9 +47,18 @@ impl AnnotatedCorpus {
         out
     }
 
-    /// Documents mentioning `entity`.
+    /// Documents mentioning `entity` (sorted). Scans per-document mention
+    /// lists directly rather than materializing the full entity→docs map
+    /// for every call.
     pub fn docs_mentioning(&self, entity: EntityId) -> Vec<DocId> {
-        self.entity_docs().remove(&entity).unwrap_or_default()
+        let mut out: Vec<DocId> = self
+            .docs
+            .values()
+            .filter(|ad| ad.mentions.iter().any(|m| m.entity == entity))
+            .map(|ad| ad.doc)
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Total linked mentions.

@@ -1,0 +1,335 @@
+//! Fault-tolerant annotation passes: the sharded pipeline of
+//! [`crate::pipeline`] hardened against per-document failures and backing-
+//! store outages.
+//!
+//! Failure isolation is per document: a page whose annotation fails
+//! permanently (or panics the annotator) is *quarantined* — recorded in
+//! the pass report and re-queued for the next incremental pass — instead
+//! of killing the worker shard. Fault keys mix the pass number, so a
+//! document that drew a permanent fault in pass `N` gets a fresh draw in
+//! pass `N + 1` and typically recovers.
+//!
+//! Tier degradation: a T2 (contextual) deployment depends on the entity
+//! feature cache. When the [`SITE_EMBED_CACHE`] probe fails even after
+//! retries, the pass degrades to T1 (popularity) rather than failing —
+//! the paper's price/performance ladder doubling as an availability
+//! ladder — and the report records the fallback.
+
+use crate::linker::{LinkedMention, Tier};
+use crate::pipeline::{AnnotatedCorpus, AnnotatedDoc, PipelineStats};
+use crate::service::AnnotationService;
+use saga_core::fault::{FaultInjector, RetryBudget, RetryPolicy};
+use saga_core::{DocId, Result, SagaError};
+use saga_webcorpus::{Corpus, WebPage};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Fault-injection site name for per-document annotation compute.
+pub const SITE_ANNOTATE: &str = "annotate";
+/// Fault-injection site name for the entity feature cache backing T2.
+pub const SITE_EMBED_CACHE: &str = "embedding-cache";
+
+/// Resilience outcome of one annotation pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// Linker tier the pass actually ran at.
+    pub tier_used: Tier,
+    /// Whether `tier_used` is a degradation of the configured tier.
+    pub degraded: bool,
+    /// Documents whose annotation failed permanently this pass (sorted).
+    /// They keep any previous annotation and should be fed back into the
+    /// next incremental pass.
+    pub quarantined: Vec<DocId>,
+    /// Transient retries spent.
+    pub retries: u64,
+}
+
+/// Runs annotation passes over a fallible substrate.
+pub struct ResilientAnnotator<'a> {
+    service: &'a AnnotationService,
+    injector: &'a FaultInjector,
+    retry: RetryPolicy,
+    budget: RetryBudget,
+    pass: u64,
+}
+
+impl<'a> ResilientAnnotator<'a> {
+    /// An annotator with the default retry policy and unlimited budget.
+    pub fn new(service: &'a AnnotationService, injector: &'a FaultInjector) -> Self {
+        Self {
+            service,
+            injector,
+            retry: RetryPolicy::default(),
+            budget: RetryBudget::unlimited(),
+            pass: 0,
+        }
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Caps the retry budget. Note: a *shared* finite budget makes
+    /// multi-worker passes order-sensitive; keep it unlimited when
+    /// cross-worker determinism matters.
+    pub fn with_budget(mut self, budget: RetryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the incremental pass number, which is mixed into fault keys:
+    /// a document quarantined in pass `N` gets an independent fault draw
+    /// when re-annotated in pass `N + 1`.
+    pub fn with_pass(mut self, pass: u64) -> Self {
+        self.pass = pass;
+        self
+    }
+
+    /// Probes the feature cache and picks the tier for this pass.
+    fn resolve_tier(&self, retries: &mut u64) -> (Tier, bool) {
+        let configured = self.service.config().tier;
+        if configured != Tier::T2Contextual {
+            return (configured, false);
+        }
+        let mut last_attempt = 0;
+        let probe = self.retry.run(self.injector.clock(), &self.budget, self.pass, |attempt| {
+            last_attempt = attempt;
+            self.injector.check(SITE_EMBED_CACHE, self.pass, attempt)
+        });
+        *retries += u64::from(last_attempt);
+        match probe {
+            Ok(()) => (Tier::T2Contextual, false),
+            Err(_) => (Tier::T1Popularity, true),
+        }
+    }
+
+    /// Annotates one page under retry, catching annotator panics so a
+    /// pathological document cannot take down its worker shard.
+    fn annotate_page(
+        &self,
+        tier: Tier,
+        page: &WebPage,
+        retries: &mut u64,
+    ) -> Result<Vec<LinkedMention>> {
+        let key = page.id.raw() ^ self.pass.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut last_attempt = 0;
+        let result = self.retry.run(self.injector.clock(), &self.budget, key, |attempt| {
+            last_attempt = attempt;
+            self.injector.check(SITE_ANNOTATE, key, attempt)?;
+            catch_unwind(AssertUnwindSafe(|| {
+                self.service.annotate_with_tier(&page.full_text(), tier)
+            }))
+            .map_err(|_| SagaError::Corrupt(format!("annotator panicked on doc {}", page.id.raw())))
+        });
+        *retries += u64::from(last_attempt);
+        result
+    }
+
+    /// Annotates the whole corpus with `workers` shards, writing successful
+    /// annotations into `out`. Per-document failures are isolated to the
+    /// document: quarantined ids land in the report, not in a panic.
+    pub fn annotate_corpus(
+        &self,
+        corpus: &Corpus,
+        workers: usize,
+        out: &mut AnnotatedCorpus,
+    ) -> (PipelineStats, ResilienceReport) {
+        let start = std::time::Instant::now();
+        let mut setup_retries = 0u64;
+        let (tier, degraded) = self.resolve_tier(&mut setup_retries);
+
+        let workers = workers.max(1);
+        let next = AtomicUsize::new(0);
+        let total_retries = AtomicU64::new(setup_retries);
+        let shards: Vec<parking_lot::Mutex<(Vec<AnnotatedDoc>, Vec<DocId>)>> =
+            (0..workers).map(|_| parking_lot::Mutex::new((Vec::new(), Vec::new()))).collect();
+
+        crossbeam::thread::scope(|s| {
+            for w in 0..workers {
+                let next = &next;
+                let shards = &shards;
+                let total_retries = &total_retries;
+                s.spawn(move |_| {
+                    let mut ok = Vec::new();
+                    let mut quarantined = Vec::new();
+                    let mut retries = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= corpus.pages.len() {
+                            break;
+                        }
+                        let page = &corpus.pages[i];
+                        match self.annotate_page(tier, page, &mut retries) {
+                            Ok(mentions) => ok.push(AnnotatedDoc {
+                                doc: page.id,
+                                version: page.last_modified,
+                                mentions,
+                            }),
+                            Err(_) => quarantined.push(page.id),
+                        }
+                    }
+                    total_retries.fetch_add(retries, Ordering::Relaxed);
+                    *shards[w].lock() = (ok, quarantined);
+                });
+            }
+        })
+        // Unreachable in practice: per-document panics are caught inside
+        // `annotate_page`, so shards only exit cleanly.
+        .expect("annotation worker panicked outside the per-doc isolation boundary");
+
+        let mut quarantined = Vec::new();
+        let mut docs_processed = 0;
+        let mut mentions_found = 0;
+        for shard in shards {
+            let (ok, bad) = shard.into_inner();
+            quarantined.extend(bad);
+            for ad in ok {
+                docs_processed += 1;
+                mentions_found += ad.mentions.len();
+                out.docs.insert(ad.doc, ad);
+            }
+        }
+        quarantined.sort_unstable();
+
+        let stats = PipelineStats { docs_processed, mentions_found, elapsed: start.elapsed() };
+        let report = ResilienceReport {
+            tier_used: tier,
+            degraded,
+            quarantined,
+            retries: total_retries.load(Ordering::Relaxed),
+        };
+        (stats, report)
+    }
+
+    /// Re-annotates only `changed` documents (e.g. churned pages plus the
+    /// previous pass's quarantine list), isolating failures per document.
+    pub fn annotate_incremental(
+        &self,
+        corpus: &Corpus,
+        out: &mut AnnotatedCorpus,
+        changed: &[DocId],
+    ) -> (PipelineStats, ResilienceReport) {
+        let start = std::time::Instant::now();
+        let mut retries = 0u64;
+        let (tier, degraded) = self.resolve_tier(&mut retries);
+
+        let mut quarantined = Vec::new();
+        let mut docs_processed = 0;
+        let mut mentions_found = 0;
+        for &doc in changed {
+            let page = corpus.page(doc);
+            match self.annotate_page(tier, page, &mut retries) {
+                Ok(mentions) => {
+                    docs_processed += 1;
+                    mentions_found += mentions.len();
+                    out.docs
+                        .insert(doc, AnnotatedDoc { doc, version: page.last_modified, mentions });
+                }
+                Err(_) => quarantined.push(doc),
+            }
+        }
+        quarantined.sort_unstable();
+
+        let stats = PipelineStats { docs_processed, mentions_found, elapsed: start.elapsed() };
+        (stats, ResilienceReport { tier_used: tier, degraded, quarantined, retries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linker::LinkerConfig;
+    use saga_core::fault::{FaultPlan, SiteFaults};
+    use saga_core::synth::{generate, SynthConfig};
+    use saga_webcorpus::{generate_corpus, CorpusConfig};
+
+    fn setup() -> (saga_core::synth::SynthKg, Corpus, AnnotationService) {
+        let s = generate(&SynthConfig::tiny(171));
+        let (c, _) = generate_corpus(&s, &[], &CorpusConfig::tiny(11));
+        let svc = AnnotationService::build(&s.kg, LinkerConfig::tier(Tier::T2Contextual));
+        (s, c, svc)
+    }
+
+    #[test]
+    fn reliable_pass_matches_the_plain_pipeline() {
+        let (_, c, svc) = setup();
+        let injector = FaultInjector::new(FaultPlan::reliable(1));
+        let annotator = ResilientAnnotator::new(&svc, &injector);
+        let mut out = AnnotatedCorpus::default();
+        let (stats, report) = annotator.annotate_corpus(&c, 4, &mut out);
+        let (plain, plain_stats) = crate::pipeline::annotate_corpus(&svc, &c, 4);
+
+        assert_eq!(stats.docs_processed, plain_stats.docs_processed);
+        assert_eq!(stats.mentions_found, plain_stats.mentions_found);
+        assert_eq!(out.docs.len(), plain.docs.len());
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.tier_used, Tier::T2Contextual);
+        assert!(!report.degraded);
+        assert_eq!(report.retries, 0);
+    }
+
+    #[test]
+    fn quarantined_docs_recover_on_the_next_pass() {
+        let (_, c, svc) = setup();
+        // Heavy permanent faults: some documents must fail this pass.
+        let injector = FaultInjector::new(
+            FaultPlan::reliable(42).with_site(SITE_ANNOTATE, SiteFaults::mixed(0.1, 0.25)),
+        );
+        let annotator = ResilientAnnotator::new(&svc, &injector);
+        let mut out = AnnotatedCorpus::default();
+        let (stats, report) = annotator.annotate_corpus(&c, 4, &mut out);
+        assert!(!report.quarantined.is_empty(), "25% permanent faults must quarantine docs");
+        assert_eq!(stats.docs_processed + report.quarantined.len(), c.len());
+        assert_eq!(out.docs.len(), stats.docs_processed);
+
+        // Re-queue the quarantine list on subsequent passes: the fresh
+        // fault draws let (at least most of) them through.
+        let mut pending = report.quarantined;
+        for pass in 1..6 {
+            if pending.is_empty() {
+                break;
+            }
+            let annotator = ResilientAnnotator::new(&svc, &injector).with_pass(pass);
+            let (_, rep) = annotator.annotate_incremental(&c, &mut out, &pending);
+            assert!(rep.quarantined.len() < pending.len(), "each pass must make progress");
+            pending = rep.quarantined;
+        }
+        assert!(pending.is_empty(), "quarantined docs recover across passes");
+        assert_eq!(out.docs.len(), c.len());
+    }
+
+    #[test]
+    fn embedding_cache_outage_degrades_to_t1() {
+        let (_, c, svc) = setup();
+        let injector = FaultInjector::new(
+            FaultPlan::reliable(7).with_site(SITE_EMBED_CACHE, SiteFaults::mixed(0.0, 1.0)),
+        );
+        let annotator = ResilientAnnotator::new(&svc, &injector);
+        let mut out = AnnotatedCorpus::default();
+        let (stats, report) = annotator.annotate_corpus(&c, 2, &mut out);
+        assert_eq!(report.tier_used, Tier::T1Popularity);
+        assert!(report.degraded);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(stats.docs_processed, c.len());
+        // The degraded pass still annotates — T1 keeps the lights on.
+        assert!(stats.mentions_found > 0);
+    }
+
+    #[test]
+    fn faulty_pass_is_deterministic_across_worker_counts() {
+        let (_, c, svc) = setup();
+        let run = |workers: usize| {
+            let injector = FaultInjector::new(
+                FaultPlan::reliable(9).with_site(SITE_ANNOTATE, SiteFaults::mixed(0.3, 0.1)),
+            );
+            let annotator = ResilientAnnotator::new(&svc, &injector);
+            let mut out = AnnotatedCorpus::default();
+            let (stats, report) = annotator.annotate_corpus(&c, workers, &mut out);
+            (stats.docs_processed, stats.mentions_found, report.quarantined, report.retries)
+        };
+        assert_eq!(run(1), run(4), "fault decisions must not depend on scheduling");
+    }
+}

@@ -4,7 +4,7 @@
 
 use crate::alias::AliasTable;
 use crate::automaton::PhraseAutomaton;
-use crate::linker::{link_mentions, LinkedMention, LinkerConfig};
+use crate::linker::{link_mentions, LinkedMention, LinkerConfig, Tier};
 use crate::mention::{detect_mentions, Mention};
 use saga_ann::EmbeddingCache;
 use saga_core::text::{hash_embed, tokenize};
@@ -138,13 +138,28 @@ impl AnnotationService {
 
     /// Detects and links mentions in `text`.
     pub fn annotate(&self, text: &str) -> Vec<LinkedMention> {
+        self.annotate_impl(text, &self.cfg)
+    }
+
+    /// Annotates with the configured pipeline but an overridden linker
+    /// tier — the degradation path when a tier's backing resources (e.g.
+    /// the embedding cache behind T2) are unavailable.
+    pub fn annotate_with_tier(&self, text: &str, tier: Tier) -> Vec<LinkedMention> {
+        if tier == self.cfg.tier {
+            return self.annotate(text);
+        }
+        let cfg = LinkerConfig { tier, ..self.cfg.clone() };
+        self.annotate_impl(text, &cfg)
+    }
+
+    fn annotate_impl(&self, text: &str, cfg: &LinkerConfig) -> Vec<LinkedMention> {
         let (mut mentions, tokens) =
             detect_mentions(text, &self.main.0, &self.main.1, &self.aliases);
         if let Some((delta_a, delta_forms)) = &self.delta {
             let (extra, _) = detect_mentions(text, delta_a, delta_forms, &self.aliases);
             merge_mentions(&mut mentions, extra);
         }
-        link_mentions(&mentions, &tokens, &self.cfg, &self.features, self.kge.as_ref())
+        link_mentions(&mentions, &tokens, cfg, &self.features, self.kge.as_ref())
     }
 
     /// Detects, links and *type-tags* mentions — the NER-style output.

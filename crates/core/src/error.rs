@@ -13,6 +13,27 @@ pub enum SagaError {
     Serde(String),
     /// A caller-supplied argument was invalid.
     InvalidArgument(String),
+    /// A dependency (search backend, document fetch, embedding cache, …)
+    /// could not serve the request. `transient: true` means the operation
+    /// may succeed if retried (timeouts, overload); `transient: false`
+    /// means retrying is pointless (the resource is gone) and callers
+    /// should quarantine or degrade instead. See `fault` module docs for
+    /// the full taxonomy and DESIGN.md §7 for the degradation ladder.
+    Unavailable {
+        /// Name of the failing site (e.g. `"search"`, `"fetch"`).
+        site: String,
+        /// Whether a retry may succeed.
+        transient: bool,
+    },
+}
+
+impl SagaError {
+    /// True for errors a retry may clear ([`SagaError::Unavailable`] with
+    /// `transient: true`). Everything else — permanent unavailability,
+    /// corruption, bad arguments — is not retryable.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SagaError::Unavailable { transient: true, .. })
+    }
 }
 
 impl fmt::Display for SagaError {
@@ -22,6 +43,10 @@ impl fmt::Display for SagaError {
             SagaError::Corrupt(m) => write!(f, "corrupt data: {m}"),
             SagaError::Serde(m) => write!(f, "serialization error: {m}"),
             SagaError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            SagaError::Unavailable { site, transient } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "{site} unavailable ({kind})")
+            }
         }
     }
 }

@@ -12,7 +12,10 @@
 //!   coverage profiling ([`ontology`]);
 //! - a commit-based triple store with SPO/POS/OSP covering indexes and
 //!   change deltas ([`store`]);
-//! - checksummed binary persistence frames ([`persist`]);
+//! - checksummed binary persistence frames and a torn-tail-recovering
+//!   write-ahead log ([`persist`]);
+//! - deterministic fault injection, retry/backoff, retry budgets and
+//!   circuit breakers over a virtual clock ([`fault`]);
 //! - shared text utilities — tokenizer, stable hashing, hashed feature
 //!   embeddings ([`text`]);
 //! - unrolled dense-vector kernels shared by every scoring hot path
@@ -25,6 +28,7 @@
 
 pub mod entity;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod kernels;
 pub mod literal;
@@ -38,6 +42,10 @@ pub mod value;
 
 pub use entity::{EntityBuilder, EntityRecord};
 pub use error::{Result, SagaError};
+pub use fault::{
+    unit_hash, BreakerConfig, BreakerSet, CircuitBreaker, FaultInjector, FaultKind, FaultPlan,
+    RetryBudget, RetryPolicy, SiteFaults, VirtualClock,
+};
 pub use ids::{DocId, EntityId, Interner, LiteralId, PredicateId, SourceId, TypeId};
 pub use ontology::{Cardinality, Ontology, PredicateInfo, TypeInfo, Volatility};
 pub use store::{Delta, KnowledgeGraph};

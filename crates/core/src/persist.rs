@@ -11,7 +11,16 @@
 //! - a reader never returns a payload whose checksum does not match;
 //! - a truncated trailing frame (torn write) is reported as `Corrupt`, and
 //!   [`FrameReader::read_all_valid`] lets recovery paths keep every frame
-//!   before the tear (used by on-device checkpoint recovery).
+//!   before the tear (used by on-device checkpoint recovery);
+//! - library paths never panic: every fallible operation returns
+//!   [`SagaError`] (enforced by the module-level `deny(clippy::unwrap_used)`).
+//!
+//! [`Wal`] builds an append-only write-ahead log on top of the framing:
+//! opening a log replays every frame up to the last valid one and
+//! truncates a torn or corrupt tail in place, so a process killed
+//! mid-append resumes from a clean prefix instead of panicking.
+
+#![deny(clippy::unwrap_used)]
 
 use crate::error::{Result, SagaError};
 use crate::text::fnv1a;
@@ -19,10 +28,23 @@ use bytes::{Buf, BufMut, BytesMut};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"SAGAFRM1";
+const HEADER_LEN: u64 = 12;
+
+/// Encodes one `[len][checksum][payload]` frame into `w`.
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    let mut header = BytesMut::with_capacity(HEADER_LEN as usize);
+    header.put_u32_le(u32::try_from(payload.len()).map_err(|_| {
+        SagaError::InvalidArgument(format!("frame too large: {} bytes", payload.len()))
+    })?);
+    header.put_u64_le(fnv1a(payload));
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    Ok(())
+}
 
 /// Appends checksummed frames to a file.
 pub struct FrameWriter {
@@ -39,14 +61,7 @@ impl FrameWriter {
 
     /// Writes one payload as a frame.
     pub fn write(&mut self, payload: &[u8]) -> Result<()> {
-        let mut header = BytesMut::with_capacity(12);
-        header.put_u32_le(u32::try_from(payload.len()).map_err(|_| {
-            SagaError::InvalidArgument(format!("frame too large: {} bytes", payload.len()))
-        })?);
-        header.put_u64_le(fnv1a(payload));
-        self.inner.write_all(&header)?;
-        self.inner.write_all(payload)?;
-        Ok(())
+        write_frame(&mut self.inner, payload)
     }
 
     /// Flushes buffered frames to the OS.
@@ -140,10 +155,76 @@ pub fn load_artifact<T: DeserializeOwned>(path: &Path) -> Result<T> {
     Ok(serde_json::from_slice(&payload)?)
 }
 
+/// An append-only write-ahead log with crash recovery.
+///
+/// [`Wal::open`] replays every frame up to the last valid one and
+/// *truncates* a torn or checksum-failing tail in place (the standard WAL
+/// recovery contract: a record is durable once [`sync`](Self::sync)
+/// returns, and a record half-written at the moment of a crash vanishes).
+/// Subsequent [`append`](Self::append)s continue from the clean prefix.
+pub struct Wal {
+    inner: BufWriter<File>,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, returning the recovered
+    /// payloads in append order. A file too short to hold the magic header
+    /// (e.g. torn during creation) is reinitialized empty; a file with a
+    /// *wrong* magic is rejected as [`SagaError::Corrupt`] rather than
+    /// silently clobbered.
+    pub fn open(path: &Path) -> Result<(Self, Vec<Vec<u8>>)> {
+        let fresh = match std::fs::metadata(path) {
+            Ok(m) => m.len() < MAGIC.len() as u64,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => true,
+            Err(e) => return Err(e.into()),
+        };
+        if fresh {
+            let mut inner = BufWriter::new(File::create(path)?);
+            inner.write_all(MAGIC)?;
+            inner.flush()?;
+            return Ok((Self { inner }, Vec::new()));
+        }
+
+        // Replay the valid prefix, tracking its byte length so the torn
+        // tail (if any) can be truncated away.
+        let mut reader = FrameReader::open(path)?;
+        let mut frames = Vec::new();
+        let mut valid_len = MAGIC.len() as u64;
+        loop {
+            match reader.next_frame() {
+                Ok(Some(payload)) => {
+                    valid_len += HEADER_LEN + payload.len() as u64;
+                    frames.push(payload);
+                }
+                Ok(None) => break,
+                Err(_) => break, // torn/corrupt tail: recover to last valid frame
+            }
+        }
+        drop(reader);
+
+        let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok((Self { inner: BufWriter::new(file) }, frames))
+    }
+
+    /// Appends one record. Durable only after the next [`sync`](Self::sync).
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        write_frame(&mut self.inner, payload)
+    }
+
+    /// Flushes buffered records and syncs file data to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.inner.flush()?;
+        self.inner.get_ref().sync_data()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use std::io::{Seek, SeekFrom};
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("saga-core-persist-tests");
@@ -221,6 +302,89 @@ mod tests {
         save_artifact(&p, &value).unwrap();
         let back: Vec<(String, u32)> = load_artifact(&p).unwrap();
         assert_eq!(back, value);
+    }
+
+    #[test]
+    fn wal_round_trip_and_append_across_reopens() {
+        let p = tmp("wal.bin");
+        let _ = std::fs::remove_file(&p);
+        let (mut wal, recovered) = Wal::open(&p).unwrap();
+        assert!(recovered.is_empty());
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (mut wal, recovered) = Wal::open(&p).unwrap();
+        assert_eq!(recovered, vec![b"one".to_vec(), b"two".to_vec()]);
+        wal.append(b"three").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, recovered) = Wal::open(&p).unwrap();
+        assert_eq!(recovered.len(), 3);
+        assert_eq!(recovered[2], b"three");
+    }
+
+    #[test]
+    fn wal_recovers_to_last_valid_frame_on_torn_tail() {
+        let p = tmp("wal-torn.bin");
+        let _ = std::fs::remove_file(&p);
+        let (mut wal, _) = Wal::open(&p).unwrap();
+        wal.append(b"keep-me").unwrap();
+        wal.append(b"torn-away").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Tear the last frame mid-payload.
+        let len = std::fs::metadata(&p).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&p).unwrap();
+        f.set_len(len - 4).unwrap();
+        drop(f);
+        // Recovery keeps the valid prefix and appends continue cleanly.
+        let (mut wal, recovered) = Wal::open(&p).unwrap();
+        assert_eq!(recovered, vec![b"keep-me".to_vec()]);
+        wal.append(b"after-recovery").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, recovered) = Wal::open(&p).unwrap();
+        assert_eq!(recovered, vec![b"keep-me".to_vec(), b"after-recovery".to_vec()]);
+        // The strict reader agrees the file is clean again.
+        let mut r = FrameReader::open(&p).unwrap();
+        assert_eq!(r.read_all().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn wal_recovers_from_corrupt_tail_checksum() {
+        let p = tmp("wal-corrupt.bin");
+        let _ = std::fs::remove_file(&p);
+        let (mut wal, _) = Wal::open(&p).unwrap();
+        wal.append(b"good").unwrap();
+        wal.append(b"bad-frame").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Flip a byte inside the second frame's payload.
+        let len = std::fs::metadata(&p).unwrap().len();
+        let mut f = std::fs::OpenOptions::new().write(true).open(&p).unwrap();
+        f.seek(SeekFrom::Start(len - 2)).unwrap();
+        f.write_all(&[0xEE]).unwrap();
+        drop(f);
+        let (_, recovered) = Wal::open(&p).unwrap();
+        assert_eq!(recovered, vec![b"good".to_vec()]);
+    }
+
+    #[test]
+    fn wal_short_file_reinitializes_and_bad_magic_rejected() {
+        let p = tmp("wal-short.bin");
+        std::fs::write(&p, b"SAG").unwrap(); // torn during creation
+        let (mut wal, recovered) = Wal::open(&p).unwrap();
+        assert!(recovered.is_empty());
+        wal.append(b"x").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, recovered) = Wal::open(&p).unwrap();
+        assert_eq!(recovered, vec![b"x".to_vec()]);
+
+        let q = tmp("wal-badmagic.bin");
+        std::fs::write(&q, b"NOTSAGA0 somepayload").unwrap();
+        assert!(matches!(Wal::open(&q), Err(SagaError::Corrupt(_))), "never clobber foreign data");
     }
 
     #[test]

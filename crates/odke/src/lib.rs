@@ -12,6 +12,7 @@ pub mod corroborate;
 pub mod extract;
 pub mod profiler;
 pub mod querylog;
+pub mod resilient;
 pub mod runner;
 pub mod synthesize;
 
@@ -21,7 +22,9 @@ pub use extract::{
 };
 pub use profiler::{select_targets, FactTarget, ProfilerConfig, TargetReason};
 pub use querylog::{generate_query_log, unanswered_targets, QueryRecord};
+pub use resilient::{CheckpointLog, ResilientOdke, RunCheckpoint, SITE_EXTRACT};
 pub use runner::{
     calibrate_corroborator, find_documents, run_odke, OdkeConfig, OdkeReport, TargetOutcome,
+    TargetStatus,
 };
 pub use synthesize::{synthesize_queries, SynthesizedQuery};

@@ -28,6 +28,29 @@ impl Default for OdkeConfig {
     }
 }
 
+/// How a target fared against the substrate's failures.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetStatus {
+    /// Every search, fetch and extraction succeeded.
+    #[default]
+    Ok,
+    /// The target was processed, but some evidence was lost to failures
+    /// that retries could not clear — the outcome may rest on fewer
+    /// documents than a clean run would have used.
+    Degraded {
+        /// Queries whose search never succeeded.
+        queries_lost: usize,
+        /// Documents that could not be fetched or extracted from.
+        docs_lost: usize,
+    },
+    /// Nothing could be retrieved for the target; it was quarantined for a
+    /// later run instead of aborting the pipeline.
+    Skipped {
+        /// The terminal error.
+        error: String,
+    },
+}
+
 /// Outcome for one target.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TargetOutcome {
@@ -41,6 +64,9 @@ pub struct TargetOutcome {
     pub scored: Vec<ScoredValue>,
     /// Documents fetched for this target.
     pub docs_examined: usize,
+    /// Failure/degradation status (always `Ok` on the infallible path).
+    #[serde(default)]
+    pub status: TargetStatus,
 }
 
 /// Report of one ODKE run.
@@ -55,6 +81,13 @@ pub struct OdkeReport {
     pub corpus_size: usize,
     /// Facts written into the KG.
     pub facts_written: usize,
+    /// Transient retries spent across all targets (0 on the infallible path).
+    #[serde(default)]
+    pub retries: u64,
+    /// Indices into the target list that were quarantined as
+    /// [`TargetStatus::Skipped`] (empty on the infallible path).
+    #[serde(default)]
+    pub quarantined: Vec<usize>,
 }
 
 impl OdkeReport {
@@ -148,6 +181,7 @@ pub fn run_odke(
             winner,
             scored,
             docs_examined: docs.len(),
+            status: TargetStatus::Ok,
         });
     }
     kg.commit();
@@ -157,6 +191,8 @@ pub fn run_odke(
         distinct_docs_fetched: all_docs.len(),
         corpus_size: corpus.len(),
         facts_written,
+        retries: 0,
+        quarantined: Vec::new(),
     }
 }
 

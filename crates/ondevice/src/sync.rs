@@ -217,6 +217,145 @@ pub fn sync_pair(a: &mut Device, b: &mut Device) -> SyncReport {
     report
 }
 
+/// A deterministic lossy message channel: each message sent through the
+/// link is delivered 0 (dropped), 1, or 2 (duplicated) times, decided by a
+/// seeded hash of the running message counter. Because the per-source op
+/// log is keyed and artifact versions are monotone, [`sync_pair_lossy`]
+/// stays idempotent under both loss modes — duplication is absorbed and
+/// drops are healed by later gossip rounds.
+#[derive(Debug, Clone)]
+pub struct LossyLink {
+    seed: u64,
+    drop_rate: f64,
+    dup_rate: f64,
+    sent: u64,
+    /// Messages the link has swallowed.
+    pub dropped: u64,
+    /// Messages the link has delivered twice.
+    pub duplicated: u64,
+}
+
+impl LossyLink {
+    /// A link dropping `drop_rate` and duplicating `dup_rate` of messages.
+    pub fn new(seed: u64, drop_rate: f64, dup_rate: f64) -> Self {
+        Self { seed, drop_rate, dup_rate, sent: 0, dropped: 0, duplicated: 0 }
+    }
+
+    /// A link that delivers everything exactly once.
+    pub fn perfect() -> Self {
+        Self::new(0, 0.0, 0.0)
+    }
+
+    /// How many copies of the next message arrive (0, 1 or 2).
+    fn copies(&mut self) -> usize {
+        let n = self.sent;
+        self.sent += 1;
+        if saga_core::fault::unit_hash(self.seed, &[n, 0]) < self.drop_rate {
+            self.dropped += 1;
+            return 0;
+        }
+        if saga_core::fault::unit_hash(self.seed, &[n, 1]) < self.dup_rate {
+            self.duplicated += 1;
+            2
+        } else {
+            1
+        }
+    }
+}
+
+/// [`sync_pair`] over a lossy link: every op and artifact message passes
+/// through `link` and may be dropped or duplicated in flight. Reported
+/// counts reflect state that actually changed, so duplicated deliveries
+/// and re-sends of already-known ops count zero.
+pub fn sync_pair_lossy(a: &mut Device, b: &mut Device, link: &mut LossyLink) -> SyncReport {
+    let mut report = SyncReport::default();
+    let shared: Vec<SourceKind> =
+        SourceKind::ALL.into_iter().filter(|s| a.policy.syncs(*s) && b.policy.syncs(*s)).collect();
+
+    let from_a: Vec<SourceOp> =
+        a.log.values().filter(|op| shared.contains(&op.source)).cloned().collect();
+    let from_b: Vec<SourceOp> =
+        b.log.values().filter(|op| shared.contains(&op.source)).cloned().collect();
+
+    for op in from_a {
+        let key = (op.origin, op.source, op.seq);
+        for _ in 0..link.copies() {
+            if !b.log.contains_key(&key) {
+                b.log.insert(key, op.clone());
+                report.ops_a_to_b += 1;
+            }
+        }
+    }
+    for op in from_b {
+        let key = (op.origin, op.source, op.seq);
+        for _ in 0..link.copies() {
+            if !a.log.contains_key(&key) {
+                a.log.insert(key, op.clone());
+                report.ops_b_to_a += 1;
+            }
+        }
+    }
+
+    let arts_a: Vec<ViewArtifact> = a.artifacts.values().cloned().collect();
+    let arts_b: Vec<ViewArtifact> = b.artifacts.values().cloned().collect();
+    for art in arts_a {
+        for _ in 0..link.copies() {
+            if b.artifacts.get(&art.name).map_or(true, |e| e.version < art.version) {
+                b.store_artifact(art.clone());
+                report.artifacts_exchanged += 1;
+            }
+        }
+    }
+    for art in arts_b {
+        for _ in 0..link.copies() {
+            if a.artifacts.get(&art.name).map_or(true, |e| e.version < art.version) {
+                a.store_artifact(art.clone());
+                report.artifacts_exchanged += 1;
+            }
+        }
+    }
+    report
+}
+
+/// Whether every device pair agrees on the sources both of them sync.
+fn gossip_converged(devices: &[Device]) -> bool {
+    for i in 0..devices.len() {
+        for j in i + 1..devices.len() {
+            let shared: Vec<SourceKind> = SourceKind::ALL
+                .into_iter()
+                .filter(|s| devices[i].policy.syncs(*s) && devices[j].policy.syncs(*s))
+                .collect();
+            if devices[i].fingerprint(&shared) != devices[j].fingerprint(&shared) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Gossip over a lossy link until every pair agrees on its shared sources
+/// (a "no ops moved" round is not proof of convergence when the link can
+/// drop an entire exchange). Returns the rounds used; `max_rounds` means
+/// the gossip may not have converged.
+pub fn gossip_until_stable_lossy(
+    devices: &mut [Device],
+    link: &mut LossyLink,
+    max_rounds: usize,
+) -> usize {
+    for round in 1..=max_rounds {
+        for i in 0..devices.len() {
+            for j in i + 1..devices.len() {
+                let (left, right) = devices.split_at_mut(j);
+                sync_pair_lossy(&mut left[i], &mut right[0], link);
+            }
+        }
+        if gossip_converged(devices) {
+            return round;
+        }
+    }
+    max_rounds
+}
+
 /// Runs gossip rounds over all device pairs until no ops move; returns the
 /// number of rounds needed.
 pub fn gossip_until_stable(devices: &mut [Device], max_rounds: usize) -> usize {
@@ -359,6 +498,54 @@ mod tests {
         }
         // The watch could not have built it.
         assert!(!DeviceTier::Watch.can_compute_views());
+    }
+
+    #[test]
+    fn duplication_is_absorbed_and_matches_lossless_gossip() {
+        let mut lossless = three_devices();
+        gossip_until_stable(&mut lossless, 10);
+
+        let mut lossy = three_devices();
+        let mut link = LossyLink::new(5, 0.0, 0.6);
+        let rounds = gossip_until_stable_lossy(&mut lossy, &mut link, 20);
+        assert!(rounds < 20, "duplication alone must not block convergence");
+        assert!(link.duplicated > 0, "the link did duplicate messages");
+
+        for (a, b) in lossless.iter().zip(&lossy) {
+            assert_eq!(
+                a.fingerprint(&SourceKind::ALL),
+                b.fingerprint(&SourceKind::ALL),
+                "duplicated deliveries must be absorbed by the keyed log"
+            );
+        }
+    }
+
+    #[test]
+    fn gossip_converges_under_message_drops_across_seeds() {
+        let mut lossless = three_devices();
+        gossip_until_stable(&mut lossless, 10);
+        let want: Vec<u64> = lossless.iter().map(|d| d.fingerprint(&SourceKind::ALL)).collect();
+
+        for seed in 0..20 {
+            let mut devices = three_devices();
+            let mut link = LossyLink::new(seed, 0.3, 0.2);
+            let rounds = gossip_until_stable_lossy(&mut devices, &mut link, 50);
+            assert!(rounds < 50, "seed {seed}: gossip must converge despite 30% drops");
+            let got: Vec<u64> = devices.iter().map(|d| d.fingerprint(&SourceKind::ALL)).collect();
+            assert_eq!(got, want, "seed {seed}: lossy gossip must reach the lossless state");
+        }
+    }
+
+    #[test]
+    fn lossy_gossip_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut devices = three_devices();
+            let mut link = LossyLink::new(seed, 0.25, 0.25);
+            let rounds = gossip_until_stable_lossy(&mut devices, &mut link, 50);
+            (rounds, link.dropped, link.duplicated)
+        };
+        assert_eq!(run(11), run(11), "same seed, same loss pattern");
+        assert_ne!(run(11), run(12), "different seeds, different loss patterns");
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //!
 //! The synthetic web substrate (DESIGN.md §2): entity-grounded page
 //! generation with planted errors and homonym confusions, a BM25 search
-//! engine with incremental reindexing, and a change feed simulating the
-//! Web's rate of change.
+//! engine with incremental reindexing, a change feed simulating the Web's
+//! rate of change, and fallible document sources (with a deterministic
+//! fault-injection shim) modelling its unreliability.
 
 #![warn(missing_docs)]
 #![allow(clippy::len_without_is_empty)]
@@ -12,8 +13,10 @@ pub mod changefeed;
 pub mod gen;
 pub mod page;
 pub mod search;
+pub mod source;
 
 pub use changefeed::{apply_churn, apply_fact_churn, ChurnConfig, ChurnReport, FactChange};
 pub use gen::{generate_corpus, Corpus, CorpusConfig, CorpusTruth};
 pub use page::{InfoboxRow, PageKind, WebPage};
 pub use search::{SearchEngine, SearchHit};
+pub use source::{DocumentSource, FaultySource, ReliableSource, SITE_FETCH, SITE_SEARCH};

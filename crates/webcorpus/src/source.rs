@@ -1,0 +1,157 @@
+//! Fallible document access — the boundary between the extraction
+//! pipelines and the unreliable Web.
+//!
+//! [`DocumentSource`] abstracts "run a web search" and "fetch a page" as
+//! operations that can fail. [`ReliableSource`] adapts the in-memory
+//! [`SearchEngine`] + [`Corpus`] pair (the happy path the seed pipelines
+//! assumed); [`FaultySource`] wraps any source with a deterministic
+//! [`FaultInjector`], turning the same pair into a flaky web for
+//! resilience tests. Callers (e.g. `saga-odke`'s resilient runner) apply
+//! retry policies and quarantine on top — the source itself never retries.
+//!
+//! Every operation carries an explicit 0-based `attempt` number supplied
+//! by the caller's retry loop. Keeping attempt numbering in the caller
+//! (instead of hidden per-source counters) makes fault decisions a pure
+//! function of `(plan seed, site, operation, attempt)`, which is what lets
+//! a checkpoint-resumed run see byte-identical fault behaviour to an
+//! uninterrupted one. Real network-backed sources would simply ignore the
+//! parameter.
+
+use crate::gen::Corpus;
+use crate::page::WebPage;
+use crate::search::{SearchEngine, SearchHit};
+use saga_core::fault::FaultInjector;
+use saga_core::text::fnv1a;
+use saga_core::{DocId, Result};
+
+/// Fault-injection site name for query search.
+pub const SITE_SEARCH: &str = "search";
+/// Fault-injection site name for page fetch.
+pub const SITE_FETCH: &str = "fetch";
+
+/// A source of web documents whose operations may fail.
+pub trait DocumentSource {
+    /// Runs a search query, returning the top `k` hits. `attempt` is the
+    /// caller's 0-based retry counter for this query.
+    fn search(&self, query: &str, k: usize, attempt: u32) -> Result<Vec<SearchHit>>;
+
+    /// Fetches one page. `attempt` is the caller's 0-based retry counter
+    /// for this document.
+    fn fetch(&self, doc: DocId, attempt: u32) -> Result<&WebPage>;
+
+    /// Total documents behind this source (the volume-fraction denominator).
+    fn corpus_size(&self) -> usize;
+}
+
+/// The infallible adapter over the in-memory search index and corpus.
+pub struct ReliableSource<'a> {
+    search: &'a SearchEngine,
+    corpus: &'a Corpus,
+}
+
+impl<'a> ReliableSource<'a> {
+    /// Wraps a search engine and its corpus.
+    pub fn new(search: &'a SearchEngine, corpus: &'a Corpus) -> Self {
+        Self { search, corpus }
+    }
+}
+
+impl DocumentSource for ReliableSource<'_> {
+    fn search(&self, query: &str, k: usize, _attempt: u32) -> Result<Vec<SearchHit>> {
+        Ok(self.search.search(query, k))
+    }
+
+    fn fetch(&self, doc: DocId, _attempt: u32) -> Result<&WebPage> {
+        Ok(self.corpus.page(doc))
+    }
+
+    fn corpus_size(&self) -> usize {
+        self.corpus.len()
+    }
+}
+
+/// Wraps a [`DocumentSource`] with injected faults at the [`SITE_SEARCH`]
+/// and [`SITE_FETCH`] sites. Queries are keyed by their text hash,
+/// fetches by document id; stateless, so identical call sequences always
+/// observe identical faults.
+pub struct FaultySource<'a, S> {
+    inner: S,
+    injector: &'a FaultInjector,
+}
+
+impl<'a, S: DocumentSource> FaultySource<'a, S> {
+    /// Wraps `inner`, drawing fault decisions from `injector`.
+    pub fn new(inner: S, injector: &'a FaultInjector) -> Self {
+        Self { inner, injector }
+    }
+}
+
+impl<S: DocumentSource> DocumentSource for FaultySource<'_, S> {
+    fn search(&self, query: &str, k: usize, attempt: u32) -> Result<Vec<SearchHit>> {
+        self.injector.check(SITE_SEARCH, fnv1a(query.as_bytes()), attempt)?;
+        self.inner.search(query, k, attempt)
+    }
+
+    fn fetch(&self, doc: DocId, attempt: u32) -> Result<&WebPage> {
+        self.injector.check(SITE_FETCH, doc.raw(), attempt)?;
+        self.inner.fetch(doc, attempt)
+    }
+
+    fn corpus_size(&self) -> usize {
+        self.inner.corpus_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_corpus, CorpusConfig};
+    use saga_core::fault::{FaultPlan, SiteFaults};
+    use saga_core::synth::{generate, SynthConfig};
+
+    fn setup() -> (Corpus, SearchEngine) {
+        let s = generate(&SynthConfig::tiny(111));
+        let (c, _) = generate_corpus(&s, &[], &CorpusConfig::tiny(7));
+        let e = SearchEngine::build(&c);
+        (c, e)
+    }
+
+    #[test]
+    fn reliable_source_mirrors_engine_and_corpus() {
+        let (c, e) = setup();
+        let src = ReliableSource::new(&e, &c);
+        assert_eq!(src.corpus_size(), c.len());
+        let name = &c.pages[0].title;
+        let hits = src.search(name, 5, 0).expect("reliable search never fails");
+        assert_eq!(hits, e.search(name, 5));
+        let doc = c.pages[0].id;
+        assert_eq!(src.fetch(doc, 0).expect("reliable fetch never fails").id, doc);
+    }
+
+    #[test]
+    fn faulty_source_fails_deterministically_and_transients_clear_on_retry() {
+        let (c, e) = setup();
+        let outcome_pattern = |seed: u64| -> Vec<bool> {
+            let injector = FaultInjector::new(
+                FaultPlan::reliable(seed).with_site(SITE_FETCH, SiteFaults::transient(0.5)),
+            );
+            let src = FaultySource::new(ReliableSource::new(&e, &c), &injector);
+            c.pages.iter().take(20).map(|p| src.fetch(p.id, 0).is_ok()).collect()
+        };
+        assert_eq!(outcome_pattern(7), outcome_pattern(7), "same seed, same faults");
+        assert_ne!(outcome_pattern(7), outcome_pattern(8), "different seed, different faults");
+
+        // A transiently-failing fetch eventually succeeds on a later attempt.
+        let injector = FaultInjector::new(
+            FaultPlan::reliable(99)
+                .with_site(SITE_SEARCH, SiteFaults::transient(0.5))
+                .with_site(SITE_FETCH, SiteFaults::transient(0.5)),
+        );
+        let src = FaultySource::new(ReliableSource::new(&e, &c), &injector);
+        for p in c.pages.iter().take(20) {
+            let ok = (0..10).any(|attempt| src.fetch(p.id, attempt).is_ok());
+            assert!(ok, "transient faults must clear within a few attempts");
+        }
+        assert!(injector.site_stats(SITE_FETCH).transient_faults > 0, "some faults were injected");
+    }
+}
