@@ -11,6 +11,7 @@ pub mod e1;
 pub mod e10;
 pub mod e11;
 pub mod e12;
+pub mod e15;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -26,8 +27,8 @@ pub use report::{ExperimentResult, Table};
 pub use world::{Scale, World};
 
 /// All experiment ids in order.
-pub const EXPERIMENTS: [&str; 12] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"];
+pub const EXPERIMENTS: [&str; 13] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e15"];
 
 /// Runs one experiment by id.
 pub fn run_experiment(id: &str, scale: Scale) -> Option<ExperimentResult> {
@@ -44,6 +45,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<ExperimentResult> {
         "e10" => e10::run(scale),
         "e11" => e11::run(scale),
         "e12" => e12::run(scale),
+        "e15" => e15::run(scale),
         _ => return None,
     })
 }

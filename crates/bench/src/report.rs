@@ -96,6 +96,81 @@ impl ExperimentResult {
     }
 }
 
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(items: &[String], indent: &str) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let inner: Vec<String> =
+        items.iter().map(|s| format!("{indent}  \"{}\"", json_escape(s))).collect();
+    format!("[\n{}\n{indent}]", inner.join(",\n"))
+}
+
+impl Table {
+    /// Serializes the table as pretty-printed JSON at the given base
+    /// indent. Hand-rolled so artifact emission has no runtime
+    /// serialization dependency.
+    pub fn to_json(&self, indent: &str) -> String {
+        let rows = if self.rows.is_empty() {
+            "[]".to_string()
+        } else {
+            let inner: Vec<String> = self
+                .rows
+                .iter()
+                .map(|r| json_string_array(r, &format!("{indent}    ")))
+                .map(|a| format!("{indent}    {a}"))
+                .collect();
+            format!("[\n{}\n{indent}  ]", inner.join(",\n"))
+        };
+        format!(
+            "{{\n{indent}  \"title\": \"{}\",\n{indent}  \"columns\": {},\n{indent}  \"rows\": {}\n{indent}}}",
+            json_escape(&self.title),
+            json_string_array(&self.columns, &format!("{indent}  ")),
+            rows,
+        )
+    }
+}
+
+impl ExperimentResult {
+    /// Serializes the result as pretty-printed JSON at the given base
+    /// indent (see [`Table::to_json`]).
+    pub fn to_json(&self, indent: &str) -> String {
+        let tables = if self.tables.is_empty() {
+            "[]".to_string()
+        } else {
+            let inner: Vec<String> = self
+                .tables
+                .iter()
+                .map(|t| format!("{indent}    {}", t.to_json(&format!("{indent}    "))))
+                .collect();
+            format!("[\n{}\n{indent}  ]", inner.join(",\n"))
+        };
+        format!(
+            "{{\n{indent}  \"id\": \"{}\",\n{indent}  \"paper_artifact\": \"{}\",\n{indent}  \"tables\": {},\n{indent}  \"notes\": {}\n{indent}}}",
+            json_escape(&self.id),
+            json_escape(&self.paper_artifact),
+            tables,
+            json_string_array(&self.notes, &format!("{indent}  ")),
+        )
+    }
+}
+
 /// Formats a float with 3 decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -137,5 +212,26 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(f3(0.5), "0.500");
         assert!(ms(std::time::Duration::from_millis(5)).starts_with("5.00"));
+    }
+
+    #[test]
+    fn json_emission_is_valid_and_escaped() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let mut r = ExperimentResult::new("E0", "demo \"quoted\"");
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        r.tables.push(t);
+        r.notes.push("note".into());
+        let json = r.to_json("");
+        // Structure checks without a JSON parser: balanced braces/brackets,
+        // escaped quote, all keys present.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\\\"quoted\\\""));
+        for key in ["\"id\"", "\"paper_artifact\"", "\"tables\"", "\"notes\"", "\"rows\""] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        let empty = ExperimentResult::new("E0", "x").to_json("");
+        assert!(empty.contains("\"tables\": []"));
     }
 }

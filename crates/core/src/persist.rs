@@ -19,6 +19,14 @@
 //! opening a log replays every frame up to the last valid one and
 //! truncates a torn or corrupt tail in place, so a process killed
 //! mid-append resumes from a clean prefix instead of panicking.
+//!
+//! [`SnapshotBuilder`]/[`Snapshot`] generalize the framing into a
+//! multi-table snapshot format (header + per-table checksums) used by the
+//! checkpointed trainers: each named table carries its own fnv1a checksum,
+//! so a snapshot that passes the outer frame check but was assembled from a
+//! corrupted buffer is still rejected table-by-table. Snapshots compose both
+//! as standalone files ([`SnapshotBuilder::save_atomic`] — tmp write, fsync,
+//! rename, parent-directory fsync) and as single [`Wal`] frames.
 
 #![deny(clippy::unwrap_used)]
 
@@ -33,6 +41,26 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"SAGAFRM1";
 const HEADER_LEN: u64 = 12;
+const SNAP_MAGIC: &[u8; 8] = b"SAGASNP1";
+const SNAP_VERSION: u32 = 1;
+
+/// Fsyncs a directory so a just-created or just-renamed entry inside it
+/// survives a crash. Creating or renaming a file makes the *data* durable
+/// only after the file is synced AND the directory entry itself is synced;
+/// without the latter, a crash immediately after `rename` can lose the file.
+pub fn fsync_dir(dir: &Path) -> Result<()> {
+    let f = File::open(dir)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Fsyncs the parent directory of `path`, if it has one.
+fn fsync_parent(path: &Path) -> Result<()> {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => fsync_dir(p),
+        _ => Ok(()),
+    }
+}
 
 /// Encodes one `[len][checksum][payload]` frame into `w`.
 fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
@@ -67,6 +95,13 @@ impl FrameWriter {
     /// Flushes buffered frames to the OS.
     pub fn flush(&mut self) -> Result<()> {
         self.inner.flush()?;
+        Ok(())
+    }
+
+    /// Flushes and syncs file data to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.inner.flush()?;
+        self.inner.get_ref().sync_data()?;
         Ok(())
     }
 }
@@ -182,6 +217,11 @@ impl Wal {
             let mut inner = BufWriter::new(File::create(path)?);
             inner.write_all(MAGIC)?;
             inner.flush()?;
+            // Make the file itself durable: sync its data, then sync the
+            // directory entry so a crash right after creation cannot lose
+            // the (empty but valid) log.
+            inner.get_ref().sync_data()?;
+            fsync_parent(path)?;
             return Ok((Self { inner }, Vec::new()));
         }
 
@@ -218,6 +258,182 @@ impl Wal {
         self.inner.flush()?;
         self.inner.get_ref().sync_data()?;
         Ok(())
+    }
+}
+
+/// Assembles a multi-table snapshot: a `kind` tag plus named binary tables,
+/// each with its own fnv1a checksum.
+///
+/// Layout (little-endian):
+/// ```text
+/// [magic: 8 bytes "SAGASNP1"] [version: u32] [kind_len: u32] [kind]
+/// [table_count: u32]
+/// per table: [name_len: u32] [name] [checksum: u64] [len: u32]
+/// then all table payloads, concatenated in declaration order
+/// ```
+pub struct SnapshotBuilder {
+    kind: String,
+    tables: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotBuilder {
+    /// Starts a snapshot of the given kind (a short format tag the reader
+    /// validates, e.g. `"train-partitioned-round"`).
+    pub fn new(kind: &str) -> Self {
+        Self { kind: kind.to_string(), tables: Vec::new() }
+    }
+
+    /// Adds a named table. Names must be unique; the last write wins on
+    /// read if they are not.
+    pub fn add_table(&mut self, name: &str, bytes: Vec<u8>) -> &mut Self {
+        self.tables.push((name.to_string(), bytes));
+        self
+    }
+
+    /// Serializes the snapshot to bytes (suitable as a single [`Wal`] frame).
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let payload_len: usize = self.tables.iter().map(|(_, b)| b.len()).sum();
+        let mut out = BytesMut::with_capacity(64 + payload_len);
+        out.put_slice(SNAP_MAGIC);
+        out.put_u32_le(SNAP_VERSION);
+        let kind = self.kind.as_bytes();
+        out.put_u32_le(u32::try_from(kind.len()).map_err(|_| {
+            SagaError::InvalidArgument(format!("snapshot kind too long: {} bytes", kind.len()))
+        })?);
+        out.put_slice(kind);
+        out.put_u32_le(u32::try_from(self.tables.len()).map_err(|_| {
+            SagaError::InvalidArgument(format!("too many tables: {}", self.tables.len()))
+        })?);
+        for (name, bytes) in &self.tables {
+            let name_b = name.as_bytes();
+            out.put_u32_le(
+                u32::try_from(name_b.len()).map_err(|_| {
+                    SagaError::InvalidArgument(format!("table name too long: {name}"))
+                })?,
+            );
+            out.put_slice(name_b);
+            out.put_u64_le(fnv1a(bytes));
+            out.put_u32_le(u32::try_from(bytes.len()).map_err(|_| {
+                SagaError::InvalidArgument(format!("table too large: {} bytes", bytes.len()))
+            })?);
+        }
+        for (_, bytes) in &self.tables {
+            out.put_slice(bytes);
+        }
+        Ok(out.to_vec())
+    }
+
+    /// Writes the snapshot durably and atomically: serialize into a sibling
+    /// temp file, fsync it, rename it over `path`, then fsync the parent
+    /// directory so the rename itself survives a crash.
+    pub fn save_atomic(&self, path: &Path) -> Result<()> {
+        let bytes = self.to_bytes()?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let mut w = FrameWriter::create(&tmp)?;
+        w.write(&bytes)?;
+        w.sync()?;
+        drop(w);
+        std::fs::rename(&tmp, path)?;
+        fsync_parent(path)
+    }
+}
+
+/// A decoded multi-table snapshot (see [`SnapshotBuilder`] for the layout).
+/// Decoding validates the magic, version, framing bounds, and every
+/// per-table checksum, so a corrupted table is rejected even if outer
+/// framing (e.g. a [`Wal`] frame checksum) already passed.
+pub struct Snapshot {
+    kind: String,
+    tables: Vec<(String, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// Decodes and validates a snapshot from bytes.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let mut b = buf;
+        let need = |b: &&[u8], n: usize, what: &str| -> Result<()> {
+            if b.remaining() < n {
+                return Err(SagaError::Corrupt(format!("snapshot truncated in {what}")));
+            }
+            Ok(())
+        };
+        need(&b, 8, "magic")?;
+        let mut magic = [0u8; 8];
+        b.copy_to_slice(&mut magic);
+        if &magic != SNAP_MAGIC {
+            return Err(SagaError::Corrupt(format!("bad snapshot magic {magic:?}")));
+        }
+        need(&b, 4, "version")?;
+        let version = b.get_u32_le();
+        if version != SNAP_VERSION {
+            return Err(SagaError::Corrupt(format!("unsupported snapshot version {version}")));
+        }
+        need(&b, 4, "kind length")?;
+        let kind_len = b.get_u32_le() as usize;
+        need(&b, kind_len, "kind")?;
+        let mut kind_b = vec![0u8; kind_len];
+        b.copy_to_slice(&mut kind_b);
+        let kind = String::from_utf8(kind_b)
+            .map_err(|_| SagaError::Corrupt("snapshot kind is not utf-8".into()))?;
+        need(&b, 4, "table count")?;
+        let count = b.get_u32_le() as usize;
+        let mut meta = Vec::new();
+        for _ in 0..count {
+            need(&b, 4, "table name length")?;
+            let name_len = b.get_u32_le() as usize;
+            need(&b, name_len, "table name")?;
+            let mut name_b = vec![0u8; name_len];
+            b.copy_to_slice(&mut name_b);
+            let name = String::from_utf8(name_b)
+                .map_err(|_| SagaError::Corrupt("snapshot table name is not utf-8".into()))?;
+            need(&b, 12, "table header")?;
+            let checksum = b.get_u64_le();
+            let len = b.get_u32_le() as usize;
+            meta.push((name, checksum, len));
+        }
+        let mut tables = Vec::with_capacity(count.min(64));
+        for (name, checksum, len) in meta {
+            need(&b, len, &format!("table {name:?} payload"))?;
+            let mut bytes = vec![0u8; len];
+            b.copy_to_slice(&mut bytes);
+            if fnv1a(&bytes) != checksum {
+                return Err(SagaError::Corrupt(format!("checksum mismatch in table {name:?}")));
+            }
+            tables.push((name, bytes));
+        }
+        if b.has_remaining() {
+            return Err(SagaError::Corrupt(format!(
+                "snapshot has {} trailing bytes",
+                b.remaining()
+            )));
+        }
+        Ok(Self { kind, tables })
+    }
+
+    /// Loads a snapshot written by [`SnapshotBuilder::save_atomic`].
+    pub fn load(path: &Path) -> Result<Self> {
+        let mut r = FrameReader::open(path)?;
+        let payload = r
+            .next_frame()?
+            .ok_or_else(|| SagaError::Corrupt("snapshot file has no frames".into()))?;
+        Self::from_bytes(&payload)
+    }
+
+    /// The kind tag the snapshot was built with.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Looks up a table's payload by name (last write wins on duplicates).
+    pub fn table(&self, name: &str) -> Option<&[u8]> {
+        self.tables.iter().rev().find(|(n, _)| n == name).map(|(_, b)| b.as_slice())
+    }
+
+    /// Iterates table names in declaration order.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.iter().map(|(n, _)| n.as_str())
     }
 }
 
@@ -385,6 +601,82 @@ mod tests {
         let q = tmp("wal-badmagic.bin");
         std::fs::write(&q, b"NOTSAGA0 somepayload").unwrap();
         assert!(matches!(Wal::open(&q), Err(SagaError::Corrupt(_))), "never clobber foreign data");
+    }
+
+    #[test]
+    fn snapshot_round_trips_tables_and_kind() {
+        let mut b = SnapshotBuilder::new("unit-test");
+        b.add_table("meta", b"{\"x\":1}".to_vec());
+        b.add_table("rows", vec![0u8, 1, 2, 3, 255]);
+        b.add_table("empty", Vec::new());
+        let bytes = b.to_bytes().unwrap();
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap.kind(), "unit-test");
+        assert_eq!(snap.table("meta"), Some(&b"{\"x\":1}"[..]));
+        assert_eq!(snap.table("rows"), Some(&[0u8, 1, 2, 3, 255][..]));
+        assert_eq!(snap.table("empty"), Some(&[][..]));
+        assert_eq!(snap.table("missing"), None);
+        assert_eq!(snap.table_names().collect::<Vec<_>>(), vec!["meta", "rows", "empty"]);
+    }
+
+    #[test]
+    fn snapshot_rejects_per_table_corruption() {
+        let mut b = SnapshotBuilder::new("k");
+        b.add_table("a", vec![7u8; 64]);
+        b.add_table("b", vec![9u8; 64]);
+        let mut bytes = b.to_bytes().unwrap();
+        // Flip a byte inside table "b"'s payload (the last byte).
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        match Snapshot::from_bytes(&bytes) {
+            Err(SagaError::Corrupt(m)) => assert!(m.contains('b'), "{m}"),
+            other => panic!("expected corruption, got {:?}", other.map(|_| ())),
+        }
+        // Truncation anywhere is also rejected.
+        let ok = b.to_bytes().unwrap();
+        for cut in [4usize, 13, ok.len() - 70, ok.len() - 1] {
+            assert!(Snapshot::from_bytes(&ok[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn snapshot_save_atomic_round_trips_and_cleans_tmp() {
+        let p = tmp("snap.bin");
+        let mut b = SnapshotBuilder::new("file-kind");
+        b.add_table("t", vec![42u8; 128]);
+        b.save_atomic(&p).unwrap();
+        let snap = Snapshot::load(&p).unwrap();
+        assert_eq!(snap.kind(), "file-kind");
+        assert_eq!(snap.table("t"), Some(&[42u8; 128][..]));
+        // The temp sibling must not linger after the rename.
+        let mut tmp_path = p.as_os_str().to_owned();
+        tmp_path.push(".tmp");
+        assert!(!std::path::Path::new(&tmp_path).exists());
+        // Overwriting an existing snapshot is atomic too.
+        let mut b2 = SnapshotBuilder::new("file-kind-2");
+        b2.add_table("t", vec![7u8; 8]);
+        b2.save_atomic(&p).unwrap();
+        assert_eq!(Snapshot::load(&p).unwrap().kind(), "file-kind-2");
+    }
+
+    #[test]
+    fn snapshot_composes_as_wal_frames() {
+        let p = tmp("snap-wal.bin");
+        let _ = std::fs::remove_file(&p);
+        let (mut wal, _) = Wal::open(&p).unwrap();
+        for i in 0..3u8 {
+            let mut b = SnapshotBuilder::new("frame");
+            b.add_table("i", vec![i]);
+            wal.append(&b.to_bytes().unwrap()).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, frames) = Wal::open(&p).unwrap();
+        assert_eq!(frames.len(), 3);
+        for (i, f) in frames.iter().enumerate() {
+            let snap = Snapshot::from_bytes(f).unwrap();
+            assert_eq!(snap.table("i"), Some(&[i as u8][..]));
+        }
     }
 
     #[test]

@@ -144,6 +144,7 @@ impl TrainingSet {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use saga_core::synth::{generate, SynthConfig};

@@ -8,14 +8,18 @@
 //! edge buckets are ordered to minimize partition swaps. Experiment E9
 //! benchmarks swap counts and throughput against in-memory training.
 
+use crate::checkpoint::{
+    encode_frame, CheckpointMeta, TrainCheckpointLog, TrainReport, TrainRun, KIND_DISK_BUCKET,
+};
 use crate::dataset::{DenseTriple, TrainingSet};
 use crate::partition::Partitioning;
 use crate::table::EmbeddingTable;
 use crate::train::{train_step, TrainConfig, TrainedModel, REL_SEED};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
-use saga_core::persist::{load_artifact, save_artifact};
-use saga_core::Result;
+use saga_core::persist::{Snapshot, SnapshotBuilder};
+use saga_core::text::fnv1a;
+use saga_core::{Result, SagaError};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -33,7 +37,36 @@ pub struct DiskStats {
     pub bytes_written: usize,
 }
 
-/// On-disk store of embedding partitions.
+/// Binary codec for [`DiskStats`] (the disk trainer's checkpoint side
+/// table): four little-endian u64 counters.
+fn stats_to_bytes(s: &DiskStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    for v in [s.partition_loads, s.partition_evictions, s.bytes_read, s.bytes_written] {
+        out.extend_from_slice(&(v as u64).to_le_bytes());
+    }
+    out
+}
+
+fn stats_from_bytes(bytes: &[u8]) -> Result<DiskStats> {
+    if bytes.len() != 32 {
+        return Err(SagaError::Corrupt(format!("disk stats table is {} bytes", bytes.len())));
+    }
+    let u = |i: usize| -> usize {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+        u64::from_le_bytes(b) as usize
+    };
+    Ok(DiskStats {
+        partition_loads: u(0),
+        partition_evictions: u(1),
+        bytes_read: u(2),
+        bytes_written: u(3),
+    })
+}
+
+/// On-disk store of embedding partitions. Partitions are stored in the
+/// checksummed `core::persist` snapshot format (one `table` table) and
+/// written atomically — a crash mid-save never leaves a torn partition.
 struct PartitionStore {
     dir: PathBuf,
 }
@@ -49,7 +82,9 @@ impl PartitionStore {
     }
 
     fn save(&self, p: u16, table: &EmbeddingTable, stats: &mut DiskStats) -> Result<()> {
-        save_artifact(&self.path(p), table)?;
+        let mut b = SnapshotBuilder::new("disk-partition");
+        b.add_table("table", table.to_bytes());
+        b.save_atomic(&self.path(p))?;
         stats.bytes_written +=
             std::fs::metadata(self.path(p)).map(|m| m.len() as usize).unwrap_or(0);
         Ok(())
@@ -58,7 +93,11 @@ impl PartitionStore {
     fn load(&self, p: u16, stats: &mut DiskStats) -> Result<EmbeddingTable> {
         stats.partition_loads += 1;
         stats.bytes_read += std::fs::metadata(self.path(p)).map(|m| m.len() as usize).unwrap_or(0);
-        load_artifact(&self.path(p))
+        let snap = Snapshot::load(&self.path(p))?;
+        let bytes = snap
+            .table("table")
+            .ok_or_else(|| SagaError::Corrupt("partition snapshot has no table".into()))?;
+        EmbeddingTable::from_bytes(bytes)
     }
 }
 
@@ -135,9 +174,46 @@ pub fn train_disk(
     buffer_capacity: usize,
     workdir: &Path,
 ) -> Result<(TrainedModel, DiskStats)> {
+    let (run, stats) = train_disk_inner(ds, cfg, num_parts, buffer_capacity, workdir, None)?;
+    let model = run.model.expect("uncheckpointed disk training always completes");
+    Ok((model, stats))
+}
+
+/// Checkpointed variant of [`train_disk`]: after every edge bucket, the two
+/// touched partitions, the relation table and cumulative IO stats are
+/// appended as one frame to `log`. A killed run re-opened through the same
+/// log resumes at the next bucket and converges to a model bit-identical
+/// to the uninterrupted run (IO *stats* are not comparable — rebuilding
+/// the store from frames costs extra loads/saves).
+///
+/// `kill_after_buckets` is the crash-test hook: after this process has
+/// trained (and checkpointed) that many buckets, return with `model: None`
+/// as if the process died at the bucket boundary.
+pub fn train_disk_checkpointed(
+    ds: &TrainingSet,
+    cfg: &TrainConfig,
+    num_parts: usize,
+    buffer_capacity: usize,
+    workdir: &Path,
+    log: &mut TrainCheckpointLog,
+    kill_after_buckets: Option<usize>,
+) -> Result<(TrainRun, DiskStats)> {
+    train_disk_inner(ds, cfg, num_parts, buffer_capacity, workdir, Some((log, kill_after_buckets)))
+}
+
+fn train_disk_inner(
+    ds: &TrainingSet,
+    cfg: &TrainConfig,
+    num_parts: usize,
+    buffer_capacity: usize,
+    workdir: &Path,
+    mut ckpt: Option<(&mut TrainCheckpointLog, Option<usize>)>,
+) -> Result<(TrainRun, DiskStats)> {
     let mut stats = DiskStats::default();
+    let mut report = TrainReport::default();
     let parts = Partitioning::random(ds.num_entities(), num_parts, cfg.seed ^ 0xd15c);
     let store = PartitionStore::new(workdir)?;
+    let digest = fnv1a(format!("{cfg:?}|parts={num_parts}|disk").as_bytes());
 
     // Initialize partitions on disk.
     for (p, members) in parts.members.iter().enumerate() {
@@ -146,74 +222,115 @@ pub fn train_disk(
     }
     let mut relations = EmbeddingTable::init(ds.num_relations(), cfg.dim, cfg.seed ^ REL_SEED);
 
+    let mut epoch_losses_raw: Vec<f64> = Vec::with_capacity(cfg.epochs);
+    let mut cur_epoch_loss = 0.0f64;
+    let mut start_epoch = 0usize;
+    let mut start_bucket = 0usize;
+
+    // Resume: replay every recovered frame onto the freshly initialized
+    // store (a partition's newest state lives in the last frame that
+    // touched it), then adopt the last frame's cursor and counters.
+    if let Some((log, _)) = ckpt.as_mut() {
+        let frames = std::mem::take(&mut log.frames);
+        for f in &frames {
+            if f.kind != KIND_DISK_BUCKET {
+                return Err(SagaError::InvalidArgument(format!(
+                    "checkpoint log kind {:?} is not a disk-training log",
+                    f.kind
+                )));
+            }
+            if f.meta.config_digest != digest {
+                return Err(SagaError::InvalidArgument(
+                    "checkpoint log was written by a different train config".into(),
+                ));
+            }
+            for (p, t) in &f.parts {
+                store.save(*p, t, &mut stats)?;
+            }
+        }
+        if let Some(last) = frames.last() {
+            relations = last.relations.clone();
+            let m = &last.meta;
+            epoch_losses_raw = m.epoch_losses_done.clone();
+            cur_epoch_loss = m.cur_epoch_loss;
+            start_epoch = m.epoch as usize;
+            start_bucket = m.round as usize + 1;
+            report.rounds_completed = m.rounds_completed as usize;
+            report.buckets_trained = m.buckets_trained as usize;
+            report.checkpoints_written = frames.len();
+            report.resumed_at = Some((start_epoch, start_bucket));
+            if let Some((_, b)) = last.extra.iter().find(|(n, _)| n == "disk-stats") {
+                stats = stats_from_bytes(b)?;
+            }
+        }
+    }
+
     let buckets = parts.buckets(&ds.train);
     let order = bucket_order(&buckets);
     let mut buffer = PartitionBuffer::new(buffer_capacity);
     let (mut dh, mut dr, mut dt) = (vec![0.0; cfg.dim], vec![0.0; cfg.dim], vec![0.0; cfg.dim]);
     let mut scratch = EmbeddingTable::zeros(4, cfg.dim);
-    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut buckets_this_process = 0usize;
 
-    for epoch in 0..cfg.epochs {
-        let mut epoch_loss = 0.0f64;
-        for &(ph, pt) in &order {
-            buffer.ensure(ph, None, &store, &mut stats)?;
-            buffer.ensure(pt, Some(ph), &store, &mut stats)?;
-            let triples = &buckets[&(ph, pt)];
+    let mut epoch = start_epoch;
+    while epoch < cfg.epochs {
+        let first = if epoch == start_epoch { start_bucket } else { 0 };
+        for (bi, &(ph, pt)) in order.iter().enumerate().skip(first) {
+            cur_epoch_loss += run_bucket(
+                cfg,
+                &parts,
+                &buckets[&(ph, pt)],
+                epoch,
+                ph,
+                pt,
+                &mut buffer,
+                &store,
+                &mut relations,
+                &mut scratch,
+                &mut dh,
+                &mut dr,
+                &mut dt,
+                &mut stats,
+            )?;
+            report.rounds_completed += 1;
+            report.buckets_trained += 1;
 
-            // Pull both partitions out to get two mutable tables.
-            let (mut table_h, tick_h) = buffer.resident.remove(&ph).expect("resident");
-            let mut table_t_entry =
-                if ph == pt { None } else { Some(buffer.resident.remove(&pt).expect("resident")) };
-
-            let mut rng = ChaCha8Rng::seed_from_u64(
-                cfg.seed ^ ((epoch as u64) << 32) ^ ((ph as u64) << 16) ^ pt as u64,
-            );
-            let pool_h = &parts.members[ph as usize];
-            let pool_t = &parts.members[pt as usize];
-
-            for pos in triples {
-                for n in 0..cfg.negatives {
-                    let corrupt_head = n % 2 == 0;
-                    let mut neg = *pos;
-                    for _ in 0..8 {
-                        let cand = if corrupt_head {
-                            pool_h[rng.gen_range(0..pool_h.len())]
-                        } else {
-                            pool_t[rng.gen_range(0..pool_t.len())]
-                        };
-                        if corrupt_head {
-                            neg.h = cand;
-                        } else {
-                            neg.t = cand;
-                        }
-                        if neg != *pos {
-                            break;
-                        }
+            if let Some((log, kill)) = ckpt.as_mut() {
+                let meta = CheckpointMeta {
+                    config_digest: digest,
+                    epoch: epoch as u64,
+                    round: bi as u64,
+                    epoch_losses_done: epoch_losses_raw.clone(),
+                    cur_epoch_loss,
+                    rounds_completed: report.rounds_completed as u64,
+                    buckets_trained: report.buckets_trained as u64,
+                    ..Default::default()
+                };
+                let mut frame_parts: Vec<(u16, EmbeddingTable)> = Vec::with_capacity(2);
+                for p in [ph, pt] {
+                    if frame_parts.iter().any(|(q, _)| *q == p) {
+                        continue;
                     }
-                    epoch_loss += disk_step(
-                        cfg,
-                        pos,
-                        &neg,
-                        &parts,
-                        &mut table_h,
-                        table_t_entry.as_mut().map(|(t, _)| t),
-                        ph,
-                        &mut relations,
-                        &mut scratch,
-                        &mut dh,
-                        &mut dr,
-                        &mut dt,
-                    ) as f64;
+                    let (t, _) = buffer.resident.get(&p).expect("bucket partitions resident");
+                    frame_parts.push((p, t.clone()));
+                }
+                let extra = vec![("disk-stats".to_string(), stats_to_bytes(&stats))];
+                let payload =
+                    encode_frame(KIND_DISK_BUCKET, &meta, &relations, &frame_parts, &extra)?;
+                log.wal.append(&payload)?;
+                log.wal.sync()?;
+                report.checkpoints_written += 1;
+
+                buckets_this_process += 1;
+                if *kill == Some(buckets_this_process) {
+                    report.epochs_completed = epoch_losses_raw.len();
+                    return Ok((TrainRun { model: None, report }, stats));
                 }
             }
-
-            buffer.resident.insert(ph, (table_h, tick_h));
-            if let Some((t, tick)) = table_t_entry {
-                buffer.resident.insert(pt, (t, tick));
-            }
         }
-        epoch_losses
-            .push((epoch_loss / (ds.train.len().max(1) * cfg.negatives.max(1)) as f64) as f32);
+        epoch_losses_raw.push(cur_epoch_loss);
+        cur_epoch_loss = 0.0;
+        epoch += 1;
     }
     buffer.flush_all(&store, &mut stats)?;
 
@@ -225,6 +342,9 @@ pub fn train_disk(
             entities.row_mut(global as usize).copy_from_slice(table.row(local));
         }
     }
+    let denom = (ds.train.len().max(1) * cfg.negatives.max(1)) as f64;
+    let epoch_losses: Vec<f32> = epoch_losses_raw.iter().map(|l| (l / denom) as f32).collect();
+    report.epochs_completed = cfg.epochs;
     let model = TrainedModel::assemble(
         cfg.model,
         ds.entities.clone(),
@@ -233,7 +353,86 @@ pub fn train_disk(
         relations,
         epoch_losses,
     );
-    Ok((model, stats))
+    Ok((TrainRun { model: Some(model), report }, stats))
+}
+
+/// Trains one edge bucket: pins both partitions, redraws negatives from
+/// the bucket's partition pools, and applies [`disk_step`] per sample.
+/// Deterministic in `(cfg.seed, epoch, ph, pt)` — the RNG is re-created
+/// here, which is what makes bucket-granular resume exact.
+#[allow(clippy::too_many_arguments)]
+fn run_bucket(
+    cfg: &TrainConfig,
+    parts: &Partitioning,
+    triples: &[DenseTriple],
+    epoch: usize,
+    ph: u16,
+    pt: u16,
+    buffer: &mut PartitionBuffer,
+    store: &PartitionStore,
+    relations: &mut EmbeddingTable,
+    scratch: &mut EmbeddingTable,
+    dh: &mut [f32],
+    dr: &mut [f32],
+    dt: &mut [f32],
+    stats: &mut DiskStats,
+) -> Result<f64> {
+    buffer.ensure(ph, None, store, stats)?;
+    buffer.ensure(pt, Some(ph), store, stats)?;
+
+    // Pull both partitions out to get two mutable tables.
+    let (mut table_h, tick_h) = buffer.resident.remove(&ph).expect("resident");
+    let mut table_t_entry =
+        if ph == pt { None } else { Some(buffer.resident.remove(&pt).expect("resident")) };
+
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        cfg.seed ^ ((epoch as u64) << 32) ^ ((ph as u64) << 16) ^ pt as u64,
+    );
+    let pool_h = &parts.members[ph as usize];
+    let pool_t = &parts.members[pt as usize];
+
+    let mut loss = 0.0f64;
+    for pos in triples {
+        for n in 0..cfg.negatives {
+            let corrupt_head = n % 2 == 0;
+            let mut neg = *pos;
+            for _ in 0..8 {
+                let cand = if corrupt_head {
+                    pool_h[rng.gen_range(0..pool_h.len())]
+                } else {
+                    pool_t[rng.gen_range(0..pool_t.len())]
+                };
+                if corrupt_head {
+                    neg.h = cand;
+                } else {
+                    neg.t = cand;
+                }
+                if neg != *pos {
+                    break;
+                }
+            }
+            loss += disk_step(
+                cfg,
+                pos,
+                &neg,
+                parts,
+                &mut table_h,
+                table_t_entry.as_mut().map(|(t, _)| t),
+                ph,
+                relations,
+                scratch,
+                dh,
+                dr,
+                dt,
+            ) as f64;
+        }
+    }
+
+    buffer.resident.insert(ph, (table_h, tick_h));
+    if let Some((t, tick)) = table_t_entry {
+        buffer.resident.insert(pt, (t, tick));
+    }
+    Ok(loss)
 }
 
 /// Same scratch-row trick as the partitioned trainer: assemble the ≤4
@@ -289,6 +488,7 @@ fn disk_step(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::model::ModelKind;

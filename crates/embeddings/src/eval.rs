@@ -89,7 +89,7 @@ pub fn auc(pos: &[f32], neg: &[f32]) -> f64 {
     // Rank-sum (Mann-Whitney U) formulation with tie handling.
     let mut all: Vec<(f32, bool)> =
         pos.iter().map(|&s| (s, true)).chain(neg.iter().map(|&s| (s, false))).collect();
-    all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    all.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut rank_sum = 0.0f64;
     let mut i = 0usize;
     while i < all.len() {
@@ -123,7 +123,7 @@ pub fn ndcg(ranked_relevances: &[f64]) -> f64 {
         .map(|(i, r)| (2f64.powf(*r) - 1.0) / ((i + 2) as f64).log2())
         .sum();
     let mut ideal: Vec<f64> = ranked_relevances.to_vec();
-    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    ideal.sort_by(|a, b| b.total_cmp(a));
     let idcg: f64 = ideal
         .iter()
         .enumerate()
@@ -137,6 +137,7 @@ pub fn ndcg(ranked_relevances: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::model::ModelKind;

@@ -12,12 +12,16 @@
 //!   training (the PBG-style scalability lever);
 //! - [`disk`] — Marius-style disk-streamed training with a bounded
 //!   partition buffer;
+//! - [`checkpoint`] — crash-safe round-granular checkpointing and fault
+//!   injection for the partitioned and disk trainers;
 //! - [`eval`] — filtered MRR/Hits@k, AUC and NDCG;
 //! - [`tasks`] — the Fig. 2 applications: fact ranking, fact verification,
 //!   related entities and entity-linking support.
 
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
+pub mod checkpoint;
 pub mod dataset;
 pub mod disk;
 pub mod eval;
@@ -30,8 +34,12 @@ pub mod tasks;
 pub mod train;
 pub mod walk;
 
+pub use checkpoint::{
+    CheckpointedTrainer, TrainCheckpointLog, TrainReport, TrainRun, SITE_CHECKPOINT_WRITE,
+    SITE_TRAIN_BUCKET,
+};
 pub use dataset::{DenseTriple, TrainingSet};
-pub use disk::{train_disk, DiskStats};
+pub use disk::{train_disk, train_disk_checkpointed, DiskStats};
 pub use eval::{auc, evaluate, ndcg, LinkPredictionMetrics};
 pub use model::ModelKind;
 pub use partition::{train_partitioned, PartitionedStats, Partitioning};

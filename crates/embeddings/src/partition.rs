@@ -18,6 +18,7 @@
 //! `(seed, epoch, head_part, tail_part)` — never by worker index — so the
 //! trained model is bit-identical for every worker count.
 
+use crate::checkpoint::SITE_TRAIN_BUCKET;
 use crate::dataset::{DenseTriple, TrainingSet};
 use crate::sampler::NegativeSampler;
 use crate::table::EmbeddingTable;
@@ -25,8 +26,10 @@ use crate::train::{train_step, TrainConfig, TrainedModel, REL_SEED};
 use parking_lot::Mutex;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+use saga_core::fault::{FaultInjector, RetryBudget, RetryPolicy};
+use saga_core::{Result, SagaError};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Assignment of dense entity ids to partitions.
@@ -126,6 +129,376 @@ impl WorkerScratch {
     }
 }
 
+/// Fault-injection context for one training round: every bucket start is
+/// gated through [`FaultInjector::check`] at [`SITE_TRAIN_BUCKET`] under the
+/// retry policy. The gate runs *before* the bucket mutates any state, so a
+/// retried bucket never corrupts partition tables or sibling scratch, and a
+/// bucket whose retries are exhausted is simply not trained (the caller
+/// quarantines its partition pair).
+pub(crate) struct RoundFaults<'a> {
+    /// The injector deciding per-(bucket, attempt) outcomes.
+    pub injector: &'a FaultInjector,
+    /// Retry policy for transient bucket faults.
+    pub retry: RetryPolicy,
+    /// Shared retry budget across the whole run.
+    pub budget: &'a RetryBudget,
+}
+
+/// Per-bucket result carried back to the coordinating thread.
+struct BucketOutcome {
+    /// Bucket-local relation table (None if the bucket was skipped or
+    /// quarantined — nothing to merge).
+    rel: Option<EmbeddingTable>,
+    loss: f64,
+    attempts: u64,
+    quarantined: bool,
+}
+
+/// What one round did, accumulated by the coordinating thread in fixed
+/// round order (worker-count independent).
+pub(crate) struct RoundOutcome {
+    /// Summed bucket losses (merge order = round order).
+    pub loss: f64,
+    /// Buckets actually trained (skipped/quarantined excluded).
+    pub buckets_trained: usize,
+    /// Total bucket attempts including retries.
+    pub attempts: u64,
+    /// Retries only (attempts beyond each bucket's first).
+    pub retries: u64,
+    /// Wall-clock cost of the round in attempt units: the max attempts of
+    /// any single bucket (buckets run concurrently, retries serialize).
+    pub wall_attempts: u64,
+    /// Partition pairs whose bucket exhausted retries this round.
+    pub newly_quarantined: Vec<(u16, u16)>,
+    /// Partitions whose tables were mutated this round.
+    pub touched_parts: Vec<u16>,
+}
+
+/// The shared state of a partitioned training run: partition tables,
+/// per-relation row locks, and the (epoch-shuffled) bucket list. Both
+/// [`train_partitioned`] and the checkpointed trainer drive this core, so
+/// the math is identical — checkpoint/resume changes only *when* rounds
+/// run, never *what* they compute.
+pub(crate) struct TrainerCore {
+    pub(crate) parts: Partitioning,
+    pub(crate) tables: Vec<Mutex<EmbeddingTable>>,
+    pub(crate) relations: Vec<Mutex<EmbeddingTable>>,
+    pub(crate) bucket_list: Vec<((u16, u16), Vec<DenseTriple>)>,
+    pub(crate) n_rel: usize,
+    pub(crate) num_parts: usize,
+    pub(crate) dim: usize,
+}
+
+impl TrainerCore {
+    /// Deterministically initializes partitioning, tables and bucket list
+    /// from `(ds, cfg, num_parts)` — the exact seeds the monolithic trainer
+    /// used, so every consumer starts from the same state.
+    pub(crate) fn new(ds: &TrainingSet, cfg: &TrainConfig, num_parts: usize) -> Self {
+        let parts = Partitioning::random(ds.num_entities(), num_parts, cfg.seed ^ 0xbeef);
+
+        // Partition-local entity tables (each row indexed by local id).
+        let tables: Vec<Mutex<EmbeddingTable>> = parts
+            .members
+            .iter()
+            .enumerate()
+            .map(|(p, m)| Mutex::new(EmbeddingTable::init(m.len(), cfg.dim, cfg.seed ^ p as u64)))
+            .collect();
+        // Per-relation row locks: workers contend only when updating the
+        // same relation at the same instant (PBG keeps relations on a
+        // parameter server for the same reason).
+        let rel_init = EmbeddingTable::init(ds.num_relations(), cfg.dim, cfg.seed ^ REL_SEED);
+        let relations: Vec<Mutex<EmbeddingTable>> =
+            (0..ds.num_relations()).map(|r| Mutex::new(rel_init.slice_rows(r, r + 1))).collect();
+
+        let all_buckets = parts.buckets(&ds.train);
+        let mut bucket_list: Vec<((u16, u16), Vec<DenseTriple>)> =
+            all_buckets.into_iter().collect();
+        bucket_list.sort_by_key(|(k, _)| *k);
+
+        Self {
+            parts,
+            tables,
+            relations,
+            bucket_list,
+            n_rel: ds.num_relations(),
+            num_parts,
+            dim: cfg.dim,
+        }
+    }
+
+    /// Shuffles the bucket list for `epoch`. Shuffles are cumulative (each
+    /// permutes the previous epoch's order), so resuming a run must replay
+    /// the shuffles of every epoch up to and including the current one.
+    pub(crate) fn shuffle_epoch(&mut self, seed: u64, epoch: usize) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0bd0 ^ epoch as u64);
+        self.bucket_list.shuffle(&mut rng);
+    }
+
+    /// Packs the current bucket order into partition-disjoint rounds.
+    pub(crate) fn pack_current_rounds(&self) -> Vec<Vec<usize>> {
+        pack_rounds(&self.bucket_list, self.num_parts)
+    }
+
+    /// Copies the current relation rows into one flat table.
+    pub(crate) fn snapshot_relations(&self) -> EmbeddingTable {
+        let mut snap = EmbeddingTable::zeros(self.n_rel, self.dim);
+        for (r, row) in self.relations.iter().enumerate() {
+            snap.copy_row_from(r, &row.lock(), 0);
+        }
+        snap
+    }
+
+    /// Clones one partition's current table.
+    pub(crate) fn snapshot_partition(&self, p: usize) -> EmbeddingTable {
+        self.tables[p].lock().clone()
+    }
+
+    /// Overwrites one partition's table (checkpoint restore).
+    pub(crate) fn restore_partition(&self, p: usize, table: EmbeddingTable) -> Result<()> {
+        let cur = self.tables.get(p).ok_or_else(|| {
+            SagaError::Corrupt(format!("checkpoint references partition {p} of {}", self.num_parts))
+        })?;
+        let mut guard = cur.lock();
+        if table.len() != guard.len() || table.dim() != guard.dim() {
+            return Err(SagaError::Corrupt(format!(
+                "checkpoint partition {p} shape {}x{} != expected {}x{}",
+                table.len(),
+                table.dim(),
+                guard.len(),
+                guard.dim()
+            )));
+        }
+        *guard = table;
+        Ok(())
+    }
+
+    /// Overwrites all relation rows from one flat table (checkpoint restore).
+    pub(crate) fn restore_relations(&self, table: &EmbeddingTable) -> Result<()> {
+        if table.len() != self.n_rel || table.dim() != self.dim {
+            return Err(SagaError::Corrupt(format!(
+                "checkpoint relations shape {}x{} != expected {}x{}",
+                table.len(),
+                table.dim(),
+                self.n_rel,
+                self.dim
+            )));
+        }
+        for (r, row) in self.relations.iter().enumerate() {
+            *row.lock() = table.slice_rows(r, r + 1);
+        }
+        Ok(())
+    }
+
+    /// Runs one partition-disjoint round over `workers` threads.
+    ///
+    /// Buckets whose pair is in `quarantined` are skipped. With `faults`
+    /// set, each bucket start passes through the retry-gated injector
+    /// *before* touching any table, and a bucket that exhausts its retries
+    /// (or hits a permanent fault) is reported in `newly_quarantined`
+    /// without having mutated anything. Merging is in fixed round order on
+    /// the calling thread, so the outcome is worker-count independent.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_round(
+        &self,
+        cfg: &TrainConfig,
+        epoch: usize,
+        round: &[usize],
+        workers: usize,
+        quarantined: &BTreeSet<(u16, u16)>,
+        faults: Option<&RoundFaults<'_>>,
+        running: &AtomicUsize,
+        max_running: &AtomicUsize,
+    ) -> RoundOutcome {
+        // Every bucket in the round trains against the same relation
+        // snapshot; deltas merge after the barrier in fixed round order
+        // (the async-update strategy of PBG/DGL-KE, made
+        // schedule-independent).
+        let rel_snapshot = self.snapshot_relations();
+        let rel_snapshot = &rel_snapshot;
+
+        // One bucket: lock its two (disjoint-in-round) partitions, train
+        // its triples against the snapshot, return the bucket's relation
+        // table and loss for ordered merging.
+        let run_bucket = |i: usize, ws: &mut WorkerScratch| -> BucketOutcome {
+            let ((ph, pt), triples) = &self.bucket_list[i];
+            if quarantined.contains(&(*ph, *pt)) {
+                return BucketOutcome { rel: None, loss: 0.0, attempts: 0, quarantined: false };
+            }
+            let mut attempts = 1u64;
+            if let Some(f) = faults {
+                // The gate runs before any mutation: a transient fault
+                // costs only a retry, never a rollback.
+                let key = ((epoch as u64) << 32) | ((*ph as u64) << 16) | (*pt as u64);
+                let mut last_attempt = 0u32;
+                let gate = f.retry.run(f.injector.clock(), f.budget, key, |attempt| {
+                    last_attempt = attempt;
+                    f.injector.check(SITE_TRAIN_BUCKET, key, attempt)
+                });
+                attempts = u64::from(last_attempt) + 1;
+                if gate.is_err() {
+                    return BucketOutcome { rel: None, loss: 0.0, attempts, quarantined: true };
+                }
+            }
+            let cur = running.fetch_add(1, Ordering::SeqCst) + 1;
+            max_running.fetch_max(cur, Ordering::SeqCst);
+            // Rounds are partition-disjoint so these never contend;
+            // ordered acquisition keeps the path deadlock-free anyway.
+            let (first, second) = if ph <= pt { (*ph, *pt) } else { (*pt, *ph) };
+            let mut guard_a = self.tables[first as usize].lock();
+            let mut guard_b =
+                if first == second { None } else { Some(self.tables[second as usize].lock()) };
+
+            let mut local_rel = rel_snapshot.clone();
+            // Candidate pool for negatives: entities of the two locked
+            // partitions.
+            let mut pool: Vec<u32> = self.parts.members[*ph as usize].clone();
+            if ph != pt {
+                pool.extend_from_slice(&self.parts.members[*pt as usize]);
+            }
+            // Keyed by bucket coordinates only — the stream is the same
+            // no matter which worker runs the bucket.
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                cfg.seed ^ ((epoch as u64) << 32) ^ ((*ph as u64) << 16) ^ (*pt as u64),
+            );
+
+            let mut local_loss = 0.0f64;
+            for pos in triples {
+                for n in 0..cfg.negatives {
+                    // Corrupt within the locked pool.
+                    let corrupt_head = n % 2 == 0;
+                    let mut neg = *pos;
+                    for _ in 0..8 {
+                        let cand = pool[rng.gen_range(0..pool.len())];
+                        if corrupt_head {
+                            neg.h = cand;
+                        } else {
+                            neg.t = cand;
+                        }
+                        if neg != *pos {
+                            break;
+                        }
+                    }
+                    local_loss += bucket_step(
+                        cfg,
+                        pos,
+                        &neg,
+                        &self.parts,
+                        &mut guard_a,
+                        guard_b.as_deref_mut(),
+                        first,
+                        &mut local_rel,
+                        &mut ws.rows,
+                        &mut ws.dh,
+                        &mut ws.dr,
+                        &mut ws.dt,
+                    ) as f64;
+                }
+            }
+            running.fetch_sub(1, Ordering::SeqCst);
+            BucketOutcome { rel: Some(local_rel), loss: local_loss, attempts, quarantined: false }
+        };
+
+        // Fan the round out over scoped threads, each with its own scratch
+        // — the `search_batch` pattern. Chunks preserve round order, so
+        // `results` is ordered regardless of scheduling.
+        let results: Vec<BucketOutcome> = if workers == 1 || round.len() <= 1 {
+            let mut ws = WorkerScratch::new(cfg.dim);
+            round.iter().map(|&i| run_bucket(i, &mut ws)).collect()
+        } else {
+            let chunk = round.len().div_ceil(workers);
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = round
+                    .chunks(chunk)
+                    .map(|idxs| {
+                        let run_bucket = &run_bucket;
+                        s.spawn(move |_| {
+                            let mut ws = WorkerScratch::new(cfg.dim);
+                            idxs.iter().map(|&i| run_bucket(i, &mut ws)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("bucket worker panicked"))
+                    .collect()
+            })
+            .expect("bucket training scope failed")
+        };
+
+        // Ordered merge on the coordinating thread: relation deltas,
+        // losses and quarantine decisions accumulate in round order,
+        // independent of which worker finished first.
+        let mut out = RoundOutcome {
+            loss: 0.0,
+            buckets_trained: 0,
+            attempts: 0,
+            retries: 0,
+            wall_attempts: 0,
+            newly_quarantined: Vec::new(),
+            touched_parts: Vec::new(),
+        };
+        let mut touched = BTreeSet::new();
+        for (&i, b) in round.iter().zip(&results) {
+            let (ph, pt) = self.bucket_list[i].0;
+            out.attempts += b.attempts;
+            out.retries += b.attempts.saturating_sub(1);
+            out.wall_attempts = out.wall_attempts.max(b.attempts);
+            if b.quarantined {
+                out.newly_quarantined.push((ph, pt));
+            }
+            if let Some(local_rel) = &b.rel {
+                for (r, row) in self.relations.iter().enumerate() {
+                    row.lock().apply_row_delta(0, local_rel, rel_snapshot, r);
+                }
+                out.loss += b.loss;
+                out.buckets_trained += 1;
+                touched.insert(ph);
+                touched.insert(pt);
+            }
+        }
+        out.wall_attempts = out.wall_attempts.max(1);
+        out.touched_parts = touched.into_iter().collect();
+        out
+    }
+
+    /// Consumes the core into a [`TrainedModel`]: flat entity table from
+    /// the partitions, relation table from its row locks.
+    pub(crate) fn assemble(
+        self,
+        cfg: &TrainConfig,
+        ds: &TrainingSet,
+        losses: Vec<f32>,
+    ) -> TrainedModel {
+        let TrainerCore { parts, tables, relations, .. } = self;
+        let mut entities = EmbeddingTable::init(ds.num_entities(), cfg.dim, 0);
+        for (p, members) in parts.members.iter().enumerate() {
+            let table = tables[p].lock();
+            for (local, &global) in members.iter().enumerate() {
+                entities.row_mut(global as usize).copy_from_slice(table.row(local));
+            }
+        }
+        let mut rel_table = EmbeddingTable::init(ds.num_relations(), cfg.dim, 0);
+        for (r, row) in relations.into_iter().enumerate() {
+            rel_table.write_rows(r, &row.into_inner());
+        }
+        TrainedModel::assemble(
+            cfg.model,
+            ds.entities.clone(),
+            ds.relations.clone(),
+            entities,
+            rel_table,
+            losses,
+        )
+    }
+}
+
+/// Normalizes accumulated raw epoch losses the way the trainer reports
+/// them: per positive triple and negative sample.
+pub(crate) fn normalize_losses(ds: &TrainingSet, cfg: &TrainConfig, raw: &[f64]) -> Vec<f32> {
+    let denom = (ds.train.len().max(1) * cfg.negatives.max(1)) as f64;
+    raw.iter().map(|l| (l / denom) as f32).collect()
+}
+
 /// Trains with `workers` threads over `num_parts` partitions.
 ///
 /// Within a bucket, negatives are drawn from the union of the two involved
@@ -143,179 +516,36 @@ pub fn train_partitioned(
     workers: usize,
 ) -> (TrainedModel, PartitionedStats) {
     assert!(workers >= 1);
-    let parts = Partitioning::random(ds.num_entities(), num_parts, cfg.seed ^ 0xbeef);
+    let mut core = TrainerCore::new(ds, cfg, num_parts);
 
-    // Partition-local entity tables (each row indexed by local id).
-    let tables: Vec<Mutex<EmbeddingTable>> = parts
-        .members
-        .iter()
-        .enumerate()
-        .map(|(p, m)| Mutex::new(EmbeddingTable::init(m.len(), cfg.dim, cfg.seed ^ p as u64)))
-        .collect();
-    // Per-relation row locks: workers contend only when updating the same
-    // relation at the same instant (PBG keeps relations on a parameter
-    // server for the same reason).
-    let rel_init = EmbeddingTable::init(ds.num_relations(), cfg.dim, cfg.seed ^ REL_SEED);
-    let relations: Vec<Mutex<EmbeddingTable>> =
-        (0..ds.num_relations()).map(|r| Mutex::new(rel_init.slice_rows(r, r + 1))).collect();
-
-    let all_buckets = parts.buckets(&ds.train);
-    let mut bucket_list: Vec<((u16, u16), Vec<DenseTriple>)> = all_buckets.into_iter().collect();
-    bucket_list.sort_by_key(|(k, _)| *k);
-
-    let n_rel = ds.num_relations();
     let mut epoch_losses = vec![0.0f64; cfg.epochs];
     let mut buckets_trained = 0usize;
     let running = AtomicUsize::new(0);
     let max_running = AtomicUsize::new(0);
+    let quarantined = BTreeSet::new();
 
     for (epoch, epoch_loss) in epoch_losses.iter_mut().enumerate() {
         // Shuffle the bucket list so round packing varies across epochs and
         // no partition pair is always trained first.
-        {
-            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0bd0 ^ epoch as u64);
-            bucket_list.shuffle(&mut rng);
-        }
-        for round in pack_rounds(&bucket_list, num_parts) {
-            // Every bucket in the round trains against the same relation
-            // snapshot; deltas merge after the barrier in fixed round order
-            // (the async-update strategy of PBG/DGL-KE, made
-            // schedule-independent).
-            let mut rel_snapshot = EmbeddingTable::zeros(n_rel, cfg.dim);
-            for (r, row) in relations.iter().enumerate() {
-                rel_snapshot.copy_row_from(r, &row.lock(), 0);
-            }
-            let rel_snapshot = &rel_snapshot;
-
-            // One bucket: lock its two (disjoint-in-round) partitions,
-            // train its triples against the snapshot, return the bucket's
-            // relation table and loss for ordered merging.
-            let run_bucket = |i: usize, ws: &mut WorkerScratch| -> (EmbeddingTable, f64) {
-                let ((ph, pt), triples) = &bucket_list[i];
-                let cur = running.fetch_add(1, Ordering::SeqCst) + 1;
-                max_running.fetch_max(cur, Ordering::SeqCst);
-                // Rounds are partition-disjoint so these never contend;
-                // ordered acquisition keeps the path deadlock-free anyway.
-                let (first, second) = if ph <= pt { (*ph, *pt) } else { (*pt, *ph) };
-                let mut guard_a = tables[first as usize].lock();
-                let mut guard_b =
-                    if first == second { None } else { Some(tables[second as usize].lock()) };
-
-                let mut local_rel = rel_snapshot.clone();
-                // Candidate pool for negatives: entities of the two locked
-                // partitions.
-                let mut pool: Vec<u32> = parts.members[*ph as usize].clone();
-                if ph != pt {
-                    pool.extend_from_slice(&parts.members[*pt as usize]);
-                }
-                // Keyed by bucket coordinates only — the stream is the same
-                // no matter which worker runs the bucket.
-                let mut rng = ChaCha8Rng::seed_from_u64(
-                    cfg.seed ^ ((epoch as u64) << 32) ^ ((*ph as u64) << 16) ^ (*pt as u64),
-                );
-
-                let mut local_loss = 0.0f64;
-                for pos in triples {
-                    for n in 0..cfg.negatives {
-                        // Corrupt within the locked pool.
-                        let corrupt_head = n % 2 == 0;
-                        let mut neg = *pos;
-                        for _ in 0..8 {
-                            let cand = pool[rng.gen_range(0..pool.len())];
-                            if corrupt_head {
-                                neg.h = cand;
-                            } else {
-                                neg.t = cand;
-                            }
-                            if neg != *pos {
-                                break;
-                            }
-                        }
-                        local_loss += bucket_step(
-                            cfg,
-                            pos,
-                            &neg,
-                            &parts,
-                            &mut guard_a,
-                            guard_b.as_deref_mut(),
-                            first,
-                            &mut local_rel,
-                            &mut ws.rows,
-                            &mut ws.dh,
-                            &mut ws.dr,
-                            &mut ws.dt,
-                        ) as f64;
-                    }
-                }
-                running.fetch_sub(1, Ordering::SeqCst);
-                (local_rel, local_loss)
-            };
-
-            // Fan the round out over scoped threads, each with its own
-            // scratch — the `search_batch` pattern. Chunks preserve round
-            // order, so `results` is ordered regardless of scheduling.
-            let results: Vec<(EmbeddingTable, f64)> = if workers == 1 || round.len() <= 1 {
-                let mut ws = WorkerScratch::new(cfg.dim);
-                round.iter().map(|&i| run_bucket(i, &mut ws)).collect()
-            } else {
-                let chunk = round.len().div_ceil(workers);
-                crossbeam::thread::scope(|s| {
-                    let handles: Vec<_> = round
-                        .chunks(chunk)
-                        .map(|idxs| {
-                            let run_bucket = &run_bucket;
-                            s.spawn(move |_| {
-                                let mut ws = WorkerScratch::new(cfg.dim);
-                                idxs.iter().map(|&i| run_bucket(i, &mut ws)).collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("bucket worker panicked"))
-                        .collect()
-                })
-                .expect("bucket training scope failed")
-            };
-
-            // Ordered merge on the coordinating thread: relation deltas and
-            // losses accumulate in round order, independent of which worker
-            // finished first.
-            for (local_rel, local_loss) in &results {
-                for (r, row) in relations.iter().enumerate() {
-                    row.lock().apply_row_delta(0, local_rel, rel_snapshot, r);
-                }
-                *epoch_loss += local_loss;
-                buckets_trained += 1;
-            }
+        core.shuffle_epoch(cfg.seed, epoch);
+        for round in core.pack_current_rounds() {
+            let out = core.run_round(
+                cfg,
+                epoch,
+                &round,
+                workers,
+                &quarantined,
+                None,
+                &running,
+                &max_running,
+            );
+            *epoch_loss += out.loss;
+            buckets_trained += out.buckets_trained;
         }
     }
 
-    // Reassemble a flat entity table from the partitions.
-    let mut entities = EmbeddingTable::init(ds.num_entities(), cfg.dim, 0);
-    for (p, members) in parts.members.iter().enumerate() {
-        let table = tables[p].lock();
-        for (local, &global) in members.iter().enumerate() {
-            entities.row_mut(global as usize).copy_from_slice(table.row(local));
-        }
-    }
-    let denom = (ds.train.len().max(1) * cfg.negatives.max(1)) as f64;
-    let losses: Vec<f32> = epoch_losses.into_iter().map(|l| (l / denom) as f32).collect();
-
-    // Reassemble the relation table from its row locks.
-    let mut rel_table = EmbeddingTable::init(ds.num_relations(), cfg.dim, 0);
-    for (r, row) in relations.into_iter().enumerate() {
-        rel_table.write_rows(r, &row.into_inner());
-    }
-
-    let model = TrainedModel::assemble(
-        cfg.model,
-        ds.entities.clone(),
-        ds.relations.clone(),
-        entities,
-        rel_table,
-        losses,
-    );
+    let losses = normalize_losses(ds, cfg, &epoch_losses);
+    let model = core.assemble(cfg, ds, losses);
     let stats =
         PartitionedStats { buckets_trained, max_concurrency_observed: max_running.into_inner() };
     (model, stats)
@@ -399,6 +629,7 @@ pub fn full_graph_sampler(ds: &TrainingSet, cfg: &TrainConfig) -> NegativeSample
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::model::ModelKind;

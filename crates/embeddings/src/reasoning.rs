@@ -128,6 +128,7 @@ pub fn evaluate_paths(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::dataset::TrainingSet;

@@ -53,6 +53,7 @@ impl NegativeSampler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use saga_core::synth::{generate, SynthConfig};

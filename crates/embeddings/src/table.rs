@@ -72,11 +72,12 @@ impl EmbeddingTable {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
     }
 
     /// Immutable view of row `i`.
@@ -135,9 +136,65 @@ impl EmbeddingTable {
     pub fn rows(&self) -> impl Iterator<Item = (usize, &[f32])> {
         (0..self.len()).map(move |i| (i, self.row(i)))
     }
+
+    /// Serializes the table (shape, data, AdaGrad state) to little-endian
+    /// bytes — the checkpoint wire format. `[dim: u32][n: u32]` then
+    /// `n*dim` f32 data values, then `n*dim` f32 `grad_sq` values.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 * self.data.len());
+        out.extend_from_slice(&(self.dim as u32).to_le_bytes());
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for &x in &self.data {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        for &x in &self.grad_sq {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a table written by [`to_bytes`](Self::to_bytes),
+    /// validating the declared shape against the byte length.
+    pub fn from_bytes(bytes: &[u8]) -> saga_core::Result<Self> {
+        use saga_core::SagaError;
+        let header: [u8; 8] = bytes
+            .get(..8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| SagaError::Corrupt("embedding table header truncated".into()))?;
+        let dim = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let n = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+        if dim == 0 {
+            return Err(SagaError::Corrupt("embedding table dim is zero".into()));
+        }
+        let elems = n
+            .checked_mul(dim)
+            .ok_or_else(|| SagaError::Corrupt("embedding table shape overflows".into()))?;
+        let expect = 8usize
+            .checked_add(elems.checked_mul(8).ok_or_else(|| {
+                SagaError::Corrupt("embedding table byte length overflows".into())
+            })?)
+            .ok_or_else(|| SagaError::Corrupt("embedding table byte length overflows".into()))?;
+        if bytes.len() != expect {
+            return Err(SagaError::Corrupt(format!(
+                "embedding table is {} bytes, {}x{} needs {}",
+                bytes.len(),
+                n,
+                dim,
+                expect
+            )));
+        }
+        let read_f32s = |lo: usize| -> Vec<f32> {
+            bytes[lo..lo + 4 * elems]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect()
+        };
+        Ok(Self { dim, data: read_f32s(8), grad_sq: read_f32s(8 + 4 * elems) })
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -188,6 +245,24 @@ mod tests {
         t.row_mut(0).copy_from_slice(&[0.1, 0.2]);
         t.clip_row_to_unit_ball(0);
         assert_eq!(t.row(0), &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn byte_codec_round_trips_data_and_adagrad_state() {
+        let mut t = EmbeddingTable::init(7, 5, 11);
+        t.adagrad_update(3, &[1.0, -0.5, 0.25, 2.0, -3.0], 0.1);
+        let bytes = t.to_bytes();
+        let back = EmbeddingTable::from_bytes(&bytes).unwrap();
+        assert_eq!(back.dim(), 5);
+        assert_eq!(back.len(), 7);
+        assert_eq!(back.data, t.data);
+        assert_eq!(back.grad_sq, t.grad_sq);
+        // Any truncation or padding is rejected.
+        assert!(EmbeddingTable::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(EmbeddingTable::from_bytes(&padded).is_err());
+        assert!(EmbeddingTable::from_bytes(&bytes[..4]).is_err());
     }
 
     #[test]

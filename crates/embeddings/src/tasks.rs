@@ -20,7 +20,7 @@ pub fn rank_facts(
         .iter()
         .filter_map(|&c| model.score_triple(subject, predicate, c).map(|s| (c, s)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     scored
 }
 
@@ -48,7 +48,7 @@ impl FactVerifier {
         if scores.is_empty() {
             return Self { threshold: 0.0 };
         }
-        scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        scores.sort_by(|a, b| a.total_cmp(b));
         let idx = ((1.0 - target_recall) * (scores.len() - 1) as f64).round() as usize;
         Self { threshold: scores[idx.min(scores.len() - 1)] }
     }
@@ -152,6 +152,7 @@ pub fn rank_existing_facts(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::eval::auc;

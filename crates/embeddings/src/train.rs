@@ -320,6 +320,7 @@ pub fn train(ds: &TrainingSet, cfg: &TrainConfig) -> TrainedModel {
 pub(crate) const REL_SEED: u64 = 0x7e1a_7105;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use saga_core::synth::{generate, SynthConfig};

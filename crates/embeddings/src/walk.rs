@@ -85,7 +85,7 @@ impl WalkEmbeddings {
             .filter(|(_, &o)| o != e)
             .map(|(i, &o)| (o, saga_core::kernels::cosine_qnorm(q, q_norm, self.vectors.row(i))))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
         scored
     }
@@ -192,6 +192,7 @@ fn sgns_step(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use saga_core::synth::{generate, SynthConfig};
