@@ -401,6 +401,23 @@ impl HnswIndex {
         );
     }
 
+    /// [`search_batch`](Self::search_batch) recording whole-batch latency
+    /// into `hist` through `clock` — one lock-free, allocation-free
+    /// `record` per call, so the warm search path stays zero-allocation.
+    pub fn search_batch_recorded(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        workers: usize,
+        hist: &saga_core::obs::Histogram,
+        clock: &dyn saga_core::obs::Clock,
+    ) -> Vec<Vec<Hit>> {
+        let start = clock.now_ticks();
+        let out = self.search_batch(queries, k, workers);
+        hist.record(clock.now_ticks().saturating_sub(start));
+        out
+    }
+
     /// Approximate top-`k` for a batch of queries fanned out over
     /// `workers` scoped threads, each with its own scratch. Results are in
     /// query order, identical to sequential [`HnswIndex::search`] per

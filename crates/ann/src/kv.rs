@@ -32,6 +32,14 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Record this snapshot through an obs scope (call once per snapshot —
+    /// counters add): `hits`, `misses` and `entries` counters.
+    pub fn record_to(&self, scope: &saga_core::obs::Scope) {
+        scope.counter("hits").add(self.hits);
+        scope.counter("misses").add(self.misses);
+        scope.counter("entries").add(self.entries as u64);
+    }
 }
 
 /// Sharded embedding cache keyed by `u64` (entity id).

@@ -99,6 +99,59 @@ fn warm_query_path_performs_no_allocation() {
     assert_eq!(out.len(), k);
 }
 
+/// Observability must be free on the serving path: a warm query loop with
+/// pre-resolved obs handles — per-query latency recorded into a histogram,
+/// a query counter bumped — still allocates nothing. Counter shards are
+/// const-init thread-locals and histogram buckets are fixed atomics, so
+/// arming instrumentation adds zero allocations.
+#[test]
+fn warm_instrumented_query_path_performs_no_allocation() {
+    let dim = 32;
+    let n = 1_000;
+    let mut rng = ChaCha8Rng::seed_from_u64(47);
+    let vecs: Vec<Vec<f32>> =
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let queries: Vec<Vec<f32>> =
+        (0..25).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let k = 10;
+
+    let mut flat = FlatIndex::new(dim, Metric::Cosine);
+    for (i, v) in vecs.iter().enumerate() {
+        flat.add(i as u64, v);
+    }
+
+    let registry = saga_core::obs::Registry::new();
+    let scope = registry.scope("ann").child("search");
+    let latency = scope.histogram("query_ticks");
+    let served = scope.counter("queries");
+    let clock = scope.clock();
+
+    let mut scratch = FlatScratch::new();
+    let mut out: Vec<Hit> = Vec::new();
+    // Warm-up: buffers to steady state, thread-local shard slot assigned.
+    for q in &queries {
+        let start = clock.now_ticks();
+        flat.search_into(q, k, &mut scratch, &mut out);
+        latency.record(clock.now_ticks().saturating_sub(start));
+        served.inc();
+    }
+
+    let allocs = count_allocs(|| {
+        for q in &queries {
+            let start = clock.now_ticks();
+            flat.search_into(q, k, &mut scratch, &mut out);
+            latency.record(clock.now_ticks().saturating_sub(start));
+            served.inc();
+        }
+    });
+    assert_eq!(allocs, 0, "instrumented warm path allocated {allocs} times");
+    assert_eq!(out.len(), k);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("ann/search/queries"), 2 * queries.len() as u64);
+    let hist = snap.histogram("ann/search/query_ticks").expect("latency recorded");
+    assert_eq!(hist.count(), 2 * queries.len() as u64);
+}
+
 /// The quantized serving path scores raw i8 rows through the integer
 /// kernels; after warm-up it must allocate nothing for any metric, and the
 /// PQ ADC path must reuse its lookup-table scratch the same way.

@@ -114,6 +114,7 @@ impl AliasTable {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use saga_core::synth::{generate, SynthConfig};

@@ -189,6 +189,7 @@ pub fn leftmost_longest(mut matches: Vec<PhraseMatch>) -> Vec<PhraseMatch> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -74,6 +74,7 @@ fn topic_mention_resolved(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::linker::{LinkerConfig, Tier};

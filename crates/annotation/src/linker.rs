@@ -171,7 +171,7 @@ pub fn link_mentions(
                 (c.entity, score)
             })
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let (entity, score) = scored[0];
         if score < cfg.min_score {
             continue;
@@ -212,6 +212,7 @@ fn coherence(model: &TrainedModel, entity: EntityId, anchors: &[EntityId]) -> f3
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::alias::AliasTable;

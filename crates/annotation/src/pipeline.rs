@@ -4,6 +4,7 @@
 
 use crate::linker::LinkedMention;
 use crate::service::AnnotationService;
+use saga_core::obs::{MetricsSnapshot, Registry, Scope, SpanTimer};
 use saga_core::{DocId, EntityId, KnowledgeGraph, Triple, Value};
 use saga_webcorpus::Corpus;
 use serde::{Deserialize, Serialize};
@@ -68,6 +69,9 @@ impl AnnotatedCorpus {
 }
 
 /// Pipeline statistics for one run (full or incremental).
+///
+/// A thin view over the `saga-core::obs` metrics the pass recorded: derive it
+/// from a snapshot delta with [`PipelineStats::from_snapshot_delta`].
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct PipelineStats {
     /// Documents processed in this pass.
@@ -78,13 +82,45 @@ pub struct PipelineStats {
     pub elapsed: std::time::Duration,
 }
 
+impl PipelineStats {
+    /// Derive the stats for one pass from a [`MetricsSnapshot`] delta
+    /// recorded under `scope_path` (see [`annotate_corpus_obs`]). Clock
+    /// ticks are interpreted as microseconds (the `WallClock` unit).
+    pub fn from_snapshot_delta(delta: &MetricsSnapshot, scope_path: &str) -> PipelineStats {
+        let ticks = delta.histogram(&format!("{scope_path}/pass_ticks")).map_or(0, |h| h.sum);
+        PipelineStats {
+            docs_processed: delta.counter(&format!("{scope_path}/docs_processed")) as usize,
+            mentions_found: delta.counter(&format!("{scope_path}/mentions_found")) as usize,
+            elapsed: std::time::Duration::from_micros(ticks),
+        }
+    }
+}
+
 /// Annotates the whole corpus with `workers` threads over document shards.
 pub fn annotate_corpus(
     service: &AnnotationService,
     corpus: &Corpus,
     workers: usize,
 ) -> (AnnotatedCorpus, PipelineStats) {
-    let start = std::time::Instant::now();
+    let registry = Registry::new();
+    annotate_corpus_obs(service, corpus, workers, &registry.scope("annotation"))
+}
+
+/// [`annotate_corpus`] recording through an obs scope: counters
+/// `docs_processed` / `mentions_found`, a `mentions_per_doc` histogram
+/// (values, not clock deltas — deterministic under any worker count) and a
+/// whole-pass `pass_ticks` span.
+pub fn annotate_corpus_obs(
+    service: &AnnotationService,
+    corpus: &Corpus,
+    workers: usize,
+    scope: &Scope,
+) -> (AnnotatedCorpus, PipelineStats) {
+    let before = scope.registry().snapshot();
+    let docs_counter = scope.counter("docs_processed");
+    let mentions_counter = scope.counter("mentions_found");
+    let mentions_per_doc = scope.histogram("mentions_per_doc");
+    let span = SpanTimer::start(scope.histogram("pass_ticks"), scope.clock());
     let next = AtomicUsize::new(0);
     let results: Vec<parking_lot::Mutex<Vec<AnnotatedDoc>>> =
         (0..workers.max(1)).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
@@ -93,6 +129,7 @@ pub fn annotate_corpus(
         for w in 0..workers.max(1) {
             let next = &next;
             let results = &results;
+            let mentions_per_doc = &mentions_per_doc;
             s.spawn(move |_| {
                 let mut local = Vec::new();
                 loop {
@@ -102,6 +139,7 @@ pub fn annotate_corpus(
                     }
                     let page = &corpus.pages[i];
                     let mentions = service.annotate(&page.full_text());
+                    mentions_per_doc.record(mentions.len() as u64);
                     local.push(AnnotatedDoc {
                         doc: page.id,
                         version: page.last_modified,
@@ -120,12 +158,12 @@ pub fn annotate_corpus(
             out.docs.insert(ad.doc, ad);
         }
     }
-    let stats = PipelineStats {
-        docs_processed: corpus.pages.len(),
-        mentions_found: out.total_mentions(),
-        elapsed: start.elapsed(),
-    };
-    (out, stats)
+    docs_counter.add(corpus.pages.len() as u64);
+    mentions_counter.add(out.total_mentions() as u64);
+    span.stop();
+    let mut delta = scope.registry().snapshot();
+    delta.diff(&before);
+    (out, PipelineStats::from_snapshot_delta(&delta, scope.path()))
 }
 
 /// Re-annotates only `changed` documents in place — the paper's incremental
@@ -136,15 +174,39 @@ pub fn annotate_incremental(
     annotated: &mut AnnotatedCorpus,
     changed: &[DocId],
 ) -> PipelineStats {
-    let start = std::time::Instant::now();
-    let mut mentions_found = 0;
+    let registry = Registry::new();
+    annotate_incremental_obs(service, corpus, annotated, changed, &registry.scope("annotation"))
+}
+
+/// [`annotate_incremental`] recording through an obs scope. The pass is
+/// sequential, so per-document `doc_ticks` spans are deterministic under a
+/// virtual clock in addition to the whole-pass `pass_ticks` span.
+pub fn annotate_incremental_obs(
+    service: &AnnotationService,
+    corpus: &Corpus,
+    annotated: &mut AnnotatedCorpus,
+    changed: &[DocId],
+    scope: &Scope,
+) -> PipelineStats {
+    let before = scope.registry().snapshot();
+    let docs_counter = scope.counter("docs_processed");
+    let mentions_counter = scope.counter("mentions_found");
+    let doc_hist = scope.histogram("doc_ticks");
+    let clock = scope.clock();
+    let span = SpanTimer::start(scope.histogram("pass_ticks"), clock.clone());
     for &doc in changed {
+        let doc_span = SpanTimer::start(doc_hist.clone(), clock.clone());
         let page = corpus.page(doc);
         let mentions = service.annotate(&page.full_text());
-        mentions_found += mentions.len();
+        mentions_counter.add(mentions.len() as u64);
         annotated.docs.insert(doc, AnnotatedDoc { doc, version: page.last_modified, mentions });
+        doc_span.stop();
     }
-    PipelineStats { docs_processed: changed.len(), mentions_found, elapsed: start.elapsed() }
+    docs_counter.add(changed.len() as u64);
+    span.stop();
+    let mut delta = scope.registry().snapshot();
+    delta.diff(&before);
+    PipelineStats::from_snapshot_delta(&delta, scope.path())
 }
 
 /// Materializes entity→document links into the KG as `mentioned_in` facts
@@ -180,6 +242,7 @@ pub fn extend_kg_with_links(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::linker::{LinkerConfig, Tier};

@@ -19,6 +19,7 @@ use crate::linker::{LinkedMention, Tier};
 use crate::pipeline::{AnnotatedCorpus, AnnotatedDoc, PipelineStats};
 use crate::service::AnnotationService;
 use saga_core::fault::{FaultInjector, RetryBudget, RetryPolicy};
+use saga_core::obs::{Scope, SpanTimer};
 use saga_core::{DocId, Result, SagaError};
 use saga_webcorpus::{Corpus, WebPage};
 use serde::{Deserialize, Serialize};
@@ -45,6 +46,19 @@ pub struct ResilienceReport {
     pub retries: u64,
 }
 
+impl ResilienceReport {
+    /// Record this pass's outcome through an obs scope: counters `retries`,
+    /// `quarantined` and `degraded_passes` (all deterministic for a fixed
+    /// fault seed, regardless of worker count).
+    pub fn record_to(&self, scope: &Scope) {
+        scope.counter("retries").add(self.retries);
+        scope.counter("quarantined").add(self.quarantined.len() as u64);
+        if self.degraded {
+            scope.counter("degraded_passes").inc();
+        }
+    }
+}
+
 /// Runs annotation passes over a fallible substrate.
 pub struct ResilientAnnotator<'a> {
     service: &'a AnnotationService,
@@ -52,6 +66,7 @@ pub struct ResilientAnnotator<'a> {
     retry: RetryPolicy,
     budget: RetryBudget,
     pass: u64,
+    obs: Option<Scope>,
 }
 
 impl<'a> ResilientAnnotator<'a> {
@@ -63,7 +78,16 @@ impl<'a> ResilientAnnotator<'a> {
             retry: RetryPolicy::default(),
             budget: RetryBudget::unlimited(),
             pass: 0,
+            obs: None,
         }
+    }
+
+    /// Records pass metrics into `scope`: whole-pass `pass_ticks` spans, a
+    /// `retries_per_doc` histogram (values, not clock deltas — deterministic
+    /// under any worker count) and the [`ResilienceReport`] counters.
+    pub fn with_obs(mut self, scope: Scope) -> Self {
+        self.obs = Some(scope);
+        self
     }
 
     /// Overrides the retry policy.
@@ -138,6 +162,9 @@ impl<'a> ResilientAnnotator<'a> {
         out: &mut AnnotatedCorpus,
     ) -> (PipelineStats, ResilienceReport) {
         let start = std::time::Instant::now();
+        let pass_span =
+            self.obs.as_ref().map(|s| SpanTimer::start(s.histogram("pass_ticks"), s.clock()));
+        let retries_per_doc = self.obs.as_ref().map(|s| s.histogram("retries_per_doc"));
         let mut setup_retries = 0u64;
         let (tier, degraded) = self.resolve_tier(&mut setup_retries);
 
@@ -152,6 +179,7 @@ impl<'a> ResilientAnnotator<'a> {
                 let next = &next;
                 let shards = &shards;
                 let total_retries = &total_retries;
+                let retries_per_doc = &retries_per_doc;
                 s.spawn(move |_| {
                     let mut ok = Vec::new();
                     let mut quarantined = Vec::new();
@@ -162,6 +190,7 @@ impl<'a> ResilientAnnotator<'a> {
                             break;
                         }
                         let page = &corpus.pages[i];
+                        let retries_before = retries;
                         match self.annotate_page(tier, page, &mut retries) {
                             Ok(mentions) => ok.push(AnnotatedDoc {
                                 doc: page.id,
@@ -169,6 +198,9 @@ impl<'a> ResilientAnnotator<'a> {
                                 mentions,
                             }),
                             Err(_) => quarantined.push(page.id),
+                        }
+                        if let Some(hist) = retries_per_doc {
+                            hist.record(retries - retries_before);
                         }
                     }
                     total_retries.fetch_add(retries, Ordering::Relaxed);
@@ -201,6 +233,12 @@ impl<'a> ResilientAnnotator<'a> {
             quarantined,
             retries: total_retries.load(Ordering::Relaxed),
         };
+        if let Some(scope) = &self.obs {
+            scope.counter("docs_processed").add(stats.docs_processed as u64);
+            scope.counter("mentions_found").add(stats.mentions_found as u64);
+            report.record_to(scope);
+        }
+        drop(pass_span);
         (stats, report)
     }
 
@@ -213,6 +251,9 @@ impl<'a> ResilientAnnotator<'a> {
         changed: &[DocId],
     ) -> (PipelineStats, ResilienceReport) {
         let start = std::time::Instant::now();
+        let pass_span =
+            self.obs.as_ref().map(|s| SpanTimer::start(s.histogram("pass_ticks"), s.clock()));
+        let retries_per_doc = self.obs.as_ref().map(|s| s.histogram("retries_per_doc"));
         let mut retries = 0u64;
         let (tier, degraded) = self.resolve_tier(&mut retries);
 
@@ -221,6 +262,7 @@ impl<'a> ResilientAnnotator<'a> {
         let mut mentions_found = 0;
         for &doc in changed {
             let page = corpus.page(doc);
+            let retries_before = retries;
             match self.annotate_page(tier, page, &mut retries) {
                 Ok(mentions) => {
                     docs_processed += 1;
@@ -230,15 +272,26 @@ impl<'a> ResilientAnnotator<'a> {
                 }
                 Err(_) => quarantined.push(doc),
             }
+            if let Some(hist) = &retries_per_doc {
+                hist.record(retries - retries_before);
+            }
         }
         quarantined.sort_unstable();
 
         let stats = PipelineStats { docs_processed, mentions_found, elapsed: start.elapsed() };
-        (stats, ResilienceReport { tier_used: tier, degraded, quarantined, retries })
+        let report = ResilienceReport { tier_used: tier, degraded, quarantined, retries };
+        if let Some(scope) = &self.obs {
+            scope.counter("docs_processed").add(stats.docs_processed as u64);
+            scope.counter("mentions_found").add(stats.mentions_found as u64);
+            report.record_to(scope);
+        }
+        drop(pass_span);
+        (stats, report)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::linker::LinkerConfig;
@@ -331,5 +384,29 @@ mod tests {
             (stats.docs_processed, stats.mentions_found, report.quarantined, report.retries)
         };
         assert_eq!(run(1), run(4), "fault decisions must not depend on scheduling");
+    }
+
+    #[test]
+    fn obs_snapshot_bit_identical_across_worker_counts() {
+        use saga_core::obs::Registry;
+        use std::sync::Arc;
+        let (_, c, svc) = setup();
+        let run = |workers: usize| {
+            let injector = FaultInjector::new(
+                FaultPlan::reliable(9).with_site(SITE_ANNOTATE, SiteFaults::mixed(0.3, 0.1)),
+            );
+            // The registry shares the injector's virtual clock, so even the
+            // whole-pass span (total charged latency) is deterministic.
+            let registry = Registry::with_clock(Arc::new(injector.clock().clone()));
+            let annotator = ResilientAnnotator::new(&svc, &injector)
+                .with_obs(registry.scope("annotation").child(SITE_ANNOTATE));
+            let mut out = AnnotatedCorpus::default();
+            annotator.annotate_corpus(&c, workers, &mut out);
+            registry.snapshot()
+        };
+        let s1 = run(1);
+        assert_eq!(s1, run(2), "snapshots must match between 1 and 2 workers");
+        assert_eq!(s1, run(8), "snapshots must match between 1 and 8 workers");
+        assert!(s1.counter("annotation/annotate/retries") > 0, "workload must exercise retries");
     }
 }

@@ -205,6 +205,7 @@ fn merge_mentions(main: &mut Vec<Mention>, extra: Vec<Mention>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::linker::Tier;

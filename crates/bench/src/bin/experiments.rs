@@ -10,7 +10,8 @@
 //! `EXPERIMENTS-results.json`, so a partial rerun (`-- e15`) updates only
 //! its own rows and leaves every other experiment's recorded output
 //! untouched. Running `e15` additionally writes `BENCH_resilience.json`
-//! with the raw retry-amplification curves.
+//! with the raw retry-amplification curves and `BENCH_metrics.json` with
+//! the run's obs metrics snapshot.
 
 use saga_bench::{e15, run_experiment, ExperimentResult, Scale, EXPERIMENTS};
 
@@ -142,11 +143,16 @@ fn main() {
         eprintln!("running {id} ({scale:?})...");
         let start = std::time::Instant::now();
         let result = if id == "e15" {
-            // E15 also emits the raw resilience curves as a side artifact.
-            let (r, artifact) = e15::run_with_artifact(scale);
+            // E15 also emits the raw resilience curves and the obs metrics
+            // snapshot as side artifacts.
+            let (r, artifact, metrics) = e15::run_with_artifacts(scale);
             match std::fs::write("BENCH_resilience.json", artifact) {
                 Ok(()) => eprintln!("wrote BENCH_resilience.json"),
                 Err(e) => eprintln!("could not write BENCH_resilience.json: {e}"),
+            }
+            match std::fs::write("BENCH_metrics.json", metrics) {
+                Ok(()) => eprintln!("wrote BENCH_metrics.json"),
+                Err(e) => eprintln!("could not write BENCH_metrics.json: {e}"),
             }
             Some(r)
         } else {

@@ -1,7 +1,7 @@
 //! E1 — Fig. 3: the embedding training & inference pipeline, plus the
 //! Sec. 2 fact-filtering and rare-predicate-pruning ablations.
 
-use crate::report::{f3, ExperimentResult, Table};
+use crate::report::{f3, timed, ExperimentResult, Table};
 use crate::world::{Scale, World};
 use saga_core::text::fnv1a;
 use saga_core::EntityId;
@@ -65,6 +65,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
     );
     let world = World::build(scale, 11);
     let min_freq = 5;
+    let obs = saga_core::obs::Registry::new().scope("bench").child("e1");
 
     // ---- main table: three models on the filtered view ------------------
     let view = GraphView::materialize(&world.synth.kg, ViewDef::embedding_training(min_freq));
@@ -79,9 +80,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
     );
     for model in ModelKind::ALL {
         let cfg = train_config(scale, model);
-        let start = std::time::Instant::now();
-        let m = train(&ds, &cfg);
-        let secs = start.elapsed().as_secs_f64();
+        let (m, train_time) = timed(&obs, "train_ticks", || train(&ds, &cfg));
+        let secs = train_time.as_secs_f64();
         let metrics = evaluate(&m, &ds, &ds.test, eval_cap(scale));
         t.row(&[
             model.name().into(),

@@ -2,11 +2,10 @@
 //! cross-feed deduplication quality, trust-weighted conflict resolution,
 //! and incremental ≡ one-shot convergence.
 
-use crate::report::{f3, ExperimentResult, Table};
+use crate::report::{f3, timed, ExperimentResult, Table};
 use crate::world::Scale;
 use saga_core::synth::{generate, standard_ontology, SynthConfig};
 use saga_fusion::{generate_feeds, FeedConfig, FusionConfig, FusionEngine};
-use std::time::Instant;
 
 /// Runs E12.
 pub fn run(scale: Scale) -> ExperimentResult {
@@ -26,9 +25,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
     // ---- one-shot ingestion --------------------------------------------
     let (ontology, _, _) = standard_ontology(0);
     let mut engine = FusionEngine::new(ontology, &data.trust, FusionConfig::default());
-    let start = Instant::now();
-    let stats = engine.ingest(&data.records);
-    let elapsed = start.elapsed();
+    let obs = saga_core::obs::Registry::new().scope("bench").child("e12");
+    let (stats, elapsed) = timed(&obs, "ingest_ticks", || engine.ingest(&data.records));
+    stats.record_to(&obs.child("fusion"));
 
     // Pairwise quality vs ground truth.
     let (mut tp, mut fp, mut fn_) = (0u64, 0u64, 0u64);

@@ -11,7 +11,7 @@
 //! to the failure-free one. Besides the usual result tables, the raw
 //! curves are emitted as `BENCH_resilience.json`.
 
-use crate::report::{f3, ExperimentResult, Table};
+use crate::report::{f3, metrics_artifact_json, ExperimentResult, Table};
 use crate::world::{Scale, World};
 use saga_annotation::{AnnotationService, LinkerConfig, Tier};
 use saga_core::fault::{BreakerConfig, FaultInjector, FaultPlan, RetryPolicy, SiteFaults};
@@ -51,7 +51,7 @@ fn patient() -> RetryPolicy {
     RetryPolicy { max_attempts: 10, ..RetryPolicy::default() }
 }
 
-fn odke_curve(world: &World, scale: Scale) -> Vec<OdkePoint> {
+fn odke_curve(world: &World, scale: Scale, obs: &saga_core::obs::Scope) -> Vec<OdkePoint> {
     let svc = AnnotationService::build(&world.synth.kg, LinkerConfig::tier(Tier::T2Contextual));
     let n_targets = match scale {
         Scale::Quick => 8,
@@ -82,7 +82,8 @@ fn odke_curve(world: &World, scale: Scale) -> Vec<OdkePoint> {
             FaultySource::new(ReliableSource::new(&world.search, &world.corpus), &injector);
         let runner = ResilientOdke::new(&source, OdkeConfig::default())
             .with_retry(patient())
-            .with_breakers(BreakerConfig { failure_threshold: 1_000, cooldown_ms: 1 });
+            .with_breakers(BreakerConfig { failure_threshold: 1_000, cooldown_ms: 1 })
+            .with_obs(obs.child(&format!("rate{:02}", (rate * 100.0) as u32)));
         let mut kg = world.synth.kg.clone();
         let mut checkpoint = RunCheckpoint::default();
         let report = runner
@@ -110,7 +111,7 @@ fn odke_curve(world: &World, scale: Scale) -> Vec<OdkePoint> {
     points
 }
 
-fn train_curve(world: &World, scale: Scale) -> Vec<TrainPoint> {
+fn train_curve(world: &World, scale: Scale, obs: &saga_core::obs::Scope) -> Vec<TrainPoint> {
     let view = GraphView::materialize(&world.synth.kg, ViewDef::embedding_training(5));
     let mut ds = TrainingSet::from_edges(&view.edges(), 0.02, 0.02, 41);
     let (epochs, cap) = match scale {
@@ -135,6 +136,7 @@ fn train_curve(world: &World, scale: Scale) -> Vec<TrainPoint> {
         let run = CheckpointedTrainer::new(cfg.clone(), num_parts, workers)
             .with_faults(&injector)
             .with_retry(patient())
+            .with_obs(obs.child(&format!("rate{:02}", (rate * 100.0) as u32)))
             .train(&ds, &mut log)
             .expect("checkpointed training");
         let model = run.model.expect("run not killed");
@@ -194,13 +196,24 @@ fn artifact_json(odke: &[OdkePoint], train: &[TrainPoint]) -> String {
 
 /// Runs E15 and also returns the `BENCH_resilience.json` artifact body.
 pub fn run_with_artifact(scale: Scale) -> (ExperimentResult, String) {
+    let (result, resilience, _metrics) = run_with_artifacts(scale);
+    (result, resilience)
+}
+
+/// Runs E15 and returns the result plus both artifact bodies: the raw
+/// resilience curves (`BENCH_resilience.json`) and the obs
+/// [`MetricsSnapshot`](saga_core::obs::MetricsSnapshot) of the whole run
+/// (`BENCH_metrics.json`).
+pub fn run_with_artifacts(scale: Scale) -> (ExperimentResult, String, String) {
     let mut result = ExperimentResult::new(
         "E15",
         "Sec. 2/4 — retry amplification of the resilient extraction and training layers",
     );
     let world = World::build(scale, 53);
+    let registry = saga_core::obs::Registry::new();
+    let scope = registry.scope("bench").child("e15");
 
-    let odke = odke_curve(&world, scale);
+    let odke = odke_curve(&world, scale, &scope.child("odke"));
     let mut t = Table::new(
         "ODKE fact recovery and retry volume vs transient fault rate (search+fetch sites)",
         &[
@@ -224,7 +237,7 @@ pub fn run_with_artifact(scale: Scale) -> (ExperimentResult, String) {
     }
     result.tables.push(t);
 
-    let train = train_curve(&world, scale);
+    let train = train_curve(&world, scale, &scope.child("train"));
     let mut t = Table::new(
         "checkpointed training overhead vs transient fault rate (train-bucket site)",
         &[
@@ -263,7 +276,8 @@ pub fn run_with_artifact(scale: Scale) -> (ExperimentResult, String) {
     });
 
     let json = artifact_json(&odke, &train);
-    (result, json)
+    let metrics = metrics_artifact_json("E15", &registry.snapshot());
+    (result, json, metrics)
 }
 
 /// Runs E15.

@@ -1,12 +1,11 @@
 //! E3 — Fig. 1 embedding service: k-NN serving latency/recall — HNSW vs
 //! exact flat search, plus the quantized on-device table.
 
-use crate::report::{f3, us, ExperimentResult, Table};
+use crate::report::{f3, timed, us, ExperimentResult, Table};
 use crate::world::Scale;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use saga_ann::{FlatIndex, HnswIndex, HnswParams, Metric, QuantizedTable};
-use std::time::Instant;
 
 fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -36,6 +35,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
     };
     let n_queries = 50;
     let k = 10;
+    let obs = saga_core::obs::Registry::new().scope("bench").child("e3");
 
     let mut t = Table::new(
         "kNN serving: exact vs HNSW (cosine, dim 64, k=10)",
@@ -51,20 +51,25 @@ pub fn run(scale: Scale) -> ExperimentResult {
             hnsw.add(i as u64, v);
         }
         // Exact baseline.
-        let start = Instant::now();
-        let truths: Vec<std::collections::HashSet<u64>> =
-            queries.iter().map(|q| flat.search(q, k).into_iter().map(|h| h.id).collect()).collect();
-        let flat_lat = start.elapsed() / n_queries as u32;
+        let (truths, flat_elapsed) = timed(&obs, "flat_search_ticks", || {
+            queries
+                .iter()
+                .map(|q| flat.search(q, k).into_iter().map(|h| h.id).collect())
+                .collect::<Vec<std::collections::HashSet<u64>>>()
+        });
+        let flat_lat = flat_elapsed / n_queries as u32;
         t.row(&[n.to_string(), "flat (exact)".into(), "1.000".into(), us(flat_lat), "1.0x".into()]);
         for ef in [24usize, 48, 96] {
-            let start = Instant::now();
-            let mut recall_sum = 0.0f64;
-            for (q, truth) in queries.iter().zip(&truths) {
-                let hits = hnsw.search_ef(q, k, ef);
-                recall_sum +=
-                    hits.iter().filter(|h| truth.contains(&h.id)).count() as f64 / k as f64;
-            }
-            let lat = start.elapsed() / n_queries as u32;
+            let (recall_sum, hnsw_elapsed) = timed(&obs, "hnsw_search_ticks", || {
+                let mut recall_sum = 0.0f64;
+                for (q, truth) in queries.iter().zip(&truths) {
+                    let hits = hnsw.search_ef(q, k, ef);
+                    recall_sum +=
+                        hits.iter().filter(|h| truth.contains(&h.id)).count() as f64 / k as f64;
+                }
+                recall_sum
+            });
+            let lat = hnsw_elapsed / n_queries as u32;
             let speedup = flat_lat.as_secs_f64() / lat.as_secs_f64().max(1e-9);
             t.row(&[
                 n.to_string(),
@@ -159,13 +164,12 @@ pub fn run(scale: Scale) -> ExperimentResult {
     );
     for engine in ["flat", "hnsw"] {
         let search = |w: usize| {
-            let start = Instant::now();
-            let hits = match engine {
+            let (hits, elapsed) = timed(&obs, "batch_search_ticks", || match engine {
                 "flat" => flat.search_batch(&batch_queries, k, w),
                 _ => hnsw.search_batch(&batch_queries, k, w),
-            };
+            });
             assert_eq!(hits.len(), batch_queries.len());
-            start.elapsed()
+            elapsed
         };
         // Warm up thread-locals and measure the single-worker baseline.
         search(1);

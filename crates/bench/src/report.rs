@@ -171,6 +171,46 @@ impl ExperimentResult {
     }
 }
 
+/// Runs `f` inside an obs span recorded on `scope`'s `name` histogram,
+/// returning the result and the elapsed wall time. The one timing idiom of
+/// the experiment harness — replaces ad-hoc `Instant::now()`/`elapsed()`
+/// pairs and leaves the latency in the registry for snapshot artifacts.
+/// Assumes the scope's registry uses the default [`saga_core::obs::WallClock`]
+/// (microsecond ticks).
+pub fn timed<R>(
+    scope: &saga_core::obs::Scope,
+    name: &str,
+    f: impl FnOnce() -> R,
+) -> (R, std::time::Duration) {
+    let span = scope.span(name);
+    let out = f();
+    let ticks = span.elapsed_ticks();
+    drop(span);
+    (out, std::time::Duration::from_micros(ticks))
+}
+
+/// Serializes a [`saga_core::obs::MetricsSnapshot`] as a standalone
+/// `BENCH_*.json`-style artifact document tagged with the producing
+/// experiment id. Hand-rolled like the rest of artifact emission.
+pub fn metrics_artifact_json(
+    experiment: &str,
+    snapshot: &saga_core::obs::MetricsSnapshot,
+) -> String {
+    let metrics = snapshot.to_json();
+    let metrics = metrics.trim_end();
+    let mut indented = String::new();
+    for (i, line) in metrics.lines().enumerate() {
+        if i > 0 {
+            indented.push_str("\n  ");
+        }
+        indented.push_str(line);
+    }
+    format!(
+        "{{\n  \"experiment\": \"{}\",\n  \"metrics\": {indented}\n}}\n",
+        json_escape(experiment)
+    )
+}
+
 /// Formats a float with 3 decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")

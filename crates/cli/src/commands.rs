@@ -15,6 +15,7 @@ use std::path::Path;
 pub const USAGE: &str = "usage:
   saga generate --seed N [--people N] --out FILE
   saga stats KG
+  saga stats pipeline [--seed N] [--targets N]
   saga entity KG --name NAME
   saga gaps KG [--limit N]
   saga train KG [--model transe|distmult|complex] [--dim N] [--epochs N] --out FILE
@@ -144,6 +145,9 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
+    if args.positional.first() == Some(&"pipeline") {
+        return cmd_stats_pipeline(args);
+    }
     let kg = load_kg(args.positional.first().ok_or("missing KG path")?)?;
     println!("entities:   {}", kg.num_entities());
     println!("facts:      {}", kg.num_triples());
@@ -161,6 +165,47 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
             s.distinct_subjects
         );
     }
+    Ok(())
+}
+
+/// `saga stats pipeline`: runs a small synthetic annotate→extract pipeline
+/// with every stage recording into one obs registry, then dumps the metric
+/// tree — the quickest way to see what the observability substrate captures.
+fn cmd_stats_pipeline(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.num("seed", 7)?;
+    let n_targets: usize = args.num("targets", 6)?;
+    let synth = generate(&SynthConfig::tiny(seed));
+    let mut kg = synth.kg.clone();
+    let extra = vec![(
+        synth.scenario.mw_singer,
+        synth.preds.date_of_birth,
+        Value::Date(saga_core::Date::new(1979, 7, 23).expect("valid date")),
+    )];
+    let (corpus, _) =
+        saga_webcorpus::generate_corpus(&synth, &extra, &saga_webcorpus::CorpusConfig::tiny(seed));
+    let search = saga_webcorpus::SearchEngine::build(&corpus);
+    let svc = AnnotationService::build(&kg, LinkerConfig::tier(Tier::T2Contextual));
+
+    let registry = saga_core::obs::Registry::new();
+    let (_, stats) =
+        saga_annotation::annotate_corpus_obs(&svc, &corpus, 2, &registry.scope("annotation"));
+    println!(
+        "annotated {} docs ({} mentions); extracting {n_targets} targets",
+        stats.docs_processed, stats.mentions_found
+    );
+    let log = saga_odke::generate_query_log(&synth, 300, seed);
+    let targets = saga_odke::select_targets(&kg, &log, &saga_odke::ProfilerConfig::default());
+    let report = saga_odke::run_odke_obs(
+        &mut kg,
+        &svc,
+        &search,
+        &corpus,
+        &targets[..targets.len().min(n_targets)],
+        &saga_odke::OdkeConfig::default(),
+        &registry.scope("odke"),
+    );
+    println!("wrote {} facts\n\nmetrics:", report.facts_written);
+    print!("{}", registry.snapshot().render_tree());
     Ok(())
 }
 
@@ -465,6 +510,11 @@ mod tests {
     #[test]
     fn odke_command_runs() {
         run(&["odke", "--seed", "3", "--targets", "4"]).unwrap();
+    }
+
+    #[test]
+    fn stats_pipeline_command_runs() {
+        run(&["stats", "pipeline", "--seed", "3", "--targets", "4"]).unwrap();
     }
 
     #[test]

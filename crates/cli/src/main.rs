@@ -3,6 +3,7 @@
 //! ```text
 //! saga generate --seed 7 --people 500 --out kg.saga
 //! saga stats kg.saga
+//! saga stats pipeline --seed 7 --targets 6
 //! saga entity kg.saga --name "Michael Jordan"
 //! saga gaps kg.saga --limit 10
 //! saga train kg.saga --model transe --dim 32 --epochs 20 --out model.saga

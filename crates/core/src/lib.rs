@@ -20,6 +20,8 @@
 //!   embeddings ([`text`]);
 //! - unrolled dense-vector kernels shared by every scoring hot path
 //!   ([`kernels`]);
+//! - the unified observability substrate — sharded counters, log2 latency
+//!   histograms, span timers and deterministic metric snapshots ([`obs`]);
 //! - a deterministic synthetic open-domain KG generator standing in for the
 //!   paper's production graph ([`synth`]).
 
@@ -32,6 +34,7 @@ pub mod fault;
 pub mod ids;
 pub mod kernels;
 pub mod literal;
+pub mod obs;
 pub mod ontology;
 pub mod persist;
 pub mod store;
@@ -47,6 +50,10 @@ pub use fault::{
     RetryBudget, RetryPolicy, SiteFaults, VirtualClock,
 };
 pub use ids::{DocId, EntityId, Interner, LiteralId, PredicateId, SourceId, TypeId};
+pub use obs::{
+    Clock, Counter, Histogram, HistogramSnapshot, MetricValue, MetricsSnapshot, Registry, Scope,
+    SpanTimer, WallClock,
+};
 pub use ontology::{Cardinality, Ontology, PredicateInfo, TypeInfo, Volatility};
 pub use store::{Delta, KnowledgeGraph};
 pub use triple::{FactMeta, ObjKey, Triple, TripleKey};

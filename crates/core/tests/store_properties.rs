@@ -184,7 +184,13 @@ proptest! {
     }
 }
 
+/// Unique-per-call filename suffix: a fixed (env-overridable via
+/// `SAGA_TEST_SEED`) base plus a process-local counter, so runs are
+/// reproducible instead of seeded from the wall clock.
 fn rand_suffix() -> u64 {
-    use std::time::{SystemTime, UNIX_EPOCH};
-    SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let base: u64 =
+        std::env::var("SAGA_TEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0x5a6a_5eed);
+    base.wrapping_add(NEXT.fetch_add(1, Ordering::Relaxed))
 }

@@ -89,6 +89,25 @@ pub struct TrainReport {
     pub max_concurrency_observed: usize,
 }
 
+impl TrainReport {
+    /// Record this run's cumulative totals through an obs scope (call once
+    /// per run — counters add): every numeric field becomes a counter of
+    /// the same name, plus `quarantined` as the quarantine-set size.
+    pub fn record_to(&self, scope: &saga_core::obs::Scope) {
+        scope.counter("epochs_completed").add(self.epochs_completed as u64);
+        scope.counter("rounds_completed").add(self.rounds_completed as u64);
+        scope.counter("buckets_trained").add(self.buckets_trained as u64);
+        scope.counter("bucket_attempts").add(self.bucket_attempts);
+        scope.counter("retries").add(self.retries);
+        scope.counter("wall_round_units").add(self.wall_round_units);
+        scope.counter("quarantined").add(self.quarantined.len() as u64);
+        scope.counter("checkpoints_written").add(self.checkpoints_written as u64);
+        scope.counter("checkpoints_skipped").add(self.checkpoints_skipped as u64);
+        scope.counter("checkpoint_retries").add(self.checkpoint_retries);
+        scope.counter("max_concurrency_observed").add(self.max_concurrency_observed as u64);
+    }
+}
+
 /// The meta table of one checkpoint frame: the `(epoch, round)` cursor,
 /// accumulated losses, quarantine set and cumulative counters. Encoded
 /// manually (little-endian) so checkpoints are self-contained binary.
@@ -321,6 +340,7 @@ pub struct CheckpointedTrainer<'a> {
     budget: RetryBudget,
     faults: Option<&'a FaultInjector>,
     kill_after_rounds: Option<usize>,
+    obs: Option<saga_core::obs::Scope>,
 }
 
 impl<'a> CheckpointedTrainer<'a> {
@@ -337,6 +357,7 @@ impl<'a> CheckpointedTrainer<'a> {
             budget: RetryBudget::unlimited(),
             faults: None,
             kill_after_rounds: None,
+            obs: None,
         }
     }
 
@@ -365,6 +386,16 @@ impl<'a> CheckpointedTrainer<'a> {
     /// `n` rounds — simulating a kill at a round boundary.
     pub fn with_kill_after_rounds(mut self, n: usize) -> Self {
         self.kill_after_rounds = Some(n);
+        self
+    }
+
+    /// Records training through `scope`: per-round `round_wall_units` /
+    /// `round_buckets` histograms under a [`SITE_TRAIN_BUCKET`] child (all
+    /// values from [`RoundOutcome`](crate::partition), never clock deltas,
+    /// so snapshots are bit-identical at every worker count) and the final
+    /// [`TrainReport`] counters on `scope` itself.
+    pub fn with_obs(mut self, scope: saga_core::obs::Scope) -> Self {
+        self.obs = Some(scope);
         self
     }
 
@@ -438,6 +469,10 @@ impl<'a> CheckpointedTrainer<'a> {
             }
         }
 
+        let obs_round = self.obs.as_ref().map(|s| {
+            let bucket = s.child(SITE_TRAIN_BUCKET);
+            (bucket.histogram("round_wall_units"), bucket.histogram("round_buckets"))
+        });
         let mut rounds_this_process = 0usize;
         let mut dirty: BTreeSet<u16> = BTreeSet::new();
         let mut epoch = start_epoch;
@@ -469,6 +504,10 @@ impl<'a> CheckpointedTrainer<'a> {
                 report.bucket_attempts += out.attempts;
                 report.retries += out.retries;
                 report.wall_round_units += out.wall_attempts;
+                if let Some((wall_hist, buckets_hist)) = &obs_round {
+                    wall_hist.record(out.wall_attempts);
+                    buckets_hist.record(out.buckets_trained as u64);
+                }
                 for q in out.newly_quarantined {
                     quarantined.insert(q);
                 }
@@ -494,6 +533,9 @@ impl<'a> CheckpointedTrainer<'a> {
                     report.quarantined = quarantined.into_iter().collect();
                     report.max_concurrency_observed =
                         max_running.load(std::sync::atomic::Ordering::SeqCst);
+                    if let Some(scope) = &self.obs {
+                        report.record_to(scope);
+                    }
                     return Ok(TrainRun { model: None, report });
                 }
             }
@@ -505,6 +547,9 @@ impl<'a> CheckpointedTrainer<'a> {
         report.epochs_completed = cfg.epochs;
         report.quarantined = quarantined.into_iter().collect();
         report.max_concurrency_observed = max_running.load(std::sync::atomic::Ordering::SeqCst);
+        if let Some(scope) = &self.obs {
+            report.record_to(scope);
+        }
         let losses = normalize_losses(ds, cfg, &epoch_losses_done);
         let model = core.assemble(cfg, ds, losses);
         Ok(TrainRun { model: Some(model), report })

@@ -37,6 +37,17 @@ pub struct DiskStats {
     pub bytes_written: usize,
 }
 
+impl DiskStats {
+    /// Record this run's IO totals through an obs scope (call once per
+    /// run): one counter per field.
+    pub fn record_to(&self, scope: &saga_core::obs::Scope) {
+        scope.counter("partition_loads").add(self.partition_loads as u64);
+        scope.counter("partition_evictions").add(self.partition_evictions as u64);
+        scope.counter("bytes_read").add(self.bytes_read as u64);
+        scope.counter("bytes_written").add(self.bytes_written as u64);
+    }
+}
+
 /// Binary codec for [`DiskStats`] (the disk trainer's checkpoint side
 /// table): four little-endian u64 counters.
 fn stats_to_bytes(s: &DiskStats) -> Vec<u8> {

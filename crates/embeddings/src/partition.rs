@@ -82,6 +82,15 @@ pub struct PartitionedStats {
     pub max_concurrency_observed: usize,
 }
 
+impl PartitionedStats {
+    /// Record this run's totals through an obs scope (call once per run):
+    /// counters `buckets_trained` and `max_concurrency_observed`.
+    pub fn record_to(&self, scope: &saga_core::obs::Scope) {
+        scope.counter("buckets_trained").add(self.buckets_trained as u64);
+        scope.counter("max_concurrency_observed").add(self.max_concurrency_observed as u64);
+    }
+}
+
 /// Greedily packs `bucket_list` (in order) into rounds of
 /// partition-disjoint buckets: each pass over the remaining buckets takes
 /// every bucket whose two partitions are still free this round. Purely a
@@ -515,7 +524,27 @@ pub fn train_partitioned(
     num_parts: usize,
     workers: usize,
 ) -> (TrainedModel, PartitionedStats) {
+    let registry = saga_core::obs::Registry::new();
+    train_partitioned_obs(ds, cfg, num_parts, workers, &registry.scope("embeddings"))
+}
+
+/// [`train_partitioned`] recording through an obs scope, under the
+/// `train-bucket` fault-site name: per-round `round_buckets` and
+/// `round_wall_units` histograms plus the [`PartitionedStats`] counters —
+/// all values, not clock deltas, so snapshots are bit-identical at every
+/// worker count.
+pub fn train_partitioned_obs(
+    ds: &TrainingSet,
+    cfg: &TrainConfig,
+    num_parts: usize,
+    workers: usize,
+    scope: &saga_core::obs::Scope,
+) -> (TrainedModel, PartitionedStats) {
     assert!(workers >= 1);
+    let bucket_scope = scope.child(crate::checkpoint::SITE_TRAIN_BUCKET);
+    let rounds_counter = bucket_scope.counter("rounds");
+    let round_buckets = bucket_scope.histogram("round_buckets");
+    let round_wall_units = bucket_scope.histogram("round_wall_units");
     let mut core = TrainerCore::new(ds, cfg, num_parts);
 
     let mut epoch_losses = vec![0.0f64; cfg.epochs];
@@ -541,6 +570,9 @@ pub fn train_partitioned(
             );
             *epoch_loss += out.loss;
             buckets_trained += out.buckets_trained;
+            rounds_counter.inc();
+            round_buckets.record(out.buckets_trained as u64);
+            round_wall_units.record(out.wall_attempts);
         }
     }
 
@@ -548,6 +580,7 @@ pub fn train_partitioned(
     let model = core.assemble(cfg, ds, losses);
     let stats =
         PartitionedStats { buckets_trained, max_concurrency_observed: max_running.into_inner() };
+    stats.record_to(&bucket_scope);
     (model, stats)
 }
 
@@ -681,6 +714,33 @@ mod tests {
         let first = model.epoch_losses[0];
         let last = *model.epoch_losses.last().unwrap();
         assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn obs_round_metrics_deterministic_across_worker_counts() {
+        let ds = dataset();
+        let cfg = TrainConfig { dim: 16, epochs: 3, ..Default::default() };
+        let snapshot_for = |workers: usize| {
+            let registry = saga_core::obs::Registry::new();
+            train_partitioned_obs(&ds, &cfg, 4, workers, &registry.scope("embeddings"));
+            registry.snapshot()
+        };
+        let base = snapshot_for(1);
+        assert!(base.counter("embeddings/train-bucket/rounds") > 0);
+        for workers in [2usize, 8] {
+            let snap = snapshot_for(workers);
+            // Round metrics are values, never clock deltas — identical at
+            // any worker count. Only the concurrency high-water mark is
+            // allowed to differ.
+            for metric in ["round_wall_units", "round_buckets"] {
+                let name = format!("embeddings/train-bucket/{metric}");
+                assert_eq!(base.histogram(&name), snap.histogram(&name), "{name}");
+            }
+            for metric in ["rounds", "buckets_trained"] {
+                let name = format!("embeddings/train-bucket/{metric}");
+                assert_eq!(base.counter(&name), snap.counter(&name), "{name}");
+            }
+        }
     }
 
     #[test]

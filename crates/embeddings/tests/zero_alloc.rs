@@ -1,0 +1,75 @@
+//! The training-side counterpart of `saga-ann`'s zero-alloc test: the
+//! per-round obs instrumentation of `train_partitioned_obs` and
+//! `CheckpointedTrainer::with_obs` — one round counter plus two value
+//! histograms — must allocate nothing once warm. A counting global
+//! allocator is armed around a replay of the exact recording sequence the
+//! round loop performs.
+
+use saga_core::obs::Registry;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn warm_round_instrumentation_performs_no_allocation() {
+    let registry = Registry::new();
+    let scope = registry.scope("embeddings").child("train-bucket");
+    let rounds = scope.counter("rounds");
+    let round_buckets = scope.histogram("round_buckets");
+    let round_wall_units = scope.histogram("round_wall_units");
+
+    // Warm-up: assign this thread's counter shard slot.
+    rounds.inc();
+    round_buckets.record(4);
+    round_wall_units.record(1);
+
+    let iters = 1_000u64;
+    let allocs = count_allocs(|| {
+        for r in 0..iters {
+            rounds.inc();
+            round_buckets.record(r % 7);
+            round_wall_units.record(1 + r % 3);
+        }
+    });
+    assert_eq!(allocs, 0, "warm round instrumentation allocated {allocs} times");
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("embeddings/train-bucket/rounds"), iters + 1);
+    let wall = snap.histogram("embeddings/train-bucket/round_wall_units").expect("recorded");
+    assert_eq!(wall.count(), iters + 1);
+}

@@ -60,6 +60,17 @@ pub struct IngestStats {
     pub pairs_scored: usize,
 }
 
+impl IngestStats {
+    /// Record this batch through an obs scope (call once per batch —
+    /// counters add): one counter per field.
+    pub fn record_to(&self, scope: &saga_core::obs::Scope) {
+        scope.counter("records").add(self.records as u64);
+        scope.counter("new_entities").add(self.new_entities as u64);
+        scope.counter("merged_into_existing").add(self.merged_into_existing as u64);
+        scope.counter("pairs_scored").add(self.pairs_scored as u64);
+    }
+}
+
 /// Blocking keys of a record: normalized full name + (last token, type).
 fn block_keys(r: &SourceEntity) -> Vec<String> {
     let norm = normalize_phrase(&r.name);

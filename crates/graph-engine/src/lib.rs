@@ -22,7 +22,7 @@ pub mod view;
 
 pub use pattern::{scan, TriplePattern};
 pub use profile::{missing_facts, profile, stale_facts, GraphProfile, MissingFact, StaleFact};
-pub use query::{solve, Clause, ConjunctiveQuery, Term};
+pub use query::{solve, solve_profiled, Clause, ConjunctiveQuery, Term};
 pub use traverse::{
     co_visit_counts, k_hop, personalized_pagerank, precompute_walk_corpus, related_by_walks,
     Adjacency,

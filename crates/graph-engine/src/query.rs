@@ -82,6 +82,21 @@ pub fn solve(kg: &KnowledgeGraph, q: &ConjunctiveQuery) -> Vec<Vec<Value>> {
     results
 }
 
+/// [`solve`] profiled through an obs scope: per-query `solve_ticks` latency
+/// span, a `queries` counter and a `rows_per_query` histogram.
+pub fn solve_profiled(
+    kg: &KnowledgeGraph,
+    q: &ConjunctiveQuery,
+    scope: &saga_core::obs::Scope,
+) -> Vec<Vec<Value>> {
+    let span = scope.span("solve_ticks");
+    let results = solve(kg, q);
+    drop(span);
+    scope.counter("queries").inc();
+    scope.histogram("rows_per_query").record(results.len() as u64);
+    results
+}
+
 fn solve_rec(
     kg: &KnowledgeGraph,
     clauses: &[Clause],

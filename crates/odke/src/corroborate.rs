@@ -151,13 +151,14 @@ impl Corroborator {
             })
             .collect();
         out.sort_by(|a, b| {
-            b.probability.partial_cmp(&a.probability).unwrap().then(a.value_text.cmp(&b.value_text))
+            b.probability.total_cmp(&a.probability).then(a.value_text.cmp(&b.value_text))
         });
         out
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use saga_core::{DocId, EntityId, PredicateId, Value};

@@ -243,6 +243,7 @@ fn match_template(sentence: &str, phrase: &str) -> Option<(String, String)> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use saga_annotation::{LinkerConfig, Tier};

@@ -7,6 +7,7 @@
 //! evidence model, and fusing accepted facts back into the knowledge graph.
 
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 pub mod corroborate;
 pub mod extract;
@@ -24,7 +25,7 @@ pub use profiler::{select_targets, FactTarget, ProfilerConfig, TargetReason};
 pub use querylog::{generate_query_log, unanswered_targets, QueryRecord};
 pub use resilient::{CheckpointLog, ResilientOdke, RunCheckpoint, SITE_EXTRACT};
 pub use runner::{
-    calibrate_corroborator, find_documents, run_odke, OdkeConfig, OdkeReport, TargetOutcome,
-    TargetStatus,
+    calibrate_corroborator, find_documents, run_odke, run_odke_obs, OdkeConfig, OdkeReport,
+    TargetOutcome, TargetStatus,
 };
 pub use synthesize::{synthesize_queries, SynthesizedQuery};

@@ -103,7 +103,7 @@ pub fn select_targets(
     // Predictive path: popular entities missing *any* of the high-demand
     // predicates that similar popular entities have.
     let mut popular: Vec<&saga_core::EntityRecord> = kg.entities().collect();
-    popular.sort_by(|a, b| b.popularity.partial_cmp(&a.popularity).unwrap());
+    popular.sort_by(|a, b| b.popularity.total_cmp(&a.popularity));
     for e in popular.iter().take(50) {
         for pinfo in kg.ontology().predicates() {
             if pinfo.domain.map_or(true, |d| !kg.ontology().is_subtype(e.entity_type, d)) {
@@ -123,12 +123,13 @@ pub fn select_targets(
         }
     }
 
-    out.sort_by(|a, b| b.importance.partial_cmp(&a.importance).unwrap());
+    out.sort_by(|a, b| b.importance.total_cmp(&a.importance));
     out.truncate(cfg.max_targets);
     out
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::querylog::generate_query_log;

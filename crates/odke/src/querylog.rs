@@ -68,6 +68,7 @@ pub fn unanswered_targets(log: &[QueryRecord]) -> Vec<((EntityId, PredicateId), 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use saga_core::synth::{generate, SynthConfig};

@@ -21,6 +21,7 @@ use saga_annotation::AnnotationService;
 use saga_core::fault::{
     BreakerConfig, BreakerSet, FaultInjector, RetryBudget, RetryPolicy, VirtualClock,
 };
+use saga_core::obs::{Scope, SpanTimer};
 use saga_core::persist::Wal;
 use saga_core::text::fnv1a;
 use saga_core::{DocId, KnowledgeGraph, Result, Triple};
@@ -28,6 +29,7 @@ use saga_webcorpus::{DocumentSource, SITE_FETCH, SITE_SEARCH};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Fault-injection site name for candidate extraction (a local compute
 /// step that can still crash on a pathological document).
@@ -121,6 +123,7 @@ pub struct ResilientOdke<'a> {
     budget: RetryBudget,
     extract_faults: Option<&'a FaultInjector>,
     max_targets: Option<usize>,
+    obs: Option<Scope>,
 }
 
 impl<'a> ResilientOdke<'a> {
@@ -136,7 +139,18 @@ impl<'a> ResilientOdke<'a> {
             budget: RetryBudget::unlimited(),
             extract_faults: None,
             max_targets: None,
+            obs: None,
         }
+    }
+
+    /// Records run metrics into `scope`: per-document fetch+extract spans
+    /// under `<scope>/extract/doc_ticks` (timed on the runner's virtual
+    /// clock, deterministic because the target loop is sequential), loss
+    /// counters under the `search`/`fetch` site names, and the
+    /// [`OdkeReport`] counters at the end of the run.
+    pub fn with_obs(mut self, scope: Scope) -> Self {
+        self.obs = Some(scope);
+        self
     }
 
     /// Overrides the retry policy.
@@ -215,6 +229,17 @@ impl<'a> ResilientOdke<'a> {
     ) -> Result<OdkeReport> {
         let src = kg.register_source("odke");
         let mut processed = 0usize;
+        // Span ticks are measured on the runner's own virtual clock so they
+        // reproduce bit-for-bit under fault injection.
+        let obs_clock: Arc<dyn saga_core::obs::Clock> = Arc::new(self.clock.clone());
+        let extract_hist = self.obs.as_ref().map(|s| s.child(SITE_EXTRACT).histogram("doc_ticks"));
+        let queries_lost_c =
+            self.obs.as_ref().map(|s| s.child(SITE_SEARCH).counter("queries_lost"));
+        let docs_lost_c = self.obs.as_ref().map(|s| s.child(SITE_FETCH).counter("docs_lost"));
+        let run_span = self
+            .obs
+            .as_ref()
+            .map(|s| SpanTimer::start(s.histogram("run_ticks"), obs_clock.clone()));
 
         for (index, target) in targets.iter().enumerate() {
             if checkpoint.is_done(index) {
@@ -272,6 +297,8 @@ impl<'a> ResilientOdke<'a> {
                     last_error = format!("{SITE_FETCH} circuit open");
                     continue;
                 }
+                let doc_span =
+                    extract_hist.as_ref().map(|h| SpanTimer::start(h.clone(), obs_clock.clone()));
                 match self.run_retrying(doc.raw(), &mut retries_delta, |attempt| {
                     let page = self.source.fetch(doc, attempt)?;
                     if let Some(inj) = self.extract_faults {
@@ -290,6 +317,13 @@ impl<'a> ResilientOdke<'a> {
                         last_error = e.to_string();
                     }
                 }
+                drop(doc_span);
+            }
+            if let Some(c) = &queries_lost_c {
+                c.add(queries_lost as u64);
+            }
+            if let Some(c) = &docs_lost_c {
+                c.add(docs_lost as u64);
             }
 
             // 3. Corroborate + fuse, exactly as the infallible runner —
@@ -375,13 +409,18 @@ impl<'a> ResilientOdke<'a> {
             .filter(|(_, o)| matches!(o.status, TargetStatus::Skipped { .. }))
             .map(|(&i, _)| i)
             .collect();
-        Ok(OdkeReport {
+        let report = OdkeReport {
             outcomes,
             distinct_docs_fetched: checkpoint.docs_fetched.len(),
             corpus_size: self.source.corpus_size(),
             facts_written: checkpoint.facts_written,
             retries: checkpoint.retries,
             quarantined,
-        })
+        };
+        if let Some(scope) = &self.obs {
+            report.record_to(scope);
+        }
+        drop(run_span);
+        Ok(report)
     }
 }

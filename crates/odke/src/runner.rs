@@ -6,6 +6,7 @@ use crate::extract::extract_from_page;
 use crate::profiler::FactTarget;
 use crate::synthesize::synthesize_queries;
 use saga_annotation::AnnotationService;
+use saga_core::obs::{Registry, Scope, SpanTimer};
 use saga_core::{DocId, EntityId, KnowledgeGraph, PredicateId, Triple};
 use saga_webcorpus::{Corpus, SearchEngine};
 use serde::{Deserialize, Serialize};
@@ -99,6 +100,22 @@ impl OdkeReport {
             self.distinct_docs_fetched as f64 / self.corpus_size as f64
         }
     }
+
+    /// Record this run's outcome through an obs scope (call once per run):
+    /// counters `targets`, `facts_written`, `docs_fetched`, `retries`,
+    /// `quarantined`, plus a `docs_examined` per-target histogram. All values
+    /// are deterministic for a fixed fault seed.
+    pub fn record_to(&self, scope: &Scope) {
+        scope.counter("targets").add(self.outcomes.len() as u64);
+        scope.counter("facts_written").add(self.facts_written as u64);
+        scope.counter("docs_fetched").add(self.distinct_docs_fetched as u64);
+        scope.counter("retries").add(self.retries);
+        scope.counter("quarantined").add(self.quarantined.len() as u64);
+        let docs_examined = scope.histogram("docs_examined");
+        for outcome in &self.outcomes {
+            docs_examined.record(outcome.docs_examined as u64);
+        }
+    }
 }
 
 /// Gathers candidate documents for a target via query synthesis + search.
@@ -129,6 +146,26 @@ pub fn run_odke(
     targets: &[FactTarget],
     cfg: &OdkeConfig,
 ) -> OdkeReport {
+    let registry = Registry::new();
+    run_odke_obs(kg, service, search, corpus, targets, cfg, &registry.scope("odke"))
+}
+
+/// [`run_odke`] recording through an obs scope: a per-document extraction
+/// latency histogram under `<scope>/extract/doc_ticks` (the target loop is
+/// sequential, so spans are deterministic under a virtual clock), a
+/// whole-run `run_ticks` span, and the [`OdkeReport`] counters.
+pub fn run_odke_obs(
+    kg: &mut KnowledgeGraph,
+    service: &AnnotationService,
+    search: &SearchEngine,
+    corpus: &Corpus,
+    targets: &[FactTarget],
+    cfg: &OdkeConfig,
+    scope: &Scope,
+) -> OdkeReport {
+    let clock = scope.clock();
+    let extract_hist = scope.child("extract").histogram("doc_ticks");
+    let run_span = SpanTimer::start(scope.histogram("run_ticks"), clock.clone());
     let src = kg.register_source("odke");
     let mut outcomes = Vec::with_capacity(targets.len());
     let mut all_docs: HashSet<DocId> = HashSet::new();
@@ -139,6 +176,7 @@ pub fn run_odke(
         all_docs.extend(docs.iter().copied());
         let mut candidates = Vec::new();
         for &doc in &docs {
+            let doc_span = SpanTimer::start(extract_hist.clone(), clock.clone());
             candidates.extend(extract_from_page(
                 kg,
                 service,
@@ -146,6 +184,7 @@ pub fn run_odke(
                 target.entity,
                 target.predicate,
             ));
+            doc_span.stop();
         }
         let scored = cfg.corroborator.corroborate(&candidates);
         let winner = scored
@@ -186,14 +225,17 @@ pub fn run_odke(
     }
     kg.commit();
 
-    OdkeReport {
+    let report = OdkeReport {
         outcomes,
         distinct_docs_fetched: all_docs.len(),
         corpus_size: corpus.len(),
         facts_written,
         retries: 0,
         quarantined: Vec::new(),
-    }
+    };
+    report.record_to(scope);
+    run_span.stop();
+    report
 }
 
 /// Calibrates the corroborator on targets whose true value is known: runs
@@ -229,6 +271,7 @@ pub fn calibrate_corroborator(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::profiler::TargetReason;

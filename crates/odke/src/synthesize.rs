@@ -46,6 +46,7 @@ pub fn synthesize_queries(kg: &KnowledgeGraph, target: &FactTarget) -> Vec<Synth
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::profiler::{FactTarget, TargetReason};

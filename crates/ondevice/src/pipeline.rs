@@ -321,6 +321,16 @@ pub struct IncrementReport {
     pub pairs_matched: usize,
 }
 
+impl IncrementReport {
+    /// Record this increment through an obs scope (call once per increment
+    /// — counters add): one counter per field.
+    pub fn record_to(&self, scope: &saga_core::obs::Scope) {
+        scope.counter("new_observations").add(self.new_observations as u64);
+        scope.counter("pairs_scored").add(self.pairs_scored as u64);
+        scope.counter("pairs_matched").add(self.pairs_matched as u64);
+    }
+}
+
 /// Merges two sorted `(key, index)` lists.
 fn merge_sorted_keys(
     a: Vec<(BlockKey, usize)>,

@@ -25,6 +25,18 @@ pub struct SpillStats {
     pub items: usize,
 }
 
+impl SpillStats {
+    /// Record this run through an obs scope (call once per run — counters
+    /// add): one counter per field; `peak_memory_bytes` is recorded as a
+    /// high-water mark counter, meaningful only for a single run per scope.
+    pub fn record_to(&self, scope: &saga_core::obs::Scope) {
+        scope.counter("runs_spilled").add(self.runs_spilled as u64);
+        scope.counter("peak_memory_bytes").add(self.peak_memory_bytes as u64);
+        scope.counter("bytes_spilled").add(self.bytes_spilled as u64);
+        scope.counter("items").add(self.items as u64);
+    }
+}
+
 /// External sorter with a hard memory budget. Items are measured by their
 /// serialized size; when the buffer would exceed the budget it is sorted
 /// and spilled as a run, and `finish` k-way-merges all runs.

@@ -171,6 +171,16 @@ pub struct SyncReport {
     pub artifacts_exchanged: usize,
 }
 
+impl SyncReport {
+    /// Record this exchange through an obs scope (call once per exchange —
+    /// counters add): one counter per field.
+    pub fn record_to(&self, scope: &saga_core::obs::Scope) {
+        scope.counter("ops_a_to_b").add(self.ops_a_to_b as u64);
+        scope.counter("ops_b_to_a").add(self.ops_b_to_a as u64);
+        scope.counter("artifacts_exchanged").add(self.artifacts_exchanged as u64);
+    }
+}
+
 /// Bidirectional sync: exchanges ops of every source that **both** devices
 /// sync (a source kept private by either side never crosses), plus
 /// artifacts. Idempotent and commutative.
