@@ -202,22 +202,26 @@ impl QuantizedTable {
     /// full top-k scan. Allocation-free.
     pub fn score_row(&self, metric: Metric, query: &[f32], i: usize) -> f32 {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        let d = kernels::dot_f32i8(query, self.row(i));
         match metric {
-            Metric::Dot => self.scales[i] * d,
+            Metric::Dot => self.scales[i] * kernels::dot_f32i8(query, self.row(i)),
             Metric::Cosine => {
                 let q_norm = kernels::norm_sq(query).sqrt();
                 let n = self.norms[i];
                 if q_norm == 0.0 || n == 0.0 {
                     0.0
                 } else {
-                    self.scales[i] * d / (q_norm * n)
+                    self.scales[i] * kernels::dot_f32i8(query, self.row(i)) / (q_norm * n)
                 }
             }
-            Metric::Euclidean => {
-                let n = self.norms[i];
-                -(kernels::norm_sq(query) - 2.0 * self.scales[i] * d + n * n).max(0.0)
-            }
+            // The canonical distance kernel picks the fused sweep or the
+            // norm-expansion per dimension regime.
+            Metric::Euclidean => -kernels::l2_sq_f32i8(
+                query,
+                kernels::norm_sq(query),
+                self.row(i),
+                self.scales[i],
+                self.norms[i],
+            ),
         }
     }
 
@@ -265,21 +269,25 @@ impl QuantizedTable {
         let q_norm_sq = kernels::norm_sq(query);
         let q_norm = q_norm_sq.sqrt();
         let hits = self.ids.iter().enumerate().map(|(i, &id)| {
-            let d = kernels::dot_f32i8(query, self.row(i));
             let score = match metric {
-                Metric::Dot => self.scales[i] * d,
+                Metric::Dot => self.scales[i] * kernels::dot_f32i8(query, self.row(i)),
                 Metric::Cosine => {
                     let n = self.norms[i];
                     if q_norm == 0.0 || n == 0.0 {
                         0.0
                     } else {
-                        self.scales[i] * d / (q_norm * n)
+                        self.scales[i] * kernels::dot_f32i8(query, self.row(i)) / (q_norm * n)
                     }
                 }
-                Metric::Euclidean => {
-                    let n = self.norms[i];
-                    -(q_norm_sq - 2.0 * self.scales[i] * d + n * n).max(0.0)
-                }
+                // Canonical distance kernel: fused sweep at small dims,
+                // norm-expansion (reusing the precomputed norms) above.
+                Metric::Euclidean => -kernels::l2_sq_f32i8(
+                    query,
+                    q_norm_sq,
+                    self.row(i),
+                    self.scales[i],
+                    self.norms[i],
+                ),
             };
             Hit { id, score }
         });

@@ -1,0 +1,103 @@
+//! The bounded-heap top-k tie-ordering guarantee (score desc, id asc) must
+//! hold under every kernel backend, and — for tie groups separated by more
+//! than reduction-order drift — produce the *same* ranked list whichever
+//! backend scored the candidates.
+//!
+//! Strategy: a dataset of a few well-separated score levels, each duplicated
+//! many times with interleaved ids. Within a backend, duplicate rows score
+//! bit-identically (same inputs through the same code path), so ties are
+//! real and the id-asc tiebreak is exercised; across backends, the level
+//! separation (≫ FMA/reassociation drift) pins the group order, so the full
+//! ranked list must be identical.
+//!
+//! Everything runs in ONE `#[test]`: [`saga_core::kernels::force_backend`]
+//! mutates process-global dispatch state, so the sweep stays sequential and
+//! restores auto-detection before exiting.
+
+use saga_ann::{FlatIndex, FlatScratch, Hit, Metric, QuantScratch, QuantizedTable};
+
+/// Asserts the bounded-heap ordering contract: scores non-increasing, ids
+/// strictly increasing within equal scores.
+fn assert_tie_ordered(hits: &[Hit], ctx: &str) {
+    for w in hits.windows(2) {
+        assert!(
+            w[1].score < w[0].score || (w[1].score == w[0].score && w[1].id > w[0].id),
+            "{ctx}: ordering violated at ({}, {}) -> ({}, {})",
+            w[0].id,
+            w[0].score,
+            w[1].id,
+            w[1].score
+        );
+    }
+}
+
+#[test]
+fn topk_tie_ordering_is_backend_invariant() {
+    let dim = 32;
+    let levels = 8;
+    let dups = 25;
+    // Level vectors with well-separated magnitudes: dot scores differ by
+    // far more than any cross-backend float drift.
+    let base: Vec<Vec<f32>> = (0..levels)
+        .map(|l| (0..dim).map(|j| ((j + 3) as f32 * 0.11).sin() * (l + 1) as f32).collect())
+        .collect();
+    let query: Vec<f32> = (0..dim).map(|j| ((j + 1) as f32 * 0.17).cos()).collect();
+
+    let mut flat = FlatIndex::new(dim, Metric::Dot);
+    let mut table_rows: Vec<(u64, Vec<f32>)> = Vec::new();
+    // Interleave ids across levels (id % levels picks the level) so the
+    // id-asc tiebreak inside one level skips through the id space.
+    for id in 0..(levels * dups) as u64 {
+        let v = &base[id as usize % levels];
+        flat.add(id, v);
+        table_rows.push((id, v.clone()));
+    }
+    let table = QuantizedTable::build(dim, table_rows.into_iter());
+
+    let k = 3 * dups + 7; // spans three full tie groups plus a partial one
+    let mut scratch = FlatScratch::new();
+    let mut qscratch = QuantScratch::new();
+    let mut out: Vec<Hit> = Vec::new();
+
+    let backends: Vec<&'static str> =
+        saga_core::kernels::available_backends().iter().map(|be| be.name).collect();
+    let mut flat_runs: Vec<(&str, Vec<Hit>)> = Vec::new();
+    let mut quant_runs: Vec<(&str, Vec<Hit>)> = Vec::new();
+
+    for name in &backends {
+        assert!(saga_core::kernels::force_backend(name), "cannot force {name}");
+        assert_eq!(saga_core::kernels::backend_name(), *name);
+
+        flat.search_into(&query, k, &mut scratch, &mut out);
+        assert_eq!(out.len(), k);
+        assert_tie_ordered(&out, &format!("flat/{name}"));
+        flat_runs.push((name, out.clone()));
+
+        for metric in [Metric::Dot, Metric::Cosine, Metric::Euclidean] {
+            table.search_into(metric, &query, k, &mut qscratch, &mut out);
+            assert_eq!(out.len(), k);
+            assert_tie_ordered(&out, &format!("quant/{metric:?}/{name}"));
+        }
+        table.search_into(Metric::Dot, &query, k, &mut qscratch, &mut out);
+        quant_runs.push((name, out.clone()));
+    }
+    assert!(saga_core::kernels::force_backend("auto"));
+
+    // Cross-backend: the ranked id sequence is identical (scores may drift
+    // by ULPs between backends, ordering may not).
+    let (ref_name, ref_hits) = &flat_runs[0];
+    for (name, hits) in &flat_runs[1..] {
+        let same = hits.iter().zip(ref_hits.iter()).all(|(a, b)| a.id == b.id);
+        assert!(same, "flat ranked ids differ between {ref_name} and {name}");
+    }
+    let (ref_name, ref_hits) = &quant_runs[0];
+    for (name, hits) in &quant_runs[1..] {
+        let same = hits.iter().zip(ref_hits.iter()).all(|(a, b)| a.id == b.id);
+        assert!(same, "quantized ranked ids differ between {ref_name} and {name}");
+    }
+
+    // The tiebreak did real work: the top tie group must contain duplicate
+    // scores with ascending interleaved ids.
+    let top = &flat_runs[0].1[..dups];
+    assert!(top.windows(2).all(|w| w[0].score == w[1].score && w[1].id > w[0].id));
+}

@@ -152,6 +152,59 @@ fn warm_instrumented_query_path_performs_no_allocation() {
     assert_eq!(hist.count(), 2 * queries.len() as u64);
 }
 
+/// Runtime kernel dispatch must stay off the warm path: backend selection
+/// (env read, CPU-feature detection, `OnceLock` resolution) happens once at
+/// first kernel call, so a warm query loop allocates nothing — under every
+/// backend available on this CPU, not just the auto-selected one. Forcing a
+/// backend swaps one static pointer, so the per-call cost is a predictable
+/// indirect call with no allocation on either side of the swap.
+#[test]
+fn warm_dispatched_kernels_perform_no_allocation() {
+    let dim = 32;
+    let n = 1_000;
+    let mut rng = ChaCha8Rng::seed_from_u64(53);
+    let vecs: Vec<Vec<f32>> =
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let queries: Vec<Vec<f32>> =
+        (0..25).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let k = 10;
+
+    let mut flat = FlatIndex::new(dim, Metric::Cosine);
+    for (i, v) in vecs.iter().enumerate() {
+        flat.add(i as u64, v);
+    }
+    let block: Vec<f32> = vecs.iter().flatten().copied().collect();
+
+    // Resolve the backend list outside the measured sections (it allocates
+    // a Vec); forcing itself is a pointer store.
+    let backends: Vec<&'static str> =
+        saga_core::kernels::available_backends().iter().map(|be| be.name).collect();
+    let mut scratch = FlatScratch::new();
+    let mut out: Vec<Hit> = Vec::new();
+    let mut scores: Vec<f32> = Vec::new();
+
+    for name in &backends {
+        assert!(saga_core::kernels::force_backend(name), "backend {name} not forceable");
+        // Warm-up under this backend: scratch to steady state, dispatch
+        // (and any one-time init) resolved.
+        for q in &queries {
+            flat.search_into(q, k, &mut scratch, &mut out);
+        }
+        saga_core::kernels::dot_batch(&queries[0], &block, &mut scores);
+
+        let allocs = count_allocs(|| {
+            for q in &queries {
+                flat.search_into(q, k, &mut scratch, &mut out);
+                saga_core::kernels::dot_batch(q, &block, &mut scores);
+            }
+        });
+        assert_eq!(allocs, 0, "backend {name}: warm dispatched path allocated {allocs} times");
+        assert_eq!(out.len(), k);
+        assert_eq!(scores.len(), n);
+    }
+    assert!(saga_core::kernels::force_backend("auto"));
+}
+
 /// The quantized serving path scores raw i8 rows through the integer
 /// kernels; after warm-up it must allocate nothing for any metric, and the
 /// PQ ADC path must reuse its lookup-table scratch the same way.

@@ -1,6 +1,11 @@
 //! E13 bench — kernel layer: unrolled dot/cosine vs the naive scalar loops
 //! they replaced, batch scoring vs per-row calls, and the serving-path
 //! rework (bounded-heap top-k, warm search scratch).
+//!
+//! The `e13_backends` group pins the portable reference against every
+//! intrinsic backend available on this CPU, per kernel — the criterion
+//! counterpart of the standalone `tools/bench_simd.rs` harness that emits
+//! `BENCH_simd.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::prelude::*;
@@ -73,6 +78,41 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+/// Portable vs every available intrinsic backend, per kernel, through the
+/// backend tables directly (no global dispatch mutation — benches may
+/// interleave with other criterion groups).
+fn bench_backends(c: &mut Criterion) {
+    let dim = 128;
+    let pair = vectors(2, dim, 7);
+    let (a, b) = (&pair[0], &pair[1]);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let bi: Vec<i8> = (0..dim).map(|_| rng.gen_range(i8::MIN..=i8::MAX)).collect();
+    let qn = kernels::l2_norm(a);
+
+    let mut g = c.benchmark_group("e13_backends");
+    for be in kernels::available_backends() {
+        g.bench_function(BenchmarkId::new(format!("dot/{}", be.name), dim), |bch| {
+            bch.iter(|| (be.dot)(black_box(a), black_box(b)))
+        });
+        g.bench_function(BenchmarkId::new(format!("cosine/{}", be.name), dim), |bch| {
+            bch.iter(|| (be.cosine)(black_box(a), black_box(b)))
+        });
+        g.bench_function(BenchmarkId::new(format!("cosine_qnorm/{}", be.name), dim), |bch| {
+            bch.iter(|| (be.cosine_qnorm)(black_box(a), black_box(qn), black_box(b)))
+        });
+        g.bench_function(BenchmarkId::new(format!("l2_sq/{}", be.name), dim), |bch| {
+            bch.iter(|| (be.l2_sq)(black_box(a), black_box(b)))
+        });
+        g.bench_function(BenchmarkId::new(format!("dot_f32i8/{}", be.name), dim), |bch| {
+            bch.iter(|| (be.dot_f32i8)(black_box(a), black_box(&bi)))
+        });
+        g.bench_function(BenchmarkId::new(format!("dot_i8i8/{}", be.name), dim), |bch| {
+            bch.iter(|| (be.dot_i8i8)(black_box(&bi), black_box(&bi)))
+        });
+    }
+    g.finish();
+}
+
 fn bench_serving(c: &mut Criterion) {
     let dim = 64;
     let n = 10_000;
@@ -116,5 +156,5 @@ fn b_iter_flat(bch: &mut criterion::Bencher, flat: &FlatIndex, q: &[f32], k: usi
     })
 }
 
-criterion_group!(benches, bench_kernels, bench_serving);
+criterion_group!(benches, bench_kernels, bench_backends, bench_serving);
 criterion_main!(benches);

@@ -2,6 +2,10 @@
 //! scoring vs the dequantize-then-f32 baseline it replaced, quantized
 //! top-k vs the f32 flat index at serving scale, and partitioned-training
 //! throughput across worker counts (the round-based parallel bucket drain).
+//!
+//! The `e14_backends` group measures the i8 kernel family and the full
+//! quantized top-k sweep under every kernel backend available on this CPU —
+//! the serving-path counterpart of `e13_backends`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::prelude::*;
@@ -70,6 +74,55 @@ fn bench_i8_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+/// The i8 kernel family per backend (through the backend tables, no global
+/// dispatch mutation), plus the full quantized top-k under each *forced*
+/// backend — criterion groups run sequentially in one process, so the
+/// force/restore sweep is safe here.
+fn bench_backends(c: &mut Criterion) {
+    let dim = 128;
+    let pair = vectors(2, dim, 3);
+    let (a, b) = (&pair[0], &pair[1]);
+    let qb = QuantizedVector::quantize(b);
+
+    let mut g = c.benchmark_group("e14_backends");
+    for be in kernels::available_backends() {
+        g.bench_function(BenchmarkId::new(format!("dot_f32i8/{}", be.name), dim), |bch| {
+            bch.iter(|| (be.dot_f32i8)(black_box(a), black_box(&qb.data)))
+        });
+        g.bench_function(BenchmarkId::new(format!("dot_i8i8/{}", be.name), dim), |bch| {
+            bch.iter(|| (be.dot_i8i8)(black_box(&qb.data), black_box(&qb.data)))
+        });
+        g.bench_function(BenchmarkId::new(format!("norm_sq_i8/{}", be.name), dim), |bch| {
+            bch.iter(|| (be.norm_sq_i8)(black_box(&qb.data)))
+        });
+        g.bench_function(BenchmarkId::new(format!("l2_sq_f32i8_direct/{}", be.name), dim), |bch| {
+            bch.iter(|| {
+                (be.l2_sq_f32i8_direct)(black_box(a), black_box(&qb.data), black_box(qb.scale))
+            })
+        });
+    }
+
+    // End-to-end: quantized top-k at serving scale under each backend.
+    let (n, k, sdim) = (10_000usize, 10, 64);
+    let vecs = vectors(n, sdim, 17);
+    let q = vectors(1, sdim, 18).pop().unwrap();
+    let table =
+        QuantizedTable::build(sdim, vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())));
+    for be in kernels::available_backends() {
+        assert!(kernels::force_backend(be.name));
+        g.bench_function(BenchmarkId::new(format!("quant_topk/{}", be.name), n), |bch| {
+            let mut scratch = QuantScratch::new();
+            let mut out = Vec::with_capacity(k);
+            bch.iter(|| {
+                table.search_into(Metric::Cosine, black_box(&q), k, &mut scratch, &mut out);
+                out.len()
+            })
+        });
+    }
+    assert!(kernels::force_backend("auto"));
+    g.finish();
+}
+
 fn bench_quantized_topk(c: &mut Criterion) {
     let dim = 64;
     let k = 10;
@@ -117,5 +170,11 @@ fn bench_partitioned_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_i8_kernels, bench_quantized_topk, bench_partitioned_throughput);
+criterion_group!(
+    benches,
+    bench_i8_kernels,
+    bench_backends,
+    bench_quantized_topk,
+    bench_partitioned_throughput
+);
 criterion_main!(benches);

@@ -159,7 +159,10 @@ fn train_curve(world: &World, scale: Scale, obs: &saga_core::obs::Scope) -> Vec<
 
 /// Renders the raw curves as the `BENCH_resilience.json` artifact.
 fn artifact_json(odke: &[OdkePoint], train: &[TrainPoint]) -> String {
-    let mut out = String::from("{\n  \"odke_retry_amplification\": [\n");
+    let mut out = format!(
+        "{{\n  \"provenance\": {},\n  \"odke_retry_amplification\": [\n",
+        crate::report::kernel_provenance_json("  ")
+    );
     for (i, p) in odke.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"fault_rate\": {}, \"facts_written\": {}, \"fact_recovery\": {:.4}, \
@@ -211,6 +214,9 @@ pub fn run_with_artifacts(scale: Scale) -> (ExperimentResult, String, String) {
     );
     let world = World::build(scale, 53);
     let registry = saga_core::obs::Registry::new();
+    // Which kernel backend served this run travels with the metrics
+    // snapshot (and thus BENCH_metrics.json).
+    saga_core::obs::record_kernel_backend(&registry);
     let scope = registry.scope("bench").child("e15");
 
     let odke = odke_curve(&world, scale, &scope.child("odke"));
@@ -312,6 +318,8 @@ mod tests {
         let json = artifact_json(&odke, &train);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"provenance\""));
+        assert!(json.contains("\"kernel_backend\""));
         assert!(json.contains("\"odke_retry_amplification\""));
         assert!(json.contains("\"training_retry_amplification\""));
         assert!(json.contains("\"model_identical\": true"));

@@ -149,7 +149,8 @@ impl Table {
 
 impl ExperimentResult {
     /// Serializes the result as pretty-printed JSON at the given base
-    /// indent (see [`Table::to_json`]).
+    /// indent (see [`Table::to_json`]). Every emitted result carries a
+    /// provenance block recording which kernel backend produced it.
     pub fn to_json(&self, indent: &str) -> String {
         let tables = if self.tables.is_empty() {
             "[]".to_string()
@@ -162,13 +163,28 @@ impl ExperimentResult {
             format!("[\n{}\n{indent}  ]", inner.join(",\n"))
         };
         format!(
-            "{{\n{indent}  \"id\": \"{}\",\n{indent}  \"paper_artifact\": \"{}\",\n{indent}  \"tables\": {},\n{indent}  \"notes\": {}\n{indent}}}",
+            "{{\n{indent}  \"id\": \"{}\",\n{indent}  \"paper_artifact\": \"{}\",\n{indent}  \"provenance\": {},\n{indent}  \"tables\": {},\n{indent}  \"notes\": {}\n{indent}}}",
             json_escape(&self.id),
             json_escape(&self.paper_artifact),
+            kernel_provenance_json(&format!("{indent}  ")),
             tables,
             json_string_array(&self.notes, &format!("{indent}  ")),
         )
     }
+}
+
+/// JSON object recording the execution environment every bench artifact
+/// should carry: the kernel backend that served the run, the CPU features
+/// runtime dispatch saw, and whether the intrinsic backends were compiled
+/// in at all. Numbers from an `avx2` run and a `portable` run are not
+/// comparable, so the distinction must travel with the artifact.
+pub fn kernel_provenance_json(indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"kernel_backend\": \"{}\",\n{indent}  \"cpu_features\": \"{}\",\n{indent}  \"simd_compiled\": {}\n{indent}}}",
+        saga_core::kernels::backend_name(),
+        saga_core::kernels::detected_cpu_features().join(","),
+        saga_core::kernels::simd_compiled(),
+    )
 }
 
 /// Runs `f` inside an obs span recorded on `scope`'s `name` histogram,
@@ -206,8 +222,9 @@ pub fn metrics_artifact_json(
         indented.push_str(line);
     }
     format!(
-        "{{\n  \"experiment\": \"{}\",\n  \"metrics\": {indented}\n}}\n",
-        json_escape(experiment)
+        "{{\n  \"experiment\": \"{}\",\n  \"provenance\": {},\n  \"metrics\": {indented}\n}}\n",
+        json_escape(experiment),
+        kernel_provenance_json("  "),
     )
 }
 
@@ -268,10 +285,29 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\\\"quoted\\\""));
-        for key in ["\"id\"", "\"paper_artifact\"", "\"tables\"", "\"notes\"", "\"rows\""] {
+        for key in [
+            "\"id\"",
+            "\"paper_artifact\"",
+            "\"provenance\"",
+            "\"tables\"",
+            "\"notes\"",
+            "\"rows\"",
+        ] {
             assert!(json.contains(key), "missing {key}");
         }
         let empty = ExperimentResult::new("E0", "x").to_json("");
         assert!(empty.contains("\"tables\": []"));
+    }
+
+    #[test]
+    fn kernel_provenance_names_active_backend() {
+        let json = kernel_provenance_json("");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json
+            .contains(&format!("\"kernel_backend\": \"{}\"", saga_core::kernels::backend_name())));
+        assert!(json.contains("\"cpu_features\""));
+        assert!(
+            json.contains(&format!("\"simd_compiled\": {}", saga_core::kernels::simd_compiled()))
+        );
     }
 }

@@ -187,6 +187,11 @@ fn cmd_stats_pipeline(args: &Args) -> Result<(), String> {
     let svc = AnnotationService::build(&kg, LinkerConfig::tier(Tier::T2Contextual));
 
     let registry = saga_core::obs::Registry::new();
+    let backend = saga_core::obs::record_kernel_backend(&registry);
+    println!(
+        "kernel backend: {backend} (cpu: {})",
+        saga_core::kernels::detected_cpu_features().join(",")
+    );
     let (_, stats) =
         saga_annotation::annotate_corpus_obs(&svc, &corpus, 2, &registry.scope("annotation"));
     println!(

@@ -1,0 +1,426 @@
+//! NEON backend: explicit `core::arch` intrinsics for the scoring hot path
+//! on `aarch64`.
+//!
+//! NEON is architecturally baseline on AArch64, so [`available`] is a
+//! formality — but the backend still goes through the same runtime-dispatch
+//! table as AVX2 so behavior (force hook, env override, provenance
+//! recording) is uniform across architectures. The wins mirror the x86
+//! backend's: hardware FMA chains (`vfmaq_f32`) with explicit register
+//! accumulators, fused single-pass cosine, and widening i8 sequences
+//! (`vmull_s8`/`vpadalq_s16` for the integer dot, `vmovl_s8`→`vmovl_s16`→
+//! `vcvtq_f32_s32` feeding FMA for the mixed f32·i8 dot) that the
+//! autovectorizer does not emit for the portable loop shapes.
+//!
+//! Integer kernels are exact and match the portable backend bit-for-bit;
+//! f32 kernels differ only by reassociation/FMA rounding (pinned by the
+//! property suite, same contract as [`super::x86`]).
+
+use super::Backend;
+use core::arch::aarch64::*;
+
+/// True when the running CPU supports this backend.
+pub fn available() -> bool {
+    std::arch::is_aarch64_feature_detected!("neon")
+}
+
+/// The NEON kernel table. Must only be installed after [`available`]
+/// returned true.
+pub static BACKEND: Backend = Backend {
+    name: "neon",
+    dot,
+    l2_sq,
+    norm_sq,
+    cosine,
+    cosine_qnorm,
+    dot3,
+    translate_l2_sq,
+    dot_i8i8,
+    dot_f32i8,
+    norm_sq_i8,
+    l2_sq_f32i8_direct,
+};
+
+// Safe table wrappers. SAFETY (shared by all): `BACKEND` is only selected
+// by the dispatcher (or the force hook) after `available()` confirmed neon
+// on this CPU, so calling the `target_feature` impls is sound.
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    unsafe { dot_impl(a, b) }
+}
+
+fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    unsafe { l2_sq_impl(a, b) }
+}
+
+fn norm_sq(v: &[f32]) -> f32 {
+    unsafe { norm_sq_impl(v) }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    unsafe { cosine_impl(a, b) }
+}
+
+fn cosine_qnorm(q: &[f32], q_norm: f32, b: &[f32]) -> f32 {
+    debug_assert_eq!(q.len(), b.len());
+    unsafe { cosine_qnorm_impl(q, q_norm, b) }
+}
+
+fn dot3(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
+    debug_assert!(a.len() == b.len() && b.len() == c.len());
+    unsafe { dot3_impl(a, b, c) }
+}
+
+fn translate_l2_sq(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    debug_assert!(h.len() == r.len() && r.len() == t.len());
+    unsafe { translate_l2_sq_impl(h, r, t) }
+}
+
+fn dot_i8i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    unsafe { dot_i8i8_impl(a, b) }
+}
+
+fn dot_f32i8(q: &[f32], b: &[i8]) -> f32 {
+    debug_assert_eq!(q.len(), b.len());
+    unsafe { dot_f32i8_impl(q, b) }
+}
+
+fn norm_sq_i8(v: &[i8]) -> i32 {
+    unsafe { norm_sq_i8_impl(v) }
+}
+
+fn l2_sq_f32i8_direct(q: &[f32], b: &[i8], scale: f32) -> f32 {
+    debug_assert_eq!(q.len(), b.len());
+    unsafe { l2_sq_f32i8_direct_impl(q, b, scale) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn dot_impl(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut acc2 = vdupq_n_f32(0.0);
+    let mut acc3 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        acc1 = vfmaq_f32(acc1, vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
+        acc2 = vfmaq_f32(acc2, vld1q_f32(pa.add(i + 8)), vld1q_f32(pb.add(i + 8)));
+        acc3 = vfmaq_f32(acc3, vld1q_f32(pa.add(i + 12)), vld1q_f32(pb.add(i + 12)));
+        i += 16;
+    }
+    while i + 4 <= n {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        i += 4;
+    }
+    let mut s = vaddvq_f32(vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3)));
+    while i < n {
+        s += *pa.add(i) * *pb.add(i);
+        i += 1;
+    }
+    s
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn l2_sq_impl(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let d0 = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        let d1 = vsubq_f32(vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
+        acc0 = vfmaq_f32(acc0, d0, d0);
+        acc1 = vfmaq_f32(acc1, d1, d1);
+        i += 8;
+    }
+    while i + 4 <= n {
+        let d = vsubq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        acc0 = vfmaq_f32(acc0, d, d);
+        i += 4;
+    }
+    let mut s = vaddvq_f32(vaddq_f32(acc0, acc1));
+    while i < n {
+        let d = *pa.add(i) - *pb.add(i);
+        s += d * d;
+        i += 1;
+    }
+    s
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn norm_sq_impl(v: &[f32]) -> f32 {
+    let n = v.len();
+    let pv = v.as_ptr();
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x0 = vld1q_f32(pv.add(i));
+        let x1 = vld1q_f32(pv.add(i + 4));
+        acc0 = vfmaq_f32(acc0, x0, x0);
+        acc1 = vfmaq_f32(acc1, x1, x1);
+        i += 8;
+    }
+    while i + 4 <= n {
+        let x = vld1q_f32(pv.add(i));
+        acc0 = vfmaq_f32(acc0, x, x);
+        i += 4;
+    }
+    let mut s = vaddvq_f32(vaddq_f32(acc0, acc1));
+    while i < n {
+        let x = *pv.add(i);
+        s += x * x;
+        i += 1;
+    }
+    s
+}
+
+/// Fused single-pass cosine (see [`super::x86::cosine`] for why the fused
+/// shape is viable with explicit register accumulators).
+#[target_feature(enable = "neon")]
+unsafe fn cosine_impl(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut d0 = vdupq_n_f32(0.0);
+    let mut na0 = vdupq_n_f32(0.0);
+    let mut nb0 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let x = vld1q_f32(pa.add(i));
+        let y = vld1q_f32(pb.add(i));
+        d0 = vfmaq_f32(d0, x, y);
+        na0 = vfmaq_f32(na0, x, x);
+        nb0 = vfmaq_f32(nb0, y, y);
+        i += 4;
+    }
+    let mut d = vaddvq_f32(d0);
+    let mut na = vaddvq_f32(na0);
+    let mut nb = vaddvq_f32(nb0);
+    while i < n {
+        let x = *pa.add(i);
+        let y = *pb.add(i);
+        d += x * y;
+        na += x * x;
+        nb += y * y;
+        i += 1;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        d / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn cosine_qnorm_impl(q: &[f32], q_norm: f32, b: &[f32]) -> f32 {
+    let n = q.len().min(b.len());
+    let (pq, pb) = (q.as_ptr(), b.as_ptr());
+    let mut d0 = vdupq_n_f32(0.0);
+    let mut d1 = vdupq_n_f32(0.0);
+    let mut nb0 = vdupq_n_f32(0.0);
+    let mut nb1 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let x0 = vld1q_f32(pq.add(i));
+        let y0 = vld1q_f32(pb.add(i));
+        let x1 = vld1q_f32(pq.add(i + 4));
+        let y1 = vld1q_f32(pb.add(i + 4));
+        d0 = vfmaq_f32(d0, x0, y0);
+        d1 = vfmaq_f32(d1, x1, y1);
+        nb0 = vfmaq_f32(nb0, y0, y0);
+        nb1 = vfmaq_f32(nb1, y1, y1);
+        i += 8;
+    }
+    while i + 4 <= n {
+        let x = vld1q_f32(pq.add(i));
+        let y = vld1q_f32(pb.add(i));
+        d0 = vfmaq_f32(d0, x, y);
+        nb0 = vfmaq_f32(nb0, y, y);
+        i += 4;
+    }
+    let mut d = vaddvq_f32(vaddq_f32(d0, d1));
+    let mut nb = vaddvq_f32(vaddq_f32(nb0, nb1));
+    while i < n {
+        let x = *pq.add(i);
+        let y = *pb.add(i);
+        d += x * y;
+        nb += y * y;
+        i += 1;
+    }
+    if q_norm == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        d / (q_norm * nb.sqrt())
+    }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn dot3_impl(a: &[f32], b: &[f32], c: &[f32]) -> f32 {
+    let n = a.len().min(b.len()).min(c.len());
+    let (pa, pb, pc) = (a.as_ptr(), b.as_ptr(), c.as_ptr());
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let t0 = vmulq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        let t1 = vmulq_f32(vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
+        acc0 = vfmaq_f32(acc0, t0, vld1q_f32(pc.add(i)));
+        acc1 = vfmaq_f32(acc1, t1, vld1q_f32(pc.add(i + 4)));
+        i += 8;
+    }
+    while i + 4 <= n {
+        let t = vmulq_f32(vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        acc0 = vfmaq_f32(acc0, t, vld1q_f32(pc.add(i)));
+        i += 4;
+    }
+    let mut s = vaddvq_f32(vaddq_f32(acc0, acc1));
+    while i < n {
+        s += *pa.add(i) * *pb.add(i) * *pc.add(i);
+        i += 1;
+    }
+    s
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn translate_l2_sq_impl(h: &[f32], r: &[f32], t: &[f32]) -> f32 {
+    let n = h.len().min(r.len()).min(t.len());
+    let (ph, pr, pt) = (h.as_ptr(), r.as_ptr(), t.as_ptr());
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let d0 =
+            vsubq_f32(vaddq_f32(vld1q_f32(ph.add(i)), vld1q_f32(pr.add(i))), vld1q_f32(pt.add(i)));
+        let d1 = vsubq_f32(
+            vaddq_f32(vld1q_f32(ph.add(i + 4)), vld1q_f32(pr.add(i + 4))),
+            vld1q_f32(pt.add(i + 4)),
+        );
+        acc0 = vfmaq_f32(acc0, d0, d0);
+        acc1 = vfmaq_f32(acc1, d1, d1);
+        i += 8;
+    }
+    while i + 4 <= n {
+        let d =
+            vsubq_f32(vaddq_f32(vld1q_f32(ph.add(i)), vld1q_f32(pr.add(i))), vld1q_f32(pt.add(i)));
+        acc0 = vfmaq_f32(acc0, d, d);
+        i += 4;
+    }
+    let mut s = vaddvq_f32(vaddq_f32(acc0, acc1));
+    while i < n {
+        let d = *ph.add(i) + *pr.add(i) - *pt.add(i);
+        s += d * d;
+        i += 1;
+    }
+    s
+}
+
+/// Pure-integer dot: widening multiply (`vmull_s8`/`vmull_high_s8`) into
+/// i16 products, pairwise-accumulated into i32 lanes (`vpadalq_s16`) —
+/// exact, bit-identical to the portable backend.
+#[target_feature(enable = "neon")]
+unsafe fn dot_i8i8_impl(a: &[i8], b: &[i8]) -> i32 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc = vdupq_n_s32(0);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let va = vld1q_s8(pa.add(i));
+        let vb = vld1q_s8(pb.add(i));
+        let lo = vmull_s8(vget_low_s8(va), vget_low_s8(vb));
+        let hi = vmull_high_s8(va, vb);
+        acc = vpadalq_s16(acc, lo);
+        acc = vpadalq_s16(acc, hi);
+        i += 16;
+    }
+    let mut s = vaddvq_s32(acc);
+    while i < n {
+        s += *pa.add(i) as i32 * *pb.add(i) as i32;
+        i += 1;
+    }
+    s
+}
+
+/// Mixed f32·i8 dot: sign-extend 8 bytes through i16 to two i32x4 lanes,
+/// convert to f32 (`vcvtq_f32_s32`), FMA against the query.
+#[target_feature(enable = "neon")]
+unsafe fn dot_f32i8_impl(q: &[f32], b: &[i8]) -> f32 {
+    let n = q.len().min(b.len());
+    let (pq, pb) = (q.as_ptr(), b.as_ptr());
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let bytes = vld1_s8(pb.add(i));
+        let wide = vmovl_s8(bytes);
+        let lo = vcvtq_f32_s32(vmovl_s16(vget_low_s16(wide)));
+        let hi = vcvtq_f32_s32(vmovl_high_s16(wide));
+        acc0 = vfmaq_f32(acc0, vld1q_f32(pq.add(i)), lo);
+        acc1 = vfmaq_f32(acc1, vld1q_f32(pq.add(i + 4)), hi);
+        i += 8;
+    }
+    let mut s = vaddvq_f32(vaddq_f32(acc0, acc1));
+    while i < n {
+        s += *pq.add(i) * *pb.add(i) as f32;
+        i += 1;
+    }
+    s
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn norm_sq_i8_impl(v: &[i8]) -> i32 {
+    let n = v.len();
+    let pv = v.as_ptr();
+    let mut acc = vdupq_n_s32(0);
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let x = vld1q_s8(pv.add(i));
+        let lo = vmull_s8(vget_low_s8(x), vget_low_s8(x));
+        let hi = vmull_high_s8(x, x);
+        acc = vpadalq_s16(acc, lo);
+        acc = vpadalq_s16(acc, hi);
+        i += 16;
+    }
+    let mut s = vaddvq_s32(acc);
+    while i < n {
+        let x = *pv.add(i) as i32;
+        s += x * x;
+        i += 1;
+    }
+    s
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn l2_sq_f32i8_direct_impl(q: &[f32], b: &[i8], scale: f32) -> f32 {
+    let n = q.len().min(b.len());
+    let (pq, pb) = (q.as_ptr(), b.as_ptr());
+    let vs = vdupq_n_f32(scale);
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let bytes = vld1_s8(pb.add(i));
+        let wide = vmovl_s8(bytes);
+        let lo = vcvtq_f32_s32(vmovl_s16(vget_low_s16(wide)));
+        let hi = vcvtq_f32_s32(vmovl_high_s16(wide));
+        // d = q − scale·b via fused multiply-subtract, matching the fused
+        // rounding of the accumulate below.
+        let d0 = vfmsq_f32(vld1q_f32(pq.add(i)), vs, lo);
+        let d1 = vfmsq_f32(vld1q_f32(pq.add(i + 4)), vs, hi);
+        acc0 = vfmaq_f32(acc0, d0, d0);
+        acc1 = vfmaq_f32(acc1, d1, d1);
+        i += 8;
+    }
+    let mut s = vaddvq_f32(vaddq_f32(acc0, acc1));
+    while i < n {
+        let d = *pq.add(i) - scale * *pb.add(i) as f32;
+        s += d * d;
+        i += 1;
+    }
+    s
+}

@@ -679,6 +679,25 @@ impl MetricsSnapshot {
     }
 }
 
+/// Records which kernel backend serves this process (and the CPU features
+/// that drove the choice) into `registry` under the `kernels/backend/…` and
+/// `kernels/cpu/…` scopes, returning the active backend name.
+///
+/// Presence counters (value 1) rather than values: the snapshot tree then
+/// shows e.g. `kernels/backend/avx2 = 1` in `saga stats pipeline` output and
+/// in every metrics artifact derived from the registry, so any recorded run
+/// carries which kernel implementation produced its numbers.
+pub fn record_kernel_backend(registry: &Registry) -> &'static str {
+    let backend = crate::kernels::backend_name();
+    let kernels = registry.scope("kernels");
+    kernels.child("backend").counter(backend).inc();
+    let cpu = kernels.child("cpu");
+    for feature in crate::kernels::detected_cpu_features() {
+        cpu.counter(feature).inc();
+    }
+    backend
+}
+
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
@@ -714,6 +733,25 @@ mod tests {
         assert_eq!(bucket_upper_bound(1), 1);
         assert_eq!(bucket_upper_bound(2), 3);
         assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn kernel_backend_recorded_in_snapshot() {
+        let registry = Registry::new();
+        let backend = record_kernel_backend(&registry);
+        assert_eq!(backend, crate::kernels::backend_name());
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.metrics.get(&format!("kernels/backend/{backend}")),
+            Some(&MetricValue::Counter(1))
+        );
+        // Every detected CPU feature appears as a presence counter.
+        for feature in crate::kernels::detected_cpu_features() {
+            assert_eq!(
+                snap.metrics.get(&format!("kernels/cpu/{feature}")),
+                Some(&MetricValue::Counter(1))
+            );
+        }
     }
 
     #[test]

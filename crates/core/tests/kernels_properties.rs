@@ -2,6 +2,15 @@
 //! loops they replaced (within float-reassociation tolerance) for arbitrary
 //! inputs — lengths straddling the unroll width, zero vectors, tiny and
 //! large magnitudes.
+//!
+//! The second half pins every available intrinsic backend against the
+//! portable reference (`backend_equivalence_*`): dims 0–257 cover
+//! non-multiple-of-lane tails, sub-slicing at a random offset covers
+//! unaligned loads, and the special-value tests check NaN/inf propagation.
+//! These iterate [`kernels::available_backends`] directly — no global
+//! dispatch state is mutated, so they are safe under the parallel test
+//! runner. Integer kernels must be bit-exact; f32 kernels get the same
+//! scaled reassociation/FMA tolerance as the scalar comparisons.
 
 use proptest::prelude::*;
 use saga_core::kernels;
@@ -115,5 +124,152 @@ proptest! {
         for (i, &s) in out.iter().enumerate() {
             prop_assert_eq!(s, kernels::cosine_qnorm(&q, qn, &block[i * dim..(i + 1) * dim]));
         }
+    }
+}
+
+/// True when `x` and `y` agree as dispatch-equivalent results: identical
+/// special-value class (NaN is NaN, infinities match exactly including
+/// sign), otherwise within `tol`.
+fn agree(x: f32, y: f32, tol: f32) -> bool {
+    if x.is_nan() || y.is_nan() {
+        return x.is_nan() && y.is_nan();
+    }
+    if x.is_infinite() || y.is_infinite() {
+        return x == y;
+    }
+    (x - y).abs() <= tol
+}
+
+/// Equal-length vector pairs across the full tail-shape range (0–257),
+/// plus an offset to test unaligned sub-slices.
+fn backend_inputs() -> impl Strategy<Value = (Vec<f32>, Vec<f32>, usize)> {
+    (0usize..258, 0usize..8).prop_flat_map(|(n, off)| {
+        (
+            proptest::collection::vec(-1.0f32..1.0, n),
+            proptest::collection::vec(-1.0f32..1.0, n),
+            Just(off.min(n)),
+        )
+    })
+}
+
+fn i8_inputs() -> impl Strategy<Value = (Vec<i8>, Vec<i8>, usize)> {
+    (0usize..258, 0usize..8).prop_flat_map(|(n, off)| {
+        (
+            proptest::collection::vec(any::<i8>(), n),
+            proptest::collection::vec(any::<i8>(), n),
+            Just(off.min(n)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every f32 kernel of every available intrinsic backend agrees with
+    /// the portable reference, including on unaligned sub-slices.
+    #[test]
+    fn backend_equivalence_f32((a, b, off) in backend_inputs()) {
+        let p = &kernels::PORTABLE;
+        for be in kernels::available_backends() {
+            for (x, y) in [(&a[..], &b[..]), (&a[off..], &b[off..])] {
+                let t = tol(x.iter().chain(y).copied());
+                prop_assert!(agree((be.dot)(x, y), (p.dot)(x, y), t), "dot {}", be.name);
+                prop_assert!(agree((be.l2_sq)(x, y), (p.l2_sq)(x, y), t), "l2_sq {}", be.name);
+                prop_assert!(agree((be.norm_sq)(x), (p.norm_sq)(x), t), "norm_sq {}", be.name);
+                // Cosine is bounded in [-1, 1]; 2e-5 absorbs the worst-case
+                // reduction-order drift at dim 257.
+                prop_assert!(agree((be.cosine)(x, y), (p.cosine)(x, y), 2e-5), "cosine {}", be.name);
+                let qn = (p.norm_sq)(x).sqrt();
+                prop_assert!(
+                    agree((be.cosine_qnorm)(x, qn, y), (p.cosine_qnorm)(x, qn, y), 2e-5),
+                    "cosine_qnorm {}", be.name
+                );
+                prop_assert!(agree((be.dot3)(x, y, x), (p.dot3)(x, y, x), t), "dot3 {}", be.name);
+                // With t == h the difference reduces to r elementwise, so
+                // the summed terms are r² (identical across backends; only
+                // accumulation order differs).
+                let tt = tol(y.iter().map(|r| r * r));
+                prop_assert!(
+                    agree((be.translate_l2_sq)(x, y, x), (p.translate_l2_sq)(x, y, x), tt),
+                    "translate_l2_sq {}", be.name
+                );
+            }
+        }
+    }
+
+    /// Integer kernels are bit-exact across backends; the mixed f32·i8
+    /// kernels carry the scaled f32 tolerance.
+    #[test]
+    fn backend_equivalence_i8((a, b, off) in i8_inputs()) {
+        let p = &kernels::PORTABLE;
+        let q: Vec<f32> = a.iter().map(|&v| v as f32 / 128.0).collect();
+        for be in kernels::available_backends() {
+            for (x, y, f) in [(&a[..], &b[..], &q[..]), (&a[off..], &b[off..], &q[off..])] {
+                prop_assert_eq!((be.dot_i8i8)(x, y), (p.dot_i8i8)(x, y), "dot_i8i8 {}", be.name);
+                prop_assert_eq!((be.norm_sq_i8)(x), (p.norm_sq_i8)(x), "norm_sq_i8 {}", be.name);
+                let t = tol(f.iter().zip(y).map(|(qv, bv)| qv * *bv as f32));
+                prop_assert!(
+                    agree((be.dot_f32i8)(f, y), (p.dot_f32i8)(f, y), t),
+                    "dot_f32i8 {}", be.name
+                );
+                let td = tol(f.iter().zip(y).map(|(qv, bv)| {
+                    let d = qv - 0.013 * *bv as f32;
+                    d * d
+                }));
+                prop_assert!(
+                    agree(
+                        (be.l2_sq_f32i8_direct)(f, y, 0.013),
+                        (p.l2_sq_f32i8_direct)(f, y, 0.013),
+                        td
+                    ),
+                    "l2_sq_f32i8_direct {}", be.name
+                );
+            }
+        }
+    }
+
+    /// NaN/inf propagation: one special value injected per vector (so the
+    /// result class is independent of accumulation order) must produce the
+    /// same class on every backend.
+    #[test]
+    fn backend_equivalence_special_values(
+        (a, b, _) in backend_inputs(),
+        idx in 0usize..258,
+        special in prop_oneof![Just(f32::NAN), Just(f32::INFINITY), Just(f32::NEG_INFINITY)],
+    ) {
+        prop_assume!(!a.is_empty());
+        let mut a = a;
+        let idx = idx % a.len();
+        a[idx] = special;
+        let p = &kernels::PORTABLE;
+        for be in kernels::available_backends() {
+            let t = tol(a.iter().chain(&b).copied());
+            prop_assert!(agree((be.dot)(&a, &b), (p.dot)(&a, &b), t), "dot {}", be.name);
+            prop_assert!(agree((be.l2_sq)(&a, &b), (p.l2_sq)(&a, &b), t), "l2_sq {}", be.name);
+            prop_assert!(agree((be.norm_sq)(&a), (p.norm_sq)(&a), t), "norm_sq {}", be.name);
+        }
+    }
+}
+
+/// Dispatch surface invariants. Under `--no-default-features` this test
+/// proves the build agrees with the portable path unconditionally; under
+/// `simd` it proves the active backend is one of the detected ones. The
+/// same binary data goes through the public (dispatched) API and the
+/// portable table — on the portable backend results must be identical, on
+/// intrinsic backends within tolerance (covered above).
+#[test]
+fn dispatch_agrees_with_portable_reference() {
+    assert_eq!(kernels::simd_compiled(), cfg!(feature = "simd"));
+    let names: Vec<&str> = kernels::available_backends().iter().map(|b| b.name).collect();
+    assert!(names.contains(&kernels::backend_name()));
+    if !kernels::simd_compiled() {
+        assert_eq!(kernels::backend_name(), "portable");
+        assert_eq!(names, ["portable"]);
+        // Without intrinsic backends the public API must be bit-for-bit
+        // the portable implementation.
+        let a: Vec<f32> = (0..131).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..131).map(|i| (i as f32 * 0.53).cos()).collect();
+        assert_eq!(kernels::dot(&a, &b).to_bits(), (kernels::PORTABLE.dot)(&a, &b).to_bits());
+        assert_eq!(kernels::cosine(&a, &b).to_bits(), (kernels::PORTABLE.cosine)(&a, &b).to_bits());
     }
 }

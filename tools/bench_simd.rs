@@ -1,0 +1,324 @@
+//! Standalone SIMD backend benchmark + equivalence harness.
+//!
+//! Compiles the kernel module directly (it is deliberately std-only) so the
+//! backend comparison runs in environments without cargo or the crates.io
+//! registry — the same method that produced `BENCH_kernels.json` and
+//! `BENCH_quant.json`:
+//!
+//! ```sh
+//! rustc --edition 2021 -O --cfg 'feature="simd"' -A unexpected_cfgs \
+//!     tools/bench_simd.rs -o /tmp/bench_simd
+//! /tmp/bench_simd BENCH_simd.json
+//! ```
+//!
+//! With no argument the JSON goes to stdout. The binary exits non-zero if
+//! any intrinsic backend disagrees with the portable reference, so CI can
+//! use it as both a bench artifact generator and an equivalence gate.
+//!
+//! Everything is measured on the **default-target build**: the point of
+//! runtime dispatch is that the same binary reaches native kernel speed,
+//! so the portable baseline here is exactly what shipped before dispatch.
+
+#[path = "../crates/core/src/kernels/mod.rs"]
+mod kernels;
+
+use kernels::Backend;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn seq(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f32 / (1u64 << 52) as f32 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn seq_i8(n: usize, seed: u64) -> Vec<i8> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as i8
+        })
+        .collect()
+}
+
+/// Best-of-3 reps of `iters` calls; returns ns per call.
+fn time_ns(iters: u64, mut f: impl FnMut() -> f32) -> f64 {
+    // Warm-up also forces one-time dispatch resolution out of the timed region.
+    let mut sink = 0.0f32;
+    for _ in 0..iters / 10 {
+        sink += f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            sink += f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+    }
+    black_box(sink);
+    best
+}
+
+/// Max |backend − portable| scaled by (1 + Σ|terms|) across dims 0–257,
+/// including offset-1 unaligned sub-slices. Integer kernels must be exact.
+fn cross_check(be: &Backend, p: &Backend) -> Result<f64, String> {
+    let mut max_scaled = 0.0f64;
+    for dim in 0..258usize {
+        let a = seq(dim, 1 + dim as u64);
+        let b = seq(dim, 9999 + dim as u64);
+        let c = seq(dim, 777 + dim as u64);
+        let ai = seq_i8(dim, 3 + dim as u64);
+        let bi = seq_i8(dim, 555 + dim as u64);
+        let scale = 1.0 + dim as f64;
+        let mut chk = |name: &str, x: f32, y: f32| -> Result<(), String> {
+            let scaled = (x as f64 - y as f64).abs() / scale;
+            max_scaled = max_scaled.max(scaled);
+            if scaled > 1e-5 {
+                return Err(format!("{name} dim {dim}: {x} vs {y} ({})", be.name));
+            }
+            Ok(())
+        };
+        chk("dot", (be.dot)(&a, &b), (p.dot)(&a, &b))?;
+        chk("l2_sq", (be.l2_sq)(&a, &b), (p.l2_sq)(&a, &b))?;
+        chk("norm_sq", (be.norm_sq)(&a), (p.norm_sq)(&a))?;
+        chk("cosine", (be.cosine)(&a, &b), (p.cosine)(&a, &b))?;
+        let qn = (p.norm_sq)(&a).sqrt();
+        chk("cosine_qnorm", (be.cosine_qnorm)(&a, qn, &b), (p.cosine_qnorm)(&a, qn, &b))?;
+        chk("dot3", (be.dot3)(&a, &b, &c), (p.dot3)(&a, &b, &c))?;
+        chk("translate_l2_sq", (be.translate_l2_sq)(&a, &b, &c), (p.translate_l2_sq)(&a, &b, &c))?;
+        chk("dot_f32i8", (be.dot_f32i8)(&a, &bi), (p.dot_f32i8)(&a, &bi))?;
+        chk(
+            "l2_sq_f32i8_direct",
+            (be.l2_sq_f32i8_direct)(&a, &bi, 0.017),
+            (p.l2_sq_f32i8_direct)(&a, &bi, 0.017),
+        )?;
+        if (be.dot_i8i8)(&ai, &bi) != (p.dot_i8i8)(&ai, &bi) {
+            return Err(format!("dot_i8i8 dim {dim} not bit-exact ({})", be.name));
+        }
+        if (be.norm_sq_i8)(&ai) != (p.norm_sq_i8)(&ai) {
+            return Err(format!("norm_sq_i8 dim {dim} not bit-exact ({})", be.name));
+        }
+        if dim >= 2 {
+            chk("dot+1", (be.dot)(&a[1..], &b[1..]), (p.dot)(&a[1..], &b[1..]))?;
+            chk(
+                "dot_f32i8+1",
+                (be.dot_f32i8)(&a[1..], &bi[1..]),
+                (p.dot_f32i8)(&a[1..], &bi[1..]),
+            )?;
+        }
+    }
+    // Saturated rows at a lane-straddling dim: widening must stay exact.
+    let sa = vec![127i8; 259];
+    let sb = vec![-128i8; 259];
+    if (be.dot_i8i8)(&sa, &sb) != (p.dot_i8i8)(&sa, &sb)
+        || (be.norm_sq_i8)(&sb) != (p.norm_sq_i8)(&sb)
+    {
+        return Err(format!("saturated i8 rows not bit-exact ({})", be.name));
+    }
+    Ok(max_scaled)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let backends = kernels::available_backends();
+    let portable = &kernels::PORTABLE;
+    let intrinsic = backends.iter().find(|be| be.name != "portable").copied();
+
+    // ---- equivalence gate ----
+    let mut max_err = 0.0f64;
+    for be in backends.iter().filter(|be| be.name != "portable") {
+        match cross_check(be, portable) {
+            Ok(err) => {
+                max_err = max_err.max(err);
+                eprintln!("equivalence OK: {} vs portable (max scaled err {err:.2e})", be.name);
+            }
+            Err(msg) => {
+                eprintln!("equivalence FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // ---- per-kernel portable vs intrinsic at dim 128 ----
+    const DIM: usize = 128;
+    const ITERS: u64 = 2_000_000;
+    let a = seq(DIM, 42);
+    let b = seq(DIM, 43);
+    let c = seq(DIM, 44);
+    let bi = seq_i8(DIM, 45);
+    let ai = seq_i8(DIM, 46);
+    let qn = kernels::l2_norm(&a);
+
+    // (name, portable closure, intrinsic closure) per kernel; i32 kernels
+    // are cast to f32 purely to share the timing sink.
+    let mut rows: Vec<(&str, f64, f64)> = Vec::new();
+    macro_rules! bench_pair {
+        ($name:literal, $be:ident => $call:expr) => {{
+            let p_ns = {
+                let $be = portable;
+                time_ns(ITERS, || $call)
+            };
+            let i_ns = intrinsic.map(|ib| {
+                let $be = ib;
+                time_ns(ITERS, || $call)
+            });
+            rows.push(($name, p_ns, i_ns.unwrap_or(f64::NAN)));
+        }};
+    }
+    bench_pair!("dot", be => (be.dot)(black_box(&a), black_box(&b)));
+    bench_pair!("l2_sq", be => (be.l2_sq)(black_box(&a), black_box(&b)));
+    bench_pair!("norm_sq", be => (be.norm_sq)(black_box(&a)));
+    bench_pair!("cosine", be => (be.cosine)(black_box(&a), black_box(&b)));
+    bench_pair!("cosine_qnorm", be => (be.cosine_qnorm)(black_box(&a), black_box(qn), black_box(&b)));
+    bench_pair!("dot3", be => (be.dot3)(black_box(&a), black_box(&b), black_box(&c)));
+    bench_pair!("translate_l2_sq", be => (be.translate_l2_sq)(black_box(&a), black_box(&b), black_box(&c)));
+    bench_pair!("dot_i8i8", be => (be.dot_i8i8)(black_box(&ai), black_box(&bi)) as f32);
+    bench_pair!("dot_f32i8", be => (be.dot_f32i8)(black_box(&a), black_box(&bi)));
+    bench_pair!("norm_sq_i8", be => (be.norm_sq_i8)(black_box(&bi)) as f32);
+    bench_pair!("l2_sq_f32i8_direct", be => (be.l2_sq_f32i8_direct)(black_box(&a), black_box(&bi), black_box(0.017)));
+
+    // ---- l2_sq_f32i8 routing: fused direct vs norm-expansion crossover ----
+    // Expansion cost model = one dispatched dot_f32i8 + scalar algebra (the
+    // norms are precomputed by the caller); direct = one fused sweep.
+    let mut crossover_rows: Vec<(usize, f64, f64)> = Vec::new();
+    for dim in [8usize, 16, 24, 32, 48, 64, 128] {
+        let q = seq(dim, 7);
+        let r = seq_i8(dim, 8);
+        let qns = kernels::norm_sq(&q);
+        let bn = 0.017 * ((kernels::norm_sq_i8(&r) as f32).sqrt());
+        let direct_ns = time_ns(ITERS, || {
+            kernels::l2_sq_f32i8_direct(black_box(&q), black_box(&r), black_box(0.017))
+        });
+        let expansion_ns = time_ns(ITERS, || {
+            let d = kernels::dot_f32i8(black_box(&q), black_box(&r));
+            (black_box(qns) - 2.0 * 0.017 * d + black_box(bn) * black_box(bn)).max(0.0)
+        });
+        crossover_rows.push((dim, direct_ns, expansion_ns));
+    }
+
+    // ---- fused vs composed cosine (the revisited rejection) ----
+    let fused_vs_composed = intrinsic.map(|ib| {
+        let fused = time_ns(ITERS, || (ib.cosine)(black_box(&a), black_box(&b)));
+        let composed = time_ns(ITERS, || {
+            let d = (ib.dot)(black_box(&a), black_box(&b));
+            let na = (ib.norm_sq)(black_box(&a));
+            let nb = (ib.norm_sq)(black_box(&b));
+            if na == 0.0 || nb == 0.0 {
+                0.0
+            } else {
+                d / (na.sqrt() * nb.sqrt())
+            }
+        });
+        (fused, composed)
+    });
+
+    // ---- emit JSON ----
+    let speedup = |p: f64, i: f64| if i > 0.0 { p / i } else { f64::NAN };
+    let dot_speedup = rows.iter().find(|r| r.0 == "dot").map_or(f64::NAN, |r| speedup(r.1, r.2));
+    let dot_f32i8_speedup =
+        rows.iter().find(|r| r.0 == "dot_f32i8").map_or(f64::NAN, |r| speedup(r.1, r.2));
+
+    let mut json = String::new();
+    let features = kernels::detected_cpu_features().join(",");
+    let backend_names: Vec<&str> = backends.iter().map(|be| be.name).collect();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, " \"experiment\": \"simd_backends\",").unwrap();
+    writeln!(
+        json,
+        " \"description\": \"Explicit-intrinsic kernel backends vs the portable autovectorized reference, both compiled for the default target — the delta runtime dispatch delivers without -C target-cpu=native.\","
+    )
+    .unwrap();
+    writeln!(json, " \"provenance\": {{").unwrap();
+    writeln!(
+        json,
+        "  \"method\": \"standalone dependency-free rustc -O harness (tools/bench_simd.rs) compiling crates/core/src/kernels directly; default target features; best-of-3 x {ITERS} iterations after warm-up; std::hint::black_box on all inputs\","
+    )
+    .unwrap();
+    writeln!(json, "  \"cpu_features\": \"{features}\",").unwrap();
+    writeln!(json, "  \"kernel_backends_available\": \"{}\",", backend_names.join(",")).unwrap();
+    writeln!(json, "  \"kernel_backend_active\": \"{}\",", kernels::backend_name()).unwrap();
+    writeln!(json, "  \"simd_compiled\": {},", kernels::simd_compiled()).unwrap();
+    writeln!(
+        json,
+        "  \"note\": \"absolute timings are machine-dependent; the ratios are the deliverable\""
+    )
+    .unwrap();
+    writeln!(json, " }},").unwrap();
+    writeln!(json, " \"kernels_dim128\": {{").unwrap();
+    let ib_name = intrinsic.map_or("none", |ib| ib.name);
+    for (name, p_ns, i_ns) in &rows {
+        writeln!(
+            json,
+            "  \"{name}\": {{\"portable_ns\": {p_ns:.1}, \"{ib_name}_ns\": {i_ns:.1}, \"speedup\": {:.2}}},",
+            speedup(*p_ns, *i_ns)
+        )
+        .unwrap();
+    }
+    writeln!(
+        json,
+        "  \"note\": \"integer kernels (dot_i8i8, norm_sq_i8) are bit-exact across backends; f32 kernels agree within reassociation/FMA tolerance (see equivalence block)\""
+    )
+    .unwrap();
+    writeln!(json, " }},").unwrap();
+    if let Some((fused, composed)) = fused_vs_composed {
+        writeln!(json, " \"fused_cosine_dim128\": {{").unwrap();
+        writeln!(json, "  \"fused_single_pass_ns\": {fused:.1},").unwrap();
+        writeln!(json, "  \"composed_three_pass_ns\": {composed:.1},").unwrap();
+        writeln!(json, "  \"speedup\": {:.2},", speedup(composed, fused)).unwrap();
+        writeln!(
+            json,
+            "  \"note\": \"the fused 3-output loop was rejected for the portable backend (defeats LLVM autovectorization); explicit register accumulators make it the winner on {ib_name}\""
+        )
+        .unwrap();
+        writeln!(json, " }},").unwrap();
+    }
+    writeln!(json, " \"l2_f32i8_crossover\": {{").unwrap();
+    for (dim, direct_ns, expansion_ns) in &crossover_rows {
+        writeln!(
+            json,
+            "  \"dim{dim}\": {{\"direct_ns\": {direct_ns:.1}, \"expansion_ns\": {expansion_ns:.1}}},"
+        )
+        .unwrap();
+    }
+    writeln!(
+        json,
+        "  \"note\": \"l2_sq_f32i8 routes to the fused direct sweep at dims <= {} (kernels::L2_F32I8_DIRECT_MAX_DIM); above that the norm-expansion amortizes its fixed cost and reuses precomputed norms\"",
+        kernels::L2_F32I8_DIRECT_MAX_DIM
+    )
+    .unwrap();
+    writeln!(json, " }},").unwrap();
+    writeln!(json, " \"equivalence\": {{").unwrap();
+    writeln!(json, "  \"dims_checked\": \"0-257 plus offset-1 unaligned sub-slices and saturated +/-127 rows\",").unwrap();
+    writeln!(json, "  \"max_scaled_err_f32\": {max_err:.2e},").unwrap();
+    writeln!(json, "  \"i8_kernels\": \"bit-exact\"").unwrap();
+    writeln!(json, " }},").unwrap();
+    writeln!(json, " \"acceptance\": {{").unwrap();
+    writeln!(json, "  \"dot_f32i8_speedup\": {dot_f32i8_speedup:.2},").unwrap();
+    writeln!(json, "  \"dot_f32i8_required\": 1.5,").unwrap();
+    writeln!(json, "  \"dot_speedup\": {dot_speedup:.2},").unwrap();
+    writeln!(json, "  \"dot_required\": 1.2,").unwrap();
+    writeln!(json, "  \"pass\": {}", dot_f32i8_speedup >= 1.5 && dot_speedup >= 1.2).unwrap();
+    writeln!(json, " }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write artifact");
+            eprintln!("wrote {path}");
+            eprintln!("dot speedup {dot_speedup:.2}x, dot_f32i8 speedup {dot_f32i8_speedup:.2}x");
+        }
+        None => print!("{json}"),
+    }
+}
