@@ -234,9 +234,11 @@ impl FlatIndex {
         out
     }
 
-    /// Exact top-`k` for a batch of queries fanned out over `workers`
-    /// scoped threads, each with its own scratch. Results are in query
-    /// order, identical to sequential [`FlatIndex::search`] per query.
+    /// Exact top-`k` for a batch of queries fanned out as `workers` chunks
+    /// over the shared persistent pool ([`saga_core::pool`]) — zero thread
+    /// spawns in steady state. Each chunk gets its own scratch; results are
+    /// in query order, identical to sequential [`FlatIndex::search`] per
+    /// query.
     pub fn search_batch(&self, queries: &[Vec<f32>], k: usize, workers: usize) -> Vec<Vec<Hit>> {
         let workers = workers.max(1);
         if workers == 1 || queries.len() <= 1 {
@@ -244,22 +246,16 @@ impl FlatIndex {
             return queries.iter().map(|q| self.search_with(q, k, &mut scratch)).collect();
         }
         let chunk = queries.len().div_ceil(workers);
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|qs| {
-                    s.spawn(move |_| {
-                        let mut scratch = FlatScratch::new();
-                        qs.iter().map(|q| self.search_with(q, k, &mut scratch)).collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("flat search worker panicked"))
-                .collect()
-        })
-        .expect("flat search scope failed")
+        let tasks = queries.len().div_ceil(chunk);
+        saga_core::pool::global()
+            .map_tasks(tasks, |t| {
+                let qs = &queries[t * chunk..((t + 1) * chunk).min(queries.len())];
+                let mut scratch = FlatScratch::new();
+                qs.iter().map(|q| self.search_with(q, k, &mut scratch)).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     /// Looks up a vector by id — O(1) via the maintained position map.

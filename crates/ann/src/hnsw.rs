@@ -418,10 +418,11 @@ impl HnswIndex {
         out
     }
 
-    /// Approximate top-`k` for a batch of queries fanned out over
-    /// `workers` scoped threads, each with its own scratch. Results are in
-    /// query order, identical to sequential [`HnswIndex::search`] per
-    /// query.
+    /// Approximate top-`k` for a batch of queries fanned out as `workers`
+    /// chunks over the shared persistent pool ([`saga_core::pool`]) — zero
+    /// thread spawns in steady state. Each chunk gets its own scratch;
+    /// results are in query order, identical to sequential
+    /// [`HnswIndex::search`] per query.
     pub fn search_batch(&self, queries: &[Vec<f32>], k: usize, workers: usize) -> Vec<Vec<Hit>> {
         let ef = self.params.ef_search.max(k);
         let workers = workers.max(1);
@@ -430,24 +431,16 @@ impl HnswIndex {
             return queries.iter().map(|q| self.search_ef_with(q, k, ef, &mut scratch)).collect();
         }
         let chunk = queries.len().div_ceil(workers);
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|qs| {
-                    s.spawn(move |_| {
-                        let mut scratch = SearchScratch::new();
-                        qs.iter()
-                            .map(|q| self.search_ef_with(q, k, ef, &mut scratch))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("hnsw search worker panicked"))
-                .collect()
-        })
-        .expect("hnsw search scope failed")
+        let tasks = queries.len().div_ceil(chunk);
+        saga_core::pool::global()
+            .map_tasks(tasks, |t| {
+                let qs = &queries[t * chunk..((t + 1) * chunk).min(queries.len())];
+                let mut scratch = SearchScratch::new();
+                qs.iter().map(|q| self.search_ef_with(q, k, ef, &mut scratch)).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
     }
 }
 

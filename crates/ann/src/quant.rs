@@ -6,7 +6,9 @@
 //! integer kernels in [`saga_core::kernels`], with each row's scale folded
 //! into the final sum once. Cosine and Euclidean additionally need per-row
 //! norms, which the table precomputes at build time (4 bytes per row), so
-//! every candidate costs exactly one mixed-precision dot product.
+//! every candidate costs exactly one mixed-precision dot product. Top-k
+//! search runs that dot over the whole slab in one tiled batch-kernel call
+//! (`kernels::dot_f32i8_batch`) and folds scales/norms in during selection.
 
 use crate::flat::{select_top_k_into, Hit, WorstFirst};
 use crate::vector::Metric;
@@ -76,11 +78,12 @@ impl QuantizedVector {
 }
 
 /// Reusable per-thread state for [`QuantizedTable`] queries: the bounded
-/// selection heap. Scoring itself needs no buffer — each candidate is a
-/// single kernel call over the row slice.
+/// selection heap plus the raw-dot buffer the tiled batch kernel writes
+/// into (one f32 per row; scales and norms are folded in during selection).
 #[derive(Debug, Default)]
 pub struct QuantScratch {
     heap: BinaryHeap<WorstFirst>,
+    scores: Vec<f32>,
 }
 
 impl QuantScratch {
@@ -254,9 +257,14 @@ impl QuantizedTable {
         out
     }
 
-    /// Zero-allocation search: scores raw i8 rows through the integer
-    /// kernels and selects into `out` (cleared first). Performs no heap
-    /// allocation once scratch and `out` have reached steady-state capacity.
+    /// Zero-allocation search: one tiled batch-kernel pass over the whole
+    /// i8 slab into the scratch dot buffer, then scales/norms folded in
+    /// during bounded-heap selection — each candidate's raw dot is computed
+    /// exactly once, with the query held register-resident across row tiles
+    /// (`kernels::dot_f32i8_batch`). Small-dimension Euclidean keeps the
+    /// fused per-row sweep, which beats the norm-expansion there (see
+    /// `kernels::L2_F32I8_DIRECT_MAX_DIM`). Performs no heap allocation
+    /// once scratch and `out` have reached steady-state capacity.
     pub fn search_into(
         &self,
         metric: Metric,
@@ -268,26 +276,36 @@ impl QuantizedTable {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let q_norm_sq = kernels::norm_sq(query);
         let q_norm = q_norm_sq.sqrt();
+        if matches!(metric, Metric::Euclidean) && self.dim <= kernels::L2_F32I8_DIRECT_MAX_DIM {
+            let hits = self.ids.iter().enumerate().map(|(i, &id)| {
+                let score = -kernels::l2_sq_f32i8_direct(query, self.row(i), self.scales[i]);
+                Hit { id, score }
+            });
+            select_top_k_into(&mut scratch.heap, hits, k, out);
+            return;
+        }
+        if self.is_empty() {
+            out.clear();
+            return;
+        }
+        kernels::dot_f32i8_batch(query, &self.data, &mut scratch.scores);
         let hits = self.ids.iter().enumerate().map(|(i, &id)| {
+            let d = scratch.scores[i];
             let score = match metric {
-                Metric::Dot => self.scales[i] * kernels::dot_f32i8(query, self.row(i)),
+                Metric::Dot => self.scales[i] * d,
                 Metric::Cosine => {
                     let n = self.norms[i];
                     if q_norm == 0.0 || n == 0.0 {
                         0.0
                     } else {
-                        self.scales[i] * kernels::dot_f32i8(query, self.row(i)) / (q_norm * n)
+                        self.scales[i] * d / (q_norm * n)
                     }
                 }
-                // Canonical distance kernel: fused sweep at small dims,
-                // norm-expansion (reusing the precomputed norms) above.
-                Metric::Euclidean => -kernels::l2_sq_f32i8(
-                    query,
-                    q_norm_sq,
-                    self.row(i),
-                    self.scales[i],
-                    self.norms[i],
-                ),
+                // Norm-expansion over the precomputed dequantized row
+                // norms: ‖q − s·b‖² = ‖q‖² − 2s·(q·b) + (s‖b‖)².
+                Metric::Euclidean => {
+                    -(q_norm_sq - 2.0 * self.scales[i] * d + self.norms[i] * self.norms[i]).max(0.0)
+                }
             };
             Hit { id, score }
         });
@@ -313,9 +331,11 @@ impl QuantizedTable {
         out
     }
 
-    /// Exact top-`k` for a batch of queries fanned out over `workers`
-    /// scoped threads, each with its own scratch. Results are in query
-    /// order, identical to sequential [`QuantizedTable::search`] per query.
+    /// Exact top-`k` for a batch of queries fanned out as `workers` chunks
+    /// over the shared persistent pool ([`saga_core::pool`]) — zero thread
+    /// spawns in steady state. Each chunk gets its own scratch; results are
+    /// in query order, identical to sequential [`QuantizedTable::search`]
+    /// per query.
     pub fn search_batch(
         &self,
         metric: Metric,
@@ -329,24 +349,16 @@ impl QuantizedTable {
             return queries.iter().map(|q| self.search_with(metric, q, k, &mut scratch)).collect();
         }
         let chunk = queries.len().div_ceil(workers);
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|qs| {
-                    s.spawn(move |_| {
-                        let mut scratch = QuantScratch::new();
-                        qs.iter()
-                            .map(|q| self.search_with(metric, q, k, &mut scratch))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("quantized search worker panicked"))
-                .collect()
-        })
-        .expect("quantized search scope failed")
+        let tasks = queries.len().div_ceil(chunk);
+        saga_core::pool::global()
+            .map_tasks(tasks, |t| {
+                let qs = &queries[t * chunk..((t + 1) * chunk).min(queries.len())];
+                let mut scratch = QuantScratch::new();
+                qs.iter().map(|q| self.search_with(metric, q, k, &mut scratch)).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
     }
 }
 
@@ -464,7 +476,11 @@ mod tests {
         for m in [Metric::Dot, Metric::Cosine, Metric::Euclidean] {
             for h in table.search(m, &query, table.len()) {
                 let direct = table.score_row(m, &query, h.id as usize);
-                assert!((h.score - direct).abs() < 1e-6, "{m:?} id {}", h.id);
+                // search_into scores through the tiled batch kernel,
+                // score_row through the single-row kernel; they agree
+                // within float-reassociation tolerance, not bit-exactly.
+                let tol = 1e-5 * direct.abs().max(1.0);
+                assert!((h.score - direct).abs() < tol, "{m:?} id {}", h.id);
             }
         }
     }

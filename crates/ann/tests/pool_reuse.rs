@@ -1,0 +1,51 @@
+//! Asserts the worker-pool acceptance criterion of the serving rework:
+//! batch search fan-out runs on the shared persistent pool, so steady-state
+//! serving spawns no threads — across every index family, at any batch
+//! width, no matter how many batches a shard worker dispatches.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use saga_ann::{FlatIndex, HnswIndex, HnswParams, Metric, QuantizedTable};
+
+#[test]
+fn repeated_batch_searches_spawn_no_new_threads() {
+    let dim = 24;
+    let n = 600;
+    let mut rng = ChaCha8Rng::seed_from_u64(59);
+    let vecs: Vec<Vec<f32>> =
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let queries: Vec<Vec<f32>> =
+        (0..40).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let k = 5;
+
+    let mut flat = FlatIndex::new(dim, Metric::Cosine);
+    let mut hnsw = HnswIndex::new(dim, Metric::Cosine, HnswParams::default());
+    for (i, v) in vecs.iter().enumerate() {
+        flat.add(i as u64, v);
+        hnsw.add(i as u64, v);
+    }
+    let table =
+        QuantizedTable::build(dim, vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())));
+
+    // Warm-up: the pool spawns its workers lazily on first parallel call.
+    let warm = flat.search_batch(&queries, k, 4);
+    assert_eq!(warm.len(), queries.len());
+    let before = saga_core::pool::spawned_threads();
+
+    // A serving shard dispatches thousands of batches over its lifetime;
+    // none of them may cost a thread spawn, whatever the fan-out width.
+    for round in 0..6 {
+        let workers = 1 + (round % 4);
+        let f = flat.search_batch(&queries, k, workers);
+        let q = table.search_batch(Metric::Cosine, &queries, k, workers);
+        let h = hnsw.search_batch(&queries, k, workers);
+        assert_eq!(f.len(), queries.len());
+        assert_eq!(q.len(), queries.len());
+        assert_eq!(h.len(), queries.len());
+    }
+    assert_eq!(
+        saga_core::pool::spawned_threads(),
+        before,
+        "steady-state batch search must not spawn threads"
+    );
+}

@@ -174,17 +174,11 @@ impl ExperimentResult {
 }
 
 /// JSON object recording the execution environment every bench artifact
-/// should carry: the kernel backend that served the run, the CPU features
-/// runtime dispatch saw, and whether the intrinsic backends were compiled
-/// in at all. Numbers from an `avx2` run and a `portable` run are not
-/// comparable, so the distinction must travel with the artifact.
+/// should carry. Thin alias for [`saga_core::kernels::provenance_json`] —
+/// the canonical emitter, shared with the standalone `rustc` harnesses —
+/// kept so existing experiment call sites read naturally.
 pub fn kernel_provenance_json(indent: &str) -> String {
-    format!(
-        "{{\n{indent}  \"kernel_backend\": \"{}\",\n{indent}  \"cpu_features\": \"{}\",\n{indent}  \"simd_compiled\": {}\n{indent}}}",
-        saga_core::kernels::backend_name(),
-        saga_core::kernels::detected_cpu_features().join(","),
-        saga_core::kernels::simd_compiled(),
-    )
+    saga_core::kernels::provenance_json(indent)
 }
 
 /// Runs `f` inside an obs span recorded on `scope`'s `name` histogram,

@@ -23,7 +23,8 @@ pub const USAGE: &str = "usage:
   saga verify KG MODEL --subject NAME --predicate PRED --object NAME
   saga annotate KG --text TEXT [--tier t0|t1|t2]
   saga path KG MODEL --start NAME --via P1,P2[,..] [-k N]
-  saga odke --seed N [--targets N]";
+  saga odke --seed N [--targets N]
+  saga serve-bench [--mode quick|full] [--seed N] [--shards 2,4] [--out FILE] [--gate on [--min-qps N]]";
 
 /// Simple flag parser: positional args + `--flag value` pairs (`-k` too).
 struct Args<'a> {
@@ -116,6 +117,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "annotate" => cmd_annotate(&rest),
         "path" => cmd_path(&rest),
         "odke" => cmd_odke(&rest),
+        "serve-bench" => cmd_serve_bench(&rest),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -438,6 +440,58 @@ fn cmd_odke(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Serving benchmark: run the sharded front-end scenario matrix (closed /
+/// open loop × coalesced / per-request × flat / quantized × shard counts),
+/// write `BENCH_serving.json`, and optionally gate the way CI does.
+fn cmd_serve_bench(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.num("seed", 7)?;
+    let mut cfg = match args.flag("mode").unwrap_or("quick") {
+        "quick" => saga_serve::ServeBenchConfig::quick(seed),
+        "full" => saga_serve::ServeBenchConfig::full(seed),
+        other => return Err(format!("unknown mode '{other}' (quick|full)")),
+    };
+    if let Some(s) = args.flag("shards") {
+        let parsed: Result<Vec<usize>, _> = s.split(',').map(|p| p.trim().parse()).collect();
+        cfg.shard_counts = parsed.map_err(|_| format!("--shards: invalid list '{s}'"))?;
+        if cfg.shard_counts.is_empty() {
+            return Err("--shards: need at least one shard count".into());
+        }
+    }
+    let out = args.flag("out").unwrap_or("BENCH_serving.json");
+    let (doc, summary) = saga_serve::server::run_serve_bench(&cfg, |line| eprintln!("  {line}"));
+    std::fs::write(out, &doc).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "serving bench → {out}: min closed {:.0} qps, max sustained {} qps, low-load shed {}",
+        summary.min_closed_qps, summary.max_sustained_qps, summary.low_load_shed
+    );
+    if args.flag("gate").is_some_and(|v| v != "off") {
+        let min_qps: f64 = args.num("min-qps", 200.0)?;
+        let a = &summary.acceptance;
+        if !a.pass() {
+            return Err(format!(
+                "serving gate failed: coalescing_wins={} brownout_sheds={} conservation={}",
+                a.coalescing_wins_sustained_qps,
+                a.brownout_sheds_not_collapses,
+                a.conservation_holds
+            ));
+        }
+        if summary.low_load_shed > 0 {
+            return Err(format!(
+                "serving gate failed: {} requests shed at low load (expected 0)",
+                summary.low_load_shed
+            ));
+        }
+        if summary.min_closed_qps < min_qps {
+            return Err(format!(
+                "serving gate failed: closed-loop floor {:.0} qps < required {min_qps} qps",
+                summary.min_closed_qps
+            ));
+        }
+        println!("serving gate passed");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +574,13 @@ mod tests {
     #[test]
     fn stats_pipeline_command_runs() {
         run(&["stats", "pipeline", "--seed", "3", "--targets", "4"]).unwrap();
+    }
+
+    #[test]
+    fn serve_bench_rejects_bad_flags_before_running() {
+        assert!(run(&["serve-bench", "--mode", "bogus"]).is_err());
+        assert!(run(&["serve-bench", "--shards", "2,x"]).is_err());
+        assert!(run(&["serve-bench", "--shards", ""]).is_err());
     }
 
     #[test]

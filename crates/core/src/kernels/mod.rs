@@ -79,7 +79,25 @@ pub struct Backend {
     pub norm_sq_i8: fn(&[i8]) -> i32,
     /// Fused one-pass squared L2 between an f32 query and a scaled i8 row.
     pub l2_sq_f32i8_direct: fn(&[f32], &[i8], f32) -> f32,
+    /// Tiled batch dot: one score per row of a row-major block
+    /// (`block.len() == q.len() * out.len()`), the query held resident
+    /// across a [`ROW_TILE`]-row tile instead of re-streamed per row.
+    pub dot_block: fn(&[f32], &[f32], &mut [f32]),
+    /// Tiled batch squared Euclidean distance per row.
+    pub l2_sq_block: fn(&[f32], &[f32], &mut [f32]),
+    /// Tiled batch serving-shape cosine per row (query norm precomputed).
+    pub cosine_qnorm_block: fn(&[f32], f32, &[f32], &mut [f32]),
+    /// Tiled batch mixed f32·i8 dot per row (unscaled; caller folds scales).
+    pub dot_f32i8_block: fn(&[f32], &[i8], &mut [f32]),
 }
+
+/// Rows scored per tile by the `*_block` batch kernels. Four is the
+/// register-pressure sweet spot on both intrinsic backends: one resident
+/// query vector + four row streams + four accumulators fit comfortably in
+/// 16 vector registers, and each query load is amortized over four FMAs —
+/// the single-row kernels are load-port bound, so this is where the batch
+/// speedup comes from (measured in `BENCH_simd.json`, `*_batch` rows).
+pub const ROW_TILE: usize = 4;
 
 /// The always-available reference backend.
 pub static PORTABLE: Backend = Backend {
@@ -95,6 +113,10 @@ pub static PORTABLE: Backend = Backend {
     dot_f32i8: portable::dot_f32i8,
     norm_sq_i8: portable::norm_sq_i8,
     l2_sq_f32i8_direct: portable::l2_sq_f32i8_direct,
+    dot_block: portable::dot_block,
+    l2_sq_block: portable::l2_sq_block,
+    cosine_qnorm_block: portable::cosine_qnorm_block,
+    dot_f32i8_block: portable::dot_f32i8_block,
 };
 
 #[cfg(feature = "simd")]
@@ -382,7 +404,8 @@ pub fn l2_sq_f32i8_direct(q: &[f32], b: &[i8], scale: f32) -> f32 {
 
 /// Expands a batch kernel body resolving the dispatch table once per block
 /// — rows then go through the already-loaded function pointer, keeping the
-/// per-row cost identical to a single-kernel call.
+/// per-row cost identical to a single-kernel call. Used by the batch
+/// kernels that have no tiled `*_block` variant.
 macro_rules! batch_body {
     ($field:ident, $q:ident, $block:ident, $out:ident, |$f:ident, $row:ident| $call:expr) => {{
         assert!(!$q.is_empty(), "query must be non-empty");
@@ -396,25 +419,45 @@ macro_rules! batch_body {
     }};
 }
 
+/// Expands a tiled batch kernel body: sizes `out` to the row count (clear +
+/// resize, so a warm buffer never reallocates) and hands the whole block to
+/// the backend's `*_block` kernel, which keeps the query resident across a
+/// [`ROW_TILE`]-row tile instead of looping the single-row kernel.
+macro_rules! block_body {
+    ($field:ident, $q:ident, $block:ident, $out:ident, $($arg:expr),*) => {{
+        assert!(!$q.is_empty(), "query must be non-empty");
+        debug_assert_eq!($block.len() % $q.len(), 0);
+        let rows = $block.len() / $q.len();
+        $out.clear();
+        $out.resize(rows, Default::default());
+        #[cfg(feature = "simd")]
+        (active().$field)($($arg),*);
+        #[cfg(not(feature = "simd"))]
+        portable::$field($($arg),*);
+    }};
+}
+
 /// Scores `q` against every row of a contiguous row-major `block`
-/// (`block.len()` must be a multiple of `q.len()`), appending one dot
+/// (`block.len()` must be a multiple of `q.len()`), writing one dot
 /// product per row into `out` after clearing it. Reuses `out`'s capacity —
-/// no allocation once the buffer has grown to the block's row count.
+/// no allocation once the buffer has grown to the block's row count. Rows
+/// go through the tiled [`Backend::dot_block`] kernel, so a batch is
+/// faster than looping [`dot`] (query loads amortized across a row tile).
 pub fn dot_batch(q: &[f32], block: &[f32], out: &mut Vec<f32>) {
-    batch_body!(dot, q, block, out, |f, row| f(q, row));
+    block_body!(dot_block, q, block, out, q, block, out);
 }
 
 /// Batch counterpart of [`l2_sq`]: squared distance per row of `block`.
 pub fn l2_sq_batch(q: &[f32], block: &[f32], out: &mut Vec<f32>) {
-    batch_body!(l2_sq, q, block, out, |f, row| f(q, row));
+    block_body!(l2_sq_block, q, block, out, q, block, out);
 }
 
 /// Batch counterpart of [`cosine`]: the query norm is computed once and
-/// each row costs a fused (or two-pass, on portable) sweep instead of a
-/// full three-norm recomputation.
+/// each row costs a fused tiled sweep instead of a full three-norm
+/// recomputation.
 pub fn cosine_batch(q: &[f32], block: &[f32], out: &mut Vec<f32>) {
     let q_norm = l2_norm(q);
-    batch_body!(cosine_qnorm, q, block, out, |f, row| f(q, q_norm, row));
+    block_body!(cosine_qnorm_block, q, block, out, q, q_norm, block, out);
 }
 
 /// Batch counterpart of [`dot_i8i8`]: one i32 inner product per row of a
@@ -425,9 +468,26 @@ pub fn dot_i8i8_batch(q: &[i8], block: &[i8], out: &mut Vec<i32>) {
 }
 
 /// Batch counterpart of [`dot_f32i8`]: raw (unscaled) mixed inner product
-/// per row; the caller folds in each row's scale.
+/// per row; the caller folds in each row's scale. Tiled like [`dot_batch`]
+/// — this is the quantized table's full-scan scoring shape.
 pub fn dot_f32i8_batch(q: &[f32], block: &[i8], out: &mut Vec<f32>) {
-    batch_body!(dot_f32i8, q, block, out, |f, row| f(q, row));
+    block_body!(dot_f32i8_block, q, block, out, q, block, out);
+}
+
+/// JSON object recording the execution environment every bench artifact
+/// should carry: the kernel backend that served the run, the CPU features
+/// runtime dispatch saw, and whether the intrinsic backends were compiled
+/// in at all. Numbers from an `avx2` run and a `portable` run are not
+/// comparable, so the distinction must travel with the artifact. Lives
+/// here (std-only) so the standalone `rustc` harnesses emit the same
+/// provenance block as the cargo bench binaries.
+pub fn provenance_json(indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"kernel_backend\": \"{}\",\n{indent}  \"cpu_features\": \"{}\",\n{indent}  \"simd_compiled\": {}\n{indent}}}",
+        backend_name(),
+        detected_cpu_features().join(","),
+        simd_compiled(),
+    )
 }
 
 #[cfg(test)]
@@ -610,8 +670,11 @@ mod tests {
         let mut out_f = Vec::new();
         dot_f32i8_batch(&qf, &block, &mut out_f);
         assert_eq!(out_f.len(), rows);
+        // The tiled block kernel accumulates in a different order than the
+        // single-row kernel, so f32 results agree within tolerance, not
+        // bitwise (integer dot_i8i8 above stays exact — order-free).
         for (i, s) in out_f.iter().enumerate() {
-            assert!((s - dot_f32i8(&qf, &block[i * dim..(i + 1) * dim])).abs() < 1e-6);
+            assert!((s - dot_f32i8(&qf, &block[i * dim..(i + 1) * dim])).abs() < 1e-3);
         }
         let cap = out_i.capacity();
         dot_i8i8_batch(&qi, &block, &mut out_i);
@@ -625,26 +688,90 @@ mod tests {
         let rows = 17;
         let block: Vec<f32> = (0..rows).flat_map(|i| seq(dim, 100 + i as u64)).collect();
         let mut out = Vec::new();
+        // Tiled block kernels accumulate in a different order than the
+        // single-row kernels, so agreement is within tolerance, not bitwise
+        // (same bound as block_kernels_match_single_rows_on_every_backend).
         dot_batch(&q, &block, &mut out);
         assert_eq!(out.len(), rows);
         for (i, s) in out.iter().enumerate() {
             let row = &block[i * dim..(i + 1) * dim];
-            assert!((s - dot(&q, row)).abs() < 1e-6);
+            assert!((s - dot(&q, row)).abs() < 1e-4);
         }
         cosine_batch(&q, &block, &mut out);
         for (i, s) in out.iter().enumerate() {
             let row = &block[i * dim..(i + 1) * dim];
-            assert!((s - cosine_qnorm(&q, l2_norm(&q), row)).abs() < 1e-6);
+            assert!((s - cosine_qnorm(&q, l2_norm(&q), row)).abs() < 1e-4);
         }
         l2_sq_batch(&q, &block, &mut out);
         for (i, s) in out.iter().enumerate() {
             let row = &block[i * dim..(i + 1) * dim];
-            assert!((s - l2_sq(&q, row)).abs() < 1e-6);
+            assert!((s - l2_sq(&q, row)).abs() < 1e-4);
         }
         // Buffer is reused: capacity survives clears.
         let cap = out.capacity();
         dot_batch(&q, &block, &mut out);
         assert_eq!(out.capacity(), cap);
+    }
+
+    /// The tiled block kernels must agree with the single-row kernels on
+    /// every backend, including remainder rows (`rows % ROW_TILE != 0`)
+    /// and remainder dims — the serving layer depends on batched results
+    /// being interchangeable with per-request results.
+    #[test]
+    fn block_kernels_match_single_rows_on_every_backend() {
+        for be in available_backends() {
+            for (dim, rows) in [(1, 1), (7, 3), (8, 4), (24, 17), (64, 5), (129, 9)] {
+                let q = seq(dim, 5);
+                let qn = l2_norm(&q);
+                let block: Vec<f32> = (0..rows).flat_map(|i| seq(dim, 100 + i as u64)).collect();
+                let bi8: Vec<i8> = (0..rows).flat_map(|i| seq_i8(dim, 100 + i as u64)).collect();
+                let mut out = vec![0.0f32; rows];
+                (be.dot_block)(&q, &block, &mut out);
+                for (i, s) in out.iter().enumerate() {
+                    let row = &block[i * dim..(i + 1) * dim];
+                    assert!(
+                        (s - (be.dot)(&q, row)).abs() < 1e-4,
+                        "{} dot_block dim {dim} row {i}",
+                        be.name
+                    );
+                }
+                (be.l2_sq_block)(&q, &block, &mut out);
+                for (i, s) in out.iter().enumerate() {
+                    let row = &block[i * dim..(i + 1) * dim];
+                    assert!(
+                        (s - (be.l2_sq)(&q, row)).abs() < 1e-4,
+                        "{} l2_sq_block dim {dim} row {i}",
+                        be.name
+                    );
+                }
+                (be.cosine_qnorm_block)(&q, qn, &block, &mut out);
+                for (i, s) in out.iter().enumerate() {
+                    let row = &block[i * dim..(i + 1) * dim];
+                    assert!(
+                        (s - (be.cosine_qnorm)(&q, qn, row)).abs() < 1e-4,
+                        "{} cosine_qnorm_block dim {dim} row {i}",
+                        be.name
+                    );
+                }
+                (be.dot_f32i8_block)(&q, &bi8, &mut out);
+                for (i, s) in out.iter().enumerate() {
+                    let row = &bi8[i * dim..(i + 1) * dim];
+                    assert!(
+                        (s - (be.dot_f32i8)(&q, row)).abs() < 1e-3,
+                        "{} dot_f32i8_block dim {dim} row {i}",
+                        be.name
+                    );
+                }
+            }
+        }
+        // Zero-norm rows keep the cosine convention through the tiled path.
+        let q = seq(16, 3);
+        let mut out = vec![1.0f32; 4];
+        let block = vec![0.0f32; 64];
+        for be in available_backends() {
+            (be.cosine_qnorm_block)(&q, l2_norm(&q), &block, &mut out);
+            assert_eq!(out, [0.0; 4], "{}", be.name);
+        }
     }
 
     #[test]

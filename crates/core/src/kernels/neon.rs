@@ -38,7 +38,13 @@ pub static BACKEND: Backend = Backend {
     dot_f32i8,
     norm_sq_i8,
     l2_sq_f32i8_direct,
+    dot_block,
+    l2_sq_block,
+    cosine_qnorm_block,
+    dot_f32i8_block,
 };
+
+const _: () = assert!(super::ROW_TILE == 4, "tiled kernels are unrolled for 4 rows");
 
 // Safe table wrappers. SAFETY (shared by all): `BACKEND` is only selected
 // by the dispatcher (or the force hook) after `available()` confirmed neon
@@ -95,6 +101,26 @@ fn norm_sq_i8(v: &[i8]) -> i32 {
 fn l2_sq_f32i8_direct(q: &[f32], b: &[i8], scale: f32) -> f32 {
     debug_assert_eq!(q.len(), b.len());
     unsafe { l2_sq_f32i8_direct_impl(q, b, scale) }
+}
+
+fn dot_block(q: &[f32], block: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(block.len(), q.len() * out.len());
+    unsafe { dot_block_impl(q, block, out) }
+}
+
+fn l2_sq_block(q: &[f32], block: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(block.len(), q.len() * out.len());
+    unsafe { l2_sq_block_impl(q, block, out) }
+}
+
+fn cosine_qnorm_block(q: &[f32], q_norm: f32, block: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(block.len(), q.len() * out.len());
+    unsafe { cosine_qnorm_block_impl(q, q_norm, block, out) }
+}
+
+fn dot_f32i8_block(q: &[f32], block: &[i8], out: &mut [f32]) {
+    debug_assert_eq!(block.len(), q.len() * out.len());
+    unsafe { dot_f32i8_block_impl(q, block, out) }
 }
 
 #[target_feature(enable = "neon")]
@@ -393,6 +419,215 @@ unsafe fn norm_sq_i8_impl(v: &[i8]) -> i32 {
         i += 1;
     }
     s
+}
+
+/// Tiled batch dot: four rows share each resident 4-lane query load (see
+/// [`super::x86::dot_block`] for the load-amortization argument; the NEON
+/// shape is identical at half the vector width).
+#[target_feature(enable = "neon")]
+unsafe fn dot_block_impl(q: &[f32], block: &[f32], out: &mut [f32]) {
+    let dim = q.len();
+    let rows = out.len();
+    let (pq, pb) = (q.as_ptr(), block.as_ptr());
+    let tiles = rows / 4;
+    for t in 0..tiles {
+        let r0 = pb.add(4 * t * dim);
+        let r1 = r0.add(dim);
+        let r2 = r1.add(dim);
+        let r3 = r2.add(dim);
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut acc2 = vdupq_n_f32(0.0);
+        let mut acc3 = vdupq_n_f32(0.0);
+        let mut i = 0usize;
+        while i + 4 <= dim {
+            let qv = vld1q_f32(pq.add(i));
+            acc0 = vfmaq_f32(acc0, qv, vld1q_f32(r0.add(i)));
+            acc1 = vfmaq_f32(acc1, qv, vld1q_f32(r1.add(i)));
+            acc2 = vfmaq_f32(acc2, qv, vld1q_f32(r2.add(i)));
+            acc3 = vfmaq_f32(acc3, qv, vld1q_f32(r3.add(i)));
+            i += 4;
+        }
+        let mut s0 = vaddvq_f32(acc0);
+        let mut s1 = vaddvq_f32(acc1);
+        let mut s2 = vaddvq_f32(acc2);
+        let mut s3 = vaddvq_f32(acc3);
+        while i < dim {
+            let qv = *pq.add(i);
+            s0 += qv * *r0.add(i);
+            s1 += qv * *r1.add(i);
+            s2 += qv * *r2.add(i);
+            s3 += qv * *r3.add(i);
+            i += 1;
+        }
+        out[4 * t] = s0;
+        out[4 * t + 1] = s1;
+        out[4 * t + 2] = s2;
+        out[4 * t + 3] = s3;
+    }
+    for r in tiles * 4..rows {
+        out[r] = dot_impl(q, core::slice::from_raw_parts(pb.add(r * dim), dim));
+    }
+}
+
+/// Tiled batch squared Euclidean distance (see [`dot_block_impl`]).
+#[target_feature(enable = "neon")]
+unsafe fn l2_sq_block_impl(q: &[f32], block: &[f32], out: &mut [f32]) {
+    let dim = q.len();
+    let rows = out.len();
+    let (pq, pb) = (q.as_ptr(), block.as_ptr());
+    let tiles = rows / 4;
+    for t in 0..tiles {
+        let r0 = pb.add(4 * t * dim);
+        let r1 = r0.add(dim);
+        let r2 = r1.add(dim);
+        let r3 = r2.add(dim);
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut acc2 = vdupq_n_f32(0.0);
+        let mut acc3 = vdupq_n_f32(0.0);
+        let mut i = 0usize;
+        while i + 4 <= dim {
+            let qv = vld1q_f32(pq.add(i));
+            let d0 = vsubq_f32(qv, vld1q_f32(r0.add(i)));
+            let d1 = vsubq_f32(qv, vld1q_f32(r1.add(i)));
+            let d2 = vsubq_f32(qv, vld1q_f32(r2.add(i)));
+            let d3 = vsubq_f32(qv, vld1q_f32(r3.add(i)));
+            acc0 = vfmaq_f32(acc0, d0, d0);
+            acc1 = vfmaq_f32(acc1, d1, d1);
+            acc2 = vfmaq_f32(acc2, d2, d2);
+            acc3 = vfmaq_f32(acc3, d3, d3);
+            i += 4;
+        }
+        let mut s0 = vaddvq_f32(acc0);
+        let mut s1 = vaddvq_f32(acc1);
+        let mut s2 = vaddvq_f32(acc2);
+        let mut s3 = vaddvq_f32(acc3);
+        while i < dim {
+            let qv = *pq.add(i);
+            let (d0, d1, d2, d3) =
+                (qv - *r0.add(i), qv - *r1.add(i), qv - *r2.add(i), qv - *r3.add(i));
+            s0 += d0 * d0;
+            s1 += d1 * d1;
+            s2 += d2 * d2;
+            s3 += d3 * d3;
+            i += 1;
+        }
+        out[4 * t] = s0;
+        out[4 * t + 1] = s1;
+        out[4 * t + 2] = s2;
+        out[4 * t + 3] = s3;
+    }
+    for r in tiles * 4..rows {
+        out[r] = l2_sq_impl(q, core::slice::from_raw_parts(pb.add(r * dim), dim));
+    }
+}
+
+/// Tiled batch serving-shape cosine: dot and candidate norm fused per row,
+/// four rows per tile.
+#[target_feature(enable = "neon")]
+unsafe fn cosine_qnorm_block_impl(q: &[f32], q_norm: f32, block: &[f32], out: &mut [f32]) {
+    let dim = q.len();
+    let rows = out.len();
+    let (pq, pb) = (q.as_ptr(), block.as_ptr());
+    let tiles = rows / 4;
+    for t in 0..tiles {
+        let r0 = pb.add(4 * t * dim);
+        let r1 = r0.add(dim);
+        let r2 = r1.add(dim);
+        let r3 = r2.add(dim);
+        let mut d0 = vdupq_n_f32(0.0);
+        let mut d1 = vdupq_n_f32(0.0);
+        let mut d2 = vdupq_n_f32(0.0);
+        let mut d3 = vdupq_n_f32(0.0);
+        let mut n0 = vdupq_n_f32(0.0);
+        let mut n1 = vdupq_n_f32(0.0);
+        let mut n2 = vdupq_n_f32(0.0);
+        let mut n3 = vdupq_n_f32(0.0);
+        let mut i = 0usize;
+        while i + 4 <= dim {
+            let qv = vld1q_f32(pq.add(i));
+            let y0 = vld1q_f32(r0.add(i));
+            let y1 = vld1q_f32(r1.add(i));
+            let y2 = vld1q_f32(r2.add(i));
+            let y3 = vld1q_f32(r3.add(i));
+            d0 = vfmaq_f32(d0, qv, y0);
+            d1 = vfmaq_f32(d1, qv, y1);
+            d2 = vfmaq_f32(d2, qv, y2);
+            d3 = vfmaq_f32(d3, qv, y3);
+            n0 = vfmaq_f32(n0, y0, y0);
+            n1 = vfmaq_f32(n1, y1, y1);
+            n2 = vfmaq_f32(n2, y2, y2);
+            n3 = vfmaq_f32(n3, y3, y3);
+            i += 4;
+        }
+        let mut ds = [vaddvq_f32(d0), vaddvq_f32(d1), vaddvq_f32(d2), vaddvq_f32(d3)];
+        let mut ns = [vaddvq_f32(n0), vaddvq_f32(n1), vaddvq_f32(n2), vaddvq_f32(n3)];
+        while i < dim {
+            let qv = *pq.add(i);
+            let (y0, y1, y2, y3) = (*r0.add(i), *r1.add(i), *r2.add(i), *r3.add(i));
+            ds[0] += qv * y0;
+            ds[1] += qv * y1;
+            ds[2] += qv * y2;
+            ds[3] += qv * y3;
+            ns[0] += y0 * y0;
+            ns[1] += y1 * y1;
+            ns[2] += y2 * y2;
+            ns[3] += y3 * y3;
+            i += 1;
+        }
+        for k in 0..4 {
+            out[4 * t + k] =
+                if q_norm == 0.0 || ns[k] == 0.0 { 0.0 } else { ds[k] / (q_norm * ns[k].sqrt()) };
+        }
+    }
+    for r in tiles * 4..rows {
+        out[r] = cosine_qnorm_impl(q, q_norm, core::slice::from_raw_parts(pb.add(r * dim), dim));
+    }
+}
+
+/// Tiled batch mixed f32·i8 dot: two rows per tile — the 8-dim widening
+/// step already needs two accumulators per row, so two rows keep the
+/// accumulator count at four and each pair of query loads amortized.
+#[target_feature(enable = "neon")]
+unsafe fn dot_f32i8_block_impl(q: &[f32], block: &[i8], out: &mut [f32]) {
+    let dim = q.len();
+    let rows = out.len();
+    let (pq, pb) = (q.as_ptr(), block.as_ptr());
+    let tiles = rows / 2;
+    for t in 0..tiles {
+        let r0 = pb.add(2 * t * dim);
+        let r1 = r0.add(dim);
+        let mut acc00 = vdupq_n_f32(0.0);
+        let mut acc01 = vdupq_n_f32(0.0);
+        let mut acc10 = vdupq_n_f32(0.0);
+        let mut acc11 = vdupq_n_f32(0.0);
+        let mut i = 0usize;
+        while i + 8 <= dim {
+            let q0 = vld1q_f32(pq.add(i));
+            let q1 = vld1q_f32(pq.add(i + 4));
+            let w0 = vmovl_s8(vld1_s8(r0.add(i)));
+            let w1 = vmovl_s8(vld1_s8(r1.add(i)));
+            acc00 = vfmaq_f32(acc00, q0, vcvtq_f32_s32(vmovl_s16(vget_low_s16(w0))));
+            acc01 = vfmaq_f32(acc01, q1, vcvtq_f32_s32(vmovl_high_s16(w0)));
+            acc10 = vfmaq_f32(acc10, q0, vcvtq_f32_s32(vmovl_s16(vget_low_s16(w1))));
+            acc11 = vfmaq_f32(acc11, q1, vcvtq_f32_s32(vmovl_high_s16(w1)));
+            i += 8;
+        }
+        let mut s0 = vaddvq_f32(vaddq_f32(acc00, acc01));
+        let mut s1 = vaddvq_f32(vaddq_f32(acc10, acc11));
+        while i < dim {
+            let qv = *pq.add(i);
+            s0 += qv * *r0.add(i) as f32;
+            s1 += qv * *r1.add(i) as f32;
+            i += 1;
+        }
+        out[2 * t] = s0;
+        out[2 * t + 1] = s1;
+    }
+    for r in tiles * 2..rows {
+        out[r] = dot_f32i8_impl(q, core::slice::from_raw_parts(pb.add(r * dim), dim));
+    }
 }
 
 #[target_feature(enable = "neon")]

@@ -254,6 +254,58 @@ pub fn norm_sq_i8(v: &[i8]) -> i32 {
     sum16i(acc) + tail
 }
 
+// The `*_block` batch kernels: on this backend they are canonical row
+// loops over the single-row kernels, NOT register tiles. Holding the query
+// resident across a [`super::ROW_TILE`]-row tile requires explicit register
+// accumulators; expressed as scalar accumulator arrays the tile body
+// defeats LLVM's autovectorizer and measures *slower* than the row loop
+// (0.66–0.86× at dim 128 × 256 rows, `BENCH_simd.json`
+// `batch_tiling_dim128_rows256`) — the same rule that keeps [`cosine`]
+// composed of single-reduction passes. The intrinsic backends
+// ([`super::x86`], [`super::neon`]) implement the true tiles.
+
+/// Batch dot per row of a row-major `block`
+/// (`block.len() == q.len() * out.len()`); row loop — see the block-kernel
+/// note above for why this backend does not tile.
+#[inline]
+pub fn dot_block(q: &[f32], block: &[f32], out: &mut [f32]) {
+    let dim = q.len();
+    debug_assert_eq!(block.len(), dim * out.len());
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot(q, &block[r * dim..(r + 1) * dim]);
+    }
+}
+
+/// Batch squared Euclidean distance per row (row loop; see [`dot_block`]).
+#[inline]
+pub fn l2_sq_block(q: &[f32], block: &[f32], out: &mut [f32]) {
+    let dim = q.len();
+    debug_assert_eq!(block.len(), dim * out.len());
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = l2_sq(q, &block[r * dim..(r + 1) * dim]);
+    }
+}
+
+/// Batch serving-shape cosine per row (row loop; see [`dot_block`]).
+#[inline]
+pub fn cosine_qnorm_block(q: &[f32], q_norm: f32, block: &[f32], out: &mut [f32]) {
+    let dim = q.len();
+    debug_assert_eq!(block.len(), dim * out.len());
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = cosine_qnorm(q, q_norm, &block[r * dim..(r + 1) * dim]);
+    }
+}
+
+/// Batch mixed f32·i8 dot per row, unscaled (row loop; see [`dot_block`]).
+#[inline]
+pub fn dot_f32i8_block(q: &[f32], block: &[i8], out: &mut [f32]) {
+    let dim = q.len();
+    debug_assert_eq!(block.len(), dim * out.len());
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot_f32i8(q, &block[r * dim..(r + 1) * dim]);
+    }
+}
+
 /// One-pass squared Euclidean distance between an f32 query and a
 /// dequantized i8 row: fuses the dequantize-multiply into the difference,
 /// `Σ (q − s·b)²`, so a single sweep replaces the norm pass plus the

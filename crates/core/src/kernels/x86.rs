@@ -47,7 +47,13 @@ pub static BACKEND: Backend = Backend {
     dot_f32i8,
     norm_sq_i8,
     l2_sq_f32i8_direct,
+    dot_block,
+    l2_sq_block,
+    cosine_qnorm_block,
+    dot_f32i8_block,
 };
+
+const _: () = assert!(super::ROW_TILE == 4, "tiled kernels are unrolled for 4 rows");
 
 // Safe table wrappers. SAFETY (shared by all): `BACKEND` is only selected by
 // the dispatcher (or the test/bench force hook) after `available()` confirmed
@@ -104,6 +110,26 @@ fn norm_sq_i8(v: &[i8]) -> i32 {
 fn l2_sq_f32i8_direct(q: &[f32], b: &[i8], scale: f32) -> f32 {
     debug_assert_eq!(q.len(), b.len());
     unsafe { l2_sq_f32i8_direct_impl(q, b, scale) }
+}
+
+fn dot_block(q: &[f32], block: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(block.len(), q.len() * out.len());
+    unsafe { dot_block_impl(q, block, out) }
+}
+
+fn l2_sq_block(q: &[f32], block: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(block.len(), q.len() * out.len());
+    unsafe { l2_sq_block_impl(q, block, out) }
+}
+
+fn cosine_qnorm_block(q: &[f32], q_norm: f32, block: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(block.len(), q.len() * out.len());
+    unsafe { cosine_qnorm_block_impl(q, q_norm, block, out) }
+}
+
+fn dot_f32i8_block(q: &[f32], block: &[i8], out: &mut [f32]) {
+    debug_assert_eq!(block.len(), q.len() * out.len());
+    unsafe { dot_f32i8_block_impl(q, block, out) }
 }
 
 /// Horizontal sum of 8 f32 lanes.
@@ -469,6 +495,231 @@ unsafe fn norm_sq_i8_impl(v: &[i8]) -> i32 {
         i += 1;
     }
     s
+}
+
+/// Tiled batch dot: four rows stream against one resident query. The
+/// single-row kernel issues two loads (query + row) per FMA and saturates
+/// the load ports at one FMA per cycle; here each 8-lane query load is
+/// amortized over four row FMAs (1.25 loads/FMA), which is where the batch
+/// speedup in `BENCH_simd.json` comes from. Remainder rows (`out.len() %
+/// 4`) fall back to the single-row kernel.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_block_impl(q: &[f32], block: &[f32], out: &mut [f32]) {
+    let dim = q.len();
+    let rows = out.len();
+    let (pq, pb) = (q.as_ptr(), block.as_ptr());
+    let tiles = rows / 4;
+    for t in 0..tiles {
+        let r0 = pb.add(4 * t * dim);
+        let r1 = r0.add(dim);
+        let r2 = r1.add(dim);
+        let r3 = r2.add(dim);
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= dim {
+            let qv = _mm256_loadu_ps(pq.add(i));
+            acc0 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r0.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r1.add(i)), acc1);
+            acc2 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r2.add(i)), acc2);
+            acc3 = _mm256_fmadd_ps(qv, _mm256_loadu_ps(r3.add(i)), acc3);
+            i += 8;
+        }
+        let mut s0 = hsum_ps(acc0);
+        let mut s1 = hsum_ps(acc1);
+        let mut s2 = hsum_ps(acc2);
+        let mut s3 = hsum_ps(acc3);
+        while i < dim {
+            let qv = *pq.add(i);
+            s0 += qv * *r0.add(i);
+            s1 += qv * *r1.add(i);
+            s2 += qv * *r2.add(i);
+            s3 += qv * *r3.add(i);
+            i += 1;
+        }
+        out[4 * t] = s0;
+        out[4 * t + 1] = s1;
+        out[4 * t + 2] = s2;
+        out[4 * t + 3] = s3;
+    }
+    for r in tiles * 4..rows {
+        out[r] = dot_impl(q, core::slice::from_raw_parts(pb.add(r * dim), dim));
+    }
+}
+
+/// Tiled batch squared Euclidean distance (see [`dot_block_impl`]).
+#[target_feature(enable = "avx2,fma")]
+unsafe fn l2_sq_block_impl(q: &[f32], block: &[f32], out: &mut [f32]) {
+    let dim = q.len();
+    let rows = out.len();
+    let (pq, pb) = (q.as_ptr(), block.as_ptr());
+    let tiles = rows / 4;
+    for t in 0..tiles {
+        let r0 = pb.add(4 * t * dim);
+        let r1 = r0.add(dim);
+        let r2 = r1.add(dim);
+        let r3 = r2.add(dim);
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= dim {
+            let qv = _mm256_loadu_ps(pq.add(i));
+            let d0 = _mm256_sub_ps(qv, _mm256_loadu_ps(r0.add(i)));
+            let d1 = _mm256_sub_ps(qv, _mm256_loadu_ps(r1.add(i)));
+            let d2 = _mm256_sub_ps(qv, _mm256_loadu_ps(r2.add(i)));
+            let d3 = _mm256_sub_ps(qv, _mm256_loadu_ps(r3.add(i)));
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+            acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+            i += 8;
+        }
+        let mut s0 = hsum_ps(acc0);
+        let mut s1 = hsum_ps(acc1);
+        let mut s2 = hsum_ps(acc2);
+        let mut s3 = hsum_ps(acc3);
+        while i < dim {
+            let qv = *pq.add(i);
+            let (d0, d1, d2, d3) =
+                (qv - *r0.add(i), qv - *r1.add(i), qv - *r2.add(i), qv - *r3.add(i));
+            s0 += d0 * d0;
+            s1 += d1 * d1;
+            s2 += d2 * d2;
+            s3 += d3 * d3;
+            i += 1;
+        }
+        out[4 * t] = s0;
+        out[4 * t + 1] = s1;
+        out[4 * t + 2] = s2;
+        out[4 * t + 3] = s3;
+    }
+    for r in tiles * 4..rows {
+        out[r] = l2_sq_impl(q, core::slice::from_raw_parts(pb.add(r * dim), dim));
+    }
+}
+
+/// Tiled batch serving-shape cosine: dot and candidate norm fused per row,
+/// four rows per tile (8 accumulators + the resident query = 9 of 16 ymm
+/// registers, still no spill).
+#[target_feature(enable = "avx2,fma")]
+unsafe fn cosine_qnorm_block_impl(q: &[f32], q_norm: f32, block: &[f32], out: &mut [f32]) {
+    let dim = q.len();
+    let rows = out.len();
+    let (pq, pb) = (q.as_ptr(), block.as_ptr());
+    let tiles = rows / 4;
+    for t in 0..tiles {
+        let r0 = pb.add(4 * t * dim);
+        let r1 = r0.add(dim);
+        let r2 = r1.add(dim);
+        let r3 = r2.add(dim);
+        let mut d0 = _mm256_setzero_ps();
+        let mut d1 = _mm256_setzero_ps();
+        let mut d2 = _mm256_setzero_ps();
+        let mut d3 = _mm256_setzero_ps();
+        let mut n0 = _mm256_setzero_ps();
+        let mut n1 = _mm256_setzero_ps();
+        let mut n2 = _mm256_setzero_ps();
+        let mut n3 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= dim {
+            let qv = _mm256_loadu_ps(pq.add(i));
+            let y0 = _mm256_loadu_ps(r0.add(i));
+            let y1 = _mm256_loadu_ps(r1.add(i));
+            let y2 = _mm256_loadu_ps(r2.add(i));
+            let y3 = _mm256_loadu_ps(r3.add(i));
+            d0 = _mm256_fmadd_ps(qv, y0, d0);
+            d1 = _mm256_fmadd_ps(qv, y1, d1);
+            d2 = _mm256_fmadd_ps(qv, y2, d2);
+            d3 = _mm256_fmadd_ps(qv, y3, d3);
+            n0 = _mm256_fmadd_ps(y0, y0, n0);
+            n1 = _mm256_fmadd_ps(y1, y1, n1);
+            n2 = _mm256_fmadd_ps(y2, y2, n2);
+            n3 = _mm256_fmadd_ps(y3, y3, n3);
+            i += 8;
+        }
+        let mut ds = [hsum_ps(d0), hsum_ps(d1), hsum_ps(d2), hsum_ps(d3)];
+        let mut ns = [hsum_ps(n0), hsum_ps(n1), hsum_ps(n2), hsum_ps(n3)];
+        while i < dim {
+            let qv = *pq.add(i);
+            let (y0, y1, y2, y3) = (*r0.add(i), *r1.add(i), *r2.add(i), *r3.add(i));
+            ds[0] += qv * y0;
+            ds[1] += qv * y1;
+            ds[2] += qv * y2;
+            ds[3] += qv * y3;
+            ns[0] += y0 * y0;
+            ns[1] += y1 * y1;
+            ns[2] += y2 * y2;
+            ns[3] += y3 * y3;
+            i += 1;
+        }
+        for k in 0..4 {
+            out[4 * t + k] =
+                if q_norm == 0.0 || ns[k] == 0.0 { 0.0 } else { ds[k] / (q_norm * ns[k].sqrt()) };
+        }
+    }
+    for r in tiles * 4..rows {
+        out[r] = cosine_qnorm_impl(q, q_norm, core::slice::from_raw_parts(pb.add(r * dim), dim));
+    }
+}
+
+/// Tiled batch mixed f32·i8 dot: four quantized rows widen
+/// (`vpmovsxbd`+`vcvtdq2ps`) against one resident query load per step.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_f32i8_block_impl(q: &[f32], block: &[i8], out: &mut [f32]) {
+    let dim = q.len();
+    let rows = out.len();
+    let (pq, pb) = (q.as_ptr(), block.as_ptr());
+    let tiles = rows / 4;
+    for t in 0..tiles {
+        let r0 = pb.add(4 * t * dim);
+        let r1 = r0.add(dim);
+        let r2 = r1.add(dim);
+        let r3 = r2.add(dim);
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= dim {
+            let qv = _mm256_loadu_ps(pq.add(i));
+            let f0 =
+                _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_loadl_epi64(r0.add(i) as *const _)));
+            let f1 =
+                _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_loadl_epi64(r1.add(i) as *const _)));
+            let f2 =
+                _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_loadl_epi64(r2.add(i) as *const _)));
+            let f3 =
+                _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_loadl_epi64(r3.add(i) as *const _)));
+            acc0 = _mm256_fmadd_ps(qv, f0, acc0);
+            acc1 = _mm256_fmadd_ps(qv, f1, acc1);
+            acc2 = _mm256_fmadd_ps(qv, f2, acc2);
+            acc3 = _mm256_fmadd_ps(qv, f3, acc3);
+            i += 8;
+        }
+        let mut s0 = hsum_ps(acc0);
+        let mut s1 = hsum_ps(acc1);
+        let mut s2 = hsum_ps(acc2);
+        let mut s3 = hsum_ps(acc3);
+        while i < dim {
+            let qv = *pq.add(i);
+            s0 += qv * *r0.add(i) as f32;
+            s1 += qv * *r1.add(i) as f32;
+            s2 += qv * *r2.add(i) as f32;
+            s3 += qv * *r3.add(i) as f32;
+            i += 1;
+        }
+        out[4 * t] = s0;
+        out[4 * t + 1] = s1;
+        out[4 * t + 2] = s2;
+        out[4 * t + 3] = s3;
+    }
+    for r in tiles * 4..rows {
+        out[r] = dot_f32i8_impl(q, core::slice::from_raw_parts(pb.add(r * dim), dim));
+    }
 }
 
 #[target_feature(enable = "avx2,fma")]

@@ -23,7 +23,11 @@
 //! - the unified observability substrate — sharded counters, log2 latency
 //!   histograms, span timers and deterministic metric snapshots ([`obs`]);
 //! - a deterministic synthetic open-domain KG generator standing in for the
-//!   paper's production graph ([`synth`]).
+//!   paper's production graph ([`synth`]);
+//! - deterministic Zipfian request traces for the serving load harness
+//!   ([`trace`]);
+//! - a persistent worker pool so serving fan-out spawns zero threads in
+//!   steady state ([`pool`]).
 
 #![warn(missing_docs)]
 #![allow(clippy::len_without_is_empty)]
@@ -37,9 +41,11 @@ pub mod literal;
 pub mod obs;
 pub mod ontology;
 pub mod persist;
+pub mod pool;
 pub mod store;
 pub mod synth;
 pub mod text;
+pub mod trace;
 pub mod triple;
 pub mod value;
 

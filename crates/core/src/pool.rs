@@ -1,0 +1,318 @@
+//! Persistent worker pool for fan-out on serving hot paths.
+//!
+//! Before this module, every `search_batch` call in `saga-ann` spawned a
+//! fresh set of scoped threads — fine for offline index builds, but on a
+//! serving front-end dispatching thousands of batches per second the spawn
+//! cost (stack allocation, kernel thread setup) dominates small batches and
+//! defeats the zero-allocation discipline of the underlying kernels. A
+//! [`WorkerPool`] spawns its threads once; [`WorkerPool::run_scoped`]
+//! dispatches a borrowed closure to them and blocks until every task index
+//! has run, so steady-state fan-out performs **zero** thread spawns and zero
+//! heap allocations inside the pool itself.
+//!
+//! The scoped-borrow trick: the task is published to workers as a thin raw
+//! pointer to a stack-allocated [`RawTask`] (data pointer + monomorphized
+//! call shim — a hand-rolled vtable, avoiding fat-pointer lifetime
+//! transmutes). Safety rests on a completion latch: `run_scoped` returns
+//! only after every claimed index has finished *and* every worker has
+//! dropped its reference (`inside == 0`), so the borrow never outlives the
+//! call. One job runs at a time; concurrent `run_scoped` callers queue on
+//! the publish lock — acceptable for the intended use (coarse per-shard
+//! fan-out), and callers always participate in their own job, so a queued
+//! caller still makes progress even on a zero-thread pool.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Number of threads ever spawned by pools in this process — lets tests
+/// assert that warm serving paths spawn nothing.
+static SPAWNED_THREADS: AtomicU64 = AtomicU64::new(0);
+
+/// Total threads spawned by all [`WorkerPool`]s since process start.
+pub fn spawned_threads() -> u64 {
+    SPAWNED_THREADS.load(Ordering::Relaxed)
+}
+
+/// A published job: type-erased closure plus claim/completion state.
+struct RawTask {
+    /// Pointer to the caller's closure (on the caller's stack).
+    data: *const (),
+    /// Monomorphized shim invoking `data` with a task index.
+    call: unsafe fn(*const (), usize),
+    /// Number of task indices.
+    n: usize,
+    /// Next unclaimed index (may overshoot `n`).
+    next: AtomicUsize,
+    /// Unfinished tasks; 0 = all `call`s returned.
+    remaining: AtomicUsize,
+    /// Workers currently holding a pointer to this task.
+    inside: AtomicUsize,
+}
+
+// The raw pointers are only dereferenced while the publishing `run_scoped`
+// frame is alive (enforced by the completion latch) and the closure is
+// required to be `Sync`.
+unsafe impl Send for RawTask {}
+unsafe impl Sync for RawTask {}
+
+/// Slot workers poll for the current job.
+struct Slot {
+    /// Bumped on every publish so a worker never re-enters a job it left.
+    seq: u64,
+    /// Current job, if any.
+    task: Option<*const RawTask>,
+    /// Pool is shutting down.
+    shutdown: bool,
+}
+
+unsafe impl Send for Slot {}
+
+struct Shared {
+    state: Mutex<Slot>,
+    /// Workers wait here for a new job (or shutdown).
+    work_cv: Condvar,
+    /// Callers wait here for the slot to free and for job completion.
+    idle_cv: Condvar,
+}
+
+/// Fixed-size pool of persistent worker threads executing borrowed
+/// fan-out jobs (see module docs).
+pub struct WorkerPool {
+    shared: std::sync::Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` persistent workers. `threads == 0` is
+    /// valid: jobs then run entirely on the calling thread.
+    pub fn new(threads: usize) -> Self {
+        let shared = std::sync::Arc::new(Shared {
+            state: Mutex::new(Slot { seq: 0, task: None, shutdown: false }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = std::sync::Arc::clone(&shared);
+                SPAWNED_THREADS.fetch_add(1, Ordering::Relaxed);
+                thread::Builder::new()
+                    .name(format!("saga-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f(0), f(1), …, f(n - 1)` across the pool (and the calling
+    /// thread), returning once all have completed. Indices are claimed
+    /// dynamically, so uneven tasks balance. Performs no heap allocation
+    /// and spawns no threads.
+    pub fn run_scoped(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        // Hand-rolled vtable: `&dyn` is a fat pointer whose lifetime we
+        // can't legally erase, so split it into thin data + call shim.
+        unsafe fn shim(p: *const (), i: usize) {
+            let f = &*(p as *const &(dyn Fn(usize) + Sync));
+            f(i)
+        }
+        let task = RawTask {
+            data: &f as *const &(dyn Fn(usize) + Sync) as *const (),
+            call: shim,
+            n,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(n),
+            inside: AtomicUsize::new(0),
+        };
+        // Publish.
+        {
+            let mut slot = self.shared.state.lock().expect("pool lock");
+            while slot.task.is_some() {
+                slot = self.shared.idle_cv.wait(slot).expect("pool wait");
+            }
+            slot.task = Some(&task as *const RawTask);
+            slot.seq += 1;
+            self.shared.work_cv.notify_all();
+        }
+        // Participate: the caller is always one of the claimants.
+        claim_loop(&self.shared, &task);
+        // Completion latch: all tasks done AND no worker still holds the
+        // pointer — only then is the stack borrow safe to release.
+        let mut slot = self.shared.state.lock().expect("pool lock");
+        while task.remaining.load(Ordering::Acquire) != 0
+            || task.inside.load(Ordering::Acquire) != 0
+        {
+            slot = self.shared.idle_cv.wait(slot).expect("pool wait");
+        }
+        slot.task = None;
+        // Wake queued publishers.
+        self.shared.idle_cv.notify_all();
+    }
+
+    /// [`run_scoped`](Self::run_scoped) collecting one result per task
+    /// index (allocates the output vector; the dispatch itself stays
+    /// allocation-free).
+    pub fn map_tasks<T: Send, F: Fn(usize) -> T + Sync>(&self, n: usize, f: F) -> Vec<T> {
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        struct SendPtr<T>(*mut Option<T>);
+        unsafe impl<T: Send> Send for SendPtr<T> {}
+        unsafe impl<T: Send> Sync for SendPtr<T> {}
+        let slots = SendPtr(out.as_mut_ptr());
+        let slots_ref = &slots;
+        self.run_scoped(n, &move |i| {
+            // Each index is claimed exactly once, so writes are disjoint.
+            unsafe { *slots_ref.0.add(i) = Some(f(i)) };
+        });
+        out.into_iter().map(|o| o.expect("pool task completed")).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.state.lock().expect("pool lock");
+            slot.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claim and run task indices until none remain.
+fn claim_loop(shared: &Shared, task: &RawTask) {
+    loop {
+        let i = task.next.fetch_add(1, Ordering::Relaxed);
+        if i >= task.n {
+            return;
+        }
+        unsafe { (task.call)(task.data, i) };
+        if task.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task: wake the publisher. Lock first so the notify can't
+            // land between its predicate check and its wait.
+            let _guard = shared.state.lock().expect("pool lock");
+            shared.idle_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut last_seq = 0u64;
+    loop {
+        let task_ptr = {
+            let mut slot = shared.state.lock().expect("pool lock");
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if let Some(p) = slot.task {
+                    if slot.seq != last_seq {
+                        last_seq = slot.seq;
+                        // Register interest while holding the lock: the
+                        // publisher cannot observe `inside == 0` and free
+                        // the task before this increment is visible.
+                        unsafe { (*p).inside.fetch_add(1, Ordering::AcqRel) };
+                        break p;
+                    }
+                }
+                slot = shared.work_cv.wait(slot).expect("pool wait");
+            }
+        };
+        let task = unsafe { &*task_ptr };
+        claim_loop(shared, task);
+        if task.inside.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = shared.state.lock().expect("pool lock");
+            shared.idle_cv.notify_all();
+        }
+    }
+}
+
+/// Process-wide shared pool sized to the machine (capped at 16 — serving
+/// fan-out is coarse). Spawned on first use, reused by every
+/// `search_batch`-style caller thereafter.
+pub fn global() -> &'static WorkerPool {
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let n = thread::available_parallelism().map_or(4, |p| p.get()).min(16);
+        // The caller participates too, so n - 1 workers saturate n cores.
+        WorkerPool::new(n.saturating_sub(1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        pool.run_scoped(100, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_thread_pool_runs_on_caller() {
+        let pool = WorkerPool::new(0);
+        let sum = AtomicU32::new(0);
+        pool.run_scoped(10, &|i| {
+            sum.fetch_add(i as u32, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn map_tasks_collects_in_order() {
+        let pool = WorkerPool::new(2);
+        let out = pool.map_tasks(20, |i| i * i);
+        assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_jobs_reuse_threads() {
+        let pool = WorkerPool::new(2);
+        let before = spawned_threads();
+        for round in 0..50 {
+            let sum = AtomicU32::new(0);
+            pool.run_scoped(8, &|i| {
+                sum.fetch_add(i as u32, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 28, "round {round}");
+        }
+        assert_eq!(spawned_threads(), before, "steady state must not spawn");
+    }
+
+    #[test]
+    fn concurrent_callers_serialize_without_deadlock() {
+        let pool = std::sync::Arc::new(WorkerPool::new(2));
+        let total = std::sync::Arc::new(AtomicU32::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let pool = std::sync::Arc::clone(&pool);
+            let total = std::sync::Arc::clone(&total);
+            joins.push(thread::spawn(move || {
+                for _ in 0..25 {
+                    pool.run_scoped(4, &|_| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 25 * 4);
+    }
+}

@@ -592,11 +592,10 @@ const GENRES: &[&str] = &[
 ];
 const SPORTS: &[&str] = &["basketball", "baseball", "soccer", "hockey", "tennis"];
 
-fn zipf_popularity(rank: usize, n: usize) -> f32 {
-    // popularity ∝ 1/rank, normalized so rank 0 ≈ 1.0.
-    let r = rank as f32 + 1.0;
-    (1.0 / r).powf(0.7).min(1.0) * (1.0 - (rank as f32 / (n as f32 * 4.0))).max(0.1)
-}
+// Canonical popularity skew lives in `trace::zipf_popularity` so the serving
+// load harness samples requests with exactly the skew the data was built
+// with; re-exported here for the generation loops below.
+use crate::trace::zipf_popularity;
 
 /// Generates the synthetic KG. Deterministic in `cfg.seed`.
 pub fn generate(cfg: &SynthConfig) -> SynthKg {

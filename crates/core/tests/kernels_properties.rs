@@ -101,8 +101,10 @@ proptest! {
         prop_assert!((kernels::translate_l2_sq(&a, &b, &c) - ntr).abs() <= tt);
     }
 
-    /// Batch kernels must agree with row-at-a-time single calls exactly —
-    /// they share the same per-row implementation.
+    /// Batch kernels must agree with row-at-a-time single calls within the
+    /// reassociation tolerance: the tiled block kernels keep the query
+    /// resident across a row tile and accumulate in a different order than
+    /// the single-row kernels, so f32 results match to `tol`, not bitwise.
     #[test]
     fn batch_matches_single(q in proptest::collection::vec(-1.0f32..1.0, 1..48), rows in 0usize..12, seed in 0u64..1000) {
         let dim = q.len();
@@ -113,16 +115,26 @@ proptest! {
         kernels::dot_batch(&q, &block, &mut out);
         prop_assert_eq!(out.len(), rows);
         for (i, &s) in out.iter().enumerate() {
-            prop_assert_eq!(s, kernels::dot(&q, &block[i * dim..(i + 1) * dim]));
+            let row = &block[i * dim..(i + 1) * dim];
+            let t = tol(q.iter().zip(row).map(|(x, y)| x * y));
+            prop_assert!((s - kernels::dot(&q, row)).abs() <= t);
         }
         kernels::l2_sq_batch(&q, &block, &mut out);
         for (i, &s) in out.iter().enumerate() {
-            prop_assert_eq!(s, kernels::l2_sq(&q, &block[i * dim..(i + 1) * dim]));
+            let row = &block[i * dim..(i + 1) * dim];
+            let t = tol(q.iter().zip(row).map(|(x, y)| (x - y) * (x - y)));
+            prop_assert!((s - kernels::l2_sq(&q, row)).abs() <= t);
         }
         let qn = kernels::l2_norm(&q);
         kernels::cosine_batch(&q, &block, &mut out);
         for (i, &s) in out.iter().enumerate() {
-            prop_assert_eq!(s, kernels::cosine_qnorm(&q, qn, &block[i * dim..(i + 1) * dim]));
+            let row = &block[i * dim..(i + 1) * dim];
+            // Cosine divides by the norms, so the raw reassociation bound
+            // on the dot is rescaled the same way.
+            let rn = kernels::l2_norm(row);
+            let denom = (qn * rn).max(f32::MIN_POSITIVE);
+            let t = tol(q.iter().zip(row).map(|(x, y)| x * y)) / denom;
+            prop_assert!((s - kernels::cosine_qnorm(&q, qn, row)).abs() <= t);
         }
     }
 }

@@ -10,16 +10,20 @@
 //!   embeddings;
 //! - [`mod@profile`] — predicate statistics, coverage and staleness analysis
 //!   feeding the ODKE profiler (Sec. 4);
-//! - [`query`] — conjunctive queries for entity retrieval.
+//! - [`query`] — conjunctive queries for entity retrieval;
+//! - [`lookup`] — frozen CSR point-lookup snapshots for the serving
+//!   front-end (O(1), zero-allocation fact access).
 
 #![warn(missing_docs)]
 
+pub mod lookup;
 pub mod pattern;
 pub mod profile;
 pub mod query;
 pub mod traverse;
 pub mod view;
 
+pub use lookup::PointLookupIndex;
 pub use pattern::{scan, TriplePattern};
 pub use profile::{missing_facts, profile, stale_facts, GraphProfile, MissingFact, StaleFact};
 pub use query::{solve, solve_profiled, Clause, ConjunctiveQuery, Term};

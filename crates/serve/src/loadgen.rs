@@ -1,0 +1,431 @@
+//! Closed- and open-loop load generation against the threaded engine.
+//!
+//! Both loops replay a [`crate::trace`] request trace against a running
+//! [`ShardEngine`]:
+//!
+//! * **Closed loop** — `workers` client threads each own a strided slice of
+//!   the trace (worker `w` drives requests `w, w+W, …`). A client submits
+//!   its request, waits for completion, then moves on: concurrency is
+//!   capped at `workers`, so the offered rate self-throttles to whatever
+//!   the engine sustains. This measures capacity.
+//! * **Open loop** — a single pacer thread submits requests at their trace
+//!   arrival times (rescaled to a target QPS) regardless of completions,
+//!   the way a million independent users would. This measures behaviour
+//!   under an offered load the engine does not control — the regime where
+//!   load shedding matters.
+//!
+//! Completion plumbing is the [`SlotBoard`]: one slot per trace request
+//! with an atomic fan-in counter. The load loop arms the slot with the
+//! request's fan-out (1 shard for a lookup, all shards for a search); the
+//! executor calls [`SlotBoard::complete_one`] per shard; the slot's done
+//! timestamp is written by whichever decrement reaches zero. Latency
+//! percentiles are computed from exact per-request latencies, not
+//! histogram buckets.
+
+use crate::shard::{EngineClock, ShardEngine};
+use crate::trace::{Request, RequestKind};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Completion slot for one in-flight request.
+struct Slot {
+    /// Outstanding shard completions; the request is done at zero.
+    remaining: AtomicU32,
+    /// Set when admission control refused any of the request's shard
+    /// submissions (the request is excluded from latency stats).
+    shed: AtomicBool,
+    submit_ticks: AtomicU64,
+    done_ticks: AtomicU64,
+}
+
+/// Fan-in completion board shared between the load loop and the executor.
+/// Indexed by request ticket ([`Request::id`]).
+pub struct SlotBoard {
+    slots: Vec<Slot>,
+}
+
+impl SlotBoard {
+    /// Board with `n` slots, all idle.
+    pub fn new(n: usize) -> Self {
+        SlotBoard {
+            slots: (0..n)
+                .map(|_| Slot {
+                    remaining: AtomicU32::new(0),
+                    shed: AtomicBool::new(false),
+                    submit_ticks: AtomicU64::new(0),
+                    done_ticks: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the board has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Arm `ticket` for `fan` shard completions starting at `now`. Must
+    /// happen before the first `submit` for that ticket so a fast executor
+    /// cannot complete an unarmed slot.
+    pub fn arm(&self, ticket: u32, fan: u32, now: u64) {
+        let s = &self.slots[ticket as usize];
+        s.submit_ticks.store(now, Ordering::Relaxed);
+        s.done_ticks.store(0, Ordering::Relaxed);
+        s.shed.store(false, Ordering::Relaxed);
+        s.remaining.store(fan, Ordering::Release);
+    }
+
+    /// One shard finished its share of `ticket` at `now`. Called by the
+    /// executor. The final decrement stamps the done time.
+    pub fn complete_one(&self, ticket: u32, now: u64) {
+        let s = &self.slots[ticket as usize];
+        if s.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            s.done_ticks.store(now, Ordering::Release);
+        }
+    }
+
+    /// One shard refused `ticket` at admission: mark the request shed and
+    /// retire that share of the fan. Called by the load loop.
+    pub fn shed_one(&self, ticket: u32) {
+        let s = &self.slots[ticket as usize];
+        s.shed.store(true, Ordering::Relaxed);
+        if s.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            s.done_ticks.store(s.submit_ticks.load(Ordering::Relaxed), Ordering::Release);
+        }
+    }
+
+    /// True when every shard share of `ticket` has retired.
+    pub fn is_done(&self, ticket: u32) -> bool {
+        self.slots[ticket as usize].remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// End-to-end latency of a fully-served request, `None` if any share
+    /// was shed. Meaningful only once [`is_done`](Self::is_done).
+    pub fn latency_ticks(&self, ticket: u32) -> Option<u64> {
+        let s = &self.slots[ticket as usize];
+        if s.shed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let done = s.done_ticks.load(Ordering::Acquire);
+        Some(done.saturating_sub(s.submit_ticks.load(Ordering::Relaxed)))
+    }
+}
+
+/// How the load loop offers the trace to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// `workers` clients, each submit-wait-repeat over a strided slice.
+    Closed {
+        /// Concurrent client threads.
+        workers: usize,
+    },
+    /// Paced replay of the trace's arrival process at `target_qps`.
+    Open {
+        /// Offered request rate, requests per second.
+        target_qps: u64,
+        /// The trace's own mean inter-arrival gap (from its
+        /// [`crate::trace::TraceConfig`]), used to rescale arrival ticks
+        /// onto the target rate.
+        trace_mean_interarrival_ticks: u64,
+    },
+}
+
+/// Outcome of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Requests fully served (every shard share executed).
+    pub served: u64,
+    /// Requests shed (at least one shard share refused).
+    pub shed: u64,
+    /// Exact latency percentiles over served requests, in clock ticks
+    /// (microseconds under the default clock).
+    pub p50_ticks: u64,
+    /// 99th percentile.
+    pub p99_ticks: u64,
+    /// 99.9th percentile.
+    pub p999_ticks: u64,
+    /// Wall time of the run in ticks, submission of the first request to
+    /// completion of the last.
+    pub wall_ticks: u64,
+    /// Served throughput: `served / wall`, in requests per second
+    /// (tick = 1 µs).
+    pub qps: f64,
+    /// Mean executor batch size over the run (from engine counters).
+    pub mean_batch: f64,
+}
+
+impl LoadReport {
+    /// Shed fraction of the offered load.
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.served + self.shed;
+        if total == 0 {
+            0.0
+        } else {
+            self.shed as f64 / total as f64
+        }
+    }
+}
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Submit one request: arm its slot, route its shard shares, record sheds.
+/// Returns the fan-out that was actually enqueued.
+fn submit_request(engine: &ShardEngine, board: &SlotBoard, r: &Request, now: u64) {
+    let shards = engine.num_shards();
+    match r.kind {
+        RequestKind::Lookup { entity } => {
+            board.arm(r.id, 1, now);
+            let s = crate::policy::route(entity, shards);
+            if !engine.submit(s, r.id) {
+                board.shed_one(r.id);
+            }
+        }
+        RequestKind::Search { .. } => {
+            board.arm(r.id, shards as u32, now);
+            for s in 0..shards {
+                if !engine.submit(s, r.id) {
+                    board.shed_one(r.id);
+                }
+            }
+        }
+    }
+}
+
+/// Block (politely) until `ticket` retires.
+fn wait_done(board: &SlotBoard, ticket: u32) {
+    while !board.is_done(ticket) {
+        std::thread::yield_now();
+    }
+}
+
+/// Run the trace against the engine in the given mode and collect the
+/// report. The engine must outlive the run; the caller still owns shutdown.
+pub fn run_load(
+    engine: &ShardEngine,
+    board: &SlotBoard,
+    trace: &[Request],
+    mode: LoadMode,
+    clock: &Arc<dyn EngineClock>,
+) -> LoadReport {
+    assert!(board.len() >= trace.len(), "one slot per trace request");
+    let stats_before = engine.stats();
+    let start = clock.now_ticks();
+    match mode {
+        LoadMode::Closed { workers } => {
+            let workers = workers.max(1);
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let clock = Arc::clone(clock);
+                    scope.spawn(move || {
+                        for r in trace.iter().skip(w).step_by(workers) {
+                            submit_request(engine, board, r, clock.now_ticks());
+                            wait_done(board, r.id);
+                        }
+                    });
+                }
+            });
+        }
+        LoadMode::Open { target_qps, trace_mean_interarrival_ticks } => {
+            // Rescale trace arrivals onto the target rate: the trace's mean
+            // gap maps to `1e6 / qps` µs. Integer rational keeps the replay
+            // reproducible for a given (trace, qps) pair.
+            let num = 1_000_000u128;
+            let den = (target_qps.max(1) as u128) * (trace_mean_interarrival_ticks.max(1) as u128);
+            for r in trace {
+                let due = start + ((r.arrival_ticks as u128 * num) / den) as u64;
+                loop {
+                    let now = clock.now_ticks();
+                    if now >= due {
+                        break;
+                    }
+                    // Fine-grained pacing: sleep for the bulk, spin the rest.
+                    if due - now > 200 {
+                        std::thread::sleep(clock.ticks_to_duration((due - now) / 2));
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                submit_request(engine, board, r, clock.now_ticks());
+            }
+            // Drain: every armed slot retires because shard workers always
+            // make progress on non-empty queues.
+            for r in trace {
+                wait_done(board, r.id);
+            }
+        }
+    }
+    let end = clock.now_ticks();
+    let mut latencies = Vec::with_capacity(trace.len());
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for r in trace {
+        match board.latency_ticks(r.id) {
+            Some(l) => {
+                served += 1;
+                latencies.push(l);
+            }
+            None => shed += 1,
+        }
+    }
+    latencies.sort_unstable();
+    let wall = (end - start).max(1);
+    let stats = engine.stats();
+    let batches = stats.batches - stats_before.batches;
+    let jobs = stats.served - stats_before.served;
+    LoadReport {
+        served,
+        shed,
+        p50_ticks: exact_quantile(&latencies, 0.50),
+        p99_ticks: exact_quantile(&latencies, 0.99),
+        p999_ticks: exact_quantile(&latencies, 0.999),
+        wall_ticks: wall,
+        qps: served as f64 * 1_000_000.0 / wall as f64,
+        mean_batch: if batches == 0 { 0.0 } else { jobs as f64 / batches as f64 },
+    }
+}
+
+/// Pick the max sustained rate from a `(rate, report)` ladder: the largest
+/// rate whose shed fraction stays within `max_shed_rate` AND whose p99
+/// stays within `p99_budget_ticks`. `None` when no rung qualifies.
+pub fn sustained_from_ladder(
+    ladder: &[(u64, LoadReport)],
+    max_shed_rate: f64,
+    p99_budget_ticks: u64,
+) -> Option<u64> {
+    ladder
+        .iter()
+        .filter(|(_, rep)| rep.shed_rate() <= max_shed_rate && rep.p99_ticks <= p99_budget_ticks)
+        .map(|(rate, _)| *rate)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CoalescePolicy, ShedPolicy};
+    use crate::shard::{BatchExecutor, Job, MicrosClock};
+    use crate::trace::{generate_trace, TraceConfig};
+
+    /// Executor that spins ~`per_job_us` per job then completes the board.
+    struct SpinExecutor {
+        board: Arc<SlotBoard>,
+        clock: Arc<dyn EngineClock>,
+        per_job_ticks: u64,
+    }
+
+    impl BatchExecutor for SpinExecutor {
+        fn execute(&self, _shard: usize, jobs: &[Job]) {
+            let until = self.clock.now_ticks() + self.per_job_ticks * jobs.len() as u64;
+            while self.clock.now_ticks() < until {
+                std::hint::spin_loop();
+            }
+            let done = self.clock.now_ticks();
+            for j in jobs {
+                self.board.complete_one(j.ticket, done);
+            }
+        }
+    }
+
+    fn harness(
+        shards: usize,
+        n: usize,
+        shed: ShedPolicy,
+        per_job_ticks: u64,
+    ) -> (ShardEngine, Arc<SlotBoard>, Arc<dyn EngineClock>) {
+        let clock: Arc<dyn EngineClock> = Arc::new(MicrosClock::new());
+        let board = Arc::new(SlotBoard::new(n));
+        let engine = ShardEngine::start(
+            shards,
+            CoalescePolicy { max_batch: 8, max_wait_ticks: 100 },
+            shed,
+            256,
+            Arc::new(SpinExecutor {
+                board: Arc::clone(&board),
+                clock: Arc::clone(&clock),
+                per_job_ticks,
+            }),
+            Arc::clone(&clock),
+        );
+        (engine, board, clock)
+    }
+
+    #[test]
+    fn closed_loop_serves_everything_unloaded() {
+        let trace = generate_trace(&TraceConfig {
+            requests: 400,
+            lookup_fraction: 0.8,
+            ..TraceConfig::default()
+        });
+        let (engine, board, clock) = harness(2, trace.len(), ShedPolicy::unbounded(), 2);
+        let rep = run_load(&engine, &board, &trace, LoadMode::Closed { workers: 4 }, &clock);
+        engine.shutdown();
+        assert_eq!(rep.served, 400);
+        assert_eq!(rep.shed, 0);
+        assert!(rep.p50_ticks <= rep.p99_ticks && rep.p99_ticks <= rep.p999_ticks);
+        assert!(rep.qps > 0.0);
+    }
+
+    #[test]
+    fn open_loop_overload_sheds_rather_than_queuing_forever() {
+        let cfg = TraceConfig {
+            requests: 2_000,
+            lookup_fraction: 1.0,
+            mean_interarrival_ticks: 1_000,
+            ..TraceConfig::default()
+        };
+        let trace = generate_trace(&cfg);
+        // ~50 µs/job on one shard = 20k QPS capacity; offer 200k QPS with a
+        // tight queue cap → most of the load must shed, yet the run drains.
+        let shed_pol = ShedPolicy { queue_cap: 16, p99_budget_ticks: 5_000, min_depth: 4 };
+        let (engine, board, clock) = harness(1, trace.len(), shed_pol, 50);
+        let rep = run_load(
+            &engine,
+            &board,
+            &trace,
+            LoadMode::Open {
+                target_qps: 200_000,
+                trace_mean_interarrival_ticks: cfg.mean_interarrival_ticks,
+            },
+            &clock,
+        );
+        let stats = engine.shutdown();
+        assert_eq!(rep.served + rep.shed, 2_000);
+        assert!(rep.shed > 0, "overload never shed");
+        assert_eq!(stats.served + stats.shed, stats.submitted, "engine lost jobs");
+    }
+
+    #[test]
+    fn ladder_picks_largest_healthy_rung() {
+        let rep = |shed: u64, p99: u64| LoadReport {
+            served: 100 - shed,
+            shed,
+            p50_ticks: 10,
+            p99_ticks: p99,
+            p999_ticks: p99 * 2,
+            wall_ticks: 1_000,
+            qps: 1.0,
+            mean_batch: 1.0,
+        };
+        let ladder = vec![
+            (1_000, rep(0, 100)),
+            (2_000, rep(0, 400)),
+            (4_000, rep(1, 900)),    // shed but within 5% tolerance
+            (8_000, rep(40, 600)),   // sheds too much
+            (16_000, rep(0, 5_000)), // blows the p99 budget
+        ];
+        assert_eq!(sustained_from_ladder(&ladder, 0.05, 1_000), Some(4_000));
+        assert_eq!(sustained_from_ladder(&ladder, 0.0, 200), Some(1_000));
+        assert_eq!(sustained_from_ladder(&ladder, 0.0, 10), None);
+    }
+}

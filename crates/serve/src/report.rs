@@ -1,0 +1,333 @@
+//! `BENCH_serving.json` emission.
+//!
+//! Hand-rolled JSON like every other artifact emitter in the workspace —
+//! no runtime serialization dependency, and pure std so the standalone
+//! `rustc` harness (`tools/bench_serve.rs`) emits the exact same document
+//! shape as the cargo `saga serve-bench` path. The provenance block is
+//! passed in pre-rendered (cargo callers hand over
+//! `saga_core::kernels::provenance_json`; the standalone harness renders
+//! its own) so this module needs no kernel dependency.
+
+use crate::loadgen::LoadReport;
+
+/// One benchmarked configuration: an (index, mode, shards, coalescing)
+/// point of the scenario matrix plus its measured report.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Index flavour driving the executor: `"flat"`, `"quant"`, `"hnsw"`
+    /// or `"synthetic"` (simulated service model).
+    pub index: String,
+    /// `"closed"` or `"open"`.
+    pub mode: String,
+    /// Shard count.
+    pub shards: usize,
+    /// Whether micro-batch coalescing was enabled (false = per-request
+    /// dispatch baseline).
+    pub coalesced: bool,
+    /// Offered rate for open-loop runs (requests/s), `None` for closed.
+    pub target_qps: Option<u64>,
+    /// Measured outcome.
+    pub report: LoadReport,
+}
+
+impl Scenario {
+    /// Stable scenario key, e.g. `flat_closed_s4_coalesced`.
+    pub fn key(&self) -> String {
+        format!(
+            "{}_{}_s{}_{}",
+            self.index,
+            self.mode,
+            self.shards,
+            if self.coalesced { "coalesced" } else { "per_request" }
+        )
+    }
+
+    fn to_json(&self, indent: &str) -> String {
+        let r = &self.report;
+        let target = match self.target_qps {
+            Some(q) => q.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\n{indent}  \"key\": \"{}\",\n{indent}  \"index\": \"{}\",\n{indent}  \"mode\": \"{}\",\n{indent}  \"shards\": {},\n{indent}  \"coalesced\": {},\n{indent}  \"target_qps\": {},\n{indent}  \"served\": {},\n{indent}  \"shed\": {},\n{indent}  \"shed_rate\": {:.6},\n{indent}  \"p50_us\": {},\n{indent}  \"p99_us\": {},\n{indent}  \"p999_us\": {},\n{indent}  \"wall_us\": {},\n{indent}  \"qps\": {:.1},\n{indent}  \"mean_batch\": {:.2}\n{indent}}}",
+            self.key(),
+            self.index,
+            self.mode,
+            self.shards,
+            self.coalesced,
+            target,
+            r.served,
+            r.shed,
+            r.shed_rate(),
+            r.p50_ticks,
+            r.p99_ticks,
+            r.p999_ticks,
+            r.wall_ticks,
+            r.qps,
+            r.mean_batch,
+        )
+    }
+}
+
+/// Max-sustained-QPS result for one (index, shards) pair: the largest
+/// open-loop rate that stayed inside the shed tolerance and p99 budget,
+/// for both dispatch styles.
+#[derive(Debug, Clone)]
+pub struct SustainedEntry {
+    /// Index flavour.
+    pub index: String,
+    /// Shard count.
+    pub shards: usize,
+    /// Max sustained rate with coalescing, requests/s (0 = no rung held).
+    pub coalesced_qps: u64,
+    /// Max sustained rate with per-request dispatch.
+    pub per_request_qps: u64,
+    /// p99 budget (µs) the ladder was judged against.
+    pub p99_budget_us: u64,
+    /// Shed-rate tolerance the ladder was judged against.
+    pub max_shed_rate: f64,
+}
+
+impl SustainedEntry {
+    fn to_json(&self, indent: &str) -> String {
+        format!(
+            "{{\n{indent}  \"index\": \"{}\",\n{indent}  \"shards\": {},\n{indent}  \"coalesced_qps\": {},\n{indent}  \"per_request_qps\": {},\n{indent}  \"coalescing_gain\": {:.3},\n{indent}  \"p99_budget_us\": {},\n{indent}  \"max_shed_rate\": {:.3}\n{indent}}}",
+            self.index,
+            self.shards,
+            self.coalesced_qps,
+            self.per_request_qps,
+            if self.per_request_qps == 0 {
+                0.0
+            } else {
+                self.coalesced_qps as f64 / self.per_request_qps as f64
+            },
+            self.p99_budget_us,
+            self.max_shed_rate,
+        )
+    }
+}
+
+/// Brownout scenario outcome: overload offered with shedding enabled vs
+/// disabled. Shows shed-instead-of-collapse — p99 stays bounded while the
+/// shed rate rises.
+#[derive(Debug, Clone)]
+pub struct BrownoutReport {
+    /// Overload run with the shed policy active.
+    pub with_shed: LoadReport,
+    /// Same offered load with admission control disabled.
+    pub without_shed: LoadReport,
+    /// Offered rate (requests/s).
+    pub offered_qps: u64,
+    /// Whether fault injection (slow shards) was active during the run.
+    pub faults_injected: bool,
+}
+
+impl BrownoutReport {
+    fn to_json(&self, indent: &str) -> String {
+        format!(
+            "{{\n{indent}  \"offered_qps\": {},\n{indent}  \"faults_injected\": {},\n{indent}  \"with_shed\": {{ \"shed_rate\": {:.4}, \"p99_us\": {}, \"p999_us\": {}, \"served\": {} }},\n{indent}  \"without_shed\": {{ \"shed_rate\": {:.4}, \"p99_us\": {}, \"p999_us\": {}, \"served\": {} }},\n{indent}  \"p99_containment\": {:.3}\n{indent}}}",
+            self.offered_qps,
+            self.faults_injected,
+            self.with_shed.shed_rate(),
+            self.with_shed.p99_ticks,
+            self.with_shed.p999_ticks,
+            self.with_shed.served,
+            self.without_shed.shed_rate(),
+            self.without_shed.p99_ticks,
+            self.without_shed.p999_ticks,
+            self.without_shed.served,
+            if self.with_shed.p99_ticks == 0 {
+                0.0
+            } else {
+                self.without_shed.p99_ticks as f64 / self.with_shed.p99_ticks as f64
+            },
+        )
+    }
+}
+
+/// Acceptance verdicts computed from the measured matrix.
+#[derive(Debug, Clone)]
+pub struct ServingAcceptance {
+    /// Coalescing sustains at least as much load as per-request dispatch
+    /// at the same p99 budget, for every (index, shards) pair measured.
+    pub coalescing_wins_sustained_qps: bool,
+    /// Brownout p99 with shedding stays at or under the budget while the
+    /// shed rate rises above zero.
+    pub brownout_sheds_not_collapses: bool,
+    /// Every request in every run is accounted for (served + shed = offered).
+    pub conservation_holds: bool,
+}
+
+impl ServingAcceptance {
+    /// All gates hold.
+    pub fn pass(&self) -> bool {
+        self.coalescing_wins_sustained_qps
+            && self.brownout_sheds_not_collapses
+            && self.conservation_holds
+    }
+
+    fn to_json(&self, indent: &str) -> String {
+        format!(
+            "{{\n{indent}  \"coalescing_wins_sustained_qps\": {},\n{indent}  \"brownout_sheds_not_collapses\": {},\n{indent}  \"conservation_holds\": {},\n{indent}  \"pass\": {}\n{indent}}}",
+            self.coalescing_wins_sustained_qps,
+            self.brownout_sheds_not_collapses,
+            self.conservation_holds,
+            self.pass(),
+        )
+    }
+}
+
+/// Render the full `BENCH_serving.json` document. `provenance` is a
+/// pre-rendered JSON object at indent `"  "` (see module docs); `config`
+/// is a pre-rendered JSON object describing trace seed, request counts and
+/// policies, so callers control exactly what reproduction requires.
+pub fn serving_json(
+    harness: &str,
+    config: &str,
+    provenance: &str,
+    scenarios: &[Scenario],
+    sustained: &[SustainedEntry],
+    brownout: &BrownoutReport,
+    acceptance: &ServingAcceptance,
+) -> String {
+    let scen = if scenarios.is_empty() {
+        "[]".to_string()
+    } else {
+        let inner: Vec<String> =
+            scenarios.iter().map(|s| format!("    {}", s.to_json("    "))).collect();
+        format!("[\n{}\n  ]", inner.join(",\n"))
+    };
+    let sus = if sustained.is_empty() {
+        "[]".to_string()
+    } else {
+        let inner: Vec<String> =
+            sustained.iter().map(|s| format!("    {}", s.to_json("    "))).collect();
+        format!("[\n{}\n  ]", inner.join(",\n"))
+    };
+    format!(
+        "{{\n  \"experiment\": \"serving_load\",\n  \"harness\": \"{harness}\",\n  \"provenance\": {provenance},\n  \"config\": {config},\n  \"scenarios\": {scen},\n  \"max_sustained_qps\": {sus},\n  \"brownout\": {brownout},\n  \"acceptance\": {acceptance}\n}}\n",
+        brownout = brownout.to_json("  "),
+        acceptance = acceptance.to_json("  "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(served: u64, shed: u64, p99: u64) -> LoadReport {
+        LoadReport {
+            served,
+            shed,
+            p50_ticks: p99 / 4,
+            p99_ticks: p99,
+            p999_ticks: p99 * 2,
+            wall_ticks: 1_000_000,
+            qps: served as f64,
+            mean_batch: 4.0,
+        }
+    }
+
+    /// Minimal structural validator: balanced braces/brackets outside
+    /// strings, no trailing commas before closers.
+    fn check_json_shape(s: &str) {
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut prev_significant = ' ';
+        let mut chars = s.chars().peekable();
+        while let Some(c) = chars.next() {
+            if in_str {
+                if c == '\\' {
+                    chars.next();
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced closer");
+                    assert_ne!(prev_significant, ',', "trailing comma before closer");
+                }
+                _ => {}
+            }
+            if !c.is_whitespace() {
+                prev_significant = c;
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced JSON");
+        assert!(!in_str, "unterminated string");
+    }
+
+    #[test]
+    fn document_shape_is_valid() {
+        let scenarios = vec![
+            Scenario {
+                index: "flat".into(),
+                mode: "closed".into(),
+                shards: 2,
+                coalesced: true,
+                target_qps: None,
+                report: rep(1000, 0, 800),
+            },
+            Scenario {
+                index: "quant".into(),
+                mode: "open".into(),
+                shards: 4,
+                coalesced: false,
+                target_qps: Some(50_000),
+                report: rep(900, 100, 1200),
+            },
+        ];
+        let sustained = vec![SustainedEntry {
+            index: "flat".into(),
+            shards: 2,
+            coalesced_qps: 80_000,
+            per_request_qps: 30_000,
+            p99_budget_us: 2_000,
+            max_shed_rate: 0.01,
+        }];
+        let brownout = BrownoutReport {
+            with_shed: rep(500, 500, 1500),
+            without_shed: rep(1000, 0, 90_000),
+            offered_qps: 200_000,
+            faults_injected: true,
+        };
+        let acceptance = ServingAcceptance {
+            coalescing_wins_sustained_qps: true,
+            brownout_sheds_not_collapses: true,
+            conservation_holds: true,
+        };
+        let doc = serving_json(
+            "test",
+            "{ \"seed\": 1 }",
+            "{\n    \"kernel_backend\": \"test\"\n  }",
+            &scenarios,
+            &sustained,
+            &brownout,
+            &acceptance,
+        );
+        check_json_shape(&doc);
+        assert!(doc.contains("\"flat_closed_s2_coalesced\""));
+        assert!(doc.contains("\"quant_open_s4_per_request\""));
+        assert!(doc.contains("\"coalescing_gain\": 2.667"));
+        assert!(doc.contains("\"pass\": true"));
+        assert!(acceptance.pass());
+    }
+
+    #[test]
+    fn scenario_key_encodes_the_matrix_point() {
+        let s = Scenario {
+            index: "hnsw".into(),
+            mode: "open".into(),
+            shards: 8,
+            coalesced: false,
+            target_qps: Some(1),
+            report: rep(1, 0, 1),
+        };
+        assert_eq!(s.key(), "hnsw_open_s8_per_request");
+    }
+}

@@ -1,0 +1,400 @@
+//! The sharded, coalescing serving engine.
+//!
+//! One persistent worker thread per shard owns that shard's queue. Clients
+//! [`ShardEngine::submit`] jobs (admission-controlled by
+//! [`crate::policy::should_shed`]); the worker coalesces concurrent jobs
+//! into micro-batches — it dispatches as soon as [`CoalescePolicy::max_batch`]
+//! jobs are queued, or when the oldest queued job has waited
+//! [`CoalescePolicy::max_wait_ticks`], whichever comes first. Batches go to
+//! a [`BatchExecutor`], which runs them through the zero-allocation batch
+//! kernels (`search_batch`-shaped work) and reports completions through
+//! whatever sink it owns.
+//!
+//! The hot path is allocation-free in steady state: jobs are plain `Copy`
+//! tickets, the queue and the worker's batch buffer reach a high-water
+//! capacity and stay there, latency recording is a lock-free histogram
+//! update, and workers are spawned once at engine start — never per call.
+
+use crate::policy::{should_shed, CoalescePolicy, ShedPolicy, WindowHistogram, SHED_QUANTILE};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// One queued unit of work: the request ticket (index into whatever table
+/// the executor resolves payloads from) and its submission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Request identity; resolved by the executor.
+    pub ticket: u32,
+    /// Clock reading at admission, for service-latency accounting.
+    pub submit_ticks: u64,
+}
+
+/// Executes coalesced batches. Implementations resolve tickets to payloads
+/// (lookup keys, query vectors), run the batch, and deliver results /
+/// completions themselves — the engine only schedules.
+pub trait BatchExecutor: Send + Sync {
+    /// Run one batch for `shard`. Called from that shard's single worker
+    /// thread, so per-shard executor scratch needs no real contention
+    /// handling.
+    fn execute(&self, shard: usize, jobs: &[Job]);
+}
+
+/// Time source for the engine, in abstract ticks. The serving default is
+/// wall-clock microseconds; tests may substitute coarser clocks.
+pub trait EngineClock: Send + Sync {
+    /// Current time in ticks.
+    fn now_ticks(&self) -> u64;
+    /// Duration of `ticks` for condvar timeouts (default: 1 tick = 1 µs).
+    fn ticks_to_duration(&self, ticks: u64) -> Duration {
+        Duration::from_micros(ticks)
+    }
+}
+
+/// Wall-clock microseconds since engine creation.
+pub struct MicrosClock {
+    start: std::time::Instant,
+}
+
+impl MicrosClock {
+    /// Clock starting at 0 now.
+    pub fn new() -> Self {
+        MicrosClock { start: std::time::Instant::now() }
+    }
+}
+
+impl Default for MicrosClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineClock for MicrosClock {
+    fn now_ticks(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+/// Monotonic counters for one shard (or an aggregate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Jobs offered to `submit`.
+    pub submitted: u64,
+    /// Jobs refused by admission control.
+    pub shed: u64,
+    /// Jobs executed.
+    pub served: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+}
+
+impl ShardStats {
+    /// Mean jobs per dispatched batch (0 when no batches ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.batches as f64
+        }
+    }
+
+    fn merge(&mut self, o: &ShardStats) {
+        self.submitted += o.submitted;
+        self.shed += o.shed;
+        self.served += o.served;
+        self.batches += o.batches;
+    }
+}
+
+struct ShardState {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    /// Service latency (admission → batch completed), the admission
+    /// controller's signal.
+    latency: WindowHistogram,
+    submitted: AtomicU64,
+    shed: AtomicU64,
+    served: AtomicU64,
+    batches: AtomicU64,
+}
+
+struct EngineShared {
+    shards: Vec<ShardState>,
+    coalesce: CoalescePolicy,
+    shed: ShedPolicy,
+    executor: Arc<dyn BatchExecutor>,
+    clock: Arc<dyn EngineClock>,
+    stop: AtomicBool,
+}
+
+/// The running engine: per-shard queues, coalescing workers, admission
+/// control. See module docs.
+pub struct ShardEngine {
+    shared: Arc<EngineShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ShardEngine {
+    /// Starts `num_shards` shard workers. `latency_window` sizes the
+    /// sliding p99 window each shard's admission controller watches.
+    pub fn start(
+        num_shards: usize,
+        coalesce: CoalescePolicy,
+        shed: ShedPolicy,
+        latency_window: u64,
+        executor: Arc<dyn BatchExecutor>,
+        clock: Arc<dyn EngineClock>,
+    ) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        assert!(coalesce.max_batch > 0, "max_batch must be positive");
+        let shared = Arc::new(EngineShared {
+            shards: (0..num_shards)
+                .map(|_| ShardState {
+                    queue: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                    latency: WindowHistogram::new(latency_window),
+                    submitted: AtomicU64::new(0),
+                    shed: AtomicU64::new(0),
+                    served: AtomicU64::new(0),
+                    batches: AtomicU64::new(0),
+                })
+                .collect(),
+            coalesce,
+            shed,
+            executor,
+            clock,
+            stop: AtomicBool::new(false),
+        });
+        let workers = (0..num_shards)
+            .map(|s| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("saga-shard-{s}"))
+                    .spawn(move || shard_worker(&shared, s))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardEngine { shared, workers }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Offer a job to `shard`. Returns `false` when admission control shed
+    /// it (the job will never execute). Allocation-free in steady state.
+    pub fn submit(&self, shard: usize, ticket: u32) -> bool {
+        let st = &self.shared.shards[shard];
+        st.submitted.fetch_add(1, Ordering::Relaxed);
+        let now = self.shared.clock.now_ticks();
+        let mut q = st.queue.lock().expect("shard queue");
+        let p99 = st.latency.quantile_upper_bound(SHED_QUANTILE);
+        if should_shed(q.len(), p99, &self.shared.shed) {
+            drop(q);
+            st.shed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        q.push_back(Job { ticket, submit_ticks: now });
+        let len = q.len();
+        drop(q);
+        // Wake the worker only when it could actually be waiting: on the
+        // empty→non-empty transition (it parks on an empty queue) or when
+        // the batch just filled (it may be sitting out the coalescing
+        // window). Steady-state saturated submits skip the syscall.
+        if len == 1 || len >= self.shared.coalesce.max_batch {
+            st.cv.notify_one();
+        }
+        true
+    }
+
+    /// Counters for one shard.
+    pub fn shard_stats(&self, shard: usize) -> ShardStats {
+        let st = &self.shared.shards[shard];
+        ShardStats {
+            submitted: st.submitted.load(Ordering::Relaxed),
+            shed: st.shed.load(Ordering::Relaxed),
+            served: st.served.load(Ordering::Relaxed),
+            batches: st.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Aggregate counters across shards.
+    pub fn stats(&self) -> ShardStats {
+        let mut out = ShardStats::default();
+        for s in 0..self.num_shards() {
+            out.merge(&self.shard_stats(s));
+        }
+        out
+    }
+
+    /// Observed p99 service latency of one shard (windowed), in ticks.
+    pub fn shard_p99_ticks(&self, shard: usize) -> u64 {
+        self.shared.shards[shard].latency.quantile_upper_bound(SHED_QUANTILE)
+    }
+
+    /// Stops accepting the *drain signal*, lets workers finish every queued
+    /// job, and joins them. Jobs submitted after this call may or may not
+    /// run.
+    pub fn shutdown(mut self) -> ShardStats {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for st in &self.shared.shards {
+            st.cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+fn shard_worker(shared: &EngineShared, s: usize) {
+    let st = &shared.shards[s];
+    let max_batch = shared.coalesce.max_batch;
+    let max_wait = shared.coalesce.max_wait_ticks;
+    let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
+    loop {
+        batch.clear();
+        {
+            let mut q = st.queue.lock().expect("shard queue");
+            // Wait for work (or stop + empty queue = drained, exit).
+            loop {
+                if !q.is_empty() {
+                    break;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = st.cv.wait(q).expect("shard wait");
+            }
+            // Coalescing window: hold the batch open until it fills or the
+            // oldest job's wait budget expires. Re-checks after every wake
+            // because condvar timeouts are best-effort.
+            let deadline = q.front().expect("non-empty").submit_ticks + max_wait;
+            while q.len() < max_batch && !shared.stop.load(Ordering::SeqCst) {
+                let now = shared.clock.now_ticks();
+                if now >= deadline {
+                    break;
+                }
+                let timeout = shared.clock.ticks_to_duration(deadline - now);
+                let (qq, _timed_out) = st.cv.wait_timeout(q, timeout).expect("shard wait_timeout");
+                q = qq;
+            }
+            for _ in 0..max_batch.min(q.len()) {
+                batch.push(q.pop_front().expect("counted"));
+            }
+        }
+        shared.executor.execute(s, &batch);
+        let done = shared.clock.now_ticks();
+        for j in &batch {
+            st.latency.record(done.saturating_sub(j.submit_ticks));
+        }
+        st.served.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        st.batches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    struct CountingExecutor {
+        executed: AtomicU32,
+        max_seen_batch: AtomicU32,
+    }
+
+    impl BatchExecutor for CountingExecutor {
+        fn execute(&self, _shard: usize, jobs: &[Job]) {
+            self.executed.fetch_add(jobs.len() as u32, Ordering::Relaxed);
+            self.max_seen_batch.fetch_max(jobs.len() as u32, Ordering::Relaxed);
+        }
+    }
+
+    fn engine(
+        shards: usize,
+        coalesce: CoalescePolicy,
+        shed: ShedPolicy,
+    ) -> (ShardEngine, Arc<CountingExecutor>) {
+        let ex = Arc::new(CountingExecutor {
+            executed: AtomicU32::new(0),
+            max_seen_batch: AtomicU32::new(0),
+        });
+        let eng = ShardEngine::start(
+            shards,
+            coalesce,
+            shed,
+            1_000,
+            Arc::clone(&ex) as Arc<dyn BatchExecutor>,
+            Arc::new(MicrosClock::new()),
+        );
+        (eng, ex)
+    }
+
+    #[test]
+    fn drains_everything_on_shutdown() {
+        let (eng, ex) = engine(
+            2,
+            CoalescePolicy { max_batch: 8, max_wait_ticks: 200 },
+            ShedPolicy::unbounded(),
+        );
+        for t in 0..500u32 {
+            assert!(eng.submit((t % 2) as usize, t));
+        }
+        let stats = eng.shutdown();
+        assert_eq!(stats.submitted, 500);
+        assert_eq!(stats.served, 500);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(ex.executed.load(Ordering::Relaxed), 500);
+        assert!(stats.batches <= 500);
+    }
+
+    #[test]
+    fn batches_never_exceed_max_batch() {
+        let (eng, ex) = engine(
+            1,
+            CoalescePolicy { max_batch: 4, max_wait_ticks: 5_000 },
+            ShedPolicy::unbounded(),
+        );
+        for t in 0..200u32 {
+            eng.submit(0, t);
+        }
+        eng.shutdown();
+        assert!(ex.max_seen_batch.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn queue_cap_sheds_instead_of_growing() {
+        // Executor that blocks until released, forcing a backlog.
+        struct GatedExecutor(Arc<AtomicBool>);
+        impl BatchExecutor for GatedExecutor {
+            fn execute(&self, _s: usize, _j: &[Job]) {
+                while !self.0.load(Ordering::SeqCst) {
+                    thread::yield_now();
+                }
+            }
+        }
+        let gate = Arc::new(AtomicBool::new(false));
+        let eng = ShardEngine::start(
+            1,
+            CoalescePolicy { max_batch: 2, max_wait_ticks: 0 },
+            ShedPolicy { queue_cap: 10, p99_budget_ticks: u64::MAX, min_depth: usize::MAX },
+            1_000,
+            Arc::new(GatedExecutor(Arc::clone(&gate))),
+            Arc::new(MicrosClock::new()),
+        );
+        let mut shed = 0;
+        for t in 0..100u32 {
+            if !eng.submit(0, t) {
+                shed += 1;
+            }
+        }
+        assert!(shed > 0, "cap never triggered");
+        gate.store(true, Ordering::SeqCst);
+        let stats = eng.shutdown();
+        assert_eq!(stats.served + stats.shed, 100);
+        assert_eq!(stats.shed, shed);
+    }
+}

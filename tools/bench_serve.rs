@@ -1,0 +1,571 @@
+//! Standalone serving benchmark: the sharded front-end under load, no cargo.
+//!
+//! Compiles the serving engine modules directly — they are deliberately
+//! std-only and refer to each other through `crate::` paths — next to the
+//! real kernel module and the real trace generator, so the full
+//! closed/open-loop scenario matrix runs in environments without cargo or
+//! the crates.io registry (the same method as `tools/bench_simd.rs`):
+//!
+//! ```sh
+//! rustc --edition 2021 -O --cfg 'feature="simd"' -A unexpected_cfgs \
+//!     tools/bench_serve.rs -o /tmp/bench_serve
+//! /tmp/bench_serve --quick BENCH_serving.json
+//! ```
+//!
+//! With no file argument the JSON goes to stdout. The binary doubles as a
+//! gate: it exits non-zero if the virtual-time simulator is not
+//! bit-identical across worker partitionings, if any run loses requests
+//! (served + shed ≠ offered), or if the acceptance block fails
+//! (coalescing must win sustained QPS at the same p99 budget; brownout
+//! must shed instead of collapse).
+//!
+//! The executor here does real kernel work — flat f32 scoring and
+//! quantized i8 scoring through the dispatched SIMD kernels, with
+//! within-batch duplicate-query coalescing — but against an inline
+//! synthetic corpus rather than `saga-ann`'s index structures (those need
+//! cargo). The `saga serve-bench` CLI command runs the same matrix through
+//! the real `FlatIndex`/`QuantizedTable`/graph-store stack.
+
+#[path = "../crates/core/src/kernels/mod.rs"]
+mod kernels;
+#[path = "../crates/core/src/trace.rs"]
+mod trace;
+
+#[path = "../crates/serve/src/policy.rs"]
+mod policy;
+#[path = "../crates/serve/src/shard.rs"]
+mod shard;
+#[path = "../crates/serve/src/sim.rs"]
+mod sim;
+#[path = "../crates/serve/src/loadgen.rs"]
+mod loadgen;
+#[path = "../crates/serve/src/report.rs"]
+mod report;
+
+use loadgen::{run_load, sustained_from_ladder, LoadMode, LoadReport, SlotBoard};
+use policy::{CoalescePolicy, ShedPolicy};
+use report::{serving_json, BrownoutReport, Scenario, ServingAcceptance, SustainedEntry};
+use shard::{BatchExecutor, EngineClock, Job, MicrosClock, ShardEngine};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use trace::{generate_trace, splitmix64, trace_fingerprint, Request, RequestKind, TraceConfig};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Flat,
+    Quant,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Flat => "flat",
+            Kind::Quant => "quant",
+        }
+    }
+}
+
+/// Deterministic uniform vector in `[-1, 1)`, same scheme as the serve
+/// crate's corpus synthesis.
+fn synth_vector(seed: u64, dim: usize, out: &mut Vec<f32>) {
+    out.clear();
+    let mut s = seed;
+    for _ in 0..dim {
+        s = splitmix64(s ^ 0xA5A5_5A5A);
+        out.push((s >> 40) as f32 / (1u64 << 23) as f32 - 1.0);
+    }
+}
+
+/// One shard's slice of the synthetic corpus: row-major f32 block plus the
+/// same rows quantized to i8 (round-to-nearest at scale 127).
+struct ShardBlock {
+    ids: Vec<u64>,
+    f32s: Vec<f32>,
+    i8s: Vec<i8>,
+}
+
+fn build_blocks(shards: usize, vectors: usize, dim: usize, seed: u64) -> Vec<ShardBlock> {
+    let mut blocks: Vec<ShardBlock> = (0..shards)
+        .map(|_| ShardBlock { ids: Vec::new(), f32s: Vec::new(), i8s: Vec::new() })
+        .collect();
+    let mut row = Vec::with_capacity(dim);
+    for id in 0..vectors as u64 {
+        let b = &mut blocks[(id as usize) % shards];
+        synth_vector(seed ^ id.wrapping_mul(0x9E37_79B9), dim, &mut row);
+        b.ids.push(id);
+        b.f32s.extend_from_slice(&row);
+        b.i8s.extend(row.iter().map(|&v| (v * 127.0).round().clamp(-127.0, 127.0) as i8));
+    }
+    blocks
+}
+
+/// Per-shard executor scratch, reused across batches (steady-state
+/// allocation-free, like the cargo-path executor).
+struct Scratch {
+    query: Vec<f32>,
+    scores: Vec<f32>,
+    top: Vec<(f32, u64)>,
+    /// Query seeds already scored in this batch: the coalescing dedup memo.
+    seen: Vec<u64>,
+}
+
+/// Deterministic brownout: a job is "faulted" when the hash of
+/// `(seed, site, ticket)` lands under `rate` — the same decision shape as
+/// `saga_core::fault::FaultPlan` (pure hash, no state), inlined because the
+/// fault module is not std-only. Faulted jobs cost an extra spin.
+struct Brownout {
+    seed: u64,
+    rate: f64,
+    slowdown_ticks: u64,
+}
+
+impl Brownout {
+    fn faulted(&self, ticket: u32) -> bool {
+        let h = splitmix64(self.seed ^ 0xB10C_0000 ^ ticket as u64);
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < self.rate
+    }
+}
+
+struct HarnessExecutor {
+    kind: Kind,
+    dim: usize,
+    k: usize,
+    blocks: Vec<ShardBlock>,
+    /// Synthetic per-entity fact counts (stand-in for the CSR lookup index).
+    facts: Vec<u32>,
+    trace: Arc<Vec<Request>>,
+    board: Arc<SlotBoard>,
+    clock: Arc<dyn EngineClock>,
+    state: Vec<Mutex<Scratch>>,
+    /// Folds lookup counts and score bits so the work cannot be elided.
+    sink: AtomicU64,
+    brownout: Option<Brownout>,
+    /// Search jobs answered from the within-batch memo instead of scored.
+    dedup_hits: AtomicU64,
+}
+
+impl HarnessExecutor {
+    fn score_shard(&self, s: usize, st: &mut Scratch) {
+        let b = &self.blocks[s];
+        match self.kind {
+            Kind::Flat => kernels::dot_batch(&st.query, &b.f32s, &mut st.scores),
+            Kind::Quant => kernels::dot_f32i8_batch(&st.query, &b.i8s, &mut st.scores),
+        }
+        // Exact top-k over this shard's rows: replace the current worst.
+        st.top.clear();
+        for (i, &sc) in st.scores.iter().enumerate() {
+            if st.top.len() < self.k {
+                st.top.push((sc, b.ids[i]));
+            } else {
+                let (wi, _) = st
+                    .top
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                    .expect("k > 0");
+                if sc > st.top[wi].0 {
+                    st.top[wi] = (sc, b.ids[i]);
+                }
+            }
+        }
+    }
+}
+
+impl BatchExecutor for HarnessExecutor {
+    fn execute(&self, s: usize, jobs: &[Job]) {
+        if let Some(b) = &self.brownout {
+            let faulted = jobs.iter().filter(|j| b.faulted(j.ticket)).count() as u64;
+            if faulted > 0 {
+                let until = self.clock.now_ticks() + faulted * b.slowdown_ticks;
+                while self.clock.now_ticks() < until {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let mut st = self.state[s].lock().expect("scratch");
+        let st = &mut *st;
+        st.seen.clear();
+        let mut fold = 0u64;
+        for j in jobs {
+            match self.trace[j.ticket as usize].kind {
+                RequestKind::Lookup { entity } => {
+                    fold = fold.wrapping_add(
+                        self.facts[(entity % self.facts.len() as u64) as usize] as u64,
+                    );
+                }
+                RequestKind::Search { query_seed } => {
+                    if st.seen.contains(&query_seed) {
+                        self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        synth_vector(query_seed, self.dim, &mut st.query);
+                        self.score_shard(s, st);
+                        for &(sc, id) in &st.top {
+                            fold = fold.wrapping_add(sc.to_bits() as u64 ^ id);
+                        }
+                        st.seen.push(query_seed);
+                    }
+                }
+            }
+        }
+        self.sink.fetch_add(fold, Ordering::Relaxed);
+        let done = self.clock.now_ticks();
+        for j in jobs {
+            self.board.complete_one(j.ticket, done);
+        }
+    }
+}
+
+struct BenchCfg {
+    seed: u64,
+    requests: usize,
+    vectors: usize,
+    dim: usize,
+    k: usize,
+    shard_counts: Vec<usize>,
+    closed_workers: usize,
+    ladder_fracs: Vec<f64>,
+    p99_budget_us: u64,
+    max_shed_rate: f64,
+}
+
+impl BenchCfg {
+    fn new(seed: u64, quick: bool) -> Self {
+        BenchCfg {
+            seed,
+            requests: if quick { 3_000 } else { 10_000 },
+            vectors: if quick { 2_048 } else { 8_192 },
+            dim: 32,
+            k: 8,
+            shard_counts: vec![2, 4],
+            closed_workers: 8,
+            ladder_fracs: vec![0.5, 0.7, 0.9, 1.1, 1.3, 1.5],
+            p99_budget_us: 50_000,
+            max_shed_rate: 0.01,
+        }
+    }
+
+    fn trace_config(&self) -> TraceConfig {
+        TraceConfig {
+            seed: self.seed,
+            requests: self.requests,
+            entities: 50_000,
+            query_pool: 64,
+            lookup_fraction: 0.6,
+            mean_interarrival_ticks: 1_000,
+        }
+    }
+}
+
+fn coalesced_policy() -> CoalescePolicy {
+    CoalescePolicy { max_batch: 64, max_wait_ticks: 20 }
+}
+
+/// Build one engine + board + clock for a run.
+#[allow(clippy::too_many_arguments)]
+fn engine(
+    cfg: &BenchCfg,
+    kind: Kind,
+    shards: usize,
+    trace: &Arc<Vec<Request>>,
+    facts: &[u32],
+    coalesce: CoalescePolicy,
+    shed: ShedPolicy,
+    brownout: Option<Brownout>,
+) -> (ShardEngine, Arc<SlotBoard>, Arc<dyn EngineClock>) {
+    let clock: Arc<dyn EngineClock> = Arc::new(MicrosClock::new());
+    let board = Arc::new(SlotBoard::new(trace.len()));
+    let ex = Arc::new(HarnessExecutor {
+        kind,
+        dim: cfg.dim,
+        k: cfg.k,
+        blocks: build_blocks(shards, cfg.vectors, cfg.dim, cfg.seed),
+        facts: facts.to_vec(),
+        trace: Arc::clone(trace),
+        board: Arc::clone(&board),
+        clock: Arc::clone(&clock),
+        state: (0..shards)
+            .map(|_| {
+                Mutex::new(Scratch {
+                    query: Vec::new(),
+                    scores: Vec::new(),
+                    top: Vec::new(),
+                    seen: Vec::new(),
+                })
+            })
+            .collect(),
+        sink: AtomicU64::new(0),
+        brownout,
+        dedup_hits: AtomicU64::new(0),
+    });
+    let eng = ShardEngine::start(shards, coalesce, shed, 1_024, ex, Arc::clone(&clock));
+    (eng, board, clock)
+}
+
+/// Bit-reproducibility gate: the trace generator and the virtual-time
+/// simulator must be exactly stable across regeneration and across worker
+/// partitionings. Returns the fingerprints for the JSON document.
+fn determinism_gate(cfg: &BenchCfg) -> (u64, u64) {
+    let tc = cfg.trace_config();
+    let trace = generate_trace(&tc);
+    let tfp = trace_fingerprint(&trace);
+    assert_eq!(tfp, trace_fingerprint(&generate_trace(&tc)), "trace regeneration diverged");
+
+    let sim_cfg = sim::SimConfig {
+        shards: 4,
+        coalesce: coalesced_policy(),
+        shed: ShedPolicy { queue_cap: 64, p99_budget_ticks: 20_000, min_depth: 4 },
+        model: sim::ServiceModel { base_ticks: 40, per_job_ticks: 15 },
+        latency_window: 512,
+    };
+    let base = sim::simulate(&trace, &sim_cfg);
+    // Conservation is in shard-jobs: a lookup is one job, a search fans to
+    // every shard.
+    let jobs: u64 = trace
+        .iter()
+        .map(|r| match r.kind {
+            RequestKind::Lookup { .. } => 1,
+            RequestKind::Search { .. } => sim_cfg.shards as u64,
+        })
+        .sum();
+    assert_eq!(base.served() + base.shed(), jobs, "simulator lost jobs");
+    for threads in [1usize, 2, 3, 8] {
+        let part = sim::simulate_partitioned(&trace, &sim_cfg, threads);
+        assert_eq!(
+            part.fingerprint, base.fingerprint,
+            "simulator diverged at {threads} worker threads"
+        );
+    }
+    (tfp, base.fingerprint)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let cfg = BenchCfg::new(7, quick);
+
+    eprintln!("determinism gate...");
+    let (trace_fp, sim_fp) = determinism_gate(&cfg);
+
+    let tc = cfg.trace_config();
+    let trace = Arc::new(generate_trace(&tc));
+    let n = trace.len() as u64;
+    // Zipf-skewed synthetic fact counts, hot entities fact-rich.
+    let facts: Vec<u32> =
+        (0..4_096).map(|r| 2 + (trace::zipf_popularity(r, 4_096) * 60.0) as u32).collect();
+
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut sustained: Vec<SustainedEntry> = Vec::new();
+    let mut conservation = true;
+    let mut track = |rep: &LoadReport| conservation &= rep.served + rep.shed == n;
+    let kinds = [Kind::Flat, Kind::Quant];
+    let styles = [(true, coalesced_policy()), (false, CoalescePolicy::per_request())];
+
+    for &kind in &kinds {
+        for &shards in &cfg.shard_counts {
+            let mut closed_qps = [0.0f64; 2];
+            for (i, (coalesced, pol)) in styles.iter().enumerate() {
+                let (eng, board, clock) = engine(
+                    &cfg,
+                    kind,
+                    shards,
+                    &trace,
+                    &facts,
+                    *pol,
+                    ShedPolicy::unbounded(),
+                    None,
+                );
+                let rep = run_load(
+                    &eng,
+                    &board,
+                    &trace,
+                    LoadMode::Closed { workers: cfg.closed_workers },
+                    &clock,
+                );
+                eng.shutdown();
+                track(&rep);
+                closed_qps[i] = rep.qps;
+                eprintln!(
+                    "closed {} s{} {}: {:.0} qps p99={}us batch={:.1}",
+                    kind.as_str(),
+                    shards,
+                    if *coalesced { "coalesced" } else { "per-request" },
+                    rep.qps,
+                    rep.p99_ticks,
+                    rep.mean_batch
+                );
+                scenarios.push(Scenario {
+                    index: kind.as_str().into(),
+                    mode: "closed".into(),
+                    shards,
+                    coalesced: *coalesced,
+                    target_qps: None,
+                    report: rep,
+                });
+            }
+            // Open-loop ladder: identical rungs for both styles so sustained
+            // QPS is compared rate-for-rate at the same p99 budget.
+            let base_qps = closed_qps[0].max(closed_qps[1]);
+            let rungs: Vec<u64> = cfg
+                .ladder_fracs
+                .iter()
+                .map(|f| ((base_qps * f) as u64).max(100))
+                .collect();
+            let shed_pol = ShedPolicy {
+                queue_cap: 512,
+                p99_budget_ticks: cfg.p99_budget_us,
+                min_depth: 8,
+            };
+            let mut best: [Option<u64>; 2] = [None, None];
+            for (i, (coalesced, pol)) in styles.iter().enumerate() {
+                let mut ladder: Vec<(u64, LoadReport)> = Vec::new();
+                for &rate in &rungs {
+                    let (eng, board, clock) =
+                        engine(&cfg, kind, shards, &trace, &facts, *pol, shed_pol, None);
+                    let rep = run_load(
+                        &eng,
+                        &board,
+                        &trace,
+                        LoadMode::Open {
+                            target_qps: rate,
+                            trace_mean_interarrival_ticks: tc.mean_interarrival_ticks,
+                        },
+                        &clock,
+                    );
+                    eng.shutdown();
+                    track(&rep);
+                    eprintln!(
+                        "open {} s{} {} @{}: shed={:.1}% p99={}us",
+                        kind.as_str(),
+                        shards,
+                        if *coalesced { "coalesced" } else { "per-request" },
+                        rate,
+                        rep.shed_rate() * 100.0,
+                        rep.p99_ticks
+                    );
+                    ladder.push((rate, rep));
+                }
+                best[i] = sustained_from_ladder(&ladder, cfg.max_shed_rate, cfg.p99_budget_us);
+                let pick = best[i].unwrap_or(rungs[0]);
+                if let Some((rate, rep)) = ladder.into_iter().find(|(r, _)| *r == pick) {
+                    scenarios.push(Scenario {
+                        index: kind.as_str().into(),
+                        mode: "open".into(),
+                        shards,
+                        coalesced: *coalesced,
+                        target_qps: Some(rate),
+                        report: rep,
+                    });
+                }
+            }
+            sustained.push(SustainedEntry {
+                index: kind.as_str().into(),
+                shards,
+                coalesced_qps: best[0].unwrap_or(0),
+                per_request_qps: best[1].unwrap_or(0),
+                p99_budget_us: cfg.p99_budget_us,
+                max_shed_rate: cfg.max_shed_rate,
+            });
+        }
+    }
+
+    // Brownout: 20% of jobs slowed 1ms at 1.5× capacity; shedding on vs off.
+    let b_kind = *kinds.last().expect("kinds");
+    let b_shards = *cfg.shard_counts.iter().max().expect("shard counts");
+    let offered = (scenarios
+        .iter()
+        .find(|s| s.index == b_kind.as_str() && s.shards == b_shards && s.mode == "closed" && s.coalesced)
+        .map(|s| s.report.qps)
+        .unwrap_or(10_000.0)
+        * 1.5) as u64;
+    let tight = ShedPolicy { queue_cap: 128, p99_budget_ticks: cfg.p99_budget_us, min_depth: 8 };
+    let mut brownout_runs = Vec::new();
+    for shed in [Some(tight), None] {
+        let (eng, board, clock) = engine(
+            &cfg,
+            b_kind,
+            b_shards,
+            &trace,
+            &facts,
+            coalesced_policy(),
+            shed.unwrap_or_else(ShedPolicy::unbounded),
+            Some(Brownout { seed: cfg.seed, rate: 0.2, slowdown_ticks: 1_000 }),
+        );
+        let rep = run_load(
+            &eng,
+            &board,
+            &trace,
+            LoadMode::Open {
+                target_qps: offered,
+                trace_mean_interarrival_ticks: tc.mean_interarrival_ticks,
+            },
+            &clock,
+        );
+        eng.shutdown();
+        track(&rep);
+        eprintln!(
+            "brownout {}: shed={:.1}% p99={}us",
+            if shed.is_some() { "with-shed" } else { "no-shed" },
+            rep.shed_rate() * 100.0,
+            rep.p99_ticks
+        );
+        brownout_runs.push(rep);
+    }
+    let without_shed = brownout_runs.pop().expect("no-shed run");
+    let with_shed = brownout_runs.pop().expect("with-shed run");
+    let brownout =
+        BrownoutReport { with_shed, without_shed, offered_qps: offered, faults_injected: true };
+
+    let acceptance = ServingAcceptance {
+        coalescing_wins_sustained_qps: sustained
+            .iter()
+            .all(|s| s.coalesced_qps >= s.per_request_qps)
+            && sustained.iter().map(|s| s.coalesced_qps).sum::<u64>()
+                > sustained.iter().map(|s| s.per_request_qps).sum::<u64>(),
+        brownout_sheds_not_collapses: brownout.with_shed.shed_rate()
+            > brownout.without_shed.shed_rate()
+            && brownout.with_shed.p99_ticks <= brownout.without_shed.p99_ticks,
+        conservation_holds: conservation,
+    };
+
+    let config_json = format!(
+        "{{ \"seed\": {}, \"requests\": {}, \"vectors\": {}, \"dim\": {}, \"k\": {}, \"closed_workers\": {}, \"p99_budget_us\": {}, \"max_shed_rate\": {}, \"cores\": {}, \"trace_fingerprint\": \"{:#018x}\", \"sim_fingerprint\": \"{:#018x}\" }}",
+        cfg.seed,
+        cfg.requests,
+        cfg.vectors,
+        cfg.dim,
+        cfg.k,
+        cfg.closed_workers,
+        cfg.p99_budget_us,
+        cfg.max_shed_rate,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        trace_fp,
+        sim_fp,
+    );
+    let doc = serving_json(
+        "tools/bench_serve.rs",
+        &config_json,
+        &kernels::provenance_json("  "),
+        &scenarios,
+        &sustained,
+        &brownout,
+        &acceptance,
+    );
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &doc).expect("write output");
+            eprintln!("wrote {p}");
+        }
+        None => println!("{doc}"),
+    }
+    if !acceptance.pass() {
+        eprintln!(
+            "ACCEPTANCE FAILED: coalescing_wins={} brownout_sheds={} conservation={}",
+            acceptance.coalescing_wins_sustained_qps,
+            acceptance.brownout_sheds_not_collapses,
+            acceptance.conservation_holds
+        );
+        std::process::exit(1);
+    }
+    eprintln!("acceptance passed");
+}

@@ -130,6 +130,51 @@ fn cross_check(be: &Backend, p: &Backend) -> Result<f64, String> {
     Ok(max_scaled)
 }
 
+/// Tiled `*_block` kernels vs looping `be`'s own single-row kernels, across
+/// row counts straddling the tile width (remainder rows included). The
+/// serving coalescer depends on batched scores being interchangeable with
+/// per-request scores, so this is a gate, not a report.
+fn cross_check_blocks(be: &Backend) -> Result<f64, String> {
+    let mut max_scaled = 0.0f64;
+    for dim in [1usize, 3, 7, 8, 24, 64, 128, 129] {
+        for rows in [1usize, 2, 3, 4, 5, 8, 17] {
+            let q = seq(dim, 21 + dim as u64);
+            let qn = (be.norm_sq)(&q).sqrt();
+            let block: Vec<f32> =
+                (0..rows).flat_map(|r| seq(dim, 50 + (dim * 31 + r) as u64)).collect();
+            let bi8: Vec<i8> =
+                (0..rows).flat_map(|r| seq_i8(dim, 50 + (dim * 31 + r) as u64)).collect();
+            let scale = 1.0 + dim as f64;
+            let mut out = vec![0.0f32; rows];
+            let mut chk = |name: &str, got: &[f32], want: &dyn Fn(usize) -> f32| {
+                for (r, g) in got.iter().enumerate() {
+                    let scaled = (*g as f64 - want(r) as f64).abs() / scale;
+                    max_scaled = max_scaled.max(scaled);
+                    if scaled > 1e-5 {
+                        return Err(format!(
+                            "{name} dim {dim} rows {rows} row {r}: {g} vs {} ({})",
+                            want(r),
+                            be.name
+                        ));
+                    }
+                }
+                Ok(())
+            };
+            (be.dot_block)(&q, &block, &mut out);
+            chk("dot_block", &out, &|r| (be.dot)(&q, &block[r * dim..(r + 1) * dim]))?;
+            (be.l2_sq_block)(&q, &block, &mut out);
+            chk("l2_sq_block", &out, &|r| (be.l2_sq)(&q, &block[r * dim..(r + 1) * dim]))?;
+            (be.cosine_qnorm_block)(&q, qn, &block, &mut out);
+            chk("cosine_qnorm_block", &out, &|r| {
+                (be.cosine_qnorm)(&q, qn, &block[r * dim..(r + 1) * dim])
+            })?;
+            (be.dot_f32i8_block)(&q, &bi8, &mut out);
+            chk("dot_f32i8_block", &out, &|r| (be.dot_f32i8)(&q, &bi8[r * dim..(r + 1) * dim]))?;
+        }
+    }
+    Ok(max_scaled)
+}
+
 fn main() {
     let out_path = std::env::args().nth(1);
     let backends = kernels::available_backends();
@@ -146,6 +191,20 @@ fn main() {
             }
             Err(msg) => {
                 eprintln!("equivalence FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // Tiled block kernels vs each backend's own single-row kernels
+    // (portable included — the tiled portable path must agree too).
+    for be in &backends {
+        match cross_check_blocks(be) {
+            Ok(err) => {
+                max_err = max_err.max(err);
+                eprintln!("block equivalence OK: {} (max scaled err {err:.2e})", be.name);
+            }
+            Err(msg) => {
+                eprintln!("block equivalence FAILED: {msg}");
                 std::process::exit(1);
             }
         }
@@ -208,6 +267,72 @@ fn main() {
         crossover_rows.push((dim, direct_ns, expansion_ns));
     }
 
+    // ---- tiled block kernels vs looping the row kernel ----
+    // The serving batch shape: one query against a 256-row L2-resident
+    // block. "rowloop" is exactly what the *_batch entry points did before
+    // tiling (resolve the table once, loop the single-row kernel); "tiled"
+    // is the *_block kernel they now dispatch to. Only the intrinsic
+    // backends are timed: the portable table's block kernels ARE the row
+    // loop (a scalar-array tile defeats the autovectorizer and measured
+    // 0.66-0.86x, so it was rejected — see kernels/portable.rs).
+    const ROWS: usize = 256;
+    const BATCH_ITERS: u64 = 20_000;
+    let fblock: Vec<f32> = (0..ROWS).flat_map(|r| seq(DIM, 500 + r as u64)).collect();
+    let iblock: Vec<i8> = (0..ROWS).flat_map(|r| seq_i8(DIM, 500 + r as u64)).collect();
+    let mut batch_out = vec![0.0f32; ROWS];
+    // (kernel, backend, rowloop ns/row, tiled ns/row)
+    let mut batch_rows: Vec<(&str, &str, f64, f64)> = Vec::new();
+    for be in backends.iter().filter(|be| be.name != "portable") {
+        let loop_dot = time_ns(BATCH_ITERS, || {
+            for (r, o) in batch_out.iter_mut().enumerate() {
+                *o = (be.dot)(black_box(&a), black_box(&fblock[r * DIM..(r + 1) * DIM]));
+            }
+            batch_out[ROWS - 1]
+        }) / ROWS as f64;
+        let tiled_dot = time_ns(BATCH_ITERS, || {
+            (be.dot_block)(black_box(&a), black_box(&fblock), &mut batch_out);
+            batch_out[ROWS - 1]
+        }) / ROWS as f64;
+        batch_rows.push(("dot", be.name, loop_dot, tiled_dot));
+        let loop_cos = time_ns(BATCH_ITERS, || {
+            for (r, o) in batch_out.iter_mut().enumerate() {
+                *o = (be.cosine_qnorm)(
+                    black_box(&a),
+                    black_box(qn),
+                    black_box(&fblock[r * DIM..(r + 1) * DIM]),
+                );
+            }
+            batch_out[ROWS - 1]
+        }) / ROWS as f64;
+        let tiled_cos = time_ns(BATCH_ITERS, || {
+            (be.cosine_qnorm_block)(black_box(&a), black_box(qn), black_box(&fblock), &mut batch_out);
+            batch_out[ROWS - 1]
+        }) / ROWS as f64;
+        batch_rows.push(("cosine_qnorm", be.name, loop_cos, tiled_cos));
+        let loop_l2 = time_ns(BATCH_ITERS, || {
+            for (r, o) in batch_out.iter_mut().enumerate() {
+                *o = (be.l2_sq)(black_box(&a), black_box(&fblock[r * DIM..(r + 1) * DIM]));
+            }
+            batch_out[ROWS - 1]
+        }) / ROWS as f64;
+        let tiled_l2 = time_ns(BATCH_ITERS, || {
+            (be.l2_sq_block)(black_box(&a), black_box(&fblock), &mut batch_out);
+            batch_out[ROWS - 1]
+        }) / ROWS as f64;
+        batch_rows.push(("l2_sq", be.name, loop_l2, tiled_l2));
+        let loop_i8 = time_ns(BATCH_ITERS, || {
+            for (r, o) in batch_out.iter_mut().enumerate() {
+                *o = (be.dot_f32i8)(black_box(&a), black_box(&iblock[r * DIM..(r + 1) * DIM]));
+            }
+            batch_out[ROWS - 1]
+        }) / ROWS as f64;
+        let tiled_i8 = time_ns(BATCH_ITERS, || {
+            (be.dot_f32i8_block)(black_box(&a), black_box(&iblock), &mut batch_out);
+            batch_out[ROWS - 1]
+        }) / ROWS as f64;
+        batch_rows.push(("dot_f32i8", be.name, loop_i8, tiled_i8));
+    }
+
     // ---- fused vs composed cosine (the revisited rejection) ----
     let fused_vs_composed = intrinsic.map(|ib| {
         let fused = time_ns(ITERS, || (ib.cosine)(black_box(&a), black_box(&b)));
@@ -229,6 +354,11 @@ fn main() {
     let dot_speedup = rows.iter().find(|r| r.0 == "dot").map_or(f64::NAN, |r| speedup(r.1, r.2));
     let dot_f32i8_speedup =
         rows.iter().find(|r| r.0 == "dot_f32i8").map_or(f64::NAN, |r| speedup(r.1, r.2));
+    let ib_name_for_tile = intrinsic.map_or("none", |ib| ib.name);
+    let tiled_dot_speedup = batch_rows
+        .iter()
+        .find(|r| r.0 == "dot" && r.1 == ib_name_for_tile)
+        .map_or(f64::NAN, |r| speedup(r.2, r.3));
 
     let mut json = String::new();
     let features = kernels::detected_cpu_features().join(",");
@@ -272,6 +402,21 @@ fn main() {
     )
     .unwrap();
     writeln!(json, " }},").unwrap();
+    writeln!(json, " \"batch_tiling_dim128_rows256\": {{").unwrap();
+    for (kernel, be_name, loop_ns, tiled_ns) in &batch_rows {
+        writeln!(
+            json,
+            "  \"{kernel}_{be_name}\": {{\"rowloop_ns_per_row\": {loop_ns:.2}, \"tiled_ns_per_row\": {tiled_ns:.2}, \"speedup\": {:.2}}},",
+            speedup(*loop_ns, *tiled_ns)
+        )
+        .unwrap();
+    }
+    writeln!(
+        json,
+        "  \"note\": \"rowloop = the pre-tiling *_batch entry points (dispatch once, loop the single-row kernel); tiled = the ROW_TILE-row *_block kernels the batch entry points now dispatch to. The single-row kernels are load-port bound; holding the query resident across a row tile amortizes its loads. Intrinsic backends only: the portable block kernels stay row loops (a scalar-array tile defeats the autovectorizer, measured 0.66-0.86x).\""
+    )
+    .unwrap();
+    writeln!(json, " }},").unwrap();
     if let Some((fused, composed)) = fused_vs_composed {
         writeln!(json, " \"fused_cosine_dim128\": {{").unwrap();
         writeln!(json, "  \"fused_single_pass_ns\": {fused:.1},").unwrap();
@@ -309,7 +454,14 @@ fn main() {
     writeln!(json, "  \"dot_f32i8_required\": 1.5,").unwrap();
     writeln!(json, "  \"dot_speedup\": {dot_speedup:.2},").unwrap();
     writeln!(json, "  \"dot_required\": 1.2,").unwrap();
-    writeln!(json, "  \"pass\": {}", dot_f32i8_speedup >= 1.5 && dot_speedup >= 1.2).unwrap();
+    writeln!(json, "  \"tiled_batch_dot_speedup\": {tiled_dot_speedup:.2},").unwrap();
+    writeln!(json, "  \"tiled_batch_dot_required\": 1.15,").unwrap();
+    writeln!(
+        json,
+        "  \"pass\": {}",
+        dot_f32i8_speedup >= 1.5 && dot_speedup >= 1.2 && tiled_dot_speedup >= 1.15
+    )
+    .unwrap();
     writeln!(json, " }}").unwrap();
     writeln!(json, "}}").unwrap();
 
