@@ -3,7 +3,7 @@
 use saga_annotation::{AnnotationService, LinkerConfig, Tier};
 use saga_core::persist::{load_artifact, save_artifact};
 use saga_core::synth::{generate, SynthConfig};
-use saga_core::{EntityId, KnowledgeGraph, Value};
+use saga_core::{Changes, EngineOptions, EntityBuilder, EntityId, KgStore, KnowledgeGraph, Value};
 use saga_embeddings::{
     build_knn_index, related_entities, train, FactVerifier, ModelKind, PathQuery, PathReasoner,
     TrainConfig, TrainedModel, TrainingSet,
@@ -24,7 +24,13 @@ pub const USAGE: &str = "usage:
   saga annotate KG --text TEXT [--tier t0|t1|t2]
   saga path KG MODEL --start NAME --via P1,P2[,..] [-k N]
   saga odke --seed N [--targets N]
-  saga serve-bench [--mode quick|full] [--seed N] [--shards 2,4] [--out FILE] [--gate on [--min-qps N]]";
+  saga serve-bench [--mode quick|full] [--seed N] [--shards 2,4] [--out FILE] [--gate on [--min-qps N]]
+  saga store create FILE [--page-size N] [--log-cap N]
+  saga store grow FILE [--seed N] [--txns N]
+  saga store stats FILE
+  saga store changes FILE [--since C]
+  saga store scrub FILE
+  saga store bench [--sizes A,B[,..]] [--runs N] [--tail N] [--out FILE] [--gate on [--max-ratio R]]";
 
 /// Simple flag parser: positional args + `--flag value` pairs (`-k` too).
 struct Args<'a> {
@@ -118,6 +124,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "path" => cmd_path(&rest),
         "odke" => cmd_odke(&rest),
         "serve-bench" => cmd_serve_bench(&rest),
+        "store" => cmd_store(&rest),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -211,7 +218,37 @@ fn cmd_stats_pipeline(args: &Args) -> Result<(), String> {
         &saga_odke::OdkeConfig::default(),
         &registry.scope("odke"),
     );
-    println!("wrote {} facts\n\nmetrics:", report.facts_written);
+    println!("wrote {} facts", report.facts_written);
+
+    // Persist the grown graph through the MVCC storage engine and reopen it,
+    // so the `persist/engine` counters (pages written, log appends, recovery
+    // cost) land in the same metric tree as the pipeline stages.
+    let store_file = std::env::temp_dir().join(format!("saga-pipeline-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&store_file);
+    {
+        let mut store = KgStore::create(&store_file, kg, &EngineOptions::default())
+            .map_err(|e| format!("persisting pipeline graph: {e}"))?;
+        store.attach_obs(&registry.scope("persist"));
+        store
+            .commit(|txn| {
+                txn.register_source("pipeline-run");
+            })
+            .map_err(|e| e.to_string())?;
+        store.checkpoint().map_err(|e| e.to_string())?;
+    }
+    let mut store = KgStore::open(&store_file).map_err(|e| format!("reopening store: {e}"))?;
+    store.attach_obs(&registry.scope("persist"));
+    let es = store.engine().stats();
+    println!(
+        "persisted graph through engine ({} pages); reopened to commit {} in {} µs",
+        es.page_count,
+        es.last_commit,
+        store.engine().recovery_micros()
+    );
+    drop(store);
+    let _ = std::fs::remove_file(&store_file);
+
+    println!("\nmetrics:");
     print!("{}", registry.snapshot().render_tree());
     Ok(())
 }
@@ -492,6 +529,315 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `saga store`: the crash-safe MVCC engine behind a small operational CLI —
+/// create a store file, grow it with deterministic transactions, inspect
+/// engine stats and the change cursor, scrub it, and run the recovery bench.
+fn cmd_store(args: &Args) -> Result<(), String> {
+    match args.positional.first().copied() {
+        Some("create") => cmd_store_create(args),
+        Some("grow") => cmd_store_grow(args),
+        Some("stats") => cmd_store_stats(args),
+        Some("changes") => cmd_store_changes(args),
+        Some("scrub") => cmd_store_scrub(args),
+        Some("bench") => cmd_store_bench(args),
+        _ => Err("usage: saga store create|grow|stats|changes|scrub|bench ...".into()),
+    }
+}
+
+fn store_path<'a>(args: &'a Args) -> Result<&'a str, String> {
+    args.positional.get(1).copied().ok_or_else(|| "missing store path".into())
+}
+
+/// Minimal self-describing base graph for CLI-created stores: one type and
+/// an entity-valued plus a text-valued predicate, enough for `store grow`
+/// to exercise every transaction-op kind.
+fn store_base_graph() -> KnowledgeGraph {
+    use saga_core::{Cardinality, Ontology, ValueKind, Volatility};
+    let mut o = Ontology::new();
+    let person = o.add_type("person", None);
+    o.add_predicate(
+        "knows",
+        "knows",
+        ValueKind::Entity,
+        Some(person),
+        Cardinality::Multi,
+        Volatility::Slow,
+        false,
+    );
+    o.add_predicate(
+        "nickname",
+        "nickname",
+        ValueKind::Text,
+        Some(person),
+        Cardinality::Single,
+        Volatility::Slow,
+        false,
+    );
+    let mut kg = KnowledgeGraph::new(o);
+    kg.add_entity(EntityBuilder::new("Root", person));
+    kg
+}
+
+/// One deterministic growth transaction keyed off the next commit sequence,
+/// so repeated `store grow` invocations keep extending the same history.
+fn store_grow_txn(store: &mut KgStore, seed: u64) -> Result<(), String> {
+    let knows =
+        store.graph().ontology().predicate_by_name("knows").ok_or(
+            "store graph lacks the 'knows' predicate (not created by `saga store create`?)",
+        )?;
+    let nickname = store
+        .graph()
+        .ontology()
+        .predicate_by_name("nickname")
+        .ok_or("store graph lacks the 'nickname' predicate")?;
+    let person = store.graph().entity(EntityId(0)).entity_type;
+    let i = store.last_commit() + 1;
+    store
+        .commit(|txn| {
+            let e =
+                txn.add_entity(EntityBuilder::new(format!("e{seed}-{i}"), person).popularity(0.25));
+            let src = txn.register_source(&format!("src-{}", i % 3));
+            txn.insert_with(saga_core::Triple::new(EntityId(0), knows, e), src, 0.9);
+            txn.insert_with(
+                saga_core::Triple::new(e, nickname, format!("nick-{seed}-{i}").as_str()),
+                src,
+                0.9,
+            );
+        })
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_store_create(args: &Args) -> Result<(), String> {
+    let path = store_path(args)?;
+    let page_size: u32 = args.num("page-size", 4096)?;
+    let log_cap: u64 = args.num("log-cap", 1 << 20)?;
+    let store =
+        KgStore::create(Path::new(path), store_base_graph(), &EngineOptions { page_size, log_cap })
+            .map_err(|e| format!("creating {path}: {e}"))?;
+    let s = store.engine().stats();
+    println!(
+        "created store → {path} ({} pages of {} bytes, log capacity {} bytes)",
+        s.page_count, s.page_size, s.log_cap
+    );
+    Ok(())
+}
+
+fn cmd_store_grow(args: &Args) -> Result<(), String> {
+    let path = store_path(args)?;
+    let seed: u64 = args.num("seed", 7)?;
+    let txns: u64 = args.num("txns", 5)?;
+    let mut store = KgStore::open(Path::new(path)).map_err(|e| format!("opening {path}: {e}"))?;
+    for _ in 0..txns {
+        store_grow_txn(&mut store, seed)?;
+    }
+    println!(
+        "applied {txns} transactions → commit {} ({} entities, {} facts)",
+        store.last_commit(),
+        store.graph().num_entities(),
+        store.graph().num_triples()
+    );
+    Ok(())
+}
+
+fn cmd_store_stats(args: &Args) -> Result<(), String> {
+    let path = store_path(args)?;
+    let store = KgStore::open(Path::new(path)).map_err(|e| format!("opening {path}: {e}"))?;
+    let s = store.engine().stats();
+    println!("entities:          {}", store.graph().num_entities());
+    println!("facts:             {}", store.graph().num_triples());
+    println!("epoch:             {}", s.epoch);
+    println!("checkpoint commit: {}", s.checkpoint_commit);
+    println!("last commit:       {}", s.last_commit);
+    println!("pages:             {} × {} bytes", s.page_count, s.page_size);
+    println!("log:               {} / {} bytes ({} tail txns)", s.log_used, s.log_cap, s.tail_txns);
+    println!("recovery:          {} µs", s.recovery_micros);
+    Ok(())
+}
+
+fn cmd_store_changes(args: &Args) -> Result<(), String> {
+    let path = store_path(args)?;
+    let since: u64 = args.num("since", 0)?;
+    let store = KgStore::open(Path::new(path)).map_err(|e| format!("opening {path}: {e}"))?;
+    match store.changes_since(since) {
+        Changes::Lapsed { oldest } => {
+            println!(
+                "cursor {since} lapsed: deltas are retained from commit {oldest}; \
+                 resync from a snapshot"
+            );
+        }
+        Changes::Deltas(deltas) => {
+            if deltas.is_empty() {
+                println!("no commits after {since}");
+            }
+            for (commit, d) in deltas {
+                println!(
+                    "commit {commit}: +{} facts, -{} facts, ~{} refreshed",
+                    d.added.len(),
+                    d.removed.len(),
+                    d.refreshed.len()
+                );
+                for t in &d.added {
+                    println!(
+                        "    + {} {} {}",
+                        store.graph().entity(t.subject).name,
+                        store.graph().ontology().predicate(t.predicate).name,
+                        render_value(store.graph(), &t.object)
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_store_scrub(args: &Args) -> Result<(), String> {
+    let path = store_path(args)?;
+    let mut store = KgStore::open(Path::new(path)).map_err(|e| format!("opening {path}: {e}"))?;
+    let r = store.engine_mut().scrub().map_err(|e| format!("scrub failed: {e}"))?;
+    println!(
+        "slots valid: [{}, {}]; epoch {}; checkpoint commit {}; last commit {}",
+        r.slots_valid[0], r.slots_valid[1], r.epoch, r.checkpoint_commit, r.last_commit
+    );
+    println!(
+        "checked {} pages ({} image bytes) and {} log-tail txns",
+        r.pages_checked, r.image_bytes, r.tail_txns
+    );
+    if r.is_clean() {
+        println!("scrub clean");
+        Ok(())
+    } else {
+        Err(format!("scrub found problems: {:?}", r.problems))
+    }
+}
+
+/// Recovery benchmark: builds stores whose *database size* differs by an
+/// order of magnitude but whose *log tails* are byte-identical, then times
+/// [`KgStore::open`] on each. The crash-recovery protocol (superblock pick
+/// plus tail replay) must cost the same regardless of database size; image
+/// materialization is reported separately because loading the graph into
+/// memory legitimately scales with its size.
+fn cmd_store_bench(args: &Args) -> Result<(), String> {
+    let sizes_s = args.flag("sizes").unwrap_or("50,1000");
+    let sizes: Vec<u64> = sizes_s
+        .split(',')
+        .map(|p| p.trim().parse())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("--sizes: invalid list '{sizes_s}'"))?;
+    if sizes.len() < 2 {
+        return Err("--sizes: need at least two store sizes to compare".into());
+    }
+    let runs: usize = args.num("runs", 7)?;
+    let tail: u64 = args.num("tail", 3)?;
+    let out = args.flag("out").unwrap_or("BENCH_storage.json");
+    let opts = EngineOptions { page_size: 256, log_cap: 4096 };
+
+    let dir = std::env::temp_dir().join("saga-store-bench");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let mut rows: Vec<(u64, saga_core::EngineStats, u64, u64)> = Vec::new();
+    for &entities in &sizes {
+        let p = dir.join(format!("{}-bench-{entities}.db", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let mut store = KgStore::create(&p, store_base_graph(), &opts)
+            .map_err(|e| format!("building {entities}-entity store: {e}"))?;
+        let person = store.graph().entity(EntityId(0)).entity_type;
+        store
+            .commit(|txn| {
+                for e in 0..entities {
+                    txn.add_entity(EntityBuilder::new(format!("bulk-{e}"), person));
+                }
+            })
+            .map_err(|e| e.to_string())?;
+        store.checkpoint().map_err(|e| e.to_string())?;
+        // Identical small tails: recovery replay work must not differ.
+        for _ in 0..tail {
+            store_grow_txn(&mut store, 1)?;
+        }
+        drop(store);
+
+        let mut best_recovery = u64::MAX;
+        let mut best_open = u64::MAX;
+        let mut stats = None;
+        for _ in 0..runs.max(1) {
+            let t0 = std::time::Instant::now();
+            let reopened = KgStore::open(&p).map_err(|e| e.to_string())?;
+            let open_micros = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            best_recovery = best_recovery.min(reopened.engine().recovery_micros());
+            best_open = best_open.min(open_micros);
+            stats = Some(reopened.engine().stats());
+        }
+        let s = stats.ok_or("need at least one run")?;
+        eprintln!(
+            "  {entities:6} entities: {:4} pages, {} tail txns, {} log bytes → \
+             recovery {best_recovery} µs (full open {best_open} µs)",
+            s.page_count, s.tail_txns, s.log_used
+        );
+        rows.push((entities, s, best_recovery, best_open));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    let min_rec = rows.iter().map(|r| r.2.max(1)).min().unwrap_or(1);
+    let max_rec = rows.iter().map(|r| r.2.max(1)).max().unwrap_or(1);
+    let ratio = max_rec as f64 / min_rec as f64;
+    let spread = sizes.iter().max().unwrap_or(&1) / sizes.iter().min().unwrap_or(&1).max(&1);
+
+    let mut doc = String::from("{\n  \"bench\": \"storage-recovery\",\n");
+    doc += &format!(
+        "  \"geometry\": {{ \"page_size\": {}, \"log_cap\": {}, \"tail_txns\": {tail} }},\n",
+        opts.page_size, opts.log_cap
+    );
+    doc += "  \"stores\": [\n";
+    for (i, (entities, s, rec, open)) in rows.iter().enumerate() {
+        doc += &format!(
+            "    {{ \"entities\": {entities}, \"page_count\": {}, \"log_used\": {}, \
+             \"tail_txns\": {}, \"recovery_micros\": {rec}, \"open_micros\": {open} }}{}\n",
+            s.page_count,
+            s.log_used,
+            s.tail_txns,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    doc += "  ],\n";
+    doc += &format!("  \"size_spread\": {spread},\n");
+    doc += &format!("  \"recovery_ratio\": {ratio:.3},\n");
+    doc += &format!("  \"provenance\": {}\n}}\n", saga_core::kernels::provenance_json("  "));
+    std::fs::write(out, &doc).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "storage bench → {out}: recovery {min_rec}–{max_rec} µs across a {spread}x size spread \
+         (ratio {ratio:.2})"
+    );
+
+    if args.flag("gate").is_some_and(|v| v != "off") {
+        let max_ratio: f64 = args.num("max-ratio", 5.0)?;
+        let (first, rest) = rows.split_first().ok_or("no rows")?;
+        for (entities, s, _, _) in rest {
+            if s.tail_txns != first.1.tail_txns || s.log_used != first.1.log_used {
+                return Err(format!(
+                    "storage gate failed: {entities}-entity store has a different log tail \
+                     ({} txns / {} bytes vs {} / {}) — replay work leaked database size",
+                    s.tail_txns, s.log_used, first.1.tail_txns, first.1.log_used
+                ));
+            }
+        }
+        let min_pages = rows.iter().map(|r| r.1.page_count).min().unwrap_or(0);
+        let max_pages = rows.iter().map(|r| r.1.page_count).max().unwrap_or(0);
+        if max_pages < min_pages * 4 {
+            return Err(format!(
+                "storage gate failed: size spread did not materialize ({min_pages} vs \
+                 {max_pages} pages) — pick sizes further apart"
+            ));
+        }
+        if ratio > max_ratio {
+            return Err(format!(
+                "storage gate failed: recovery ratio {ratio:.2} exceeds {max_ratio} across a \
+                 {spread}x size spread (expected flat)"
+            ));
+        }
+        println!("storage gate passed");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,6 +920,53 @@ mod tests {
     #[test]
     fn stats_pipeline_command_runs() {
         run(&["stats", "pipeline", "--seed", "3", "--targets", "4"]).unwrap();
+    }
+
+    #[test]
+    fn store_lifecycle_commands() {
+        let store_path = tmpfile("store.db");
+        run(&["store", "create", &store_path, "--page-size", "256", "--log-cap", "8192"]).unwrap();
+        run(&["store", "grow", &store_path, "--seed", "3", "--txns", "4"]).unwrap();
+        run(&["store", "stats", &store_path]).unwrap();
+        run(&["store", "changes", &store_path, "--since", "1"]).unwrap();
+        run(&["store", "scrub", &store_path]).unwrap();
+        std::fs::remove_file(&store_path).ok();
+    }
+
+    #[test]
+    fn store_bench_writes_report_and_gates() {
+        let out = tmpfile("BENCH_storage.json");
+        // A lenient ratio keeps this plumbing test robust under debug-mode
+        // timing noise; CI runs the real gate in release mode.
+        run(&[
+            "store",
+            "bench",
+            "--sizes",
+            "20,200",
+            "--runs",
+            "5",
+            "--out",
+            &out,
+            "--gate",
+            "on",
+            "--max-ratio",
+            "25",
+        ])
+        .unwrap();
+        let doc = std::fs::read_to_string(&out).unwrap();
+        assert!(doc.contains("\"bench\": \"storage-recovery\""));
+        assert!(doc.contains("\"recovery_ratio\""));
+        assert!(doc.contains("\"provenance\""));
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn store_rejects_bad_input() {
+        assert!(run(&["store"]).is_err());
+        assert!(run(&["store", "unknown-sub"]).is_err());
+        assert!(run(&["store", "stats", "/nonexistent/x.db"]).is_err());
+        assert!(run(&["store", "bench", "--sizes", "50"]).is_err());
+        assert!(run(&["store", "bench", "--sizes", "5,x"]).is_err());
     }
 
     #[test]

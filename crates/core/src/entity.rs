@@ -92,6 +92,27 @@ impl EntityBuilder {
     }
 }
 
+impl crate::persist::codec::BinCodec for EntityRecord {
+    fn enc(&self, out: &mut Vec<u8>) {
+        self.id.enc(out);
+        self.name.enc(out);
+        self.aliases.enc(out);
+        self.description.enc(out);
+        self.entity_type.enc(out);
+        self.popularity.enc(out);
+    }
+    fn dec(rd: &mut crate::persist::codec::Reader<'_>) -> crate::error::Result<Self> {
+        Ok(EntityRecord {
+            id: EntityId::dec(rd)?,
+            name: String::dec(rd)?,
+            aliases: Vec::dec(rd)?,
+            description: String::dec(rd)?,
+            entity_type: TypeId::dec(rd)?,
+            popularity: f32::dec(rd)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,6 +25,15 @@ pub enum SagaError {
         /// Whether a retry may succeed.
         transient: bool,
     },
+    /// A simulated crash fired by a `fault::KillSwitch` during crash-matrix
+    /// testing. Production code never constructs this; tests use it to
+    /// verify the process died exactly where the matrix demanded.
+    Killed {
+        /// Name of the I/O site that was executing when the switch fired.
+        site: String,
+        /// Global operation index at which the switch fired.
+        op: u64,
+    },
 }
 
 impl SagaError {
@@ -46,6 +55,9 @@ impl fmt::Display for SagaError {
             SagaError::Unavailable { site, transient } => {
                 let kind = if *transient { "transient" } else { "permanent" };
                 write!(f, "{site} unavailable ({kind})")
+            }
+            SagaError::Killed { site, op } => {
+                write!(f, "simulated crash at {site} (op {op})")
             }
         }
     }

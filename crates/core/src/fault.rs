@@ -463,6 +463,162 @@ impl BreakerSet {
     }
 }
 
+// -------------------------------------------------------- crash testing
+
+/// How an armed [`KillSwitch`] dies at its target operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KillMode {
+    /// The process dies *before* the operation: nothing of it reaches disk.
+    Before,
+    /// The process dies *mid-write*: a prefix of the buffer reaches disk
+    /// (a torn write), then everything stops.
+    Torn,
+}
+
+/// What an instrumented write should do after consulting the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteVerdict {
+    /// Write the whole buffer.
+    Full,
+    /// Write only this many bytes, then fail with [`SagaError::Killed`] —
+    /// the simulated crash tore the write.
+    Partial(usize),
+}
+
+/// A deterministic sync-point kill switch for crash-matrix testing.
+///
+/// Crash-safe code threads every durability-relevant I/O operation (page
+/// writes, log appends, superblock flips, fsyncs) through a switch. Each
+/// operation increments a global counter; when the counter reaches the
+/// armed target, the switch "kills the process": the current operation
+/// fails with [`SagaError::Killed`] (optionally after a torn partial
+/// write), and every subsequent operation fails too — the instrumented
+/// component is dead until dropped and reopened, exactly like a `kill -9`
+/// whose surviving bytes are what had already been handed to the kernel.
+///
+/// An [`observer`](Self::observer) switch never fires and just counts, so
+/// a harness can first discover how many kill points a workload has, then
+/// enumerate them all — the kill-at-every-sync-point matrix.
+#[derive(Debug)]
+pub struct KillSwitch {
+    /// Operation index to die at; `u64::MAX` observes without killing.
+    target: u64,
+    mode: KillMode,
+    counter: AtomicU64,
+    fired: std::sync::atomic::AtomicBool,
+}
+
+impl KillSwitch {
+    /// A switch that kills at 0-based operation `target`.
+    pub fn armed(target: u64, mode: KillMode) -> Arc<Self> {
+        Arc::new(Self {
+            target,
+            mode,
+            counter: AtomicU64::new(0),
+            fired: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// A switch that never fires, counting operations for discovery runs.
+    pub fn observer() -> Arc<Self> {
+        Self::armed(u64::MAX, KillMode::Before)
+    }
+
+    /// Operations consulted so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+
+    /// True once the simulated crash has happened.
+    pub fn fired(&self) -> bool {
+        self.fired.load(Ordering::SeqCst)
+    }
+
+    fn killed(&self, site: &str, op: u64) -> SagaError {
+        self.fired.store(true, Ordering::SeqCst);
+        SagaError::Killed { site: site.to_owned(), op }
+    }
+
+    /// Consults the switch for a write of `len` bytes at `site`.
+    pub fn on_write(&self, site: &str, len: usize) -> Result<WriteVerdict> {
+        if self.fired() {
+            return Err(SagaError::Killed { site: site.to_owned(), op: self.target });
+        }
+        let op = self.counter.fetch_add(1, Ordering::SeqCst);
+        if op != self.target {
+            return Ok(WriteVerdict::Full);
+        }
+        match self.mode {
+            KillMode::Before => Err(self.killed(site, op)),
+            KillMode::Torn => {
+                self.fired.store(true, Ordering::SeqCst);
+                Ok(WriteVerdict::Partial(len / 2))
+            }
+        }
+    }
+
+    /// Consults the switch for an fsync (or any non-write sync point) at
+    /// `site`. Dying here models a crash after the data was written but
+    /// before it was made durable.
+    pub fn on_sync(&self, site: &str) -> Result<()> {
+        if self.fired() {
+            return Err(SagaError::Killed { site: site.to_owned(), op: self.target });
+        }
+        let op = self.counter.fetch_add(1, Ordering::SeqCst);
+        if op == self.target {
+            return Err(self.killed(site, op));
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a [`crash_matrix`] sweep.
+#[derive(Debug, Clone, Default)]
+pub struct CrashMatrixReport {
+    /// Kill points exercised.
+    pub points: usize,
+    /// Human-readable descriptions of points whose check failed.
+    pub failures: Vec<String>,
+}
+
+impl CrashMatrixReport {
+    /// Panics (listing every failing point) unless the whole matrix passed.
+    /// `what` names the matrix in the panic message.
+    pub fn assert_clean(&self, what: &str) {
+        assert!(self.points > 0, "{what}: crash matrix exercised no kill points");
+        assert!(
+            self.failures.is_empty(),
+            "{what}: {}/{} kill points failed:\n  {}",
+            self.failures.len(),
+            self.points,
+            self.failures.join("\n  ")
+        );
+    }
+}
+
+/// Runs `check` for every kill point in `points`, collecting failures
+/// instead of stopping at the first — a failing crash matrix should report
+/// *every* unsafe sync point, not just the earliest.
+///
+/// `check` receives one point (e.g. a `(seed, workers, kill_at)` tuple for
+/// the trainer matrix, or an `(op, KillMode)` pair driving a [`KillSwitch`]
+/// for the storage-engine matrix), performs the kill + recovery + verify
+/// cycle, and returns `Err(description)` when the recovered state violates
+/// the invariant under test.
+pub fn crash_matrix<P: std::fmt::Debug>(
+    points: impl IntoIterator<Item = P>,
+    mut check: impl FnMut(&P) -> std::result::Result<(), String>,
+) -> CrashMatrixReport {
+    let mut report = CrashMatrixReport::default();
+    for p in points {
+        report.points += 1;
+        if let Err(msg) = check(&p) {
+            report.failures.push(format!("{p:?}: {msg}"));
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {

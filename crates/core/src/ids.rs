@@ -36,6 +36,17 @@ macro_rules! define_id {
                 write!(f, concat!(stringify!($name), "({})"), self.0)
             }
         }
+
+        impl crate::persist::codec::BinCodec for $name {
+            fn enc(&self, out: &mut Vec<u8>) {
+                crate::persist::codec::BinCodec::enc(&self.0, out)
+            }
+            fn dec(
+                rd: &mut crate::persist::codec::Reader<'_>,
+            ) -> crate::error::Result<Self> {
+                Ok($name(crate::persist::codec::BinCodec::dec(rd)?))
+            }
+        }
     };
 }
 
@@ -130,6 +141,18 @@ impl Interner {
     /// Iterates over `(symbol, string)` pairs in allocation order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
         self.strings.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+impl crate::persist::codec::BinCodec for Interner {
+    fn enc(&self, out: &mut Vec<u8>) {
+        self.strings.enc(out);
+    }
+    fn dec(rd: &mut crate::persist::codec::Reader<'_>) -> crate::error::Result<Self> {
+        let mut interner =
+            Interner { strings: crate::persist::codec::BinCodec::dec(rd)?, index: HashMap::new() };
+        interner.rebuild_index();
+        Ok(interner)
     }
 }
 

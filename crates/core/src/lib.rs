@@ -12,8 +12,9 @@
 //!   coverage profiling ([`ontology`]);
 //! - a commit-based triple store with SPO/POS/OSP covering indexes and
 //!   change deltas ([`store`]);
-//! - checksummed binary persistence frames and a torn-tail-recovering
-//!   write-ahead log ([`persist`]);
+//! - checksummed binary persistence frames, a torn-tail-recovering
+//!   write-ahead log, and a crash-safe MVCC storage engine with a durable
+//!   change cursor ([`persist`], [`persist::engine`], [`persist::kg`]);
 //! - deterministic fault injection, retry/backoff, retry budgets and
 //!   circuit breakers over a virtual clock ([`fault`]);
 //! - shared text utilities — tokenizer, stable hashing, hashed feature
@@ -52,8 +53,9 @@ pub mod value;
 pub use entity::{EntityBuilder, EntityRecord};
 pub use error::{Result, SagaError};
 pub use fault::{
-    unit_hash, BreakerConfig, BreakerSet, CircuitBreaker, FaultInjector, FaultKind, FaultPlan,
-    RetryBudget, RetryPolicy, SiteFaults, VirtualClock,
+    crash_matrix, unit_hash, BreakerConfig, BreakerSet, CircuitBreaker, CrashMatrixReport,
+    FaultInjector, FaultKind, FaultPlan, KillMode, KillSwitch, RetryBudget, RetryPolicy,
+    SiteFaults, VirtualClock,
 };
 pub use ids::{DocId, EntityId, Interner, LiteralId, PredicateId, SourceId, TypeId};
 pub use obs::{
@@ -61,6 +63,8 @@ pub use obs::{
     SpanTimer, WallClock,
 };
 pub use ontology::{Cardinality, Ontology, PredicateInfo, TypeInfo, Volatility};
+pub use persist::engine::{AppendOutcome, Engine, EngineChanges, EngineOptions, EngineStats};
+pub use persist::kg::{Changes, GraphPin, KgStore, StoreTxn};
 pub use store::{Delta, KnowledgeGraph};
 pub use triple::{FactMeta, ObjKey, Triple, TripleKey};
 pub use value::{Date, Value, ValueKind};

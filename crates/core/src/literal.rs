@@ -73,6 +73,17 @@ impl LiteralTable {
     }
 }
 
+impl crate::persist::codec::BinCodec for LiteralTable {
+    fn enc(&self, out: &mut Vec<u8>) {
+        self.values.enc(out);
+    }
+    fn dec(rd: &mut crate::persist::codec::Reader<'_>) -> crate::error::Result<Self> {
+        let mut table = LiteralTable { values: Vec::dec(rd)?, index: HashMap::new() };
+        table.rebuild_index();
+        Ok(table)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -182,6 +182,104 @@ impl Ontology {
     }
 }
 
+mod codec_impls {
+    use super::{Cardinality, Ontology, PredicateInfo, TypeInfo, Volatility};
+    use crate::error::{Result, SagaError};
+    use crate::persist::codec::{BinCodec, Reader};
+    use std::collections::HashMap;
+
+    impl BinCodec for Cardinality {
+        fn enc(&self, out: &mut Vec<u8>) {
+            out.push(match self {
+                Cardinality::Single => 0,
+                Cardinality::Multi => 1,
+            });
+        }
+        fn dec(rd: &mut Reader<'_>) -> Result<Self> {
+            Ok(match rd.u8()? {
+                0 => Cardinality::Single,
+                1 => Cardinality::Multi,
+                b => return Err(SagaError::Corrupt(format!("invalid cardinality tag {b:#04x}"))),
+            })
+        }
+    }
+
+    impl BinCodec for Volatility {
+        fn enc(&self, out: &mut Vec<u8>) {
+            out.push(match self {
+                Volatility::Stable => 0,
+                Volatility::Slow => 1,
+                Volatility::Fast => 2,
+            });
+        }
+        fn dec(rd: &mut Reader<'_>) -> Result<Self> {
+            Ok(match rd.u8()? {
+                0 => Volatility::Stable,
+                1 => Volatility::Slow,
+                2 => Volatility::Fast,
+                b => return Err(SagaError::Corrupt(format!("invalid volatility tag {b:#04x}"))),
+            })
+        }
+    }
+
+    impl BinCodec for PredicateInfo {
+        fn enc(&self, out: &mut Vec<u8>) {
+            self.id.enc(out);
+            self.name.enc(out);
+            self.phrase.enc(out);
+            self.range.enc(out);
+            self.domain.enc(out);
+            self.cardinality.enc(out);
+            self.volatility.enc(out);
+            self.is_noise_for_embeddings.enc(out);
+        }
+        fn dec(rd: &mut Reader<'_>) -> Result<Self> {
+            Ok(PredicateInfo {
+                id: BinCodec::dec(rd)?,
+                name: String::dec(rd)?,
+                phrase: String::dec(rd)?,
+                range: BinCodec::dec(rd)?,
+                domain: BinCodec::dec(rd)?,
+                cardinality: Cardinality::dec(rd)?,
+                volatility: Volatility::dec(rd)?,
+                is_noise_for_embeddings: bool::dec(rd)?,
+            })
+        }
+    }
+
+    impl BinCodec for TypeInfo {
+        fn enc(&self, out: &mut Vec<u8>) {
+            self.id.enc(out);
+            self.name.enc(out);
+            self.parent.enc(out);
+        }
+        fn dec(rd: &mut Reader<'_>) -> Result<Self> {
+            Ok(TypeInfo {
+                id: BinCodec::dec(rd)?,
+                name: String::dec(rd)?,
+                parent: BinCodec::dec(rd)?,
+            })
+        }
+    }
+
+    impl BinCodec for Ontology {
+        fn enc(&self, out: &mut Vec<u8>) {
+            self.types.enc(out);
+            self.predicates.enc(out);
+        }
+        fn dec(rd: &mut Reader<'_>) -> Result<Self> {
+            let mut ontology = Ontology {
+                types: Vec::dec(rd)?,
+                predicates: Vec::dec(rd)?,
+                type_by_name: HashMap::new(),
+                pred_by_name: HashMap::new(),
+            };
+            ontology.rebuild_index();
+            Ok(ontology)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

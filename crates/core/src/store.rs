@@ -124,6 +124,21 @@ impl KnowledgeGraph {
         id
     }
 
+    /// Re-appends a previously built record during op-log replay (see
+    /// `persist::kg`). The record's id must be the next dense id.
+    pub fn add_entity_record(&mut self, record: EntityRecord) -> Result<EntityId, String> {
+        if record.id.index() != self.entities.len() {
+            return Err(format!(
+                "entity record id {} is not the next dense id {}",
+                record.id,
+                self.entities.len()
+            ));
+        }
+        let id = record.id;
+        self.entities.push(record);
+        Ok(id)
+    }
+
     /// The record of an entity.
     pub fn entity(&self, id: EntityId) -> &EntityRecord {
         &self.entities[id.index()]
@@ -406,6 +421,55 @@ impl KnowledgeGraph {
         self.ontology.rebuild_index();
         self.literals.rebuild_index();
         self.sources.rebuild_index();
+    }
+
+    /// The canonical binary encoding of the graph: the same logical state
+    /// always produces the same bytes (metadata entries are sorted by
+    /// triple key, floats encode by bit pattern, ids are dense). This is
+    /// the checkpoint-image format of [`crate::persist::kg::KgStore`] and
+    /// the byte-level equality witness used by the crash-recovery proofs.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        crate::persist::codec::BinCodec::enc(self, &mut out);
+        out
+    }
+}
+
+impl crate::persist::codec::BinCodec for KnowledgeGraph {
+    fn enc(&self, out: &mut Vec<u8>) {
+        self.ontology.enc(out);
+        self.entities.enc(out);
+        self.literals.enc(out);
+        self.sources.enc(out);
+        self.spo.enc(out);
+        self.pos.enc(out);
+        self.osp.enc(out);
+        // HashMap iteration order is nondeterministic; sort by key so equal
+        // graphs encode to equal bytes.
+        let mut pairs: Vec<(TripleKey, FactMeta)> =
+            self.meta.iter().map(|(k, m)| (*k, *m)).collect();
+        pairs.sort_unstable_by_key(|(k, _)| *k);
+        pairs.enc(out);
+        self.pending_add.enc(out);
+        self.pending_remove.enc(out);
+        self.commit_counter.enc(out);
+    }
+    fn dec(rd: &mut crate::persist::codec::Reader<'_>) -> crate::error::Result<Self> {
+        let mut kg = KnowledgeGraph {
+            ontology: Ontology::dec(rd)?,
+            entities: Vec::dec(rd)?,
+            literals: LiteralTable::dec(rd)?,
+            sources: Interner::dec(rd)?,
+            spo: Vec::dec(rd)?,
+            pos: Vec::dec(rd)?,
+            osp: Vec::dec(rd)?,
+            meta: Vec::<(TripleKey, FactMeta)>::dec(rd)?.into_iter().collect(),
+            pending_add: Vec::dec(rd)?,
+            pending_remove: Vec::dec(rd)?,
+            commit_counter: u64::dec(rd)?,
+        };
+        kg.rebuild_after_load();
+        Ok(kg)
     }
 }
 

@@ -92,6 +92,57 @@ pub struct TripleKey {
     pub o: ObjKey,
 }
 
+mod codec_impls {
+    use super::{FactMeta, Triple, TripleKey};
+    use crate::error::Result;
+    use crate::persist::codec::{BinCodec, Reader};
+
+    impl BinCodec for Triple {
+        fn enc(&self, out: &mut Vec<u8>) {
+            self.subject.enc(out);
+            self.predicate.enc(out);
+            self.object.enc(out);
+        }
+        fn dec(rd: &mut Reader<'_>) -> Result<Self> {
+            Ok(Triple {
+                subject: BinCodec::dec(rd)?,
+                predicate: BinCodec::dec(rd)?,
+                object: BinCodec::dec(rd)?,
+            })
+        }
+    }
+
+    impl BinCodec for FactMeta {
+        fn enc(&self, out: &mut Vec<u8>) {
+            self.source.enc(out);
+            self.confidence.enc(out);
+            self.observed_at.enc(out);
+        }
+        fn dec(rd: &mut Reader<'_>) -> Result<Self> {
+            Ok(FactMeta {
+                source: BinCodec::dec(rd)?,
+                confidence: f32::dec(rd)?,
+                observed_at: u64::dec(rd)?,
+            })
+        }
+    }
+
+    impl BinCodec for TripleKey {
+        fn enc(&self, out: &mut Vec<u8>) {
+            self.s.enc(out);
+            self.p.enc(out);
+            self.o.0.enc(out);
+        }
+        fn dec(rd: &mut Reader<'_>) -> Result<Self> {
+            Ok(TripleKey {
+                s: BinCodec::dec(rd)?,
+                p: BinCodec::dec(rd)?,
+                o: super::ObjKey(u64::dec(rd)?),
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

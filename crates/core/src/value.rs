@@ -182,6 +182,78 @@ impl From<bool> for Value {
     }
 }
 
+mod codec_impls {
+    use super::{Date, Value, ValueKind};
+    use crate::error::{Result, SagaError};
+    use crate::persist::codec::{BinCodec, Reader};
+
+    impl BinCodec for Date {
+        fn enc(&self, out: &mut Vec<u8>) {
+            self.year.enc(out);
+            self.month.enc(out);
+            self.day.enc(out);
+        }
+        fn dec(rd: &mut Reader<'_>) -> Result<Self> {
+            let (year, month, day) = (i32::dec(rd)?, u8::dec(rd)?, u8::dec(rd)?);
+            Date::new(year, month, day).ok_or_else(|| {
+                SagaError::Corrupt(format!("invalid date {year:04}-{month:02}-{day:02}"))
+            })
+        }
+    }
+
+    impl BinCodec for ValueKind {
+        fn enc(&self, out: &mut Vec<u8>) {
+            let tag: u8 = match self {
+                ValueKind::Entity => 0,
+                ValueKind::Text => 1,
+                ValueKind::Integer => 2,
+                ValueKind::Float => 3,
+                ValueKind::Date => 4,
+                ValueKind::Bool => 5,
+                ValueKind::Identifier => 6,
+            };
+            out.push(tag);
+        }
+        fn dec(rd: &mut Reader<'_>) -> Result<Self> {
+            Ok(match rd.u8()? {
+                0 => ValueKind::Entity,
+                1 => ValueKind::Text,
+                2 => ValueKind::Integer,
+                3 => ValueKind::Float,
+                4 => ValueKind::Date,
+                5 => ValueKind::Bool,
+                6 => ValueKind::Identifier,
+                b => return Err(SagaError::Corrupt(format!("invalid value-kind tag {b:#04x}"))),
+            })
+        }
+    }
+
+    impl BinCodec for Value {
+        fn enc(&self, out: &mut Vec<u8>) {
+            self.kind().enc(out);
+            match self {
+                Value::Entity(e) => e.enc(out),
+                Value::Text(s) | Value::Identifier(s) => s.enc(out),
+                Value::Integer(i) => i.enc(out),
+                Value::Float(f) => f.enc(out),
+                Value::Date(d) => d.enc(out),
+                Value::Bool(b) => b.enc(out),
+            }
+        }
+        fn dec(rd: &mut Reader<'_>) -> Result<Self> {
+            Ok(match ValueKind::dec(rd)? {
+                ValueKind::Entity => Value::Entity(BinCodec::dec(rd)?),
+                ValueKind::Text => Value::Text(String::dec(rd)?),
+                ValueKind::Integer => Value::Integer(i64::dec(rd)?),
+                ValueKind::Float => Value::Float(f64::dec(rd)?),
+                ValueKind::Date => Value::Date(Date::dec(rd)?),
+                ValueKind::Bool => Value::Bool(bool::dec(rd)?),
+                ValueKind::Identifier => Value::Identifier(String::dec(rd)?),
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

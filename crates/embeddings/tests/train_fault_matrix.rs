@@ -4,7 +4,7 @@
 //! resume. The invariant under test everywhere: a resumed run produces
 //! embeddings *byte-identical* to the uninterrupted run.
 
-use saga_core::fault::{FaultInjector, FaultPlan, RetryPolicy, SiteFaults};
+use saga_core::fault::{crash_matrix, FaultInjector, FaultPlan, RetryPolicy, SiteFaults};
 use saga_core::SagaError;
 use saga_embeddings::{
     train_disk, train_disk_checkpointed, train_partitioned, CheckpointedTrainer, ModelKind,
@@ -43,18 +43,36 @@ fn wal_path(name: &str) -> PathBuf {
 
 /// Byte-level model equality: shapes, every f32 of both tables (data and
 /// AdaGrad state), and the per-epoch losses.
+fn models_identical(a: &TrainedModel, b: &TrainedModel) -> Result<(), String> {
+    if a.entities.to_bytes() != b.entities.to_bytes() {
+        return Err("entity tables differ".into());
+    }
+    if a.relations.to_bytes() != b.relations.to_bytes() {
+        return Err("relation tables differ".into());
+    }
+    if a.epoch_losses != b.epoch_losses {
+        return Err("losses differ".into());
+    }
+    Ok(())
+}
+
 fn assert_models_identical(a: &TrainedModel, b: &TrainedModel, what: &str) {
-    assert_eq!(a.entities.to_bytes(), b.entities.to_bytes(), "{what}: entity tables differ");
-    assert_eq!(a.relations.to_bytes(), b.relations.to_bytes(), "{what}: relation tables differ");
-    assert_eq!(a.epoch_losses, b.epoch_losses, "{what}: losses differ");
+    if let Err(e) = models_identical(a, b) {
+        panic!("{what}: {e}");
+    }
 }
 
 /// Acceptance criterion: killed at *every* round boundary, at worker
 /// counts 1/2/8, across ≥5 seeds, the resumed model is byte-identical to
 /// the uninterrupted run (which itself matches plain `train_partitioned`).
+/// Runs on the shared [`crash_matrix`] harness (the same one the storage
+/// engine's kill matrix uses), so every failing kill point is reported, not
+/// just the first.
 #[test]
 fn kill_at_every_round_boundary_resumes_bit_identical() {
     let ds = dataset();
+    let mut baselines = std::collections::HashMap::new();
+    let mut points: Vec<(u64, usize, usize)> = Vec::new();
     for seed in [3u64, 11, 23, 47, 91] {
         let cfg = cfg(seed);
         let (baseline, _) = train_partitioned(&ds, &cfg, NUM_PARTS, 1);
@@ -75,35 +93,50 @@ fn kill_at_every_round_boundary_resumes_bit_identical() {
         }
         assert!(total_rounds >= 4, "need several rounds to make kill points interesting");
 
+        baselines.insert(seed, baseline);
         for workers in [1usize, 2, 8] {
             for kill_at in 1..total_rounds {
-                let path = wal_path(&format!("kill-{seed}-{workers}-{kill_at}"));
-                let mut log = TrainCheckpointLog::open(&path).expect("open log");
-                let killed = CheckpointedTrainer::new(cfg.clone(), NUM_PARTS, workers)
-                    .with_kill_after_rounds(kill_at)
-                    .train(&ds, &mut log)
-                    .expect("killed run returns cleanly");
-                assert!(killed.model.is_none(), "kill hook fired");
-                assert_eq!(killed.report.rounds_completed, kill_at);
-                drop(log);
-
-                let mut log = TrainCheckpointLog::open(&path).expect("reopen log");
-                assert_eq!(log.rounds_recovered(), kill_at);
-                let resumed = CheckpointedTrainer::new(cfg.clone(), NUM_PARTS, workers)
-                    .train(&ds, &mut log)
-                    .expect("resumed run");
-                assert!(resumed.report.resumed_at.is_some(), "resume cursor recorded");
-                assert_eq!(resumed.report.rounds_completed, total_rounds);
-                let model = resumed.model.expect("resumed run completes");
-                assert_models_identical(
-                    &baseline,
-                    &model,
-                    &format!("seed {seed} workers {workers} killed@{kill_at}"),
-                );
-                std::fs::remove_file(&path).ok();
+                points.push((seed, workers, kill_at));
             }
         }
     }
+
+    let report = crash_matrix(points, |&(seed, workers, kill_at)| {
+        let cfg = cfg(seed);
+        let baseline = &baselines[&seed];
+        let path = wal_path(&format!("kill-{seed}-{workers}-{kill_at}"));
+        let mut log = TrainCheckpointLog::open(&path).map_err(|e| format!("open log: {e}"))?;
+        let killed = CheckpointedTrainer::new(cfg.clone(), NUM_PARTS, workers)
+            .with_kill_after_rounds(kill_at)
+            .train(&ds, &mut log)
+            .map_err(|e| format!("killed run: {e}"))?;
+        if killed.model.is_some() {
+            return Err("kill hook did not fire".into());
+        }
+        if killed.report.rounds_completed != kill_at {
+            return Err(format!(
+                "killed run completed {} rounds, expected {kill_at}",
+                killed.report.rounds_completed
+            ));
+        }
+        drop(log);
+
+        let mut log = TrainCheckpointLog::open(&path).map_err(|e| format!("reopen log: {e}"))?;
+        if log.rounds_recovered() != kill_at {
+            return Err(format!("recovered {} rounds, expected {kill_at}", log.rounds_recovered()));
+        }
+        let resumed = CheckpointedTrainer::new(cfg, NUM_PARTS, workers)
+            .train(&ds, &mut log)
+            .map_err(|e| format!("resumed run: {e}"))?;
+        if resumed.report.resumed_at.is_none() {
+            return Err("resume cursor missing from report".into());
+        }
+        let model = resumed.model.ok_or("resumed run did not complete")?;
+        models_identical(baseline, &model)?;
+        std::fs::remove_file(&path).ok();
+        Ok(())
+    });
+    report.assert_clean("trainer round-boundary kill matrix");
 }
 
 /// Acceptance criterion: a 30% transient-fault run at `SITE_TRAIN_BUCKET`
