@@ -25,6 +25,8 @@ pub const USAGE: &str = "usage:
   saga path KG MODEL --start NAME --via P1,P2[,..] [-k N]
   saga odke --seed N [--targets N]
   saga serve-bench [--mode quick|full] [--seed N] [--shards 2,4] [--out FILE] [--gate on [--min-qps N]]
+  saga serve --listen ADDR [--seed N] [--vectors N] [--dim N] [--shards N] [-k N]
+  saga query --connect ADDR [--entity N | --search SEED [-k N]] [--timeout-ms N]
   saga store create FILE [--page-size N] [--log-cap N]
   saga store grow FILE [--seed N] [--txns N]
   saga store stats FILE
@@ -124,6 +126,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "path" => cmd_path(&rest),
         "odke" => cmd_odke(&rest),
         "serve-bench" => cmd_serve_bench(&rest),
+        "serve" => cmd_serve(&rest),
+        "query" => cmd_query(&rest),
         "store" => cmd_store(&rest),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -247,6 +251,29 @@ fn cmd_stats_pipeline(args: &Args) -> Result<(), String> {
     );
     drop(store);
     let _ = std::fs::remove_file(&store_file);
+
+    // Exercise the network serving layer in-process (memory transport, no
+    // sockets) so the `serve/net` counters — served, shed, expired — land in
+    // the same tree.
+    let listener = saga_serve::net::MemListener::new();
+    let net_server = saga_serve::net::NetServer::start(
+        Box::new(listener.clone()),
+        saga_serve::net::NetServerConfig::small(seed),
+        &registry,
+    );
+    let net_client = saga_serve::net::SagaClient::new(
+        std::sync::Arc::new(saga_serve::net::MemTransport::new(listener)),
+        saga_serve::net::ClientConfig::default(),
+    );
+    for step in 0..4u64 {
+        net_client.search(seed ^ step, 8).map_err(|e| format!("net serving step: {e}"))?;
+    }
+    net_client.lookup(seed % 97).map_err(|e| format!("net serving step: {e}"))?;
+    let net_stats = net_server.shutdown();
+    println!(
+        "served {} networked requests in-process ({} shed, {} expired)",
+        net_stats.served, net_stats.shed, net_stats.expired
+    );
 
     println!("\nmetrics:");
     print!("{}", registry.snapshot().render_tree());
@@ -525,6 +552,101 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
             ));
         }
         println!("serving gate passed");
+    }
+    Ok(())
+}
+
+/// `saga serve`: the fault-tolerant network front-end on a real TCP socket.
+/// Blocks until stdin yields a line (or EOF), then drains gracefully and
+/// prints the serving counters.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use saga_serve::net::Acceptor as _;
+    let listen = args.required("listen")?;
+    let seed: u64 = args.num("seed", 7)?;
+    let mut cfg = saga_serve::net::NetServerConfig::small(seed);
+    cfg.shards = args.num("shards", cfg.shards)?;
+    cfg.dim = args.num("dim", cfg.dim)?;
+    cfg.vectors = args.num("vectors", cfg.vectors)?;
+    cfg.k = args.num("k", cfg.k)?;
+    let acceptor =
+        saga_serve::net::TcpAcceptor::bind(listen).map_err(|e| format!("binding {listen}: {e}"))?;
+    let addr = acceptor.local();
+    let registry = saga_core::obs::Registry::new();
+    let server = saga_serve::net::NetServer::start(Box::new(acceptor), cfg.clone(), &registry);
+    println!(
+        "serving {} vectors across {} shards on {addr} (seed {seed}, dim {}, k {})",
+        cfg.vectors, cfg.shards, cfg.dim, cfg.k
+    );
+    println!("press Enter (or close stdin) to drain and stop");
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    let stats = server.shutdown();
+    println!(
+        "drained: {} requests, {} served, {} shed, {} expired, {} degraded, {} corrupt over {} conns",
+        stats.requests,
+        stats.served,
+        stats.shed,
+        stats.expired,
+        stats.degraded,
+        stats.corrupt,
+        stats.connections
+    );
+    print!("{}", registry.snapshot().render_tree());
+    Ok(())
+}
+
+/// `saga query`: one client call against a running `saga serve` endpoint.
+/// `--timeout-ms` bounds the attempt window locally *and* rides the frame
+/// as the server-side deadline.
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let addr = args.required("connect")?;
+    let timeout_ms: u64 = args.num("timeout-ms", 2_000)?;
+    let cfg = saga_serve::net::ClientConfig {
+        request_timeout: std::time::Duration::from_millis(timeout_ms),
+        deadline_micros: timeout_ms.saturating_mul(1_000),
+        ..saga_serve::net::ClientConfig::default()
+    };
+    let client = saga_serve::net::SagaClient::new(
+        std::sync::Arc::new(saga_serve::net::TcpTransport::new(addr)),
+        cfg,
+    );
+    let resp = if let Some(e) = args.flag("entity") {
+        let entity: u64 = e.parse().map_err(|_| format!("--entity: invalid number '{e}'"))?;
+        client.lookup(entity)
+    } else if let Some(s) = args.flag("search") {
+        let query_seed: u64 = s.parse().map_err(|_| format!("--search: invalid seed '{s}'"))?;
+        client.search(query_seed, args.num("k", 8)?)
+    } else {
+        client.ping()
+    }
+    .map_err(|e| format!("query against {addr} failed: {e}"))?;
+    use saga_serve::net::ResponseBody;
+    match resp {
+        ResponseBody::Pong => println!("pong"),
+        ResponseBody::LookupOk { entity, fact_count } => {
+            println!("entity {entity}: {fact_count} facts")
+        }
+        ResponseBody::SearchOk { hits } => {
+            println!("{} hits:", hits.len());
+            for h in hits {
+                println!("  {:8} {:.4}", h.id, h.score);
+            }
+        }
+        ResponseBody::Degraded { hits, shards_missing } => {
+            println!("degraded ({shards_missing} shards missing), {} hits:", hits.len());
+            for h in hits {
+                println!("  {:8} {:.4}", h.id, h.score);
+            }
+        }
+        ResponseBody::Expired => println!("expired: deadline elapsed before execution"),
+        other => println!("{other:?}"),
+    }
+    let stats = client.stats();
+    if stats.retries > 0 || stats.shed_received > 0 {
+        eprintln!(
+            "({} attempts, {} retries, {} shed responses absorbed)",
+            stats.attempts, stats.retries, stats.shed_received
+        );
     }
     Ok(())
 }

@@ -11,6 +11,8 @@
 //! saga verify kg.saga model.saga --subject "Michael Jordan" --predicate occupation --object "basketball player"
 //! saga annotate kg.saga --text "Michael Jordan basketball stats" [--tier t0|t1|t2]
 //! saga path kg.saga model.saga --start "Nancy Nelson" --via spouse,born_in -k 5
+//! saga serve --listen 127.0.0.1:7070 --seed 7
+//! saga query --connect 127.0.0.1:7070 --search 42 -k 8
 //! ```
 
 mod commands;

@@ -15,24 +15,25 @@ use crate::error::{Result, SagaError};
 
 /// Bounds-checked little-endian reader over an image byte slice. Every
 /// under-read or malformed field is a [`SagaError::Corrupt`], never a panic.
-pub(crate) struct Reader<'a> {
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
+#[allow(clippy::len_without_is_empty)] // `len` reads a length prefix; it is not a container size.
 impl<'a> Reader<'a> {
     /// Wraps `buf` for decoding from the start.
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    pub fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
     /// Bytes left to read.
-    pub(crate) fn remaining(&self) -> usize {
+    pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
     /// Reads exactly `n` raw bytes.
-    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(SagaError::Corrupt(format!(
                 "binary image truncated: need {n} bytes at offset {}, have {}",
@@ -53,24 +54,24 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads a `u8`.
-    pub(crate) fn u8(&mut self) -> Result<u8> {
+    pub fn u8(&mut self) -> Result<u8> {
         Ok(self.array::<1>()?[0])
     }
 
     /// Reads a little-endian `u32`.
-    pub(crate) fn u32(&mut self) -> Result<u32> {
+    pub fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u64`.
-    pub(crate) fn u64(&mut self) -> Result<u64> {
+    pub fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Reads a collection length and sanity-checks it against the bytes
     /// actually left (every element encodes at least one byte), so corrupt
     /// headers fail fast instead of attempting huge allocations.
-    pub(crate) fn len(&mut self) -> Result<usize> {
+    pub fn len(&mut self) -> Result<usize> {
         let n = self.u64()?;
         if n > self.remaining() as u64 {
             return Err(SagaError::Corrupt(format!(
@@ -84,7 +85,7 @@ impl<'a> Reader<'a> {
 
 /// Deterministic binary encode/decode for durable state. Implemented by the
 /// data-model types that appear in checkpoint images and op-log payloads.
-pub(crate) trait BinCodec: Sized {
+pub trait BinCodec: Sized {
     /// Appends the canonical encoding of `self` to `out`.
     fn enc(&self, out: &mut Vec<u8>);
     /// Decodes one value, consuming bytes from `rd`.

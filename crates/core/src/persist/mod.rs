@@ -34,7 +34,7 @@
 
 #![deny(clippy::unwrap_used)]
 
-pub(crate) mod codec;
+pub mod codec;
 pub mod engine;
 pub mod kg;
 

@@ -21,23 +21,36 @@
 //!   counters, fault-driven brownout, and the `serve-bench` orchestrator.
 //! * [`report`] — `BENCH_serving.json` emission.
 //!
+//! * [`net`] — the fault-tolerant network layer: framed wire protocol,
+//!   TCP/memory transports, a deadline-propagating server, a shed-aware
+//!   retry client, and the seeded chaos transport that proves them.
+//!
 //! The engine modules ([`policy`], [`shard`], [`sim`], [`loadgen`],
 //! [`report`]) are pure std and refer to siblings via `crate::` paths, so
 //! `tools/bench_serve.rs` can include them standalone (no cargo) next to
 //! `saga_core::trace` — which is re-exported here as [`trace`] for exactly
-//! that symmetry.
+//! that symmetry. The [`net`] family is cargo-only (it needs the fault and
+//! codec layers) and is deliberately NOT pulled into the standalone build.
+
+#![deny(clippy::unwrap_used)]
 
 pub use saga_core::trace;
 
 pub mod loadgen;
+pub mod net;
 pub mod policy;
 pub mod report;
 pub mod server;
 pub mod shard;
 pub mod sim;
 
-pub use loadgen::{run_load, LoadMode, LoadReport, SlotBoard};
+pub use loadgen::{
+    run_load, run_load_retry, LoadMode, LoadReport, RetryConfig, RetryStats, RetryStyle, SlotBoard,
+};
+pub use net::{ClientConfig, NetServer, NetServerConfig, SagaClient};
 pub use policy::{route, should_shed, CoalescePolicy, ShedPolicy, WindowHistogram};
 pub use server::{run_serve_bench, IndexKind, ServeBenchConfig, ServeBenchSummary, ShardedService};
-pub use shard::{BatchExecutor, EngineClock, Job, MicrosClock, ShardEngine, ShardStats};
+pub use shard::{
+    BatchExecutor, EngineClock, Job, MicrosClock, ShardEngine, ShardStats, SubmitOutcome,
+};
 pub use sim::{simulate, simulate_partitioned, ServiceModel, SimConfig, SimResult};

@@ -1,0 +1,462 @@
+//! Transport abstraction under the wire protocol: blocking framed
+//! connections over real TCP or an in-process memory pipe.
+//!
+//! The [`FrameConn`] unit of transfer is one *delivery attempt* of a whole
+//! frame — `recv_frame` returns raw bytes which the caller validates with
+//! [`crate::net::wire::split_frame`]. Keeping validation above the
+//! transport is what lets the chaos layer hand back torn or bit-flipped
+//! deliveries and have them surface as the same typed `Corrupt` errors a
+//! hostile network would produce.
+//!
+//! Timeout semantics: `recv_frame(timeout)` returns `Ok(None)` only when
+//! the timeout elapsed *before any byte of a frame arrived* (idle). A
+//! timeout mid-frame is a torn read and comes back as `Err(Io)`, because
+//! the stream has lost framing sync and the connection must be abandoned.
+
+use saga_core::error::{Result, SagaError};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use super::wire::{parse_header, HEADER_LEN};
+
+/// One bidirectional framed connection.
+pub trait FrameConn: Send {
+    /// Sends one complete frame.
+    fn send_frame(&mut self, frame: &[u8]) -> Result<()>;
+
+    /// Receives one delivery: `Ok(Some(bytes))` for a frame (possibly
+    /// mutilated by a chaos link — callers validate), `Ok(None)` when
+    /// `timeout` elapsed while the link was idle, `Err` on a dead or
+    /// desynchronized connection.
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>>;
+
+    /// Peer label for diagnostics and breaker keys.
+    fn peer(&self) -> &str;
+}
+
+/// Client-side connection factory.
+pub trait Transport: Send + Sync {
+    /// Opens a fresh connection to the endpoint.
+    fn connect(&self) -> Result<Box<dyn FrameConn>>;
+    /// Stable endpoint label (breaker site key).
+    fn endpoint(&self) -> &str;
+}
+
+/// Server-side connection source.
+pub trait Acceptor: Send {
+    /// Waits up to `timeout` for an inbound connection; `Ok(None)` on
+    /// timeout so the accept loop can poll its stop flag.
+    fn accept(&self, timeout: Duration) -> Result<Option<Box<dyn FrameConn>>>;
+    /// Bound address label.
+    fn local(&self) -> String;
+}
+
+fn io_err(msg: &str) -> SagaError {
+    SagaError::Io(std::io::Error::other(msg.to_string()))
+}
+
+// ----------------------------------------------------------------- TCP
+
+/// A framed connection over a [`TcpStream`].
+pub struct TcpConn {
+    stream: TcpStream,
+    peer: String,
+    write_timeout: Duration,
+}
+
+impl TcpConn {
+    /// Wraps a connected stream. `write_timeout` bounds `send_frame`.
+    pub fn new(stream: TcpStream, write_timeout: Duration) -> Result<Self> {
+        let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+        stream.set_nodelay(true).map_err(SagaError::Io)?;
+        stream.set_write_timeout(Some(write_timeout)).map_err(SagaError::Io)?;
+        Ok(TcpConn { stream, peer, write_timeout })
+    }
+
+    /// Reads exactly `buf.len()` bytes. `allow_idle`: an immediate timeout
+    /// before the first byte is a clean idle (`Ok(false)`); once bytes have
+    /// flowed, timeouts and EOF are hard errors (torn frame).
+    fn read_exact_timeout(&mut self, buf: &mut [u8], allow_idle: bool) -> Result<bool> {
+        let mut got = 0;
+        while got < buf.len() {
+            match self.stream.read(&mut buf[got..]) {
+                Ok(0) => {
+                    if got == 0 && allow_idle {
+                        return Err(io_err("connection closed by peer"));
+                    }
+                    return Err(io_err("connection closed mid-frame (torn)"));
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if got == 0 && allow_idle {
+                        return Ok(false);
+                    }
+                    return Err(io_err("read timeout mid-frame (torn)"));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(SagaError::Io(e)),
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl FrameConn for TcpConn {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<()> {
+        self.stream.set_write_timeout(Some(self.write_timeout)).map_err(SagaError::Io)?;
+        self.stream.write_all(frame).map_err(SagaError::Io)?;
+        self.stream.flush().map_err(SagaError::Io)
+    }
+
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>> {
+        // A zero timeout means "non-blocking poll"; std treats Some(0) as
+        // invalid, so floor it at 1 ms.
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+            .map_err(SagaError::Io)?;
+        let mut hdr = [0u8; HEADER_LEN];
+        if !self.read_exact_timeout(&mut hdr, true)? {
+            return Ok(None);
+        }
+        // Validate the header — in particular the payload length against
+        // MAX_PAYLOAD — before allocating the receive buffer.
+        let parsed = parse_header(&hdr)?;
+        let mut frame = vec![0u8; HEADER_LEN + parsed.payload_len as usize];
+        frame[..HEADER_LEN].copy_from_slice(&hdr);
+        self.read_exact_timeout(&mut frame[HEADER_LEN..], false)?;
+        Ok(Some(frame))
+    }
+
+    fn peer(&self) -> &str {
+        &self.peer
+    }
+}
+
+/// TCP client transport.
+pub struct TcpTransport {
+    addr: String,
+    connect_timeout: Duration,
+    write_timeout: Duration,
+}
+
+impl TcpTransport {
+    /// Transport dialing `addr`.
+    pub fn new(addr: &str) -> Self {
+        TcpTransport {
+            addr: addr.to_string(),
+            connect_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn connect(&self) -> Result<Box<dyn FrameConn>> {
+        let mut last = io_err("address resolved to nothing");
+        for sa in self.addr.to_socket_addrs().map_err(SagaError::Io)? {
+            match TcpStream::connect_timeout(&sa, self.connect_timeout) {
+                Ok(s) => return Ok(Box::new(TcpConn::new(s, self.write_timeout)?)),
+                Err(e) => last = SagaError::Io(e),
+            }
+        }
+        Err(last)
+    }
+
+    fn endpoint(&self) -> &str {
+        &self.addr
+    }
+}
+
+/// TCP acceptor over a non-blocking listener (polled so the accept loop
+/// can observe the server's stop flag between waits).
+pub struct TcpAcceptor {
+    listener: TcpListener,
+    local: String,
+    write_timeout: Duration,
+}
+
+impl TcpAcceptor {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(addr: &str) -> Result<Self> {
+        let listener = TcpListener::bind(addr).map_err(SagaError::Io)?;
+        listener.set_nonblocking(true).map_err(SagaError::Io)?;
+        let local = listener.local_addr().map_err(SagaError::Io)?.to_string();
+        Ok(TcpAcceptor { listener, local, write_timeout: Duration::from_secs(5) })
+    }
+}
+
+impl Acceptor for TcpAcceptor {
+    fn accept(&self, timeout: Duration) -> Result<Option<Box<dyn FrameConn>>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).map_err(SagaError::Io)?;
+                    return Ok(Some(Box::new(TcpConn::new(stream, self.write_timeout)?)));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(SagaError::Io(e)),
+            }
+        }
+    }
+
+    fn local(&self) -> String {
+        self.local.clone()
+    }
+}
+
+// ------------------------------------------------------------ in-memory
+
+/// One direction of a memory link: a bounded-by-usage queue of frames.
+struct Pipe {
+    state: Mutex<PipeState>,
+    cv: Condvar,
+}
+
+struct PipeState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn new() -> Arc<Self> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState { frames: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn push(&self, frame: Vec<u8>) -> Result<()> {
+        let mut st = self.state.lock().expect("pipe");
+        if st.closed {
+            return Err(io_err("peer closed"));
+        }
+        st.frames.push_back(frame);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self, timeout: Duration) -> Result<Option<Vec<u8>>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().expect("pipe");
+        loop {
+            if let Some(f) = st.frames.pop_front() {
+                return Ok(Some(f));
+            }
+            if st.closed {
+                return Err(io_err("connection closed"));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (next, _) = self.cv.wait_timeout(st, deadline - now).expect("pipe wait");
+            st = next;
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("pipe");
+        st.closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One end of an in-process framed link.
+pub struct MemConn {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+    peer: String,
+}
+
+impl MemConn {
+    /// A connected pair of ends: `(client, server)`.
+    pub fn pair() -> (MemConn, MemConn) {
+        let a = Pipe::new();
+        let b = Pipe::new();
+        (
+            MemConn { rx: Arc::clone(&a), tx: Arc::clone(&b), peer: "mem:server".into() },
+            MemConn { rx: b, tx: a, peer: "mem:client".into() },
+        )
+    }
+
+    pub(crate) fn close_both(&self) {
+        self.rx.close();
+        self.tx.close();
+    }
+}
+
+impl FrameConn for MemConn {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<()> {
+        self.tx.push(frame.to_vec())
+    }
+
+    fn recv_frame(&mut self, timeout: Duration) -> Result<Option<Vec<u8>>> {
+        self.rx.pop(timeout)
+    }
+
+    fn peer(&self) -> &str {
+        &self.peer
+    }
+}
+
+impl Drop for MemConn {
+    fn drop(&mut self) {
+        // Closing both directions wakes a peer blocked in recv and fails
+        // its call with a typed Io error, like a TCP RST would.
+        self.close_both();
+    }
+}
+
+/// In-process listener: `connect` manufactures a [`MemConn`] pair and
+/// queues the server end for `accept`. Cloneable; clones share the queue.
+#[derive(Clone)]
+pub struct MemListener {
+    inner: Arc<MemListenerInner>,
+}
+
+struct MemListenerInner {
+    pending: Mutex<VecDeque<MemConn>>,
+    cv: Condvar,
+}
+
+impl MemListener {
+    /// A fresh listener with no pending connections.
+    pub fn new() -> Self {
+        MemListener {
+            inner: Arc::new(MemListenerInner {
+                pending: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Client-side dial: returns the client end, queues the server end.
+    pub fn dial(&self) -> MemConn {
+        let (client, server) = MemConn::pair();
+        self.inner.pending.lock().expect("mem listener").push_back(server);
+        self.inner.cv.notify_one();
+        client
+    }
+}
+
+impl Default for MemListener {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Acceptor for MemListener {
+    fn accept(&self, timeout: Duration) -> Result<Option<Box<dyn FrameConn>>> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.pending.lock().expect("mem listener");
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Ok(Some(Box::new(conn)));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (next, _) =
+                self.inner.cv.wait_timeout(q, deadline - now).expect("mem listener wait");
+            q = next;
+        }
+    }
+
+    fn local(&self) -> String {
+        "mem:listener".into()
+    }
+}
+
+/// Fault-free in-process client transport over a [`MemListener`].
+pub struct MemTransport {
+    listener: MemListener,
+    endpoint: String,
+}
+
+impl MemTransport {
+    /// Transport dialing `listener`.
+    pub fn new(listener: MemListener) -> Self {
+        MemTransport { listener, endpoint: "mem:listener".into() }
+    }
+}
+
+impl Transport for MemTransport {
+    fn connect(&self) -> Result<Box<dyn FrameConn>> {
+        Ok(Box::new(self.listener.dial()))
+    }
+
+    fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::net::wire::{Request, RequestBody};
+
+    #[test]
+    fn mem_pair_delivers_frames_in_order() {
+        let (mut client, mut server) = MemConn::pair();
+        for i in 0..5u64 {
+            let f = Request { request_id: i, timeout_micros: 0, body: RequestBody::Ping }
+                .to_frame()
+                .unwrap();
+            client.send_frame(&f).unwrap();
+        }
+        for i in 0..5u64 {
+            let f = server.recv_frame(Duration::from_millis(100)).unwrap().unwrap();
+            assert_eq!(Request::from_frame(&f).unwrap().request_id, i);
+        }
+        assert!(server.recv_frame(Duration::from_millis(5)).unwrap().is_none());
+    }
+
+    #[test]
+    fn dropped_peer_fails_recv_with_io() {
+        let (client, mut server) = MemConn::pair();
+        drop(client);
+        assert!(matches!(server.recv_frame(Duration::from_millis(100)), Err(SagaError::Io(_))));
+    }
+
+    #[test]
+    fn tcp_round_trip_on_loopback() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local();
+        let t = std::thread::spawn(move || {
+            let mut conn = acceptor.accept(Duration::from_secs(5)).unwrap().unwrap();
+            let f = conn.recv_frame(Duration::from_secs(5)).unwrap().unwrap();
+            conn.send_frame(&f).unwrap();
+        });
+        let transport = TcpTransport::new(&addr);
+        let mut conn = transport.connect().unwrap();
+        let f = Request { request_id: 42, timeout_micros: 7, body: RequestBody::Ping }
+            .to_frame()
+            .unwrap();
+        conn.send_frame(&f).unwrap();
+        let echoed = conn.recv_frame(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(echoed, f);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_recv_times_out_cleanly_when_idle() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local();
+        let transport = TcpTransport::new(&addr);
+        let mut conn = transport.connect().unwrap();
+        let _server = acceptor.accept(Duration::from_secs(5)).unwrap().unwrap();
+        assert!(conn.recv_frame(Duration::from_millis(20)).unwrap().is_none());
+    }
+}

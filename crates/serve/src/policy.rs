@@ -199,6 +199,7 @@ impl std::fmt::Debug for WindowHistogram {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

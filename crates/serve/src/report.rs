@@ -8,7 +8,7 @@
 //! `saga_core::kernels::provenance_json`; the standalone harness renders
 //! its own) so this module needs no kernel dependency.
 
-use crate::loadgen::LoadReport;
+use crate::loadgen::{LoadReport, RetryStats};
 
 /// One benchmarked configuration: an (index, mode, shards, coalescing)
 /// point of the scenario matrix plus its measured report.
@@ -145,6 +145,83 @@ impl BrownoutReport {
     }
 }
 
+/// One retry style's outcome under the brownout: its final-outcome load
+/// report plus the retry-loop accounting.
+#[derive(Debug, Clone)]
+pub struct RetryEntry {
+    /// `"naive"` or `"shed_aware"`.
+    pub style: String,
+    /// Final outcomes (a request served on its Nth attempt counts served).
+    pub report: LoadReport,
+    /// Attempt/retry/give-up accounting.
+    pub stats: RetryStats,
+}
+
+impl RetryEntry {
+    fn to_json(&self, offered: u64, indent: &str) -> String {
+        format!(
+            "{{\n{indent}  \"style\": \"{}\",\n{indent}  \"served\": {},\n{indent}  \"shed\": {},\n{indent}  \"goodput_qps\": {:.1},\n{indent}  \"p99_us\": {},\n{indent}  \"attempts\": {},\n{indent}  \"retries\": {},\n{indent}  \"gave_up\": {},\n{indent}  \"amplification\": {:.3}\n{indent}}}",
+            self.style,
+            self.report.served,
+            self.report.shed,
+            self.report.qps,
+            self.report.p99_ticks,
+            self.stats.attempts,
+            self.stats.retries,
+            self.stats.gave_up,
+            self.stats.amplification(offered),
+        )
+    }
+}
+
+/// Brownout goodput comparison of the two open-loop retry disciplines:
+/// the naive client that hammers a fixed backoff versus the shed-aware
+/// client that honors the server's `retry_after` hint. The serving-layer
+/// half of the network protocol's shed feedback loop.
+#[derive(Debug, Clone)]
+pub struct ClientRetryReport {
+    /// Offered rate (requests/s) during the comparison.
+    pub offered_qps: u64,
+    /// Requests offered per run.
+    pub offered: u64,
+    /// The hint-ignoring client.
+    pub naive: RetryEntry,
+    /// The hint-honoring client.
+    pub shed_aware: RetryEntry,
+}
+
+impl ClientRetryReport {
+    /// Shed-aware goodput must be at least naive goodput (the feedback
+    /// loop recovers refused work instead of burning attempts into a full
+    /// queue).
+    pub fn shed_aware_wins(&self) -> bool {
+        self.shed_aware.report.served >= self.naive.report.served
+    }
+
+    /// Amplification of the shed-aware client stays within a 10% band of
+    /// the naive client's. Under sustained overload both styles approach
+    /// the max-attempts ceiling, so this is a near-tie by construction —
+    /// the bound asserts shed-aware never pays meaningfully *more* attempts
+    /// for the extra work it recovers, not that it strictly wins a metric
+    /// whose margin is noise.
+    pub fn amplification_bounded(&self) -> bool {
+        self.shed_aware.stats.amplification(self.offered)
+            <= self.naive.stats.amplification(self.offered) * 1.1
+    }
+
+    fn to_json(&self, indent: &str) -> String {
+        format!(
+            "{{\n{indent}  \"offered_qps\": {},\n{indent}  \"offered\": {},\n{indent}  \"naive\": {},\n{indent}  \"shed_aware\": {},\n{indent}  \"shed_aware_wins_goodput\": {},\n{indent}  \"amplification_bounded\": {}\n{indent}}}",
+            self.offered_qps,
+            self.offered,
+            self.naive.to_json(self.offered, &format!("{indent}  ")),
+            self.shed_aware.to_json(self.offered, &format!("{indent}  ")),
+            self.shed_aware_wins(),
+            self.amplification_bounded(),
+        )
+    }
+}
+
 /// Acceptance verdicts computed from the measured matrix.
 #[derive(Debug, Clone)]
 pub struct ServingAcceptance {
@@ -156,6 +233,9 @@ pub struct ServingAcceptance {
     pub brownout_sheds_not_collapses: bool,
     /// Every request in every run is accounted for (served + shed = offered).
     pub conservation_holds: bool,
+    /// Under brownout, the shed-aware retry client's goodput is at least
+    /// the naive client's, with amplification no worse.
+    pub shed_aware_retry_wins: bool,
 }
 
 impl ServingAcceptance {
@@ -164,14 +244,16 @@ impl ServingAcceptance {
         self.coalescing_wins_sustained_qps
             && self.brownout_sheds_not_collapses
             && self.conservation_holds
+            && self.shed_aware_retry_wins
     }
 
     fn to_json(&self, indent: &str) -> String {
         format!(
-            "{{\n{indent}  \"coalescing_wins_sustained_qps\": {},\n{indent}  \"brownout_sheds_not_collapses\": {},\n{indent}  \"conservation_holds\": {},\n{indent}  \"pass\": {}\n{indent}}}",
+            "{{\n{indent}  \"coalescing_wins_sustained_qps\": {},\n{indent}  \"brownout_sheds_not_collapses\": {},\n{indent}  \"conservation_holds\": {},\n{indent}  \"shed_aware_retry_wins\": {},\n{indent}  \"pass\": {}\n{indent}}}",
             self.coalescing_wins_sustained_qps,
             self.brownout_sheds_not_collapses,
             self.conservation_holds,
+            self.shed_aware_retry_wins,
             self.pass(),
         )
     }
@@ -181,6 +263,7 @@ impl ServingAcceptance {
 /// pre-rendered JSON object at indent `"  "` (see module docs); `config`
 /// is a pre-rendered JSON object describing trace seed, request counts and
 /// policies, so callers control exactly what reproduction requires.
+#[allow(clippy::too_many_arguments)]
 pub fn serving_json(
     harness: &str,
     config: &str,
@@ -188,6 +271,7 @@ pub fn serving_json(
     scenarios: &[Scenario],
     sustained: &[SustainedEntry],
     brownout: &BrownoutReport,
+    client_retry: &ClientRetryReport,
     acceptance: &ServingAcceptance,
 ) -> String {
     let scen = if scenarios.is_empty() {
@@ -205,13 +289,15 @@ pub fn serving_json(
         format!("[\n{}\n  ]", inner.join(",\n"))
     };
     format!(
-        "{{\n  \"experiment\": \"serving_load\",\n  \"harness\": \"{harness}\",\n  \"provenance\": {provenance},\n  \"config\": {config},\n  \"scenarios\": {scen},\n  \"max_sustained_qps\": {sus},\n  \"brownout\": {brownout},\n  \"acceptance\": {acceptance}\n}}\n",
+        "{{\n  \"experiment\": \"serving_load\",\n  \"harness\": \"{harness}\",\n  \"provenance\": {provenance},\n  \"config\": {config},\n  \"scenarios\": {scen},\n  \"max_sustained_qps\": {sus},\n  \"brownout\": {brownout},\n  \"client_retry\": {client_retry},\n  \"acceptance\": {acceptance}\n}}\n",
         brownout = brownout.to_json("  "),
+        client_retry = client_retry.to_json("  "),
         acceptance = acceptance.to_json("  "),
     )
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -296,10 +382,37 @@ mod tests {
             offered_qps: 200_000,
             faults_injected: true,
         };
+        let client_retry = ClientRetryReport {
+            offered_qps: 200_000,
+            offered: 1_000,
+            naive: RetryEntry {
+                style: "naive".into(),
+                report: rep(400, 600, 1500),
+                stats: RetryStats {
+                    attempts: 3_000,
+                    retries: 2_000,
+                    gave_up: 600,
+                    budget_exhausted: 0,
+                },
+            },
+            shed_aware: RetryEntry {
+                style: "shed_aware".into(),
+                report: rep(900, 100, 1500),
+                stats: RetryStats {
+                    attempts: 1_800,
+                    retries: 800,
+                    gave_up: 100,
+                    budget_exhausted: 0,
+                },
+            },
+        };
+        assert!(client_retry.shed_aware_wins());
+        assert!(client_retry.amplification_bounded());
         let acceptance = ServingAcceptance {
             coalescing_wins_sustained_qps: true,
             brownout_sheds_not_collapses: true,
             conservation_holds: true,
+            shed_aware_retry_wins: true,
         };
         let doc = serving_json(
             "test",
@@ -308,12 +421,15 @@ mod tests {
             &scenarios,
             &sustained,
             &brownout,
+            &client_retry,
             &acceptance,
         );
         check_json_shape(&doc);
         assert!(doc.contains("\"flat_closed_s2_coalesced\""));
         assert!(doc.contains("\"quant_open_s4_per_request\""));
         assert!(doc.contains("\"coalescing_gain\": 2.667"));
+        assert!(doc.contains("\"shed_aware_wins_goodput\": true"));
+        assert!(doc.contains("\"amplification_bounded\": true"));
         assert!(doc.contains("\"pass\": true"));
         assert!(acceptance.pass());
     }

@@ -23,9 +23,15 @@
 //! it is a large part of why coalescing sustains more QPS at the same p99
 //! budget.
 
-use crate::loadgen::{run_load, sustained_from_ladder, LoadMode, LoadReport, SlotBoard};
+use crate::loadgen::{
+    run_load, run_load_retry, sustained_from_ladder, LoadMode, LoadReport, RetryConfig, RetryStyle,
+    SlotBoard,
+};
 use crate::policy::{CoalescePolicy, ShedPolicy};
-use crate::report::{serving_json, BrownoutReport, Scenario, ServingAcceptance, SustainedEntry};
+use crate::report::{
+    serving_json, BrownoutReport, ClientRetryReport, RetryEntry, Scenario, ServingAcceptance,
+    SustainedEntry,
+};
 use crate::shard::{BatchExecutor, EngineClock, Job, MicrosClock, ShardEngine};
 use crate::trace::{generate_trace, Request, RequestKind, SplitMix64, TraceConfig};
 use saga_ann::{
@@ -73,7 +79,7 @@ impl IndexKind {
 }
 
 /// Deterministic synthetic vector for a seed: uniform in [-1, 1).
-fn synth_vector(seed: u64, dim: usize, out: &mut Vec<f32>) {
+pub(crate) fn synth_vector(seed: u64, dim: usize, out: &mut Vec<f32>) {
     out.clear();
     let mut rng = SplitMix64::new(seed);
     for _ in 0..dim {
@@ -81,7 +87,7 @@ fn synth_vector(seed: u64, dim: usize, out: &mut Vec<f32>) {
     }
 }
 
-enum ShardBackend {
+pub(crate) enum ShardBackend {
     Flat(FlatIndex),
     Quant { table: QuantizedTable, metric: Metric },
     Hnsw { index: HnswIndex, ef: usize },
@@ -89,14 +95,14 @@ enum ShardBackend {
 
 /// Per-shard mutable state. Locked by that shard's single worker thread,
 /// so the mutex is uncontended — it exists to make the sharing `Sync`.
-struct ShardScratch {
+pub(crate) struct ShardScratch {
     flat: FlatScratch,
     quant: QuantScratch,
     hnsw: SearchScratch,
     /// Reusable query-vector buffer.
-    query: Vec<f32>,
+    pub(crate) query: Vec<f32>,
     /// Reusable per-query hit buffer.
-    out: Vec<Hit>,
+    pub(crate) out: Vec<Hit>,
     /// Batch-local dedup memo: `(query_seed, offset into batch_hits)` of
     /// queries already scored in the current batch.
     seen: Vec<(u64, u32)>,
@@ -104,9 +110,81 @@ struct ShardScratch {
     batch_hits: Vec<Hit>,
 }
 
-struct ShardSlot {
+pub(crate) struct ShardSlot {
     backend: ShardBackend,
-    state: Mutex<ShardScratch>,
+    pub(crate) state: Mutex<ShardScratch>,
+}
+
+/// Builds the partitioned index slots over the deterministic synthetic
+/// corpus, routed by [`crate::policy::route`]. Shared by the bench-world
+/// [`ShardedService`] and the network [`crate::net`] server, so the two
+/// serve bit-identical corpora for a given (seed, dim, vectors) — the
+/// loopback parity tests depend on that.
+pub(crate) fn build_partitions(
+    kind: IndexKind,
+    shards: usize,
+    dim: usize,
+    vectors: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<ShardSlot> {
+    assert!(shards > 0 && dim > 0);
+    let metric = Metric::Cosine;
+    let mut parts: Vec<Vec<(u64, Vec<f32>)>> = vec![Vec::new(); shards];
+    let mut buf = Vec::with_capacity(dim);
+    for id in 0..vectors as u64 {
+        synth_vector(seed ^ id.wrapping_mul(0x9E37_79B9), dim, &mut buf);
+        parts[crate::policy::route(id, shards)].push((id, buf.clone()));
+    }
+    parts
+        .into_iter()
+        .map(|rows| {
+            let backend = match kind {
+                IndexKind::Flat => {
+                    let mut idx = FlatIndex::new(dim, metric);
+                    for (id, v) in &rows {
+                        idx.add(*id, v);
+                    }
+                    ShardBackend::Flat(idx)
+                }
+                IndexKind::Quant => {
+                    ShardBackend::Quant { table: QuantizedTable::build(dim, rows), metric }
+                }
+                IndexKind::Hnsw => {
+                    let params = HnswParams::default();
+                    let ef = params.ef_search.max(k);
+                    let mut idx = HnswIndex::new(dim, metric, params);
+                    for (id, v) in &rows {
+                        idx.add(*id, v);
+                    }
+                    ShardBackend::Hnsw { index: idx, ef }
+                }
+            };
+            ShardSlot {
+                backend,
+                state: Mutex::new(ShardScratch {
+                    flat: FlatScratch::new(),
+                    quant: QuantScratch::new(),
+                    hnsw: SearchScratch::new(),
+                    query: Vec::with_capacity(dim),
+                    out: Vec::with_capacity(k),
+                    seen: Vec::new(),
+                    batch_hits: Vec::new(),
+                }),
+            }
+        })
+        .collect()
+}
+
+/// Runs one search (query in `st.query`, hits into `st.out`) against a
+/// partition slot's backend.
+pub(crate) fn search_slot(slot: &ShardSlot, k: usize, st: &mut ShardScratch) {
+    let ShardScratch { flat, quant, hnsw, query, out, .. } = st;
+    match &slot.backend {
+        ShardBackend::Flat(idx) => idx.search_into(query, k, flat, out),
+        ShardBackend::Quant { table, metric } => table.search_into(*metric, query, k, quant, out),
+        ShardBackend::Hnsw { index, ef } => index.search_ef_into(query, k, *ef, hnsw, out),
+    }
 }
 
 /// Fault-driven brownout: jobs the plan marks faulty cost an extra
@@ -177,53 +255,7 @@ impl ShardedService {
         clock: Arc<dyn EngineClock>,
         registry: &Registry,
     ) -> Arc<Self> {
-        assert!(cfg.shards > 0 && cfg.dim > 0);
-        let metric = Metric::Cosine;
-        // Partition the deterministic corpus.
-        let mut parts: Vec<Vec<(u64, Vec<f32>)>> = vec![Vec::new(); cfg.shards];
-        let mut buf = Vec::with_capacity(cfg.dim);
-        for id in 0..cfg.vectors as u64 {
-            synth_vector(cfg.seed ^ id.wrapping_mul(0x9E37_79B9), cfg.dim, &mut buf);
-            parts[crate::policy::route(id, cfg.shards)].push((id, buf.clone()));
-        }
-        let shards = parts
-            .into_iter()
-            .map(|rows| {
-                let backend = match cfg.kind {
-                    IndexKind::Flat => {
-                        let mut idx = FlatIndex::new(cfg.dim, metric);
-                        for (id, v) in &rows {
-                            idx.add(*id, v);
-                        }
-                        ShardBackend::Flat(idx)
-                    }
-                    IndexKind::Quant => {
-                        ShardBackend::Quant { table: QuantizedTable::build(cfg.dim, rows), metric }
-                    }
-                    IndexKind::Hnsw => {
-                        let params = HnswParams::default();
-                        let ef = params.ef_search.max(cfg.k);
-                        let mut idx = HnswIndex::new(cfg.dim, metric, params);
-                        for (id, v) in &rows {
-                            idx.add(*id, v);
-                        }
-                        ShardBackend::Hnsw { index: idx, ef }
-                    }
-                };
-                ShardSlot {
-                    backend,
-                    state: Mutex::new(ShardScratch {
-                        flat: FlatScratch::new(),
-                        quant: QuantScratch::new(),
-                        hnsw: SearchScratch::new(),
-                        query: Vec::with_capacity(cfg.dim),
-                        out: Vec::with_capacity(cfg.k),
-                        seen: Vec::new(),
-                        batch_hits: Vec::new(),
-                    }),
-                }
-            })
-            .collect();
+        let shards = build_partitions(cfg.kind, cfg.shards, cfg.dim, cfg.vectors, cfg.k, cfg.seed);
         let scope = registry.scope("serve");
         let capture =
             cfg.capture.then(|| (0..trace.len()).map(|_| Mutex::new(Vec::new())).collect());
@@ -266,15 +298,7 @@ impl ShardedService {
     }
 
     fn search_partition(&self, shard: usize, st: &mut ShardScratch) {
-        let slot = &self.shards[shard];
-        let ShardScratch { flat, quant, hnsw, query, out, .. } = st;
-        match &slot.backend {
-            ShardBackend::Flat(idx) => idx.search_into(query, self.k, flat, out),
-            ShardBackend::Quant { table, metric } => {
-                table.search_into(*metric, query, self.k, quant, out)
-            }
-            ShardBackend::Hnsw { index, ef } => index.search_ef_into(query, self.k, *ef, hnsw, out),
-        }
+        search_slot(&self.shards[shard], self.k, st);
     }
 }
 
@@ -667,6 +691,45 @@ pub fn run_serve_bench(
     let brownout =
         BrownoutReport { with_shed, without_shed, offered_qps: offered, faults_injected: true };
 
+    // Client-retry comparison under the same brownout + shed policy: a
+    // naive client that hammers a fixed tiny backoff vs a shed-aware one
+    // that honors the verdict's retry_after hint. Equal attempt caps and
+    // budgets — only the waiting discipline differs.
+    let mut retry_entries = Vec::new();
+    for (name, style) in
+        [("naive", RetryStyle::Naive { backoff_ticks: 50 }), ("shed_aware", RetryStyle::ShedAware)]
+    {
+        let (engine, board, clock) =
+            world.engine(cfg, b_kind, b_shards, coalesced_policy(), tight, brownout_plan());
+        let (rep, rstats) = run_load_retry(
+            &engine,
+            &board,
+            &world.trace,
+            offered,
+            1_000,
+            RetryConfig { style, max_attempts: 4, budget: n * 4 },
+            &clock,
+        );
+        engine.shutdown();
+        track(&rep);
+        log(&format!(
+            "retry {}: goodput={:.0} qps shed={:.1}% amp={:.2}",
+            name,
+            rep.qps,
+            rep.shed_rate() * 100.0,
+            rstats.amplification(n)
+        ));
+        retry_entries.push(RetryEntry { style: name.into(), report: rep, stats: rstats });
+    }
+    let shed_aware_entry = retry_entries.pop().expect("shed-aware run");
+    let naive_entry = retry_entries.pop().expect("naive run");
+    let client_retry = ClientRetryReport {
+        offered_qps: offered,
+        offered: n,
+        naive: naive_entry,
+        shed_aware: shed_aware_entry,
+    };
+
     let acceptance = ServingAcceptance {
         coalescing_wins_sustained_qps: sustained
             .iter()
@@ -677,6 +740,8 @@ pub fn run_serve_bench(
             > brownout.without_shed.shed_rate()
             && brownout.with_shed.p99_ticks <= brownout.without_shed.p99_ticks,
         conservation_holds: conservation,
+        shed_aware_retry_wins: client_retry.shed_aware_wins()
+            && client_retry.amplification_bounded(),
     };
     let config_json = format!(
         "{{ \"seed\": {}, \"requests\": {}, \"vectors\": {}, \"dim\": {}, \"k\": {}, \"closed_workers\": {}, \"p99_budget_us\": {}, \"max_shed_rate\": {}, \"cores\": {} }}",
@@ -697,6 +762,7 @@ pub fn run_serve_bench(
         &scenarios,
         &sustained,
         &brownout,
+        &client_retry,
         &acceptance,
     );
     let summary = ServeBenchSummary {
@@ -709,6 +775,7 @@ pub fn run_serve_bench(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::policy::route;

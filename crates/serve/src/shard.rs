@@ -23,13 +23,34 @@ use std::thread;
 use std::time::Duration;
 
 /// One queued unit of work: the request ticket (index into whatever table
-/// the executor resolves payloads from) and its submission time.
+/// the executor resolves payloads from), its submission time, and the
+/// absolute tick past which scoring it is wasted work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Job {
     /// Request identity; resolved by the executor.
     pub ticket: u32,
     /// Clock reading at admission, for service-latency accounting.
     pub submit_ticks: u64,
+    /// Absolute deadline in ticks; `u64::MAX` means none. Jobs whose
+    /// deadline passed while queued are dropped at dequeue (reported via
+    /// [`BatchExecutor::expired`]) instead of being scored for a caller
+    /// that already gave up.
+    pub deadline_ticks: u64,
+}
+
+/// Admission verdict from [`ShardEngine::try_submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Queued; the executor will see it (or `expired` will).
+    Admitted,
+    /// Refused by admission control. `retry_after_ticks` is the shard's
+    /// estimate of when the backlog that caused the shed will have
+    /// drained — clients that wait this long land behind the burst
+    /// instead of inside it.
+    Shed {
+        /// Suggested client back-off before retrying, in clock ticks.
+        retry_after_ticks: u64,
+    },
 }
 
 /// Executes coalesced batches. Implementations resolve tickets to payloads
@@ -40,6 +61,15 @@ pub trait BatchExecutor: Send + Sync {
     /// thread, so per-shard executor scratch needs no real contention
     /// handling.
     fn execute(&self, shard: usize, jobs: &[Job]);
+
+    /// Jobs dropped at dequeue because their deadline passed while queued.
+    /// Called from the shard worker before `execute`; implementations that
+    /// hand out deadlines MUST retire these tickets (complete waiters with
+    /// a deadline-exceeded result) or callers will hang. The default is a
+    /// no-op, safe only for executors that never set deadlines.
+    fn expired(&self, shard: usize, jobs: &[Job]) {
+        let _ = (shard, jobs);
+    }
 }
 
 /// Time source for the engine, in abstract ticks. The serving default is
@@ -88,6 +118,8 @@ pub struct ShardStats {
     pub served: u64,
     /// Batches dispatched.
     pub batches: u64,
+    /// Jobs dropped at dequeue because their deadline had already passed.
+    pub expired: u64,
 }
 
 impl ShardStats {
@@ -105,6 +137,7 @@ impl ShardStats {
         self.shed += o.shed;
         self.served += o.served;
         self.batches += o.batches;
+        self.expired += o.expired;
     }
 }
 
@@ -118,6 +151,7 @@ struct ShardState {
     shed: AtomicU64,
     served: AtomicU64,
     batches: AtomicU64,
+    expired: AtomicU64,
 }
 
 struct EngineShared {
@@ -159,6 +193,7 @@ impl ShardEngine {
                     shed: AtomicU64::new(0),
                     served: AtomicU64::new(0),
                     batches: AtomicU64::new(0),
+                    expired: AtomicU64::new(0),
                 })
                 .collect(),
             coalesce,
@@ -187,17 +222,27 @@ impl ShardEngine {
     /// Offer a job to `shard`. Returns `false` when admission control shed
     /// it (the job will never execute). Allocation-free in steady state.
     pub fn submit(&self, shard: usize, ticket: u32) -> bool {
+        matches!(self.try_submit(shard, ticket, u64::MAX), SubmitOutcome::Admitted)
+    }
+
+    /// [`submit`](Self::submit) with a deadline and a typed verdict: shed
+    /// jobs come back with the shard's drain-time estimate so network
+    /// clients can honor `retry_after` instead of hammering.
+    pub fn try_submit(&self, shard: usize, ticket: u32, deadline_ticks: u64) -> SubmitOutcome {
         let st = &self.shared.shards[shard];
         st.submitted.fetch_add(1, Ordering::Relaxed);
         let now = self.shared.clock.now_ticks();
         let mut q = st.queue.lock().expect("shard queue");
         let p99 = st.latency.quantile_upper_bound(SHED_QUANTILE);
         if should_shed(q.len(), p99, &self.shared.shed) {
+            let depth = q.len();
             drop(q);
             st.shed.fetch_add(1, Ordering::Relaxed);
-            return false;
+            return SubmitOutcome::Shed {
+                retry_after_ticks: retry_after_estimate(depth, p99, &self.shared.coalesce),
+            };
         }
-        q.push_back(Job { ticket, submit_ticks: now });
+        q.push_back(Job { ticket, submit_ticks: now, deadline_ticks });
         let len = q.len();
         drop(q);
         // Wake the worker only when it could actually be waiting: on the
@@ -207,7 +252,7 @@ impl ShardEngine {
         if len == 1 || len >= self.shared.coalesce.max_batch {
             st.cv.notify_one();
         }
-        true
+        SubmitOutcome::Admitted
     }
 
     /// Counters for one shard.
@@ -218,6 +263,7 @@ impl ShardEngine {
             shed: st.shed.load(Ordering::Relaxed),
             served: st.served.load(Ordering::Relaxed),
             batches: st.batches.load(Ordering::Relaxed),
+            expired: st.expired.load(Ordering::Relaxed),
         }
     }
 
@@ -250,13 +296,28 @@ impl ShardEngine {
     }
 }
 
+/// Shed back-off hint: time for the worker to chew through `depth` queued
+/// jobs in `max_batch`-sized batches, each taking about one windowed p99.
+/// Floored so an idle-window p99 of 0 still tells clients to back off a
+/// little, and capped at 1 s so a wild histogram reading can't park a
+/// client forever.
+fn retry_after_estimate(depth: usize, p99: u64, coalesce: &CoalescePolicy) -> u64 {
+    const FLOOR_TICKS: u64 = 100;
+    const CAP_TICKS: u64 = 1_000_000;
+    let per_batch = p99.max(FLOOR_TICKS);
+    let batches = (depth as u64) / (coalesce.max_batch as u64) + 1;
+    per_batch.saturating_mul(batches).min(CAP_TICKS)
+}
+
 fn shard_worker(shared: &EngineShared, s: usize) {
     let st = &shared.shards[s];
     let max_batch = shared.coalesce.max_batch;
     let max_wait = shared.coalesce.max_wait_ticks;
     let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
+    let mut dead: Vec<Job> = Vec::with_capacity(max_batch);
     loop {
         batch.clear();
+        dead.clear();
         {
             let mut q = st.queue.lock().expect("shard queue");
             // Wait for work (or stop + empty queue = drained, exit).
@@ -282,9 +343,26 @@ fn shard_worker(shared: &EngineShared, s: usize) {
                 let (qq, _timed_out) = st.cv.wait_timeout(q, timeout).expect("shard wait_timeout");
                 q = qq;
             }
+            // Drop-at-dequeue: a job whose deadline passed while queued is
+            // pure waste to score — the caller has already timed out. Skim
+            // them off here (before the kernels, not after) so an overload
+            // burst of abandoned work drains at queue speed.
+            let now = shared.clock.now_ticks();
             for _ in 0..max_batch.min(q.len()) {
-                batch.push(q.pop_front().expect("counted"));
+                let j = q.pop_front().expect("counted");
+                if j.deadline_ticks <= now {
+                    dead.push(j);
+                } else {
+                    batch.push(j);
+                }
             }
+        }
+        if !dead.is_empty() {
+            st.expired.fetch_add(dead.len() as u64, Ordering::Relaxed);
+            shared.executor.expired(s, &dead);
+        }
+        if batch.is_empty() {
+            continue;
         }
         shared.executor.execute(s, &batch);
         let done = shared.clock.now_ticks();
@@ -297,6 +375,7 @@ fn shard_worker(shared: &EngineShared, s: usize) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;
@@ -363,6 +442,87 @@ mod tests {
         }
         eng.shutdown();
         assert!(ex.max_seen_batch.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn expired_jobs_are_dropped_at_dequeue_not_scored() {
+        // Gate the worker so jobs sit queued past their deadline.
+        struct GatedCounting {
+            gate: Arc<AtomicBool>,
+            executed: AtomicU32,
+            expired: AtomicU32,
+        }
+        impl BatchExecutor for GatedCounting {
+            fn execute(&self, _s: usize, jobs: &[Job]) {
+                while !self.gate.load(Ordering::SeqCst) {
+                    thread::yield_now();
+                }
+                self.executed.fetch_add(jobs.len() as u32, Ordering::Relaxed);
+            }
+            fn expired(&self, _s: usize, jobs: &[Job]) {
+                self.expired.fetch_add(jobs.len() as u32, Ordering::Relaxed);
+            }
+        }
+        let ex = Arc::new(GatedCounting {
+            gate: Arc::new(AtomicBool::new(false)),
+            executed: AtomicU32::new(0),
+            expired: AtomicU32::new(0),
+        });
+        let eng = ShardEngine::start(
+            1,
+            CoalescePolicy { max_batch: 4, max_wait_ticks: 0 },
+            ShedPolicy::unbounded(),
+            1_000,
+            Arc::clone(&ex) as Arc<dyn BatchExecutor>,
+            Arc::new(MicrosClock::new()),
+        );
+        // First job blocks the worker inside execute; the rest queue up with
+        // an already-passed deadline and must be dropped, never executed.
+        assert_eq!(eng.try_submit(0, 0, u64::MAX), SubmitOutcome::Admitted);
+        thread::sleep(Duration::from_millis(20));
+        for t in 1..=8u32 {
+            assert_eq!(eng.try_submit(0, t, 1), SubmitOutcome::Admitted);
+        }
+        ex.gate.store(true, Ordering::SeqCst);
+        let stats = eng.shutdown();
+        assert_eq!(stats.expired, 8);
+        assert_eq!(ex.expired.load(Ordering::Relaxed), 8);
+        assert_eq!(stats.served, 1);
+        assert_eq!(ex.executed.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.submitted, 9);
+    }
+
+    #[test]
+    fn shed_verdict_carries_backoff_hint() {
+        struct Stall(Arc<AtomicBool>);
+        impl BatchExecutor for Stall {
+            fn execute(&self, _s: usize, _j: &[Job]) {
+                while !self.0.load(Ordering::SeqCst) {
+                    thread::yield_now();
+                }
+            }
+        }
+        let gate = Arc::new(AtomicBool::new(false));
+        let eng = ShardEngine::start(
+            1,
+            CoalescePolicy { max_batch: 2, max_wait_ticks: 0 },
+            ShedPolicy { queue_cap: 4, p99_budget_ticks: u64::MAX, min_depth: usize::MAX },
+            1_000,
+            Arc::new(Stall(Arc::clone(&gate))),
+            Arc::new(MicrosClock::new()),
+        );
+        let mut hint = None;
+        for t in 0..50u32 {
+            if let SubmitOutcome::Shed { retry_after_ticks } = eng.try_submit(0, t, u64::MAX) {
+                hint = Some(retry_after_ticks);
+                break;
+            }
+        }
+        let hint = hint.expect("cap never triggered");
+        assert!(hint >= 100, "hint {hint} below floor");
+        assert!(hint <= 1_000_000, "hint {hint} above cap");
+        gate.store(true, Ordering::SeqCst);
+        eng.shutdown();
     }
 
     #[test]

@@ -246,6 +246,7 @@ pub fn simulate_partitioned(trace: &[Request], cfg: &SimConfig, threads: usize) 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::trace::{generate_trace, TraceConfig};

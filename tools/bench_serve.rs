@@ -42,9 +42,15 @@ mod loadgen;
 #[path = "../crates/serve/src/report.rs"]
 mod report;
 
-use loadgen::{run_load, sustained_from_ladder, LoadMode, LoadReport, SlotBoard};
+use loadgen::{
+    run_load, run_load_retry, sustained_from_ladder, LoadMode, LoadReport, RetryConfig,
+    RetryStyle, SlotBoard,
+};
 use policy::{CoalescePolicy, ShedPolicy};
-use report::{serving_json, BrownoutReport, Scenario, ServingAcceptance, SustainedEntry};
+use report::{
+    serving_json, BrownoutReport, ClientRetryReport, RetryEntry, Scenario, ServingAcceptance,
+    SustainedEntry,
+};
 use shard::{BatchExecutor, EngineClock, Job, MicrosClock, ShardEngine};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -516,6 +522,53 @@ fn main() {
     let brownout =
         BrownoutReport { with_shed, without_shed, offered_qps: offered, faults_injected: true };
 
+    // Client-retry comparison under the same brownout: naive fixed-backoff
+    // vs shed-aware retry_after-honoring, equal attempt caps and budgets.
+    let n_req = trace.len() as u64;
+    let mut retry_entries = Vec::new();
+    for (name, style) in [
+        ("naive", RetryStyle::Naive { backoff_ticks: 50 }),
+        ("shed_aware", RetryStyle::ShedAware),
+    ] {
+        let (eng, board, clock) = engine(
+            &cfg,
+            b_kind,
+            b_shards,
+            &trace,
+            &facts,
+            coalesced_policy(),
+            tight,
+            Some(Brownout { seed: cfg.seed, rate: 0.2, slowdown_ticks: 1_000 }),
+        );
+        let (rep, rstats) = run_load_retry(
+            &eng,
+            &board,
+            &trace,
+            offered,
+            tc.mean_interarrival_ticks,
+            RetryConfig { style, max_attempts: 4, budget: n_req * 4 },
+            &clock,
+        );
+        eng.shutdown();
+        track(&rep);
+        eprintln!(
+            "retry {}: goodput={:.0} qps shed={:.1}% amp={:.2}",
+            name,
+            rep.qps,
+            rep.shed_rate() * 100.0,
+            rstats.amplification(n_req)
+        );
+        retry_entries.push(RetryEntry { style: name.into(), report: rep, stats: rstats });
+    }
+    let shed_aware_entry = retry_entries.pop().expect("shed-aware run");
+    let naive_entry = retry_entries.pop().expect("naive run");
+    let client_retry = ClientRetryReport {
+        offered_qps: offered,
+        offered: n_req,
+        naive: naive_entry,
+        shed_aware: shed_aware_entry,
+    };
+
     let acceptance = ServingAcceptance {
         coalescing_wins_sustained_qps: sustained
             .iter()
@@ -526,6 +579,8 @@ fn main() {
             > brownout.without_shed.shed_rate()
             && brownout.with_shed.p99_ticks <= brownout.without_shed.p99_ticks,
         conservation_holds: conservation,
+        shed_aware_retry_wins: client_retry.shed_aware_wins()
+            && client_retry.amplification_bounded(),
     };
 
     let config_json = format!(
@@ -549,6 +604,7 @@ fn main() {
         &scenarios,
         &sustained,
         &brownout,
+        &client_retry,
         &acceptance,
     );
     match out_path {
@@ -560,10 +616,11 @@ fn main() {
     }
     if !acceptance.pass() {
         eprintln!(
-            "ACCEPTANCE FAILED: coalescing_wins={} brownout_sheds={} conservation={}",
+            "ACCEPTANCE FAILED: coalescing_wins={} brownout_sheds={} conservation={} shed_aware_retry_wins={}",
             acceptance.coalescing_wins_sustained_qps,
             acceptance.brownout_sheds_not_collapses,
-            acceptance.conservation_holds
+            acceptance.conservation_holds,
+            acceptance.shed_aware_retry_wins
         );
         std::process::exit(1);
     }
