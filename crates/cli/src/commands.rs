@@ -24,6 +24,8 @@ pub const USAGE: &str = "usage:
   saga annotate KG --text TEXT [--tier t0|t1|t2]
   saga path KG MODEL --start NAME --via P1,P2[,..] [-k N]
   saga odke --seed N [--targets N]
+  saga grow --seed N [--targets N] [--workers N] [--incremental] [--churn PCT] [--intervals N]
+  saga grow-bench [--seed N] [--out FILE] [--gate on [--max-ratio R]]
   saga serve-bench [--mode quick|full] [--seed N] [--shards 2,4] [--out FILE] [--gate on [--min-qps N]]
   saga serve --listen ADDR [--seed N] [--vectors N] [--dim N] [--shards N] [-k N]
   saga query --connect ADDR [--entity N | --search SEED [-k N]] [--timeout-ms N]
@@ -48,9 +50,18 @@ impl<'a> Args<'a> {
         while i < args.len() {
             let a = args[i].as_str();
             if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
-                let v = args.get(i + 1).ok_or_else(|| format!("flag {a} needs a value"))?;
-                flags.insert(name, v.as_str());
-                i += 2;
+                // A flag followed by another `--flag` (or nothing) is a bare
+                // boolean switch, e.g. `--incremental`.
+                match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(v) => {
+                        flags.insert(name, v.as_str());
+                        i += 2;
+                    }
+                    None => {
+                        flags.insert(name, "");
+                        i += 1;
+                    }
+                }
             } else {
                 positional.push(a);
                 i += 1;
@@ -125,6 +136,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "annotate" => cmd_annotate(&rest),
         "path" => cmd_path(&rest),
         "odke" => cmd_odke(&rest),
+        "grow" => cmd_grow(&rest),
+        "grow-bench" => cmd_grow_bench(&rest),
         "serve-bench" => cmd_serve_bench(&rest),
         "serve" => cmd_serve(&rest),
         "query" => cmd_query(&rest),
@@ -223,6 +236,30 @@ fn cmd_stats_pipeline(args: &Args) -> Result<(), String> {
         &registry.scope("odke"),
     );
     println!("wrote {} facts", report.facts_written);
+
+    // Drive one churned crawl interval through the incremental growth
+    // pipeline so the `delta/` change-feed counters — dirty pages and
+    // entities, re-extracted targets, retrained partitions, ANN upserts
+    // and deletes, lapses — land in the same metric tree.
+    {
+        let (gs, mut gcorpus, gtruth, gcfg) = growth_fixture(seed, 8, GrowthScale::Demo);
+        let gdir = std::env::temp_dir().join(format!("saga-stats-grow-{}", std::process::id()));
+        let (mut gstate, _) =
+            saga_pipeline::grow_batch(&gs.kg, &gcorpus, &gcfg, 2, &gdir, &registry)
+                .map_err(|e| format!("growth bootstrap: {e}"))?;
+        churn_interval(&mut gcorpus, &gs, &gtruth, 5, seed.wrapping_add(13));
+        let grep = saga_pipeline::grow_incremental(&mut gstate, &gcorpus, &gcfg, 2, &registry)
+            .map_err(|e| format!("incremental interval: {e}"))?;
+        println!(
+            "incremental interval (5% churn): {} pages dirty, {} entities dirty, {} targets re-extracted, {} partitions retrained",
+            grep.pages_reprocessed,
+            grep.entities_dirtied,
+            grep.targets_reextracted,
+            grep.partitions_retrained
+        );
+        let _ = std::fs::remove_dir_all(&gdir);
+    }
+    print_delta_counters(&registry);
 
     // Persist the grown graph through the MVCC storage engine and reopen it,
     // so the `persist/engine` counters (pages written, log appends, recovery
@@ -501,6 +538,345 @@ fn cmd_odke(args: &Args) -> Result<(), String> {
         100.0 * report.volume_fraction(),
         report.facts_written
     );
+    Ok(())
+}
+
+/// Fixture scale for [`growth_fixture`]: `Demo` is the tiny world used by
+/// `saga grow` and `saga stats pipeline`; `Bench` is a ~4x larger world
+/// for `saga grow-bench`, where a 5% churn interval actually dirties ~5%
+/// of the graph instead of a third of it.
+enum GrowthScale {
+    Demo,
+    Bench,
+}
+
+/// Deterministic growth fixture shared by `saga grow` and `saga grow-bench`:
+/// a synthetic world, its rendered web corpus, and a fixed fact-target
+/// universe (the first `n_targets` subjects with a rendered `lives_in`
+/// page, sorted by entity id). The target universe lives in the config so
+/// a delta pass re-extracts a strict subset of what a batch pass would.
+fn growth_fixture(
+    seed: u64,
+    n_targets: usize,
+    scale: GrowthScale,
+) -> (
+    saga_core::synth::SynthKg,
+    saga_webcorpus::Corpus,
+    saga_webcorpus::CorpusTruth,
+    saga_pipeline::GrowthConfig,
+) {
+    let (synth_cfg, corpus_cfg, num_parts) = match scale {
+        GrowthScale::Demo => {
+            (SynthConfig::tiny(seed), saga_webcorpus::CorpusConfig::tiny(seed ^ 0x17), 4)
+        }
+        GrowthScale::Bench => (
+            SynthConfig {
+                num_people: 500,
+                num_movies: 160,
+                num_songs: 160,
+                num_orgs: 80,
+                num_places: 60,
+                num_teams: 25,
+                ..SynthConfig::tiny(seed)
+            },
+            saga_webcorpus::CorpusConfig {
+                entity_pages: 900,
+                news_pages: 160,
+                noise_pages: 80,
+                ..saga_webcorpus::CorpusConfig::tiny(seed ^ 0x17)
+            },
+            32,
+        ),
+    };
+    let s = generate(&synth_cfg);
+    let (corpus, truth) = saga_webcorpus::generate_corpus(&s, &[], &corpus_cfg);
+    let mut subjects: Vec<u64> = truth
+        .rendered_facts
+        .iter()
+        .filter(|(_, _, p, _)| *p == s.preds.lives_in)
+        .map(|(_, e, _, _)| e.raw())
+        .collect();
+    subjects.sort_unstable();
+    subjects.dedup();
+    let targets = subjects
+        .into_iter()
+        .take(n_targets)
+        .map(|raw| saga_odke::FactTarget {
+            entity: EntityId(raw),
+            predicate: s.preds.lives_in,
+            reason: saga_odke::TargetReason::CoverageGap,
+            importance: 1.0,
+        })
+        .collect();
+    let cfg = saga_pipeline::GrowthConfig {
+        max_docs_per_entity: 3,
+        // Generous per-query fetch so churn-induced BM25 reorderings never
+        // truncate a clean target's candidate set.
+        odke: saga_odke::OdkeConfig { docs_per_query: 50, ..saga_odke::OdkeConfig::default() },
+        train: TrainConfig {
+            model: ModelKind::TransE,
+            dim: 8,
+            epochs: 2,
+            negatives: 2,
+            seed: seed ^ 11,
+            ..TrainConfig::default()
+        },
+        num_parts,
+        min_predicate_frequency: 2,
+        targets,
+    };
+    (s, corpus, truth, cfg)
+}
+
+/// One crawl interval of mixed churn: page edits plus new pages at `pct`%
+/// of the corpus, plus two real-world fact changes rewriting their
+/// evidence pages.
+fn churn_interval(
+    corpus: &mut saga_webcorpus::Corpus,
+    s: &saga_core::synth::SynthKg,
+    truth: &saga_webcorpus::CorpusTruth,
+    pct: u32,
+    seed: u64,
+) {
+    saga_webcorpus::apply_churn(
+        corpus,
+        &saga_webcorpus::ChurnConfig { edit_fraction: pct as f64 / 100.0, new_pages: 2, seed },
+    );
+    saga_webcorpus::apply_fact_churn(corpus, s, truth, 2, seed ^ 0x5eed);
+}
+
+/// The `delta/` counter names every incremental pass records, in the order
+/// they occur along the pipeline.
+const DELTA_COUNTERS: [&str; 8] = [
+    "batches",
+    "pages_dirtied",
+    "entities_dirtied",
+    "targets_reextracted",
+    "partitions_retrained",
+    "ann_upserts",
+    "ann_deletes",
+    "lapses",
+];
+
+fn print_delta_counters(registry: &saga_core::obs::Registry) {
+    let snap = registry.snapshot();
+    println!("delta feed counters:");
+    for name in DELTA_COUNTERS {
+        println!("  delta/{name:<22} {}", snap.counter(&format!("delta/{name}")));
+    }
+}
+
+/// `saga grow`: the end-to-end growth pipeline on a deterministic world.
+/// Always bootstraps with a full batch pass; with `--incremental`, applies
+/// `--intervals` crawl intervals of `--churn` percent churn each and
+/// advances the whole stack through the change feed, printing what each
+/// pass actually did and the `delta/` counters.
+fn cmd_grow(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.num("seed", 7)?;
+    let n_targets: usize = args.num("targets", 25)?;
+    let workers: usize = args.num("workers", 2)?;
+    let incremental = args.flag("incremental").is_some_and(|v| v != "off");
+    let churn_pct: u32 = args.num("churn", 5)?;
+    let intervals: usize = args.num("intervals", 2)?;
+
+    let (s, mut corpus, truth, cfg) = growth_fixture(seed, n_targets, GrowthScale::Demo);
+    let workdir = std::env::temp_dir().join(format!("saga-grow-{}", std::process::id()));
+    let registry = saga_core::obs::Registry::new();
+
+    let t0 = std::time::Instant::now();
+    let (mut state, boot) =
+        saga_pipeline::grow_batch(&s.kg, &corpus, &cfg, workers, &workdir, &registry)
+            .map_err(|e| format!("batch bootstrap: {e}"))?;
+    println!(
+        "bootstrap: {} pages, {} targets, {} links, {} facts written, {} buckets trained, {} rows indexed ({} ms)",
+        boot.pages_reprocessed,
+        cfg.targets.len(),
+        boot.links_added,
+        boot.facts_changed,
+        boot.buckets_trained,
+        boot.ann_upserts,
+        t0.elapsed().as_millis()
+    );
+
+    if incremental {
+        for i in 0..intervals {
+            churn_interval(&mut corpus, &s, &truth, churn_pct, seed.wrapping_add(300 + i as u64));
+            let t = std::time::Instant::now();
+            let rep =
+                saga_pipeline::grow_incremental(&mut state, &corpus, &cfg, workers, &registry)
+                    .map_err(|e| format!("incremental pass {i}: {e}"))?;
+            println!(
+                "interval {i} ({churn_pct}% churn): {} pages reprocessed, {} entities dirtied, \
+                 {} targets re-extracted, {} links +{}/-{}, {} facts changed, \
+                 {} partitions retrained, ann +{}/-{}{} ({} ms)",
+                rep.pages_reprocessed,
+                rep.entities_dirtied,
+                rep.targets_reextracted,
+                rep.links_added + rep.links_removed,
+                rep.links_added,
+                rep.links_removed,
+                rep.facts_changed,
+                rep.partitions_retrained,
+                rep.ann_upserts,
+                rep.ann_deletes,
+                if rep.lapsed { ", LAPSED → full rebuild" } else { "" },
+                t.elapsed().as_millis()
+            );
+        }
+    }
+    println!(
+        "grown graph: {} entities, {} facts, published snapshot {} bytes",
+        state.store.graph().num_entities(),
+        state.store.graph().num_triples(),
+        saga_pipeline::published_bytes(state.store.graph()).len()
+    );
+    print_delta_counters(&registry);
+    let _ = std::fs::remove_dir_all(&workdir);
+    Ok(())
+}
+
+/// One measured point on the cost-vs-churn curve: bootstrap on the base
+/// corpus, churn by `pct`, run one incremental pass, then batch-rebuild on
+/// the churned corpus for the work baseline and the convergence check.
+struct ChurnPoint {
+    pct: u32,
+    millis: u128,
+    batch_millis: u128,
+    rep: saga_pipeline::GrowthReport,
+    batch: saga_pipeline::GrowthReport,
+    converged: bool,
+}
+
+impl ChurnPoint {
+    /// Normalized work ratio of the incremental pass against the batch
+    /// rebuild: the mean of the pages-reprocessed, targets-re-extracted
+    /// and training-buckets fractions.
+    fn work_ratio(&self) -> f64 {
+        let frac = |a: usize, b: usize| a as f64 / (b.max(1)) as f64;
+        (frac(self.rep.pages_reprocessed, self.batch.pages_reprocessed)
+            + frac(self.rep.targets_reextracted, self.batch.targets_reextracted)
+            + frac(self.rep.buckets_trained, self.batch.buckets_trained))
+            / 3.0
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"churn_pct\": {}, \"millis\": {}, \"batch_millis\": {}, \
+             \"pages_reprocessed\": {}, \"entities_dirtied\": {}, \"targets_reextracted\": {}, \
+             \"facts_changed\": {}, \"partitions_retrained\": {}, \"buckets_trained\": {}, \
+             \"ann_upserts\": {}, \"ann_deletes\": {}, \"lapsed\": {}, \
+             \"work_ratio\": {:.4}, \"converged\": {}}}",
+            self.pct,
+            self.millis,
+            self.batch_millis,
+            self.rep.pages_reprocessed,
+            self.rep.entities_dirtied,
+            self.rep.targets_reextracted,
+            self.rep.facts_changed,
+            self.rep.partitions_retrained,
+            self.rep.buckets_trained,
+            self.rep.ann_upserts,
+            self.rep.ann_deletes,
+            self.rep.lapsed,
+            self.work_ratio(),
+            self.converged
+        )
+    }
+}
+
+/// `saga grow-bench`: measure the cost-vs-churn curve of the incremental
+/// pipeline at 1/5/15/30% churn against full batch rebuilds, write
+/// `BENCH_incremental.json`, and optionally gate the way CI does: the 5%
+/// point must converge bit-identically and cost less than `--max-ratio`
+/// (default 0.25) of a full pass.
+fn cmd_grow_bench(args: &Args) -> Result<(), String> {
+    let seed: u64 = args.num("seed", 7)?;
+    let out = args.flag("out").filter(|v| !v.is_empty()).unwrap_or("BENCH_incremental.json");
+    let (s, base_corpus, truth, cfg) = growth_fixture(seed, 25, GrowthScale::Bench);
+    let tmp = std::env::temp_dir().join(format!("saga-grow-bench-{}", std::process::id()));
+
+    let mut points = Vec::new();
+    for pct in [1u32, 5, 15, 30] {
+        let mut corpus = base_corpus.clone();
+        let registry = saga_core::obs::Registry::new();
+        let (mut state, _) = saga_pipeline::grow_batch(
+            &s.kg,
+            &corpus,
+            &cfg,
+            2,
+            &tmp.join(format!("inc-{pct}")),
+            &registry,
+        )
+        .map_err(|e| format!("bootstrap at {pct}%: {e}"))?;
+
+        churn_interval(&mut corpus, &s, &truth, pct, seed.wrapping_add(400 + pct as u64));
+        let t = std::time::Instant::now();
+        let rep = saga_pipeline::grow_incremental(&mut state, &corpus, &cfg, 2, &registry)
+            .map_err(|e| format!("incremental at {pct}%: {e}"))?;
+        let millis = t.elapsed().as_millis();
+
+        let t = std::time::Instant::now();
+        let (_, batch) = saga_pipeline::grow_batch(
+            &s.kg,
+            &corpus,
+            &cfg,
+            2,
+            &tmp.join(format!("batch-{pct}")),
+            &saga_core::obs::Registry::new(),
+        )
+        .map_err(|e| format!("batch rebuild at {pct}%: {e}"))?;
+        let batch_millis = t.elapsed().as_millis();
+
+        let converged = rep.published == batch.published;
+        let point = ChurnPoint { pct, millis, batch_millis, rep, batch, converged };
+        eprintln!(
+            "  {pct:>2}% churn: work ratio {:.3} ({} ms incremental vs {} ms batch), converged: {}",
+            point.work_ratio(),
+            point.millis,
+            point.batch_millis,
+            point.converged
+        );
+        points.push(point);
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let max_ratio: f64 = args.num("max-ratio", 0.25)?;
+    let gate_point = points.iter().find(|p| p.pct == 5).ok_or("missing 5% churn point")?;
+    let gate_pass = gate_point.work_ratio() < max_ratio && points.iter().all(|p| p.converged);
+
+    let curve: Vec<String> = points.iter().map(|p| format!("    {}", p.json())).collect();
+    let doc = format!(
+        "{{\n  \"bench\": \"incremental_growth\",\n  \"seed\": {seed},\n  \
+         \"corpus_pages\": {},\n  \"targets\": {},\n  \"curve\": [\n{}\n  ],\n  \
+         \"gate\": {{\"churn_pct\": 5, \"max_ratio\": {max_ratio}, \"work_ratio\": {:.4}, \
+         \"pass\": {gate_pass}}}\n}}\n",
+        base_corpus.pages.len(),
+        cfg.targets.len(),
+        curve.join(",\n"),
+        gate_point.work_ratio(),
+    );
+    std::fs::write(out, &doc).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "incremental bench → {out}: 5% churn work ratio {:.3} (bound {max_ratio}), all points converged: {}",
+        gate_point.work_ratio(),
+        points.iter().all(|p| p.converged)
+    );
+
+    if args.flag("gate").is_some_and(|v| v != "off") {
+        if let Some(p) = points.iter().find(|p| !p.converged) {
+            return Err(format!(
+                "incremental gate failed: {}% churn did not converge to batch",
+                p.pct
+            ));
+        }
+        if gate_point.work_ratio() >= max_ratio {
+            return Err(format!(
+                "incremental gate failed: 5% churn work ratio {:.3} >= {max_ratio}",
+                gate_point.work_ratio()
+            ));
+        }
+        println!("incremental gate passed");
+    }
     Ok(())
 }
 

@@ -1,0 +1,273 @@
+//! The shared incremental-growth contract: dirty sets keyed by page and
+//! entity, pulled through a monotone cursor.
+//!
+//! The paper's central operational claim (Sec. 3.1–3.2) is that the graph
+//! grows by processing only *changed* pages. Every growth stage speaks the
+//! same small vocabulary defined here:
+//!
+//! - a [`DeltaBatch`] is the unit of incremental work — the set of pages
+//!   and entities dirtied over a half-open commit interval `(from, to]`;
+//! - a [`DeltaCursor`] is a consumer's monotone position in the change
+//!   feed; it only moves forward, except through an explicit
+//!   [`resync`](DeltaCursor::resync) after a full rebuild;
+//! - a [`DeltaPull`] is what a feed hands a consumer: either a batch, or
+//!   [`Lapsed`](DeltaPull::Lapsed) — the feed no longer retains the
+//!   deltas the cursor needs, and the only sound recovery is a **full
+//!   rebuild** from a consistent snapshot followed by a cursor resync to
+//!   that snapshot's commit. Lapsing trades work for correctness; it can
+//!   never cause a missed or duplicated change.
+//!
+//! Producers: the webcorpus change feed emits page-keyed batches
+//! ([`saga-webcorpus::changefeed`]); `KgStore::pull_delta` emits
+//! entity-keyed batches from the storage engine's retained commit deltas.
+//! Consumers: incremental annotation (pages → mentions), delta ODKE
+//! (entities → re-extraction targets), embedding delta training (entities
+//! → dirty partitions), ANN maintenance (entities → upserts/deletes).
+//!
+//! Everything is instrumented under a `delta/` obs scope via
+//! [`DeltaBatch::record_to`] and [`record_lapse`], so `saga stats
+//! pipeline` can report how much incremental work each growth pass did.
+
+use crate::ids::{DocId, EntityId};
+use crate::obs::Scope;
+use crate::store::Delta;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Name of the obs scope all delta instrumentation lives under.
+pub const DELTA_SCOPE: &str = "delta";
+
+/// A consumer's monotone position in a change feed: the last commit (or
+/// corpus version) it has fully incorporated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaCursor {
+    position: u64,
+}
+
+impl DeltaCursor {
+    /// A cursor at the beginning of time (position 0 — nothing consumed).
+    pub fn start() -> Self {
+        Self { position: 0 }
+    }
+
+    /// A cursor that has consumed everything up to and including `commit`.
+    pub fn at(commit: u64) -> Self {
+        Self { position: commit }
+    }
+
+    /// The last consumed commit.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Advances to `commit` after incorporating a batch ending there.
+    ///
+    /// # Panics
+    /// Panics on a backwards move — cursors are monotone; rewinding one
+    /// would double-apply deltas. Use [`resync`](Self::resync) after a
+    /// full rebuild instead.
+    pub fn advance_to(&mut self, commit: u64) {
+        assert!(
+            commit >= self.position,
+            "delta cursor moved backwards: {} -> {commit}",
+            self.position
+        );
+        self.position = commit;
+    }
+
+    /// Re-bases the cursor at the commit of a freshly rebuilt snapshot —
+    /// the only legal response to [`DeltaPull::Lapsed`]. Unlike
+    /// [`advance_to`](Self::advance_to) this may move in either direction:
+    /// the rebuild replaced, not patched, the consumer's state.
+    pub fn resync(&mut self, commit: u64) {
+        self.position = commit;
+    }
+}
+
+/// The dirty sets accumulated over the half-open commit interval
+/// `(from, to]`: which corpus pages and which graph entities changed.
+///
+/// Both sets are `BTreeSet`s so iteration order — and therefore every
+/// downstream stage's work order — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaBatch {
+    /// Exclusive lower bound: the cursor position this batch was pulled at.
+    pub from: u64,
+    /// Inclusive upper bound: the feed position after applying this batch.
+    pub to: u64,
+    /// Corpus pages whose content changed (edited or newly added).
+    pub dirty_pages: BTreeSet<DocId>,
+    /// Graph entities touched by added/removed/refreshed facts.
+    pub dirty_entities: BTreeSet<EntityId>,
+}
+
+impl DeltaBatch {
+    /// An empty batch at position `at` (no work; cursor stays put).
+    pub fn empty(at: u64) -> Self {
+        Self { from: at, to: at, ..Self::default() }
+    }
+
+    /// True when the batch carries no dirty pages and no dirty entities.
+    pub fn is_empty(&self) -> bool {
+        self.dirty_pages.is_empty() && self.dirty_entities.is_empty()
+    }
+
+    /// Marks a corpus page dirty.
+    pub fn mark_page(&mut self, doc: DocId) {
+        self.dirty_pages.insert(doc);
+    }
+
+    /// Marks a graph entity dirty.
+    pub fn mark_entity(&mut self, entity: EntityId) {
+        self.dirty_entities.insert(entity);
+    }
+
+    /// Unions `other` into `self`, widening the interval to cover both.
+    pub fn merge(&mut self, other: &DeltaBatch) {
+        self.from = self.from.min(other.from);
+        self.to = self.to.max(other.to);
+        self.dirty_pages.extend(other.dirty_pages.iter().copied());
+        self.dirty_entities.extend(other.dirty_entities.iter().copied());
+    }
+
+    /// Builds an entity-keyed batch from the storage engine's retained
+    /// commit deltas: every subject and every entity-valued object of an
+    /// added, removed or refreshed fact is dirty.
+    pub fn from_deltas(from: u64, deltas: &[(u64, Delta)]) -> Self {
+        let to = deltas.last().map(|(c, _)| *c).unwrap_or(from);
+        let mut batch = DeltaBatch { from, to, ..Self::default() };
+        for (_, d) in deltas {
+            for t in d.added.iter().chain(&d.removed).chain(&d.refreshed) {
+                batch.mark_entity(t.subject);
+                if let Value::Entity(e) = t.object {
+                    batch.mark_entity(e);
+                }
+            }
+        }
+        batch
+    }
+
+    /// Records this batch under `scope` (expected: a `delta/` scope):
+    /// bumps `batches` and adds the dirty-set sizes to `pages_dirtied` /
+    /// `entities_dirtied`.
+    pub fn record_to(&self, scope: &Scope) {
+        scope.counter("batches").add(1);
+        scope.counter("pages_dirtied").add(self.dirty_pages.len() as u64);
+        scope.counter("entities_dirtied").add(self.dirty_entities.len() as u64);
+    }
+}
+
+/// What a change feed hands a consumer for one pull.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaPull {
+    /// The dirty sets since the cursor; apply, then
+    /// [`advance_to`](DeltaCursor::advance_to) `batch.to`.
+    Batch(DeltaBatch),
+    /// The feed no longer retains the needed deltas (checkpoint/log wrap
+    /// overtook the cursor, or the cursor is from another store
+    /// generation). Full-rebuild from a snapshot, then
+    /// [`resync`](DeltaCursor::resync) to that snapshot's commit.
+    Lapsed {
+        /// Oldest commit the feed can still serve incrementally from.
+        oldest: u64,
+    },
+}
+
+/// Records one lapse (full-rebuild fallback) under `scope`.
+pub fn record_lapse(scope: &Scope) {
+    scope.counter("lapses").add(1);
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::ids::PredicateId;
+    use crate::triple::Triple;
+
+    #[test]
+    fn cursor_is_monotone_and_resyncs() {
+        let mut c = DeltaCursor::start();
+        assert_eq!(c.position(), 0);
+        c.advance_to(3);
+        c.advance_to(3); // idempotent
+        c.advance_to(7);
+        assert_eq!(c.position(), 7);
+        c.resync(2); // full rebuild may rebase anywhere
+        assert_eq!(c.position(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn cursor_rejects_backwards_advance() {
+        let mut c = DeltaCursor::at(5);
+        c.advance_to(4);
+    }
+
+    #[test]
+    fn batch_from_deltas_collects_subjects_and_entity_objects() {
+        let t = |s: u64, o: Value| Triple {
+            subject: EntityId(s),
+            predicate: PredicateId(0),
+            object: o,
+        };
+        let deltas = vec![
+            (
+                4,
+                Delta {
+                    commit: 4,
+                    added: vec![t(1, Value::Entity(EntityId(2)))],
+                    removed: vec![t(3, Value::Text("x".into()))],
+                    refreshed: vec![],
+                },
+            ),
+            (
+                5,
+                Delta {
+                    commit: 5,
+                    added: vec![],
+                    removed: vec![],
+                    refreshed: vec![t(4, Value::Entity(EntityId(1)))],
+                },
+            ),
+        ];
+        let b = DeltaBatch::from_deltas(3, &deltas);
+        assert_eq!((b.from, b.to), (3, 5));
+        let want: BTreeSet<EntityId> = [1, 2, 3, 4].into_iter().map(EntityId).collect();
+        assert_eq!(b.dirty_entities, want);
+        assert!(b.dirty_pages.is_empty());
+    }
+
+    #[test]
+    fn merge_unions_and_widens() {
+        let mut a = DeltaBatch { from: 2, to: 4, ..Default::default() };
+        a.mark_page(DocId(1));
+        a.mark_entity(EntityId(9));
+        let mut b = DeltaBatch { from: 4, to: 6, ..Default::default() };
+        b.mark_page(DocId(2));
+        a.merge(&b);
+        assert_eq!((a.from, a.to), (2, 6));
+        assert_eq!(a.dirty_pages.len(), 2);
+        assert_eq!(a.dirty_entities.len(), 1);
+        assert!(!a.is_empty());
+        assert!(DeltaBatch::empty(7).is_empty());
+    }
+
+    #[test]
+    fn record_to_counts_batches_and_dirty_sizes() {
+        let reg = crate::obs::Registry::new();
+        let scope = reg.scope(DELTA_SCOPE);
+        let mut b = DeltaBatch::empty(0);
+        b.mark_page(DocId(0));
+        b.mark_entity(EntityId(1));
+        b.mark_entity(EntityId(2));
+        b.record_to(&scope);
+        record_lapse(&scope);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("delta/batches"), 1);
+        assert_eq!(snap.counter("delta/pages_dirtied"), 1);
+        assert_eq!(snap.counter("delta/entities_dirtied"), 2);
+        assert_eq!(snap.counter("delta/lapses"), 1);
+    }
+}

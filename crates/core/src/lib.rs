@@ -12,6 +12,9 @@
 //!   coverage profiling ([`ontology`]);
 //! - a commit-based triple store with SPO/POS/OSP covering indexes and
 //!   change deltas ([`store`]);
+//! - the shared incremental-growth contract — page/entity dirty sets
+//!   pulled through monotone cursors with `Lapsed → full-rebuild`
+//!   fallback ([`delta`]);
 //! - checksummed binary persistence frames, a torn-tail-recovering
 //!   write-ahead log, and a crash-safe MVCC storage engine with a durable
 //!   change cursor ([`persist`], [`persist::engine`], [`persist::kg`]);
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 #![allow(clippy::len_without_is_empty)]
 
+pub mod delta;
 pub mod entity;
 pub mod error;
 pub mod fault;
@@ -50,6 +54,7 @@ pub mod trace;
 pub mod triple;
 pub mod value;
 
+pub use delta::{record_lapse, DeltaBatch, DeltaCursor, DeltaPull, DELTA_SCOPE};
 pub use entity::{EntityBuilder, EntityRecord};
 pub use error::{Result, SagaError};
 pub use fault::{

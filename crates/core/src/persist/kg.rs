@@ -477,14 +477,43 @@ impl KgStore {
     /// The change-subscription cursor: deltas of every commit after
     /// `commit`, or [`Changes::Lapsed`] when retention (the last
     /// checkpoint) no longer reaches back that far.
+    ///
+    /// A cursor *ahead* of the store also lapses: such a cursor can only
+    /// come from another store generation (say, state carried across a
+    /// restore from backup), and returning an empty delta list would make
+    /// the consumer silently skip every future change until the store
+    /// happened to pass it. Lapsing instead forces the one sound recovery —
+    /// a full rebuild from a pinned snapshot.
     pub fn changes_since(&self, commit: u64) -> Changes {
-        let oldest_retained = self.deltas.first().map(|(s, _)| *s);
-        match oldest_retained {
-            _ if commit >= self.engine.last_commit() => Changes::Deltas(Vec::new()),
+        let last = self.engine.last_commit();
+        if commit > last {
+            return Changes::Lapsed { oldest: self.engine.checkpoint_commit() };
+        }
+        if commit == last {
+            return Changes::Deltas(Vec::new());
+        }
+        match self.deltas.first().map(|(s, _)| *s) {
             Some(oldest) if commit + 1 >= oldest => {
                 Changes::Deltas(self.deltas.iter().filter(|(s, _)| *s > commit).cloned().collect())
             }
             _ => Changes::Lapsed { oldest: self.engine.checkpoint_commit() },
+        }
+    }
+
+    /// Pulls the next [`DeltaBatch`](crate::delta::DeltaBatch) for `cursor`:
+    /// the entity-keyed dirty set of every commit past the cursor, with the
+    /// cursor advanced past them. On [`DeltaPull::Lapsed`] the cursor is
+    /// left untouched — the caller full-rebuilds from a
+    /// [`pin`](Self::pin) and [`resync`s](crate::delta::DeltaCursor::resync)
+    /// to the pin's commit.
+    pub fn pull_delta(&self, cursor: &mut crate::delta::DeltaCursor) -> crate::delta::DeltaPull {
+        match self.changes_since(cursor.position()) {
+            Changes::Deltas(deltas) => {
+                let batch = crate::delta::DeltaBatch::from_deltas(cursor.position(), &deltas);
+                cursor.advance_to(batch.to);
+                crate::delta::DeltaPull::Batch(batch)
+            }
+            Changes::Lapsed { oldest } => crate::delta::DeltaPull::Lapsed { oldest },
         }
     }
 }
@@ -633,6 +662,113 @@ mod tests {
         let store = KgStore::open(&p).unwrap();
         assert_eq!(store.last_commit(), 20);
         assert_eq!(store.graph().canonical_bytes(), before);
+    }
+
+    #[test]
+    fn cursor_ahead_of_store_lapses_instead_of_reporting_empty() {
+        let p = tmp("future-cursor.db");
+        let (kg, knows) = base_graph();
+        let mut store = KgStore::create(&p, kg, &EngineOptions::default()).unwrap();
+        store.commit(|txn| txn.insert(Triple::new(EntityId(0), knows, EntityId(1)))).unwrap();
+        match store.changes_since(store.last_commit() + 5) {
+            Changes::Lapsed { .. } => {}
+            other => panic!("future cursor must lapse, got {other:?}"),
+        }
+    }
+
+    /// Satellite proof for the incremental pipeline: a consumer whose pull
+    /// cadence races the log-wrap auto-checkpoint (which wipes delta
+    /// retention mid-cursor) must resync through the `Lapsed` full-rebuild
+    /// path without ever missing or double-applying a commit.
+    #[test]
+    fn lapsed_cursor_under_log_wrap_resyncs_without_miss_or_dup() {
+        use std::collections::BTreeSet;
+        type Fact = (u64, u32, String);
+        let fact_set = |kg: &KnowledgeGraph| -> BTreeSet<Fact> {
+            kg.keys()
+                .iter()
+                .map(|&k| {
+                    let t = kg.decode(k);
+                    (t.subject.raw(), t.predicate.raw(), format!("{:?}", t.object))
+                })
+                .collect()
+        };
+        let apply = |replica: &mut BTreeSet<Fact>, d: &Delta| {
+            for t in &d.removed {
+                replica.remove(&(t.subject.raw(), t.predicate.raw(), format!("{:?}", t.object)));
+            }
+            for t in d.added.iter().chain(&d.refreshed) {
+                replica.insert((t.subject.raw(), t.predicate.raw(), format!("{:?}", t.object)));
+            }
+        };
+
+        let p = tmp("lapse-wrap.db");
+        let (kg, knows) = base_graph();
+        // Tiny log: the wrap-triggered auto-checkpoint clears retention
+        // every few commits, so a cursor more than a step behind lapses.
+        let opts = EngineOptions { page_size: 256, log_cap: 512 };
+        let mut store = KgStore::create(&p, kg, &opts).unwrap();
+        let person = person_type(store.graph());
+
+        let mut replica = fact_set(store.graph());
+        let mut cursor = 0u64; // consumed through this commit
+        let mut applied: BTreeSet<u64> = BTreeSet::new(); // commits applied since last resync
+        let mut resync_floor = 0u64; // replica state covers commits <= this
+        let (mut lapses, mut delta_pulls) = (0u32, 0u32);
+
+        for i in 0..40u64 {
+            let name = format!("E{i}");
+            store
+                .commit(|txn| {
+                    let t = person;
+                    let e = txn.add_entity(EntityBuilder::new(name.as_str(), t));
+                    txn.insert(Triple::new(EntityId(0), knows, e));
+                    if i % 5 == 4 {
+                        // Exercise the removed path too.
+                        txn.remove(&Triple::new(EntityId(0), knows, EntityId(e.raw() - 1)));
+                    }
+                })
+                .unwrap();
+            // Cadence: pull every 3rd commit, so the cursor is sometimes
+            // far enough behind a wrap to lapse and sometimes not.
+            if i % 3 != 2 {
+                continue;
+            }
+            match store.changes_since(cursor) {
+                Changes::Deltas(ds) => {
+                    if !ds.is_empty() {
+                        delta_pulls += 1;
+                    }
+                    for (seq, d) in &ds {
+                        assert!(
+                            *seq > resync_floor,
+                            "commit {seq} already covered by resync at {resync_floor}"
+                        );
+                        assert!(applied.insert(*seq), "commit {seq} delivered twice");
+                        apply(&mut replica, d);
+                        cursor = *seq;
+                    }
+                }
+                Changes::Lapsed { oldest } => {
+                    lapses += 1;
+                    assert!(oldest > cursor, "lapse must mean retention passed the cursor");
+                    // Full rebuild from a pinned snapshot, then resync.
+                    let pin = store.pin();
+                    replica = fact_set(&pin);
+                    cursor = pin.commit();
+                    resync_floor = pin.commit();
+                    applied.clear();
+                }
+            }
+            assert_eq!(
+                replica,
+                fact_set(store.graph()),
+                "replica diverged at commit {} (pull {i})",
+                store.last_commit()
+            );
+        }
+        assert!(lapses >= 1, "test must exercise the Lapsed resync path");
+        assert!(delta_pulls >= 1, "test must exercise the incremental path");
     }
 
     #[test]

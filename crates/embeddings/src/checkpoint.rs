@@ -341,6 +341,8 @@ pub struct CheckpointedTrainer<'a> {
     faults: Option<&'a FaultInjector>,
     kill_after_rounds: Option<usize>,
     obs: Option<saga_core::obs::Scope>,
+    warm_start: Option<&'a TrainedModel>,
+    delta_parts: Option<BTreeSet<u16>>,
 }
 
 impl<'a> CheckpointedTrainer<'a> {
@@ -358,7 +360,30 @@ impl<'a> CheckpointedTrainer<'a> {
             faults: None,
             kill_after_rounds: None,
             obs: None,
+            warm_start: None,
+            delta_parts: None,
         }
+    }
+
+    /// Seeds every overlapping entity/relation row from a previously
+    /// trained model before training starts. Rows absent from `prior` keep
+    /// the fresh deterministic init. A warm start changes the *starting
+    /// point*, never the schedule, so worker-count determinism holds.
+    pub fn with_warm_start(mut self, prior: &'a TrainedModel) -> Self {
+        self.warm_start = Some(prior);
+        self
+    }
+
+    /// Delta mode: train only the edge buckets touching a partition in
+    /// `dirty` (see [`dirty_partitions`](crate::partition::dirty_partitions)).
+    /// Combined with [`with_warm_start`](Self::with_warm_start), this is the
+    /// incremental retrain of the growth pipeline — cost scales with the
+    /// churned fraction instead of the whole graph. The dirty set is folded
+    /// into the checkpoint config digest, so a delta log can only resume a
+    /// delta run over the same dirty set.
+    pub fn with_delta_partitions(mut self, dirty: BTreeSet<u16>) -> Self {
+        self.delta_parts = Some(dirty);
+        self
     }
 
     /// Routes bucket starts and checkpoint writes through `injector`.
@@ -400,7 +425,12 @@ impl<'a> CheckpointedTrainer<'a> {
     }
 
     fn config_digest(&self) -> u64 {
-        fnv1a(format!("{:?}|parts={}", self.cfg, self.num_parts).as_bytes())
+        match &self.delta_parts {
+            None => fnv1a(format!("{:?}|parts={}", self.cfg, self.num_parts).as_bytes()),
+            Some(d) => {
+                fnv1a(format!("{:?}|parts={}|delta={:?}", self.cfg, self.num_parts, d).as_bytes())
+            }
+        }
     }
 
     /// Trains (or resumes) against `log`. On a fresh log this is exactly
@@ -412,6 +442,16 @@ impl<'a> CheckpointedTrainer<'a> {
         let cfg = &self.cfg;
         let digest = self.config_digest();
         let mut core = TrainerCore::new(ds, cfg, self.num_parts);
+        if let Some(prior) = self.warm_start {
+            core.warm_start(ds, prior);
+        }
+        if let Some(dirty) = &self.delta_parts {
+            let skipped = core.retain_dirty_buckets(dirty);
+            if let Some(scope) = &self.obs {
+                scope.counter("delta_partitions").add(dirty.len() as u64);
+                scope.counter("delta_buckets_skipped").add(skipped as u64);
+            }
+        }
         let running = AtomicUsize::new(0);
         let max_running = AtomicUsize::new(0);
 

@@ -42,7 +42,9 @@ pub use dataset::{DenseTriple, TrainingSet};
 pub use disk::{train_disk, train_disk_checkpointed, DiskStats};
 pub use eval::{auc, evaluate, ndcg, LinkPredictionMetrics};
 pub use model::ModelKind;
-pub use partition::{train_partitioned, PartitionedStats, Partitioning};
+pub use partition::{
+    dirty_partitions, train_partitioned, training_partitioning, PartitionedStats, Partitioning,
+};
 pub use reasoning::{evaluate_paths, traverse_answers, PathQuery, PathReasoner};
 pub use sampler::NegativeSampler;
 pub use table::EmbeddingTable;

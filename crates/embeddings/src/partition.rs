@@ -73,6 +73,33 @@ impl Partitioning {
     }
 }
 
+/// The exact partitioning the partitioned/checkpointed trainers derive
+/// from `(ds, cfg, num_parts)`. Callers computing a delta retrain's dirty
+/// partitions must use this so the dirty set aligns with the trainer's
+/// buckets.
+pub fn training_partitioning(
+    ds: &TrainingSet,
+    cfg: &TrainConfig,
+    num_parts: usize,
+) -> Partitioning {
+    Partitioning::random(ds.num_entities(), num_parts, cfg.seed ^ 0xbeef)
+}
+
+/// Maps a delta batch's dirty entities onto the partitions that hold them.
+/// Entities outside the training vocabulary (e.g. literal-only subjects)
+/// are ignored. The result is the partition set a delta retrain touches.
+pub fn dirty_partitions(
+    ds: &TrainingSet,
+    parts: &Partitioning,
+    dirty: impl IntoIterator<Item = saga_core::EntityId>,
+) -> BTreeSet<u16> {
+    dirty
+        .into_iter()
+        .filter_map(|e| ds.entity_index(e))
+        .map(|g| parts.part_of[g as usize])
+        .collect()
+}
+
 /// Statistics from a partitioned training run.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct PartitionedStats {
@@ -203,7 +230,7 @@ impl TrainerCore {
     /// from `(ds, cfg, num_parts)` — the exact seeds the monolithic trainer
     /// used, so every consumer starts from the same state.
     pub(crate) fn new(ds: &TrainingSet, cfg: &TrainConfig, num_parts: usize) -> Self {
-        let parts = Partitioning::random(ds.num_entities(), num_parts, cfg.seed ^ 0xbeef);
+        let parts = training_partitioning(ds, cfg, num_parts);
 
         // Partition-local entity tables (each row indexed by local id).
         let tables: Vec<Mutex<EmbeddingTable>> = parts
@@ -233,6 +260,40 @@ impl TrainerCore {
             num_parts,
             dim: cfg.dim,
         }
+    }
+
+    /// Copies every overlapping row of a previously trained model into the
+    /// partition tables and relation locks — the warm start of a delta
+    /// retrain. Entities/relations absent from `prior` keep their fresh
+    /// deterministic init (new vocabulary trains from scratch).
+    pub(crate) fn warm_start(&self, ds: &TrainingSet, prior: &crate::train::TrainedModel) {
+        if prior.dim() != self.dim {
+            return; // dimension change: nothing transferable
+        }
+        for (g, &e) in ds.entities.iter().enumerate() {
+            if let Some(row) = prior.entity_embedding(e) {
+                let p = self.parts.part_of[g] as usize;
+                let local = self.parts.local_idx[g] as usize;
+                self.tables[p].lock().row_mut(local).copy_from_slice(row);
+            }
+        }
+        for (r, &pid) in ds.relations.iter().enumerate() {
+            if let Some(pr) = prior.relation_index(pid) {
+                self.relations[r]
+                    .lock()
+                    .row_mut(0)
+                    .copy_from_slice(prior.relations.row(pr as usize));
+            }
+        }
+    }
+
+    /// Drops every bucket not touching a partition in `dirty` — the core of
+    /// a delta retrain. Fewer buckets pack into fewer rounds, so the cost
+    /// of the pass scales with the churned fraction of the graph.
+    pub(crate) fn retain_dirty_buckets(&mut self, dirty: &BTreeSet<u16>) -> usize {
+        let before = self.bucket_list.len();
+        self.bucket_list.retain(|((ph, pt), _)| dirty.contains(ph) || dirty.contains(pt));
+        before - self.bucket_list.len()
     }
 
     /// Shuffles the bucket list for `epoch`. Shuffles are cumulative (each

@@ -1,0 +1,202 @@
+//! Delta retraining: warm-started, dirty-partition-only training through
+//! the checkpointed trainer. Invariants: only buckets touching a dirty
+//! partition train (cost scales with churn), entities in untouched
+//! partitions keep their warm-started rows byte-identical, the result is
+//! bit-identical at every worker count, and a killed delta run resumes to
+//! the uninterrupted model.
+
+use saga_embeddings::{
+    dirty_partitions, train_partitioned, training_partitioning, CheckpointedTrainer, ModelKind,
+    TrainCheckpointLog, TrainConfig, TrainedModel, TrainingSet,
+};
+use saga_graph::{GraphView, ViewDef};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+const NUM_PARTS: usize = 4;
+
+fn dataset() -> TrainingSet {
+    let s = saga_core::synth::generate(&saga_core::synth::SynthConfig::tiny(61));
+    let v = GraphView::materialize(&s.kg, ViewDef::embedding_training(2));
+    let mut ds = TrainingSet::from_edges(&v.edges(), 0.05, 0.05, 3);
+    ds.train.truncate(240);
+    ds
+}
+
+fn cfg(seed: u64) -> TrainConfig {
+    TrainConfig {
+        model: ModelKind::TransE,
+        dim: 8,
+        epochs: 2,
+        negatives: 2,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn wal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("saga-delta-train").join(std::process::id().to_string());
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(format!("{name}.wal"))
+}
+
+/// A small dirty-entity set plus its partition image.
+fn dirty_set(ds: &TrainingSet, c: &TrainConfig, n: usize) -> BTreeSet<u16> {
+    let parts = training_partitioning(ds, c, NUM_PARTS);
+    dirty_partitions(ds, &parts, ds.entities.iter().copied().take(n))
+}
+
+fn delta_run(
+    ds: &TrainingSet,
+    c: &TrainConfig,
+    prior: &TrainedModel,
+    dirty: &BTreeSet<u16>,
+    workers: usize,
+    log_name: &str,
+) -> (TrainedModel, saga_embeddings::TrainReport) {
+    let mut log = TrainCheckpointLog::open(&wal_path(log_name)).expect("open log");
+    let run = CheckpointedTrainer::new(c.clone(), NUM_PARTS, workers)
+        .with_warm_start(prior)
+        .with_delta_partitions(dirty.clone())
+        .train(ds, &mut log)
+        .expect("delta run");
+    (run.model.expect("delta run completes"), run.report)
+}
+
+#[test]
+fn delta_retrain_trains_fewer_buckets_and_keeps_clean_partitions() {
+    let ds = dataset();
+    let c = cfg(7);
+    let (prior, full_stats) = train_partitioned(&ds, &c, NUM_PARTS, 2);
+    // One dirty partition out of four.
+    let parts = training_partitioning(&ds, &c, NUM_PARTS);
+    let one_entity = ds.entities[0];
+    let dirty = dirty_partitions(&ds, &parts, [one_entity]);
+    assert_eq!(dirty.len(), 1);
+    let (model, report) = delta_run(&ds, &c, &prior, &dirty, 2, "fewer-buckets");
+
+    // Exactly the buckets touching the dirty partition train, every epoch.
+    let retained: Vec<(u16, u16)> = parts
+        .buckets(&ds.train)
+        .into_keys()
+        .filter(|(ph, pt)| dirty.contains(ph) || dirty.contains(pt))
+        .collect();
+    assert!(!retained.is_empty(), "dirty buckets exist");
+    assert_eq!(report.buckets_trained, retained.len() * c.epochs);
+    assert!(
+        report.buckets_trained < full_stats.buckets_trained,
+        "delta trains fewer buckets: {} vs {}",
+        report.buckets_trained,
+        full_stats.buckets_trained
+    );
+
+    // A retained bucket can move any row of its two partitions (its
+    // negative pool spans both); a partition in no retained bucket is
+    // pinned to the warm start byte-for-byte.
+    let touched: BTreeSet<u16> = retained.iter().flat_map(|&(a, b)| [a, b]).collect();
+    for (g, &e) in ds.entities.iter().enumerate() {
+        if touched.contains(&parts.part_of[g]) {
+            continue;
+        }
+        assert_eq!(
+            prior.entity_embedding(e).expect("in prior vocab"),
+            model.entity_embedding(e).expect("in new vocab"),
+            "entity {g} in an untouched partition moved"
+        );
+    }
+}
+
+#[test]
+fn delta_retrain_is_deterministic_across_worker_counts() {
+    let ds = dataset();
+    let c = cfg(13);
+    let (prior, _) = train_partitioned(&ds, &c, NUM_PARTS, 1);
+    let dirty = dirty_set(&ds, &c, 12);
+    let (base, _) = delta_run(&ds, &c, &prior, &dirty, 1, "det-w1");
+    for workers in [2usize, 8] {
+        let (m, _) = delta_run(&ds, &c, &prior, &dirty, workers, &format!("det-w{workers}"));
+        assert_eq!(
+            m.entities.to_bytes(),
+            base.entities.to_bytes(),
+            "entity tables differ at workers={workers}"
+        );
+        assert_eq!(
+            m.relations.to_bytes(),
+            base.relations.to_bytes(),
+            "relation tables differ at workers={workers}"
+        );
+        assert_eq!(m.epoch_losses, base.epoch_losses, "losses differ at workers={workers}");
+    }
+}
+
+#[test]
+fn killed_delta_run_resumes_bit_identical() {
+    let ds = dataset();
+    let c = cfg(29);
+    let (prior, _) = train_partitioned(&ds, &c, NUM_PARTS, 1);
+    let dirty = dirty_set(&ds, &c, 12);
+    let (reference, ref_report) = delta_run(&ds, &c, &prior, &dirty, 2, "kill-ref");
+    assert!(ref_report.rounds_completed >= 2, "need rounds to kill between");
+
+    let path = wal_path("kill-resume");
+    let mut log = TrainCheckpointLog::open(&path).expect("open log");
+    let killed = CheckpointedTrainer::new(c.clone(), NUM_PARTS, 2)
+        .with_warm_start(&prior)
+        .with_delta_partitions(dirty.clone())
+        .with_kill_after_rounds(1)
+        .train(&ds, &mut log)
+        .expect("killed run");
+    assert!(killed.model.is_none(), "kill hook fired");
+
+    let mut log = TrainCheckpointLog::open(&path).expect("reopen log");
+    assert_eq!(log.rounds_recovered(), 1);
+    let resumed = CheckpointedTrainer::new(c.clone(), NUM_PARTS, 2)
+        .with_warm_start(&prior)
+        .with_delta_partitions(dirty.clone())
+        .train(&ds, &mut log)
+        .expect("resumed run");
+    let resumed_model = resumed.model.expect("resumed run completes");
+    assert_eq!(resumed.report.resumed_at, Some((0, 1)));
+    assert_eq!(resumed_model.entities.to_bytes(), reference.entities.to_bytes());
+    assert_eq!(resumed_model.relations.to_bytes(), reference.relations.to_bytes());
+    assert_eq!(resumed_model.epoch_losses, reference.epoch_losses);
+}
+
+#[test]
+fn delta_log_rejects_full_run_and_other_dirty_sets() {
+    let ds = dataset();
+    let c = cfg(31);
+    let (prior, _) = train_partitioned(&ds, &c, NUM_PARTS, 1);
+    // One dirty partition so a shifted set is genuinely different.
+    let parts = training_partitioning(&ds, &c, NUM_PARTS);
+    let dirty = dirty_partitions(&ds, &parts, [ds.entities[0]]);
+    assert_eq!(dirty.len(), 1);
+
+    // Write one delta frame, then try resuming with a different identity.
+    let path = wal_path("digest-gate");
+    let mut log = TrainCheckpointLog::open(&path).expect("open log");
+    CheckpointedTrainer::new(c.clone(), NUM_PARTS, 1)
+        .with_warm_start(&prior)
+        .with_delta_partitions(dirty.clone())
+        .with_kill_after_rounds(1)
+        .train(&ds, &mut log)
+        .expect("seeded delta log");
+
+    // Full (non-delta) trainer must refuse the delta log.
+    let mut log = TrainCheckpointLog::open(&path).expect("reopen log");
+    assert!(
+        CheckpointedTrainer::new(c.clone(), NUM_PARTS, 1).train(&ds, &mut log).is_err(),
+        "full run resumed a delta log"
+    );
+    // A different dirty set must refuse it too.
+    let other: BTreeSet<u16> = dirty.iter().map(|p| (p + 1) % NUM_PARTS as u16).collect();
+    let mut log = TrainCheckpointLog::open(&path).expect("reopen log");
+    assert!(
+        CheckpointedTrainer::new(c.clone(), NUM_PARTS, 1)
+            .with_warm_start(&prior)
+            .with_delta_partitions(other)
+            .train(&ds, &mut log)
+            .is_err(),
+        "delta run resumed a log for a different dirty set"
+    );
+}

@@ -54,6 +54,13 @@ pub struct ScoredValue {
 }
 
 /// Groups candidates by value text and computes evidence features.
+///
+/// Supports within a group are sorted by `(doc, extractor)` before the
+/// float aggregations run, so the features — and therefore the written
+/// confidence — depend only on the candidate *set*, not the order the
+/// search engine surfaced the documents in. The incremental growth path
+/// relies on this: a delta re-extraction must converge bit-identically to
+/// a batch rebuild even when churn reshuffles BM25 rankings.
 pub fn featurize(
     candidates: &[ExtractedCandidate],
 ) -> Vec<(String, EvidenceFeatures, Vec<&ExtractedCandidate>)> {
@@ -61,6 +68,9 @@ pub fn featurize(
         Default::default();
     for c in candidates {
         groups.entry(c.value_text.clone()).or_default().push(c);
+    }
+    for supports in groups.values_mut() {
+        supports.sort_by_key(|c| (c.doc, c.extractor));
     }
     groups
         .into_iter()

@@ -10,7 +10,7 @@ use saga_webcorpus::WebPage;
 use serde::{Deserialize, Serialize};
 
 /// Which extractor produced a candidate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ExtractorKind {
     /// Rule-based key-value extraction from structured infoboxes
     /// (schema.org-style data).

@@ -25,7 +25,7 @@ pub use profiler::{select_targets, FactTarget, ProfilerConfig, TargetReason};
 pub use querylog::{generate_query_log, unanswered_targets, QueryRecord};
 pub use resilient::{CheckpointLog, ResilientOdke, RunCheckpoint, SITE_EXTRACT};
 pub use runner::{
-    calibrate_corroborator, find_documents, run_odke, run_odke_obs, OdkeConfig, OdkeReport,
-    TargetOutcome, TargetStatus,
+    calibrate_corroborator, find_documents, run_odke, run_odke_delta_obs, run_odke_obs,
+    select_delta_targets, OdkeConfig, OdkeReport, TargetOutcome, TargetStatus,
 };
 pub use synthesize::{synthesize_queries, SynthesizedQuery};

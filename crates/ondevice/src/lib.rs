@@ -41,5 +41,6 @@ pub use sources::{
 pub use spill::{SpillSorter, SpillStats};
 pub use sync::{
     gossip_until_stable, gossip_until_stable_lossy, offload_compute, sync_pair, sync_pair_lossy,
-    Device, DeviceId, DeviceTier, LossyLink, SourceOp, SyncPolicy, SyncReport, ViewArtifact,
+    Device, DeviceId, DeviceTier, DivergenceClock, EntityUpdate, LossyLink, SourceOp, SyncPolicy,
+    SyncReport, ViewArtifact,
 };

@@ -1,0 +1,102 @@
+//! Published snapshots: a canonical, history-free rendering of a grown KG.
+//!
+//! The growth pipeline's headline guarantee is that the incremental path
+//! *converges* to the batch rebuild. The two paths necessarily differ in
+//! bookkeeping — commit counters, `observed_at` stamps, and the insertion
+//! order of interned literals and sources all record *how* the graph was
+//! built, not *what* it says. [`publish_snapshot`] strips that history:
+//! it re-derives a fresh graph holding exactly the same entities, ontology
+//! and facts (with their sources and confidences) in a canonical order, so
+//! two graphs with the same content publish to bit-identical
+//! [`KnowledgeGraph::canonical_bytes`]. This mirrors the paper's serving
+//! story (Sec. 3.2): what ships to the serving fleet is a versioned,
+//! reproducible artifact, not the builder's working state.
+
+use saga_core::{KnowledgeGraph, Triple};
+
+/// Sort key giving facts a content-defined total order: subject, then
+/// predicate, then object kind, then the object's canonical string.
+fn fact_key(t: &Triple) -> (u64, u64, u8, String) {
+    (t.subject.raw(), t.predicate.raw() as u64, t.object.kind() as u8, t.object.canonical())
+}
+
+/// Re-derives `kg` as a canonical published snapshot.
+///
+/// The result holds the same ontology, the same entity records (in dense
+/// id order), and the same committed facts with the same source names and
+/// confidences — but interns sources in sorted-name order, inserts facts
+/// in content order, and collapses all `observed_at` stamps into one
+/// publish commit. Any two graphs with equal content yield snapshots with
+/// equal [`canonical_bytes`](KnowledgeGraph::canonical_bytes).
+pub fn publish_snapshot(kg: &KnowledgeGraph) -> KnowledgeGraph {
+    let mut out = KnowledgeGraph::new(kg.ontology().clone());
+    for rec in kg.entities() {
+        out.add_entity_record(rec.clone()).expect("entity records iterate in dense id order");
+    }
+
+    let mut rows: Vec<(Triple, String, f32)> = kg
+        .keys()
+        .iter()
+        .map(|&k| {
+            let t = kg.decode(k);
+            let meta = kg.fact_meta(&t).expect("committed triple has meta");
+            (t, kg.source_name(meta.source).to_string(), meta.confidence)
+        })
+        .collect();
+    rows.sort_by(|a, b| fact_key(&a.0).cmp(&fact_key(&b.0)));
+
+    // Intern only the sources the facts reference, in sorted-name order,
+    // so the source table is content-defined too.
+    let mut names: Vec<&str> = rows.iter().map(|(_, n, _)| n.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        out.register_source(name);
+    }
+
+    for (t, name, confidence) in rows {
+        let src = out.register_source(&name);
+        out.insert_with(t, src, confidence);
+    }
+    out.commit();
+    out
+}
+
+/// [`publish_snapshot`] rendered straight to canonical bytes — the value
+/// the equivalence proofs compare.
+pub fn published_bytes(kg: &KnowledgeGraph) -> Vec<u8> {
+    publish_snapshot(kg).canonical_bytes()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use saga_core::synth::{generate, SynthConfig};
+
+    #[test]
+    fn publish_is_idempotent_and_history_free() {
+        let s = generate(&SynthConfig::tiny(41));
+        let a = publish_snapshot(&s.kg);
+        // Publishing a published snapshot changes nothing.
+        assert_eq!(a.canonical_bytes(), publish_snapshot(&a).canonical_bytes());
+        assert_eq!(a.num_triples(), s.kg.num_triples());
+        assert_eq!(a.num_entities(), s.kg.num_entities());
+    }
+
+    #[test]
+    fn publish_erases_insertion_order_and_commit_history() {
+        let s = generate(&SynthConfig::tiny(43));
+        let mut reordered = publish_snapshot(&s.kg);
+        // Re-apply one fact over several extra commits: same content,
+        // different observed_at stamps and commit counter.
+        let t = reordered.decode(reordered.keys()[0]);
+        let meta = reordered.fact_meta(&t).unwrap();
+        for _ in 0..3 {
+            reordered.insert_with(t.clone(), meta.source, meta.confidence);
+            reordered.commit();
+        }
+        assert_ne!(reordered.canonical_bytes(), s.kg.canonical_bytes());
+        assert_eq!(published_bytes(&reordered), published_bytes(&s.kg));
+    }
+}

@@ -6,7 +6,7 @@ use crate::gen::Corpus;
 use crate::page::{PageKind, WebPage};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
-use saga_core::DocId;
+use saga_core::{DeltaBatch, DeltaCursor, DocId};
 use serde::{Deserialize, Serialize};
 
 /// Churn parameters for one simulated crawl interval.
@@ -33,6 +33,36 @@ pub struct ChurnReport {
     pub changed: Vec<DocId>,
     /// Corpus version after the churn.
     pub version: u64,
+}
+
+impl ChurnReport {
+    /// This interval as the shared delta contract: a page-keyed
+    /// [`DeltaBatch`] spanning `(version-1, version]`.
+    pub fn to_delta_batch(&self) -> DeltaBatch {
+        let mut batch = DeltaBatch::empty(self.version.saturating_sub(1));
+        batch.to = self.version;
+        for &d in &self.changed {
+            batch.mark_page(d);
+        }
+        batch
+    }
+}
+
+/// Pulls every page edited since the cursor's corpus version, straight off
+/// the `last_modified` stamps, and advances the cursor to the current
+/// version. The corpus retains every page at its latest version, so this
+/// feed never lapses — a consumer arbitrarily far behind still gets an
+/// exact (possibly large) dirty set.
+pub fn pull_page_delta(corpus: &Corpus, cursor: &mut DeltaCursor) -> DeltaBatch {
+    let mut batch = DeltaBatch::empty(cursor.position());
+    batch.to = corpus.version.max(cursor.position());
+    for page in &corpus.pages {
+        if page.last_modified > cursor.position() {
+            batch.mark_page(page.id);
+        }
+    }
+    cursor.advance_to(batch.to);
+    batch
 }
 
 /// Applies one interval of churn to `corpus`.
@@ -89,6 +119,16 @@ pub struct FactChange {
     pub new_value: String,
     /// Pages rewritten.
     pub docs: Vec<DocId>,
+}
+
+impl FactChange {
+    /// Marks this change's rewritten pages and subject entity into `batch`.
+    pub fn mark_into(&self, batch: &mut DeltaBatch) {
+        for &d in &self.docs {
+            batch.mark_page(d);
+        }
+        batch.mark_entity(self.subject);
+    }
 }
 
 /// Changes the value of up to `n_facts` volatile facts on the Web: picks
@@ -230,6 +270,30 @@ mod tests {
             };
             assert_eq!(kg_rendered, ch.old_value);
         }
+    }
+
+    #[test]
+    fn pull_page_delta_tracks_churn_and_catches_up() {
+        let mut c = corpus();
+        let mut cursor = DeltaCursor::start();
+        // Fresh cursor at version 0 sees nothing (base corpus is v0).
+        assert!(pull_page_delta(&c, &mut cursor).is_empty());
+        let r1 = apply_churn(&mut c, &ChurnConfig::default());
+        let r2 = apply_churn(&mut c, &ChurnConfig::default());
+        let batch = pull_page_delta(&c, &mut cursor);
+        assert_eq!((batch.from, batch.to), (0, 2));
+        assert_eq!(cursor.position(), 2);
+        // The pulled dirty set covers both intervals' churn. Pages edited
+        // in r1 and again in r2 appear once (sets dedupe).
+        let mut union: std::collections::BTreeSet<DocId> = r1.changed.iter().copied().collect();
+        union.extend(r2.changed.iter().copied());
+        assert_eq!(batch.dirty_pages, union);
+        // Caught-up cursor pulls empty.
+        assert!(pull_page_delta(&c, &mut cursor).is_empty());
+        // Per-interval report converts to the same contract.
+        let b1 = r1.to_delta_batch();
+        assert_eq!((b1.from, b1.to), (0, 1));
+        assert_eq!(b1.dirty_pages.len(), r1.changed.len());
     }
 
     #[test]
